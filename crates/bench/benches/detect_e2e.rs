@@ -1,0 +1,58 @@
+//! End-to-end pipeline throughput: records/second through the full
+//! sketch-based detector (sketch + forecast + threshold + two-pass scan),
+//! compared with the per-flow reference — the scalability claim of §1.3
+//! made measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scd_core::{DetectorConfig, KeyStrategy, PerFlowDetector, SketchChangeDetector};
+use scd_forecast::ModelSpec;
+use scd_sketch::SketchConfig;
+use scd_traffic::{to_updates, KeySpec, RouterProfile, TrafficGenerator, ValueSpec};
+use std::hint::black_box;
+
+fn interval_updates() -> Vec<(u64, f64)> {
+    let mut cfg = RouterProfile::Medium.config(77);
+    cfg.interval_secs = 300;
+    let mut generator = TrafficGenerator::new(cfg);
+    to_updates(&generator.interval_records(3), KeySpec::DstIp, ValueSpec::Bytes)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let updates = interval_updates();
+    let n = updates.len() as u64;
+    let mut group = c.benchmark_group("pipeline_per_interval");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(20);
+
+    group.bench_function("sketch_h5_k32768_twopass", |b| {
+        let mut det = SketchChangeDetector::new(DetectorConfig {
+            sketch: SketchConfig { h: 5, k: 32_768, seed: 5 },
+            model: ModelSpec::Ewma { alpha: 0.5 },
+            threshold: 0.05,
+            key_strategy: KeyStrategy::TwoPass,
+        });
+        det.process_interval(&updates); // warm
+        b.iter(|| black_box(det.process_interval(&updates)))
+    });
+
+    group.bench_function("sketch_h1_k8192_sampled", |b| {
+        let mut det = SketchChangeDetector::new(DetectorConfig {
+            sketch: SketchConfig { h: 1, k: 8192, seed: 5 },
+            model: ModelSpec::Ewma { alpha: 0.5 },
+            threshold: 0.05,
+            key_strategy: KeyStrategy::Sampled { rate: 0.1, seed: 9 },
+        });
+        det.process_interval(&updates);
+        b.iter(|| black_box(det.process_interval(&updates)))
+    });
+
+    group.bench_function("perflow_reference", |b| {
+        let mut det = PerFlowDetector::new(ModelSpec::Ewma { alpha: 0.5 });
+        det.process_interval(&updates);
+        b.iter(|| black_box(det.process_interval(&updates)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

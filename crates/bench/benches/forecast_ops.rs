@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the forecasting module: per-interval model
+//! stepping cost in sketch space, across all six models. This is the
+//! once-per-interval cost the paper amortizes over the interval (§5.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_forecast::{ArimaSpec, Forecaster, ModelSpec};
+use scd_sketch::{KarySketch, SketchConfig};
+use std::hint::black_box;
+
+fn specs() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Ma { window: 5 },
+        ModelSpec::Sma { window: 5 },
+        ModelSpec::Ewma { alpha: 0.5 },
+        ModelSpec::Nshw { alpha: 0.5, beta: 0.3 },
+        ModelSpec::Arima(ArimaSpec::new(0, &[0.7, -0.1], &[0.3]).unwrap()),
+        ModelSpec::Arima(ArimaSpec::new(1, &[0.5], &[0.4, 0.1]).unwrap()),
+    ]
+}
+
+fn bench_model_step(c: &mut Criterion) {
+    let cfg = SketchConfig { h: 5, k: 32_768, seed: 1 };
+    let mut group = c.benchmark_group("model_step_sketch_h5_k32768");
+    for spec in specs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.describe()),
+            &spec,
+            |b, spec| {
+                let mut model: Box<dyn Forecaster<KarySketch>> = spec.build();
+                let mut observed = KarySketch::new(cfg);
+                for key in 0..1000u64 {
+                    observed.update(key, (key % 13) as f64);
+                }
+                // Warm the model so steady-state cost is measured.
+                for _ in 0..5 {
+                    model.observe(&observed);
+                }
+                b.iter(|| black_box(model.step(&observed)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scalar_step(c: &mut Criterion) {
+    // The per-flow reference cost: one scalar step per flow per interval.
+    let mut group = c.benchmark_group("model_step_scalar");
+    for spec in specs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.describe()),
+            &spec,
+            |b, spec| {
+                let mut model: Box<dyn Forecaster<f64>> = spec.build();
+                for v in [10.0, 12.0, 9.0, 14.0, 11.0] {
+                    model.observe(&v);
+                }
+                let mut x = 10.0;
+                b.iter(|| {
+                    x = 0.9 * x + 1.0;
+                    black_box(model.step(&x))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_step, bench_scalar_step);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark for Table 1's first row: hash computation cost.
+//!
+//! The paper times 10 M computations of "8 independent 16-bit hash values"
+//! (two 64-bit outputs in our formulation). Criterion reports per-op times;
+//! multiply by 1e7 to compare against Table 1's seconds.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scd_hash::{Hasher4, Poly4, Tab4};
+use std::hint::black_box;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+
+    let tab = Tab4::new(1);
+    group.bench_function("tabulation_u32", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(tab.hash32(i))
+        })
+    });
+
+    let poly = Poly4::new(2);
+    group.bench_function("polynomial_u64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(poly.hash64(i))
+        })
+    });
+
+    let h1 = Hasher4::new(3);
+    let h2 = Hasher4::new(4);
+    group.bench_function("paper_unit_8x16bit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(h1.hash64(i as u64) ^ h2.hash64(i as u64))
+        })
+    });
+
+    // Construction cost (2 MiB of tables) — relevant for per-row seeding.
+    group.bench_function("tabulation_construction", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            |s| black_box(Tab4::new(s)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Median-network ablation (§4.2): the paper restricts H to {1, 5, 9, 25}
+//! so optimized median networks apply; this bench measures what that buys
+//! over generic selection, per median, at each supported size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use scd_sketch::median::{median_inplace, median_selection_only};
+use std::hint::black_box;
+
+fn inputs(n: usize) -> Vec<Vec<f64>> {
+    let mut state = 0xDEAD_BEEFu64;
+    (0..256)
+        .map(|_| {
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 11) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_medians(c: &mut Criterion) {
+    let mut group = c.benchmark_group("median");
+    for &n in &[5usize, 9, 25] {
+        let data = inputs(n);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("network", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    i = (i + 1) & 255;
+                    data[i].clone()
+                },
+                |mut v| black_box(median_inplace(&mut v)),
+                BatchSize::SmallInput,
+            )
+        });
+        let mut j = 0usize;
+        group.bench_with_input(BenchmarkId::new("selection", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    j = (j + 1) & 255;
+                    data[j].clone()
+                },
+                |mut v| black_box(median_selection_only(&mut v)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_medians);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion benchmarks for Table 1's UPDATE and ESTIMATE rows, plus the
+//! per-interval operations (ESTIMATEF2, COMBINE) whose "amortized costs are
+//! insignificant" per §5.3 — quantified here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scd_sketch::{CountMinSketch, CountSketch, Deltoid, DeltoidConfig, KarySketch, SketchConfig};
+use std::hint::black_box;
+
+const PAPER_CFG: SketchConfig = SketchConfig { h: 5, k: 1 << 16, seed: 7 };
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    let mut kary = KarySketch::new(PAPER_CFG);
+    let mut i = 0u64;
+    group.bench_function("kary_h5_k65536", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            kary.update(black_box(i & 0xFFFF_FFFF), 1.0);
+        })
+    });
+
+    // Baselines: count-min (no sign work) and count sketch (extra sign hash
+    // per row — the §3.1 remark that k-ary ops are "simpler and more
+    // efficient than the corresponding operations on count sketches").
+    let mut cm = CountMinSketch::new(5, 1 << 16, 8);
+    group.bench_function("countmin_h5_k65536", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            cm.update(black_box(i & 0xFFFF_FFFF), 1.0);
+        })
+    });
+    let mut cs = CountSketch::new(5, 1 << 16, 9);
+    group.bench_function("countsketch_h5_k65536", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            cs.update(black_box(i & 0xFFFF_FFFF), 1.0);
+        })
+    });
+    // The group-testing sketch: the "(key_bits + 1)x" update cost of §3.3's
+    // reversibility option, measured.
+    let mut dl = Deltoid::new(DeltoidConfig { h: 5, k: 1 << 11, key_bits: 32, seed: 10 });
+    group.bench_function("deltoid_h5_k2048_b32", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            dl.update(black_box(i & 0xFFFF_FFFF), 1.0);
+        })
+    });
+    group.finish();
+}
+
+fn bench_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deltoid_recover");
+    let mut dl = Deltoid::new(DeltoidConfig { h: 5, k: 1 << 11, key_bits: 32, seed: 10 });
+    for key in 0..20_000u64 {
+        dl.update(key.wrapping_mul(2654435761), 10.0);
+    }
+    for heavy in 0..8u64 {
+        dl.update(heavy.wrapping_mul(0x0101_0101) + 1, 500_000.0);
+    }
+    group.bench_function("recover_8_heavy_of_20k", |b| {
+        b.iter(|| black_box(dl.recover(100_000.0)))
+    });
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate");
+    let mut kary = KarySketch::new(PAPER_CFG);
+    let mut cs = CountSketch::new(5, 1 << 16, 9);
+    for key in 0..100_000u64 {
+        kary.update(key, (key % 97) as f64);
+        cs.update(key, (key % 97) as f64);
+    }
+    let est = kary.estimator();
+    let mut i = 0u64;
+    group.bench_function("kary_point_query", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(31);
+            black_box(est.estimate(i % 100_000))
+        })
+    });
+    group.bench_function("countsketch_point_query", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(31);
+            black_box(cs.estimate(i % 100_000))
+        })
+    });
+    group.bench_function("estimate_f2", |b| b.iter(|| black_box(kary.estimate_f2())));
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine");
+    let mut a = KarySketch::new(PAPER_CFG);
+    let mut b2 = KarySketch::new(PAPER_CFG);
+    for key in 0..50_000u64 {
+        a.update(key, 1.0);
+        b2.update(key * 3, 2.0);
+    }
+    group.bench_function("combine_2_terms_h5_k65536", |bch| {
+        bch.iter(|| black_box(a.combine(&[(0.5, &a), (0.5, &b2)]).unwrap()))
+    });
+    group.bench_function("add_scaled_in_place", |bch| {
+        let mut acc = a.clone();
+        bch.iter(|| {
+            acc.add_scaled(&b2, 0.25).unwrap();
+            black_box(acc.sum())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_estimate, bench_combine, bench_recover);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Shared machinery for the relative-difference CDF experiments
+//! (Figures 1–3): random model parameters, sketch-vs-per-flow total-energy
+//! comparison, and CDF summarization.
+
+use crate::args::CommonArgs;
+use crate::runner::{make_trace, run_perflow, run_sketch, Trace};
+use crate::table::{f, Table};
+use scd_core::gridsearch::random_spec;
+use scd_core::metrics;
+use scd_forecast::{ModelKind, ModelSpec};
+use scd_sketch::SketchConfig;
+use scd_traffic::{Rng, RouterProfile};
+
+/// The paper's ten routers, emulated as ten independently seeded
+/// generators spanning the three size classes.
+pub fn ten_routers(base_seed: u64) -> Vec<(RouterProfile, u64)> {
+    let mut out = Vec::new();
+    for i in 0..2u64 {
+        out.push((RouterProfile::Large, base_seed + i));
+    }
+    for i in 0..4u64 {
+        out.push((RouterProfile::Medium, base_seed + 100 + i));
+    }
+    for i in 0..4u64 {
+        out.push((RouterProfile::Small, base_seed + 200 + i));
+    }
+    out
+}
+
+/// Builds the traces for a router list at the given interval size.
+pub fn build_traces(
+    routers: &[(RouterProfile, u64)],
+    interval_secs: u32,
+    common: &CommonArgs,
+) -> Vec<Trace> {
+    routers
+        .iter()
+        .map(|&(profile, seed)| {
+            make_trace(
+                profile,
+                interval_secs,
+                common.intervals(interval_secs),
+                common.scale,
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// One relative-difference sample: run both schemes with `spec` on `trace`
+/// and compare total energies (√Σ F2) over post-warm-up intervals.
+pub fn relative_difference_sample(
+    trace: &Trace,
+    spec: &ModelSpec,
+    sketch: SketchConfig,
+    warm_up: usize,
+) -> f64 {
+    let pf = run_perflow(trace, spec, warm_up);
+    let sk = run_sketch(trace, spec, sketch, warm_up);
+    let pf_energy = metrics::total_energy(&pf.iter().map(|o| o.f2).collect::<Vec<_>>());
+    let sk_energy = metrics::total_energy(&sk.iter().map(|o| o.f2).collect::<Vec<_>>());
+    metrics::relative_difference(sk_energy, pf_energy)
+}
+
+/// Collects relative-difference samples for `kind` across all traces with
+/// `n_random` random parameter points each (the paper's "random"
+/// experiment design).
+pub fn samples_for_model(
+    kind: ModelKind,
+    traces: &[Trace],
+    sketch: SketchConfig,
+    n_random: usize,
+    warm_up: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = Rng::new(seed ^ 0xCDF);
+    let mut specs = Vec::new();
+    for _ in 0..n_random {
+        specs.push(random_spec(kind, 10, &mut rng));
+    }
+    let jobs: Vec<(usize, ModelSpec)> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(ti, _)| specs.iter().cloned().map(move |s| (ti, s)))
+        .collect();
+    crate::runner::parallel_map(jobs, crate::runner::default_workers(), |(ti, spec)| {
+        relative_difference_sample(&traces[ti], &spec, sketch, warm_up)
+    })
+}
+
+/// Prints a CDF summary row set and saves the full CDF as CSV.
+pub fn report_cdf(title: &str, curves: &[(String, Vec<f64>)], csv_name: &str) {
+    let mut t = Table::new(
+        title,
+        &["curve", "n", "min %", "p25 %", "median %", "p75 %", "max %", "|x|<=1% share"],
+    );
+    for (label, samples) in curves {
+        let mut s = samples.clone();
+        s.sort_by(f64::total_cmp);
+        let q = |p: f64| s[(p * (s.len() - 1) as f64).round() as usize];
+        let within = s.iter().filter(|x| x.abs() <= 1.0).count() as f64 / s.len() as f64;
+        t.row(&[
+            label.clone(),
+            s.len().to_string(),
+            f(q(0.0), 3),
+            f(q(0.25), 3),
+            f(q(0.5), 3),
+            f(q(0.75), 3),
+            f(q(1.0), 3),
+            f(within, 2),
+        ]);
+    }
+    t.print();
+
+    // Full CDFs to CSV: one row per (curve, value, cumulative probability).
+    let mut csv = Table::new(title, &["curve", "relative_difference_pct", "cdf"]);
+    for (label, samples) in curves {
+        for (v, p) in metrics::empirical_cdf(samples) {
+            csv.row(&[label.clone(), format!("{v:.6}"), format!("{p:.6}")]);
+        }
+    }
+    let path = csv.save_csv(csv_name).expect("write results/");
+    println!("csv: {}\n", path.display());
+}

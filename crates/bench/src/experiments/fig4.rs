@@ -1,0 +1,81 @@
+//! Figure 4: top-N similarity between sketch and per-flow over time, for
+//! the large router, EWMA (grid-searched α), `H = 5, K = 32768`, at 300 s
+//! (panel a) and 60 s (panel b) intervals, with the first hour as warm-up.
+//!
+//! Paper's result: "even for large N (1000), the similarity is around 0.95
+//! for both the 60s and 300s intervals", and remarkably consistent across
+//! time.
+
+use crate::args::Args;
+use crate::experiments::params::{tuned, SearchDepth};
+use crate::runner::{make_trace, paired, run_perflow, run_sketch};
+use crate::table::{f, Table};
+use scd_core::metrics;
+use scd_forecast::ModelKind;
+use scd_sketch::SketchConfig;
+use scd_traffic::RouterProfile;
+
+const TOP_NS: [usize; 4] = [50, 100, 500, 1000];
+
+/// Regenerates Figure 4 (both panels).
+pub fn run(args: &Args) {
+    let common = args.common_scaled(4.0);
+    let sketch = SketchConfig { h: 5, k: 32_768, seed: common.seed ^ 0x0F16_0004 };
+
+    for &interval_secs in &[300u32, 60] {
+        let trace = make_trace(
+            RouterProfile::Large,
+            interval_secs,
+            common.intervals(interval_secs),
+            common.scale,
+            common.seed,
+        );
+        let warm = common.warm_up(interval_secs);
+        let spec = tuned(ModelKind::Ewma, &trace, common.seed, SearchDepth::Fast);
+        println!(
+            "Figure 4 ({interval_secs}s): large router, {} records, model {}",
+            trace.records,
+            spec.describe()
+        );
+
+        let pf = run_perflow(&trace, &spec, warm);
+        let sk = run_sketch(&trace, &spec, sketch, warm);
+        let pairs = paired(&pf, &sk);
+
+        let mut t = Table::new(
+            &format!("Figure 4 — similarity over time, interval={interval_secs}s, H=5, K=32768"),
+            &["t", "N=50", "N=100", "N=500", "N=1000"],
+        );
+        let mut means = [0.0f64; 4];
+        for (p, s) in &pairs {
+            let sims: Vec<f64> = TOP_NS
+                .iter()
+                .map(|&n| metrics::topn_similarity(&p.errors, &s.errors, n))
+                .collect();
+            for (m, v) in means.iter_mut().zip(&sims) {
+                *m += v;
+            }
+            t.row(&[
+                p.t.to_string(),
+                f(sims[0], 3),
+                f(sims[1], 3),
+                f(sims[2], 3),
+                f(sims[3], 3),
+            ]);
+        }
+        let n = pairs.len().max(1) as f64;
+        t.row(&[
+            "mean".into(),
+            f(means[0] / n, 3),
+            f(means[1] / n, 3),
+            f(means[2] / n, 3),
+            f(means[3] / n, 3),
+        ]);
+        t.print();
+        let path = t
+            .save_csv(&format!("fig4_interval{interval_secs}"))
+            .expect("write results/");
+        println!("csv: {}\n", path.display());
+    }
+    println!("paper shape: similarity ~0.95+ even at N=1000, stable across intervals.");
+}

@@ -1,0 +1,387 @@
+//! `scd` — sketch-based change detection from the command line.
+//!
+//! ```text
+//! scd generate --profile small --hours 1 --interval 60 --out trace.bin
+//!              [--scale X] [--seed N] [--dos RANK:START:DUR:MULT[,...]]
+//! scd info     --trace trace.bin
+//! scd tune     --trace trace.bin --interval 300 --model ewma [--paper]
+//! scd detect   --trace trace.bin --interval 300 --model ewma:0.5
+//!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
+//!              [--strategy twopass|next|sampled:R|reversible] [--top N]
+//! scd sketch   --trace trace.bin --interval 300 --at 7 --out s.sketch
+//!              [--h 5] [--k 32768] [--sketch-seed N]
+//! scd combine  --out sum.sketch A.sketch B.sketch ... [--query IP]
+//! ```
+//!
+//! Traces are the binary/CSV formats of `scd-traffic::io` (format chosen by
+//! file extension). `detect` prints one line per alarm; `tune` prints a
+//! spec string that `--model` accepts, so the two compose:
+//!
+//! ```text
+//! scd detect --trace t.bin --interval 300 --model "$(scd tune --trace t.bin --interval 300 --model ewma --quiet)"
+//! ```
+
+mod flags;
+
+/// Like `println!` but exits quietly when stdout closes (e.g. piped into
+/// `head`) instead of panicking on the broken pipe.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        if writeln!(lock, $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+use flags::{FlagError, Flags};
+use scd_core::gridsearch::{search_model, GridSearchConfig};
+use scd_core::{
+    segment_records, DetectorConfig, KeyStrategy, ReversibleChangeDetector, ReversibleConfig,
+    SketchChangeDetector,
+};
+use scd_forecast::{ModelKind, ModelSpec};
+use scd_sketch::{DeltoidConfig, SketchConfig};
+use scd_traffic::record::format_ipv4;
+use scd_traffic::{
+    io, AnomalyEvent, AnomalyInjector, AnomalyKind, FlowRecord, KeySpec, RouterProfile,
+    TrafficGenerator, ValueSpec,
+};
+use std::fs::File;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: scd <generate|info|tune|detect> [flags]\n\n\
+         generate  --profile large|medium|small --out FILE [--hours H] [--interval S]\n\
+         \u{20}          [--scale X] [--seed N] [--dos RANK:START:DUR:MULT[,...]]\n\
+         info      --trace FILE\n\
+         tune      --trace FILE --interval S --model ma|sma|ewma|nshw|arima0|arima1\n\
+         \u{20}          [--paper] [--quiet]\n\
+         detect    --trace FILE --interval S --model SPEC [--h 5] [--k 32768]\n\
+         \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
+         \u{20}          [--strategy twopass|next|sampled:R|reversible]\n\
+         sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
+         combine   --out FILE A.sketch B.sketch ... [--query IP]\n\n\
+         model SPEC syntax: ma:5 | ewma:0.5 | nshw:0.6:0.2 | arima0:0.7,-0.1/0.3 | shw:a:b:g:m"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let flags = Flags::parse(args);
+    let result = match cmd.as_str() {
+        "generate" => generate(&flags),
+        "info" => info(&flags),
+        "tune" => tune(&flags),
+        "detect" => detect(&flags),
+        "sketch" => sketch(&flags),
+        "combine" => combine(&flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scd {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn read_trace(path: &str) -> Result<Vec<FlowRecord>, Box<dyn std::error::Error>> {
+    let file = File::open(path)?;
+    let records = if path.ends_with(".csv") {
+        io::read_csv(file)?
+    } else {
+        io::read_binary(file)?
+    };
+    Ok(records)
+}
+
+fn generate(flags: &Flags) -> CliResult {
+    let profile = match flags.require::<String>("profile")?.as_str() {
+        "large" => RouterProfile::Large,
+        "medium" => RouterProfile::Medium,
+        "small" => RouterProfile::Small,
+        other => return Err(FlagError(format!("unknown profile '{other}'")).into()),
+    };
+    let out: String = flags.require("out")?;
+    let hours: f64 = flags.get("hours", 1.0)?;
+    let interval: u32 = flags.get("interval", 300)?;
+    let scale: f64 = flags.get("scale", 1.0)?;
+    let seed: u64 = flags.get("seed", 2003)?;
+
+    let mut cfg = profile.config(seed).scaled(scale);
+    cfg.interval_secs = interval;
+    let mut generator = TrafficGenerator::new(cfg);
+    let n_intervals = ((hours * 3600.0) / interval as f64).round().max(1.0) as usize;
+
+    // Optional DoS schedule: RANK:START:DUR:MULT, comma separated.
+    let mut events = Vec::new();
+    if let Some(spec) = flags.raw("dos") {
+        for part in spec.split(',') {
+            let fields: Vec<&str> = part.split(':').collect();
+            if fields.len() != 4 {
+                return Err(FlagError(format!(
+                    "--dos expects RANK:START:DUR:MULT, got '{part}'"
+                ))
+                .into());
+            }
+            let rank: usize = fields[0].parse().map_err(|_| FlagError(part.into()))?;
+            let start: usize = fields[1].parse().map_err(|_| FlagError(part.into()))?;
+            let duration: usize = fields[2].parse().map_err(|_| FlagError(part.into()))?;
+            let mult: f64 = fields[3].parse().map_err(|_| FlagError(part.into()))?;
+            let baseline = generator.expected_rank_bytes(rank, start).max(10_000.0);
+            events.push(AnomalyEvent {
+                kind: AnomalyKind::DosAttack { byte_rate: baseline * mult, flows: 50 },
+                victim_rank: rank,
+                start_interval: start,
+                duration,
+            });
+        }
+    }
+    let injector = AnomalyInjector::new(events.clone(), seed ^ 0xA770);
+    let (trace, truth) = injector.labeled_trace(&mut generator, n_intervals);
+    let flat: Vec<FlowRecord> = trace.into_iter().flatten().collect();
+
+    let file = File::create(&out)?;
+    if out.ends_with(".csv") {
+        io::write_csv(file, &flat)?;
+    } else {
+        io::write_binary(file, &flat)?;
+    }
+    outln!(
+        "wrote {} records over {} x {}s intervals to {}",
+        flat.len(),
+        n_intervals,
+        interval,
+        out
+    );
+    for ev in &events {
+        outln!(
+            "  injected dos: victim {} (rank {}), intervals {}..{}",
+            format_ipv4(generator.dst_ip_of_rank(ev.victim_rank)),
+            ev.victim_rank,
+            ev.start_interval,
+            ev.start_interval + ev.duration - 1
+        );
+    }
+    let _ = truth;
+    Ok(())
+}
+
+fn info(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let records = read_trace(&path)?;
+    if records.is_empty() {
+        outln!("{path}: empty trace");
+        return Ok(());
+    }
+    let first = records.iter().map(|r| r.timestamp_ms).min().expect("nonempty");
+    let last = records.iter().map(|r| r.timestamp_ms).max().expect("nonempty");
+    let bytes: u64 = records.iter().map(|r| r.bytes).sum();
+    let mut per_dst: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for r in &records {
+        *per_dst.entry(r.dst_ip).or_default() += r.bytes;
+    }
+    let mut top: Vec<(u32, u64)> = per_dst.iter().map(|(&k, &v)| (k, v)).collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    outln!("{path}:");
+    outln!("  records:      {}", records.len());
+    outln!("  span:         {:.1} minutes", (last - first) as f64 / 60_000.0);
+    outln!("  total bytes:  {bytes}");
+    outln!("  distinct dst: {}", per_dst.len());
+    outln!("  top talkers:");
+    for (ip, vol) in top.iter().take(10) {
+        outln!("    {:<16} {:>14} bytes", format_ipv4(*ip), vol);
+    }
+    Ok(())
+}
+
+fn tune(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let interval: u32 = flags.require("interval")?;
+    let kind: ModelKind = flags.require::<String>("model")?.parse()?;
+    let quiet = flags.has("quiet");
+
+    let records = read_trace(&path)?;
+    let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
+    if intervals.is_empty() {
+        return Err(FlagError("trace produced no intervals".into()).into());
+    }
+    let mut cfg = GridSearchConfig::paper_default(interval);
+    if !flags.has("paper") {
+        cfg.arima_subdivisions = 5; // fast default; --paper restores 7
+    }
+    // Don't demand a full hour of warm-up from short traces.
+    cfg.warm_up_intervals = cfg.warm_up_intervals.min(intervals.len() / 4);
+    let result = search_model(kind, &cfg, &intervals);
+    if quiet {
+        outln!("{}", result.spec.compact());
+    } else {
+        outln!("best {kind} parameters: {}", result.spec.describe());
+        outln!("  spec string:     {}", result.spec.compact());
+        outln!("  estimated energy: {:.3e}", result.energy);
+        outln!("  candidates tried: {}", result.evaluated);
+    }
+    Ok(())
+}
+
+fn detect(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let interval: u32 = flags.require("interval")?;
+    let model = ModelSpec::parse(&flags.require::<String>("model")?)?;
+    let h: usize = flags.get("h", 5)?;
+    let k: usize = flags.get("k", 32_768)?;
+    let threshold: f64 = flags.get("threshold", 0.05)?;
+    let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
+    let top: usize = flags.get("top", 10)?;
+    let strategy = flags.raw("strategy").unwrap_or("twopass");
+
+    let records = read_trace(&path)?;
+    let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
+    outln!(
+        "detecting over {} intervals of {interval}s (model {}, H={h}, K={k}, T={threshold})",
+        intervals.len(),
+        model.describe()
+    );
+
+    if strategy == "reversible" {
+        let mut det = ReversibleChangeDetector::new(ReversibleConfig {
+            deltoid: DeltoidConfig { h, k, key_bits: 32, seed: sketch_seed },
+            model,
+            threshold,
+        });
+        for items in &intervals {
+            let report = det.process_interval(items);
+            print_alarms(report.interval, report.alarms.iter().map(|a| (a.key, a.estimated_error)), top);
+        }
+        return Ok(());
+    }
+
+    let key_strategy = match strategy {
+        "twopass" => KeyStrategy::TwoPass,
+        "next" => KeyStrategy::NextInterval,
+        s if s.starts_with("sampled:") => {
+            let rate: f64 = s["sampled:".len()..]
+                .parse()
+                .map_err(|_| FlagError(format!("bad sampled rate in '{s}'")))?;
+            KeyStrategy::Sampled { rate, seed: sketch_seed ^ 1 }
+        }
+        other => return Err(FlagError(format!("unknown strategy '{other}'")).into()),
+    };
+    let mut det = SketchChangeDetector::new(DetectorConfig {
+        sketch: SketchConfig { h, k, seed: sketch_seed },
+        model,
+        threshold,
+        key_strategy,
+    });
+    for items in &intervals {
+        let report = det.process_interval(items);
+        print_alarms(report.interval, report.alarms.iter().map(|a| (a.key, a.estimated_error)), top);
+    }
+    Ok(())
+}
+
+fn print_alarms(interval: usize, alarms: impl Iterator<Item = (u64, f64)>, top: usize) {
+    for (i, (key, err)) in alarms.take(top).enumerate() {
+        if i == 0 {
+            outln!("interval {interval}:");
+        }
+        outln!(
+            "  ALARM {:<16} error {:+.0} bytes",
+            format_ipv4(key as u32),
+            err
+        );
+    }
+}
+
+/// Builds the k-ary sketch of one interval of a trace and writes it in the
+/// wire format — the per-router half of the distributed COMBINE workflow.
+fn sketch(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let interval: u32 = flags.require("interval")?;
+    let at: usize = flags.require("at")?;
+    let out: String = flags.require("out")?;
+    let h: usize = flags.get("h", 5)?;
+    let k: usize = flags.get("k", 32_768)?;
+    let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
+
+    let records = read_trace(&path)?;
+    let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
+    let items = intervals
+        .get(at)
+        .ok_or_else(|| FlagError(format!("interval {at} beyond trace ({} intervals)", intervals.len())))?;
+    let mut s = scd_sketch::KarySketch::new(SketchConfig { h, k, seed: sketch_seed });
+    for &(key, value) in items {
+        s.update(key, value);
+    }
+    std::fs::write(&out, scd_sketch::to_bytes(&s))?;
+    outln!(
+        "wrote sketch of interval {at} ({} updates, total {:.0} bytes of traffic) to {out}",
+        items.len(),
+        s.sum()
+    );
+    Ok(())
+}
+
+/// Sums sketch files (same hash family required) — the collector half of
+/// the distributed workflow. Optionally answers a point query on the sum.
+fn combine(flags: &Flags) -> CliResult {
+    let out: String = flags.require("out")?;
+    if flags.positional.is_empty() {
+        return Err(FlagError("combine needs at least one sketch file".into()).into());
+    }
+    let mut sum: Option<scd_sketch::KarySketch> = None;
+    for path in &flags.positional {
+        let data = std::fs::read(path)?;
+        let s = scd_sketch::from_bytes(&data)?;
+        match &mut sum {
+            None => sum = Some(s),
+            Some(acc) => acc.add_scaled(&s, 1.0)?,
+        }
+    }
+    let sum = sum.expect("at least one input");
+    std::fs::write(&out, scd_sketch::to_bytes(&sum))?;
+    outln!(
+        "combined {} sketch(es); total traffic {:.0} bytes -> {out}",
+        flags.positional.len(),
+        sum.sum()
+    );
+    if let Some(q) = flags.raw("query") {
+        let key: u64 = parse_ip_or_key(q)?;
+        outln!("estimate[{q}] = {:.0}", sum.estimate(key));
+    }
+    Ok(())
+}
+
+/// Accepts dotted-quad IPv4 or a raw integer key.
+fn parse_ip_or_key(text: &str) -> Result<u64, FlagError> {
+    if let Ok(n) = text.parse::<u64>() {
+        return Ok(n);
+    }
+    let octets: Vec<&str> = text.split('.').collect();
+    if octets.len() == 4 {
+        let mut v: u64 = 0;
+        for o in octets {
+            let b: u64 = o
+                .parse()
+                .map_err(|_| FlagError(format!("bad IP/key '{text}'")))?;
+            if b > 255 {
+                return Err(FlagError(format!("bad IP/key '{text}'")));
+            }
+            v = (v << 8) | b;
+        }
+        return Ok(v);
+    }
+    Err(FlagError(format!("bad IP/key '{text}'")))
+}

@@ -1,0 +1,169 @@
+//! End-to-end tests of the `scd` binary: generate → info → tune → detect,
+//! exercising the composed pipeline exactly as a user would.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn scd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scd"))
+}
+
+fn temp_trace(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("scd-cli-test-{name}-{}.bin", std::process::id()));
+    p
+}
+
+fn run(cmd: &mut Command) -> (String, String, bool) {
+    let out = cmd.output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn generate_info_detect_pipeline() {
+    let trace = temp_trace("pipeline");
+    let trace_s = trace.to_str().unwrap();
+
+    // Generate half an hour with a strong DoS at interval 12.
+    let (stdout, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "0.5", "--interval", "60"])
+        .args(["--out", trace_s, "--dos", "10:12:2:30", "--seed", "7"]));
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    // The victim IP is announced; remember it.
+    let victim = stdout
+        .lines()
+        .find(|l| l.contains("injected dos"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .expect("victim ip printed")
+        .to_string();
+
+    // Info reports plausible stats.
+    let (stdout, stderr, ok) = run(scd().args(["info", "--trace", trace_s]));
+    assert!(ok, "info failed: {stderr}");
+    assert!(stdout.contains("records:"), "{stdout}");
+    assert!(stdout.contains("top talkers"), "{stdout}");
+
+    // Detect flags the victim at interval 12.
+    let (stdout, stderr, ok) = run(scd()
+        .args(["detect", "--trace", trace_s, "--interval", "60"])
+        .args(["--model", "ewma:0.5", "--threshold", "0.4", "--k", "8192"]));
+    assert!(ok, "detect failed: {stderr}");
+    let after_12 = stdout.split("interval 12:").nth(1).expect("interval 12 in output");
+    let block_12 = after_12.split("interval").next().expect("block");
+    assert!(
+        block_12.contains(&victim),
+        "victim {victim} not alarmed at interval 12:\n{stdout}"
+    );
+
+    // The reversible strategy finds it too — with no key replay.
+    let (stdout, stderr, ok) = run(scd()
+        .args(["detect", "--trace", trace_s, "--interval", "60"])
+        .args(["--model", "ewma:0.5", "--threshold", "0.4", "--k", "4096"])
+        .args(["--strategy", "reversible"]));
+    assert!(ok, "reversible detect failed: {stderr}");
+    assert!(stdout.contains(&victim), "reversible missed {victim}:\n{stdout}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn tune_emits_spec_that_detect_accepts() {
+    let trace = temp_trace("tune");
+    let trace_s = trace.to_str().unwrap();
+    let (_, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "0.25", "--interval", "60"])
+        .args(["--out", trace_s, "--seed", "3"]));
+    assert!(ok, "generate failed: {stderr}");
+
+    let (stdout, stderr, ok) = run(scd()
+        .args(["tune", "--trace", trace_s, "--interval", "60", "--model", "ewma", "--quiet"]));
+    assert!(ok, "tune failed: {stderr}");
+    let spec = stdout.trim().to_string();
+    assert!(spec.starts_with("ewma:"), "unexpected spec '{spec}'");
+
+    let (_, stderr, ok) = run(scd()
+        .args(["detect", "--trace", trace_s, "--interval", "60", "--model", &spec]));
+    assert!(ok, "detect with tuned spec failed: {stderr}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    // No subcommand → usage on stderr, exit code 2.
+    let out = scd().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Missing required flag names the flag.
+    let (_, stderr, ok) = run(scd().args(["info"]));
+    assert!(!ok);
+    assert!(stderr.contains("--trace"), "{stderr}");
+
+    // Bad model spec names the offender.
+    let (_, stderr, ok) = run(scd().args([
+        "detect", "--trace", "/nonexistent", "--interval", "60", "--model", "bogus:1",
+    ]));
+    assert!(!ok);
+    assert!(stderr.contains("bogus"), "{stderr}");
+
+    // CSV round trip: generate csv, info reads it.
+    let trace = temp_trace("csvgen");
+    let csv = trace.with_extension("csv");
+    let csv_s = csv.to_str().unwrap();
+    let (_, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "0.1", "--interval", "60"])
+        .args(["--out", csv_s]));
+    assert!(ok, "csv generate failed: {stderr}");
+    let (stdout, _, ok) = run(scd().args(["info", "--trace", csv_s]));
+    assert!(ok && stdout.contains("records:"));
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn sketch_combine_workflow() {
+    let trace = temp_trace("sketchwf");
+    let trace_s = trace.to_str().unwrap();
+    let (_, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "0.2", "--interval", "60"])
+        .args(["--out", trace_s, "--seed", "5"]));
+    assert!(ok, "generate failed: {stderr}");
+
+    let a = trace.with_extension("a.sketch");
+    let b = trace.with_extension("b.sketch");
+    let sum = trace.with_extension("sum.sketch");
+    for (at, path) in [("3", &a), ("4", &b)] {
+        let (_, stderr, ok) = run(scd()
+            .args(["sketch", "--trace", trace_s, "--interval", "60", "--at", at])
+            .args(["--out", path.to_str().unwrap(), "--k", "4096"]));
+        assert!(ok, "sketch failed: {stderr}");
+    }
+    let (stdout, stderr, ok) = run(scd()
+        .args(["combine", "--out", sum.to_str().unwrap()])
+        .args([a.to_str().unwrap(), b.to_str().unwrap()])
+        .args(["--query", "10.0.0.1"]));
+    assert!(ok, "combine failed: {stderr}");
+    assert!(stdout.contains("combined 2 sketch(es)"), "{stdout}");
+    assert!(stdout.contains("estimate[10.0.0.1]"), "{stdout}");
+
+    // Mixing hash families must be rejected, not silently wrong.
+    let c = trace.with_extension("c.sketch");
+    let (_, _, ok) = run(scd()
+        .args(["sketch", "--trace", trace_s, "--interval", "60", "--at", "3"])
+        .args(["--out", c.to_str().unwrap(), "--k", "4096", "--sketch-seed", "999"]));
+    assert!(ok);
+    let (_, stderr, ok) = run(scd()
+        .args(["combine", "--out", sum.to_str().unwrap()])
+        .args([a.to_str().unwrap(), c.to_str().unwrap()]));
+    assert!(!ok, "incompatible combine must fail");
+    assert!(stderr.contains("hash famil"), "{stderr}");
+
+    for p in [&trace, &a, &b, &c, &sum] {
+        std::fs::remove_file(p).ok();
+    }
+}

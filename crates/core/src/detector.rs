@@ -1,0 +1,442 @@
+//! The sketch-based change detector (paper §2.2, §3.3).
+
+use scd_forecast::{Forecaster, ModelSpec};
+use scd_hash::{HashRows, SplitMix64};
+use scd_sketch::{KarySketch, SketchConfig};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// How the detector obtains the stream of keys whose forecast errors it
+/// reconstructs from the error sketch (§3.3 — sketches answer point
+/// queries; they do not enumerate keys).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyStrategy {
+    /// Offline two-pass: replay the keys of the *same* interval the error
+    /// sketch covers. "In this paper, we use the offline two-pass algorithm
+    /// in all experiments."
+    TwoPass,
+    /// Online: query `Se(t)` with the keys arriving *after* it was built
+    /// (here: the keys of interval `t+1`). Misses keys that never reappear
+    /// — "often acceptable for many applications like DoS attack detection,
+    /// where the damage can be very limited if a key never appears again".
+    NextInterval,
+    /// Like [`KeyStrategy::TwoPass`] but querying only a sampled substream
+    /// of the keys, for when even one estimate per arrival is too costly
+    /// (§5.3).
+    Sampled {
+        /// Probability of scanning each distinct key.
+        rate: f64,
+        /// Sampling seed (deterministic experiments).
+        seed: u64,
+    },
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Sketch shape `(H, K, seed)`.
+    pub sketch: SketchConfig,
+    /// Forecasting model and parameters.
+    pub model: ModelSpec,
+    /// Alarm threshold parameter `T`: alarms fire when the estimated
+    /// forecast error exceeds `T · √(ESTIMATEF2(Se(t)))` in absolute value.
+    /// The paper sweeps `T ∈ {0.01, 0.02, 0.05, 0.07, 0.1}`.
+    pub threshold: f64,
+    /// Key-stream strategy.
+    pub key_strategy: KeyStrategy,
+}
+
+/// One raised alarm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alarm {
+    /// The offending key.
+    pub key: u64,
+    /// Estimated forecast error reconstructed from the error sketch.
+    pub estimated_error: f64,
+    /// The threshold `TA` in force when the alarm fired.
+    pub threshold: f64,
+}
+
+/// Everything the detector can say about one interval.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalReport {
+    /// Interval index (0-based, counting processed intervals).
+    pub interval: usize,
+    /// False while the forecasting model is still warming up — no error
+    /// sketch exists yet, so `alarms` and `errors` are empty.
+    pub warmed_up: bool,
+    /// `ESTIMATEF2(Se(t))` — the estimated total energy of forecast errors.
+    pub error_f2: f64,
+    /// The alarm threshold `TA = T·√(max(F2, 0))`.
+    pub alarm_threshold: f64,
+    /// Keys whose |estimated error| ≥ `TA`, sorted by decreasing |error|.
+    pub alarms: Vec<Alarm>,
+    /// Estimated forecast error for every scanned key (deduplicated),
+    /// sorted by decreasing |error|. This is the raw material for the
+    /// paper's top-N comparisons.
+    pub errors: Vec<(u64, f64)>,
+}
+
+/// The full sketch-based change-detection pipeline.
+pub struct SketchChangeDetector {
+    config: DetectorConfig,
+    /// Hash family built once and shared by every per-interval sketch —
+    /// rebuilding it per interval would redo megabytes of tabulation fill.
+    rows: Arc<HashRows>,
+    model: Box<dyn Forecaster<KarySketch> + Send>,
+    /// Error sketch of the previous interval, pending key replay (only used
+    /// by [`KeyStrategy::NextInterval`]).
+    pending_error: Option<(usize, KarySketch)>,
+    sampler: SplitMix64,
+    intervals_processed: usize,
+}
+
+impl std::fmt::Debug for SketchChangeDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchChangeDetector")
+            .field("config", &self.config)
+            .field("intervals_processed", &self.intervals_processed)
+            .finish()
+    }
+}
+
+impl SketchChangeDetector {
+    /// Builds the detector.
+    ///
+    /// # Panics
+    /// Panics on an invalid model spec or non-positive threshold; validate
+    /// configs from untrusted sources with [`ModelSpec::validate`] first.
+    pub fn new(config: DetectorConfig) -> Self {
+        config.model.validate().expect("invalid model spec");
+        assert!(
+            config.threshold > 0.0 && config.threshold.is_finite(),
+            "threshold parameter T must be positive"
+        );
+        if let KeyStrategy::Sampled { rate, .. } = config.key_strategy {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "sampling rate must be in [0, 1], got {rate}"
+            );
+        }
+        let model = config.model.build();
+        let sampler_seed = match config.key_strategy {
+            KeyStrategy::Sampled { seed, .. } => seed,
+            _ => 0,
+        };
+        let rows = Arc::new(HashRows::new(
+            config.sketch.h,
+            config.sketch.k,
+            config.sketch.seed,
+        ));
+        SketchChangeDetector {
+            config,
+            rows,
+            model,
+            pending_error: None,
+            sampler: SplitMix64::new(sampler_seed),
+            intervals_processed: 0,
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Number of intervals fed so far.
+    pub fn intervals_processed(&self) -> usize {
+        self.intervals_processed
+    }
+
+    /// Feeds one interval's `(key, value)` update stream and returns the
+    /// interval's report.
+    ///
+    /// With [`KeyStrategy::TwoPass`] (and `Sampled`), the report covers the
+    /// *current* interval. With [`KeyStrategy::NextInterval`], the report
+    /// covers the **previous** interval — its error sketch is only queried
+    /// once the current interval's keys arrive — so `report.interval` lags
+    /// by one.
+    pub fn process_interval(&mut self, items: &[(u64, f64)]) -> IntervalReport {
+        // Sketch module: build the observed sketch So(t) over the shared
+        // hash family (no per-interval table derivation).
+        let mut observed = KarySketch::with_rows(Arc::clone(&self.rows));
+        for &(key, value) in items {
+            observed.update(key, value);
+        }
+        let keys = items.iter().map(|&(k, _)| k).collect();
+        self.process_observed(&observed, keys)
+    }
+
+    /// Feeds one interval whose observed sketch was built externally —
+    /// e.g. aggregated from remote routers via COMBINE, or assembled from
+    /// per-slot sketches by [`crate::staggered::StaggeredDetector`]. `keys`
+    /// is the key stream for error reconstruction (the two-pass replay
+    /// list; deduplication is the caller's concern only for efficiency).
+    ///
+    /// # Panics
+    /// Panics if `observed` was built over a different hash family than
+    /// this detector's configuration — their cells would not be comparable.
+    pub fn process_observed(&mut self, observed: &KarySketch, keys: Vec<u64>) -> IntervalReport {
+        assert_eq!(
+            observed.rows().identity(),
+            (self.config.sketch.h, self.config.sketch.k, self.config.sketch.seed),
+            "observed sketch must share the detector's hash family"
+        );
+        let t = self.intervals_processed;
+
+        // Forecasting module: Sf(t), Se(t) = So(t) − Sf(t); advances model.
+        let stepped = self.model.step(observed);
+        self.intervals_processed += 1;
+
+        match self.config.key_strategy {
+            KeyStrategy::TwoPass => match stepped {
+                None => IntervalReport { interval: t, ..Default::default() },
+                Some((_forecast, error)) => {
+                    let keys = dedup_keys(keys.into_iter());
+                    self.detect(t, &error, keys)
+                }
+            },
+            KeyStrategy::Sampled { rate, .. } => match stepped {
+                None => IntervalReport { interval: t, ..Default::default() },
+                Some((_forecast, error)) => {
+                    let threshold = (rate * u64::MAX as f64) as u64;
+                    let sampler = &mut self.sampler;
+                    let keys: Vec<u64> = dedup_keys(keys.into_iter())
+                        .into_iter()
+                        .filter(|_| sampler.next_u64() <= threshold)
+                        .collect();
+                    self.detect(t, &error, keys)
+                }
+            },
+            KeyStrategy::NextInterval => {
+                // Query the *pending* error sketch with this interval's keys.
+                let report = match self.pending_error.take() {
+                    None => IntervalReport { interval: t.saturating_sub(1), ..Default::default() },
+                    Some((prev_t, error)) => {
+                        let keys = dedup_keys(keys.into_iter());
+                        self.detect(prev_t, &error, keys)
+                    }
+                };
+                if let Some((_forecast, error)) = stepped {
+                    self.pending_error = Some((t, error));
+                }
+                report
+            }
+        }
+    }
+
+    /// Change-detection module: threshold selection + key scan.
+    fn detect(
+        &self,
+        interval: usize,
+        error_sketch: &KarySketch,
+        keys: Vec<u64>,
+    ) -> IntervalReport {
+        let f2 = error_sketch.estimate_f2();
+        let alarm_threshold = self.config.threshold * f2.max(0.0).sqrt();
+        let estimator = error_sketch.estimator();
+        let mut errors: Vec<(u64, f64)> =
+            keys.into_iter().map(|k| (k, estimator.estimate(k))).collect();
+        errors.sort_by(|a, b| {
+            b.1.abs()
+                .partial_cmp(&a.1.abs())
+                .expect("finite errors")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        // |error| must meet the threshold *and* be nonzero: when an interval
+        // is predicted perfectly, F2 = 0 makes TA = 0, and flows with zero
+        // error must not alarm.
+        let alarms = errors
+            .iter()
+            .take_while(|(_, e)| e.abs() >= alarm_threshold && e.abs() > 0.0)
+            .map(|&(key, estimated_error)| Alarm {
+                key,
+                estimated_error,
+                threshold: alarm_threshold,
+            })
+            .collect();
+        IntervalReport {
+            interval,
+            warmed_up: true,
+            error_f2: f2,
+            alarm_threshold,
+            alarms,
+            errors,
+        }
+    }
+}
+
+/// Deduplicates keys preserving first-seen order.
+fn dedup_keys(keys: impl Iterator<Item = u64>) -> Vec<u64> {
+    let mut seen = HashSet::new();
+    keys.filter(|k| seen.insert(*k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(strategy: KeyStrategy) -> DetectorConfig {
+        DetectorConfig {
+            sketch: SketchConfig { h: 5, k: 4096, seed: 99 },
+            model: ModelSpec::Ewma { alpha: 0.5 },
+            threshold: 0.05,
+            key_strategy: strategy,
+        }
+    }
+
+    /// Three flows with steady traffic; flow 42 spikes at interval 4.
+    fn spike_stream(t: usize) -> Vec<(u64, f64)> {
+        let mut items = vec![(1u64, 10_000.0), (2, 5_000.0), (42, 1_000.0)];
+        if t == 4 {
+            items[2].1 = 80_000.0;
+        }
+        items
+    }
+
+    #[test]
+    fn two_pass_detects_spike_only_at_spike_interval() {
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        for t in 0..6 {
+            let report = det.process_interval(&spike_stream(t));
+            let spiked = report.alarms.iter().any(|a| a.key == 42);
+            if t == 4 {
+                assert!(spiked, "spike missed at t=4: {:?}", report.alarms);
+            } else if t >= 2 && t != 5 {
+                // t=5 sees a "drop" relative to the inflated forecast, so an
+                // alarm there is legitimate; quiet intervals must be quiet.
+                assert!(!spiked, "false alarm at t={t}: {:?}", report.alarms);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_up_intervals_report_no_alarms() {
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        let report = det.process_interval(&spike_stream(0));
+        assert!(!report.warmed_up);
+        assert!(report.alarms.is_empty() && report.errors.is_empty());
+    }
+
+    #[test]
+    fn errors_sorted_by_magnitude() {
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        det.process_interval(&[(1, 100.0), (2, 100.0), (3, 100.0)]);
+        let report = det.process_interval(&[(1, 500.0), (2, 150.0), (3, 100.0)]);
+        assert!(report.warmed_up);
+        let mags: Vec<f64> = report.errors.iter().map(|(_, e)| e.abs()).collect();
+        for w in mags.windows(2) {
+            assert!(w[0] >= w[1], "not sorted: {mags:?}");
+        }
+        assert_eq!(report.errors[0].0, 1, "largest change first");
+    }
+
+    #[test]
+    fn next_interval_strategy_lags_by_one() {
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::NextInterval));
+        det.process_interval(&spike_stream(0)); // warm-up
+        det.process_interval(&spike_stream(1)); // builds Se(1)
+        let r = det.process_interval(&spike_stream(2)); // queries Se(1)
+        assert!(r.warmed_up);
+        assert_eq!(r.interval, 1);
+    }
+
+    #[test]
+    fn next_interval_misses_keys_that_vanish() {
+        // Key 42 spikes at t=2 and never appears again: the online strategy
+        // cannot scan it, exactly the caveat the paper documents.
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::NextInterval));
+        let steady = vec![(1u64, 10_000.0), (2, 5_000.0)];
+        let mut with_spike = steady.clone();
+        with_spike.push((42, 90_000.0));
+        det.process_interval(&steady);
+        det.process_interval(&steady);
+        det.process_interval(&with_spike); // spike interval: Se(2) pending
+        let r = det.process_interval(&steady); // scans Se(2) with steady keys
+        assert_eq!(r.interval, 2);
+        assert!(
+            !r.errors.iter().any(|&(k, _)| k == 42),
+            "online strategy should not see vanished key 42"
+        );
+    }
+
+    #[test]
+    fn sampled_strategy_scans_subset() {
+        let many: Vec<(u64, f64)> = (0..400u64).map(|k| (k, 100.0)).collect();
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::Sampled {
+            rate: 0.25,
+            seed: 7,
+        }));
+        det.process_interval(&many);
+        let r = det.process_interval(&many);
+        assert!(r.warmed_up);
+        let scanned = r.errors.len();
+        assert!(
+            (40..=160).contains(&scanned),
+            "expected ~100 of 400 keys scanned, got {scanned}"
+        );
+    }
+
+    #[test]
+    fn sampled_rate_one_equals_two_pass() {
+        let items: Vec<(u64, f64)> = (0..50u64).map(|k| (k, (k + 1) as f64)).collect();
+        let mut a = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        let mut b = SketchChangeDetector::new(config(KeyStrategy::Sampled { rate: 1.0, seed: 1 }));
+        a.process_interval(&items);
+        b.process_interval(&items);
+        let ra = a.process_interval(&items);
+        let rb = b.process_interval(&items);
+        assert_eq!(ra.errors, rb.errors);
+    }
+
+    #[test]
+    fn duplicate_keys_scanned_once() {
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        det.process_interval(&[(5, 10.0), (5, 20.0)]);
+        let r = det.process_interval(&[(5, 10.0), (5, 20.0), (5, 5.0)]);
+        assert_eq!(r.errors.len(), 1, "key 5 must appear once: {:?}", r.errors);
+    }
+
+    #[test]
+    fn threshold_scales_alarm_count() {
+        // Lower T ⇒ at least as many alarms.
+        let items_base: Vec<(u64, f64)> = (0..100u64).map(|k| (k, 1000.0)).collect();
+        let mut items_spiky = items_base.clone();
+        for (i, item) in items_spiky.iter_mut().take(10).enumerate() {
+            item.1 = 5_000.0 + 1_000.0 * i as f64;
+        }
+        let run = |t: f64| -> usize {
+            let mut cfg = config(KeyStrategy::TwoPass);
+            cfg.threshold = t;
+            let mut det = SketchChangeDetector::new(cfg);
+            det.process_interval(&items_base);
+            det.process_interval(&items_base);
+            det.process_interval(&items_spiky).alarms.len()
+        };
+        let low = run(0.01);
+        let high = run(0.3);
+        assert!(low >= high, "T=0.01 gave {low} alarms, T=0.3 gave {high}");
+        assert!(high >= 1, "clear spikes should alarm even at high T");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold parameter T must be positive")]
+    fn rejects_nonpositive_threshold() {
+        let mut cfg = config(KeyStrategy::TwoPass);
+        cfg.threshold = 0.0;
+        let _ = SketchChangeDetector::new(cfg);
+    }
+
+    #[test]
+    fn negative_changes_alarm_too() {
+        // An outage (traffic drops to zero) is a change with negative error.
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        let busy = vec![(1u64, 50_000.0), (2, 900.0), (3, 800.0)];
+        let outage = vec![(1u64, 0.0), (2, 900.0), (3, 800.0)];
+        det.process_interval(&busy);
+        det.process_interval(&busy);
+        let r = det.process_interval(&outage);
+        let alarm = r.alarms.iter().find(|a| a.key == 1).expect("outage alarm");
+        assert!(alarm.estimated_error < 0.0, "outage error should be negative");
+    }
+}

@@ -1,0 +1,267 @@
+//! Evaluation metrics from paper §5.
+//!
+//! All of the paper's accuracy figures reduce to comparing two per-interval
+//! error lists — exact per-flow errors and sketch-reconstructed errors —
+//! under one of two selection rules:
+//!
+//! * **Top-N** (§5.2.1): how many of the per-flow scheme's N
+//!   largest-|error| flows also rank in the sketch scheme's top N (or top
+//!   X·N)? Reported as the similarity `N_AB / N`.
+//! * **Thresholding** (§5.2.2): select flows whose |error| is at least a
+//!   fraction φ of the L2 norm of all errors; compare the two selected
+//!   sets via false-negative and false-positive ratios and alarm counts.
+
+/// Sorts (key, error) pairs by decreasing |error|, tie-breaking on key so
+/// orderings are deterministic across runs.
+fn sort_by_magnitude(list: &mut [(u64, f64)]) {
+    list.sort_by(|a, b| {
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .expect("finite errors")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+}
+
+/// Keys of the top `n` entries by |error|.
+fn top_keys(list: &[(u64, f64)], n: usize) -> std::collections::HashSet<u64> {
+    let mut sorted = list.to_vec();
+    sort_by_magnitude(&mut sorted);
+    sorted.iter().take(n).map(|&(k, _)| k).collect()
+}
+
+/// Top-N similarity `N_AB / N` (§5.2.1): the overlap between the top-N
+/// per-flow flows and the top-N sketch flows, normalized by `N`.
+///
+/// When fewer than `n` flows exist, the lists are compared whole and
+/// normalized by the smaller of `n` and the reference list length.
+pub fn topn_similarity(per_flow: &[(u64, f64)], sketch: &[(u64, f64)], n: usize) -> f64 {
+    topn_vs_xn(per_flow, sketch, n, 1.0)
+}
+
+/// Top-N vs top-X·N similarity (§5.2.1): per-flow top `n` compared against
+/// the sketch's top `ceil(x · n)`; "it is possible to increase the accuracy
+/// by comparing the top-N per-flow list with additional elements in the
+/// sketch-based ranked list". `x ≥ 1`.
+pub fn topn_vs_xn(per_flow: &[(u64, f64)], sketch: &[(u64, f64)], n: usize, x: f64) -> f64 {
+    assert!(n > 0, "top-N needs N >= 1");
+    assert!(x >= 1.0, "X must be at least 1");
+    let reference = top_keys(per_flow, n);
+    if reference.is_empty() {
+        return 1.0; // nothing to find, vacuous agreement
+    }
+    let candidates = top_keys(sketch, (x * n as f64).ceil() as usize);
+    let common = reference.intersection(&candidates).count();
+    common as f64 / reference.len().min(n) as f64
+}
+
+/// Outcome of the thresholding comparison (§5.2.2) at one threshold φ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdReport {
+    /// The threshold fraction φ of the L2 norm.
+    pub phi: f64,
+    /// `N_pf(φ)` — alarms raised by per-flow detection.
+    pub perflow_alarms: usize,
+    /// `N_sk(φ)` — alarms raised by sketch detection.
+    pub sketch_alarms: usize,
+    /// `N_AB(φ)` — alarms common to both.
+    pub common_alarms: usize,
+}
+
+impl ThresholdReport {
+    /// False-negative ratio `(N_pf − N_AB) / N_pf` (0 when `N_pf = 0`).
+    pub fn false_negative_ratio(&self) -> f64 {
+        if self.perflow_alarms == 0 {
+            0.0
+        } else {
+            (self.perflow_alarms - self.common_alarms) as f64 / self.perflow_alarms as f64
+        }
+    }
+
+    /// False-positive ratio `(N_sk − N_AB) / N_sk` (0 when `N_sk = 0`).
+    pub fn false_positive_ratio(&self) -> f64 {
+        if self.sketch_alarms == 0 {
+            0.0
+        } else {
+            (self.sketch_alarms - self.common_alarms) as f64 / self.sketch_alarms as f64
+        }
+    }
+}
+
+/// Computes the thresholding comparison at fraction `phi` of the L2 norm.
+///
+/// Each side thresholds against its *own* norm estimate, as the deployed
+/// system would: per-flow uses the exact `√F2` of its errors; the sketch
+/// side passes the `ESTIMATEF2`-derived norm it computed online
+/// (`sketch_l2`).
+pub fn threshold_report(
+    per_flow: &[(u64, f64)],
+    sketch: &[(u64, f64)],
+    sketch_l2: f64,
+    phi: f64,
+) -> ThresholdReport {
+    assert!(phi > 0.0, "threshold fraction must be positive");
+    let perflow_l2: f64 = per_flow.iter().map(|&(_, e)| e * e).sum::<f64>().sqrt();
+    let pf_set: std::collections::HashSet<u64> = per_flow
+        .iter()
+        .filter(|&&(_, e)| e.abs() >= phi * perflow_l2)
+        .map(|&(k, _)| k)
+        .collect();
+    let sk_set: std::collections::HashSet<u64> = sketch
+        .iter()
+        .filter(|&&(_, e)| e.abs() >= phi * sketch_l2)
+        .map(|&(k, _)| k)
+        .collect();
+    ThresholdReport {
+        phi,
+        perflow_alarms: pf_set.len(),
+        sketch_alarms: sk_set.len(),
+        common_alarms: pf_set.intersection(&sk_set).count(),
+    }
+}
+
+/// Relative difference (§5.1.1): `(sketch_energy − perflow_energy) /
+/// perflow_energy`, as a **percentage**. "Total energy" is the square root
+/// of the sum over intervals of the per-interval second moments.
+pub fn relative_difference(sketch_energy: f64, perflow_energy: f64) -> f64 {
+    assert!(perflow_energy > 0.0, "reference energy must be positive");
+    100.0 * (sketch_energy - perflow_energy) / perflow_energy
+}
+
+/// Total energy over a sequence of per-interval second moments: the square
+/// root of their sum (the quantity Figures 1–3 compare).
+pub fn total_energy(per_interval_f2: &[f64]) -> f64 {
+    per_interval_f2.iter().map(|f2| f2.max(0.0)).sum::<f64>().sqrt()
+}
+
+/// Empirical CDF of a sample: returns `(value, P(X ≤ value))` pairs sorted
+/// by value — the form the paper's CDF figures plot.
+pub fn empirical_cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Mean of a sample (0 for an empty sample) — used for the "mean similarity
+/// across the 180/37 intervals" figures.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> Vec<(u64, f64)> {
+        vec![(1, 100.0), (2, -90.0), (3, 80.0), (4, 10.0), (5, 5.0)]
+    }
+
+    #[test]
+    fn identical_lists_have_similarity_one() {
+        let list = pf();
+        assert_eq!(topn_similarity(&list, &list, 3), 1.0);
+        assert_eq!(topn_similarity(&list, &list, 5), 1.0);
+    }
+
+    #[test]
+    fn disjoint_lists_have_similarity_zero() {
+        let sketch = vec![(10u64, 50.0), (11, 40.0), (12, 30.0)];
+        assert_eq!(topn_similarity(&pf(), &sketch, 3), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_fractionally() {
+        // Sketch agrees on 1 and 3 but replaces 2 with 9 in its top 3.
+        let sketch = vec![(1u64, 95.0), (9, 90.0), (3, 85.0), (2, 10.0)];
+        let sim = topn_similarity(&pf(), &sketch, 3);
+        assert!((sim - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_not_sign_ranks_errors() {
+        // Key 2 has error -90: it must rank 2nd by magnitude.
+        let top2 = top_keys(&pf(), 2);
+        assert!(top2.contains(&1) && top2.contains(&2));
+    }
+
+    #[test]
+    fn x_expansion_recovers_near_misses() {
+        // Per-flow top-2 = {1, 2}. Sketch ranks 2 third, so top-2 misses it
+        // but top-3 (X = 1.5) finds it.
+        let sketch = vec![(1u64, 95.0), (7, 93.0), (2, 90.0)];
+        assert!((topn_vs_xn(&pf(), &sketch, 2, 1.0) - 0.5).abs() < 1e-12);
+        assert!((topn_vs_xn(&pf(), &sketch, 2, 1.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_lists_normalize_by_available() {
+        let short = vec![(1u64, 10.0), (2, 5.0)];
+        // N = 10 but only 2 reference flows exist: perfect agreement = 1.
+        assert_eq!(topn_similarity(&short, &short, 10), 1.0);
+    }
+
+    #[test]
+    fn empty_reference_is_vacuously_perfect() {
+        assert_eq!(topn_similarity(&[], &pf(), 5), 1.0);
+    }
+
+    #[test]
+    fn threshold_report_counts() {
+        // per-flow L2 = sqrt(100² + 90² + 80² + 10² + 5²) ≈ 156.8
+        // φ = 0.5 ⇒ cut ≈ 78.4 ⇒ {1, 2, 3}.
+        let sketch = vec![(1u64, 99.0), (2, -20.0), (3, 85.0), (9, 95.0)];
+        // Give the sketch the same norm for a readable test.
+        let l2 = 156.8;
+        let rep = threshold_report(&pf(), &sketch, l2, 0.5);
+        assert_eq!(rep.perflow_alarms, 3);
+        assert_eq!(rep.sketch_alarms, 3); // {1, 3, 9}
+        assert_eq!(rep.common_alarms, 2); // {1, 3}
+        assert!((rep.false_negative_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rep.false_positive_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_report_empty_sides() {
+        let rep = threshold_report(&[], &[], 0.0, 0.05);
+        assert_eq!(rep.false_negative_ratio(), 0.0);
+        assert_eq!(rep.false_positive_ratio(), 0.0);
+    }
+
+    #[test]
+    fn relative_difference_signs() {
+        assert_eq!(relative_difference(110.0, 100.0), 10.0);
+        assert_eq!(relative_difference(95.0, 100.0), -5.0);
+        assert_eq!(relative_difference(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn total_energy_is_sqrt_of_sum() {
+        assert_eq!(total_energy(&[9.0, 16.0]), 5.0);
+        // Negative F2 estimates clamp to 0 in the sum.
+        assert_eq!(total_energy(&[25.0, -3.0]), 5.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let cdf = empirical_cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.first().unwrap().0, 1.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Near-real-time streaming front end — the paper's §6 "online change
+//! detection" deployment shape.
+//!
+//! The offline pipeline consumes pre-binned intervals; a live deployment
+//! consumes a **stream of flow records** and must bin, rotate, and detect
+//! as time advances. [`spawn`] runs the detector on its
+//! own thread behind a bounded crossbeam channel:
+//!
+//! ```text
+//! capture thread ──records──► [channel] ──► detector thread ──reports──►
+//! ```
+//!
+//! Interval rotation is driven by **event time** (record timestamps), not
+//! wall clock, so behaviour is deterministic and replayable: when a record
+//! arrives whose timestamp belongs to a later interval, every interval up
+//! to it is flushed through the detector (empty intervals included — the
+//! forecasting models must advance through silence). Records that arrive
+//! *late* (timestamp before the current interval) are folded into the
+//! current interval rather than dropped; the paper's two-pass replay is
+//! equally approximate about stragglers.
+//!
+//! Shutdown: drop the record sender. The detector flushes the final
+//! partial interval, emits its report, and the thread ends; the report
+//! receiver then disconnects. No locks are shared — the detector is owned
+//! by its thread; backpressure comes from the bounded channel.
+
+use crate::detector::{DetectorConfig, IntervalReport, SketchChangeDetector};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use scd_traffic::{FlowRecord, KeySpec, ValueSpec};
+use std::thread::JoinHandle;
+
+/// Configuration for the streaming front end.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// The underlying detector.
+    pub detector: DetectorConfig,
+    /// Interval length in milliseconds of event time.
+    pub interval_ms: u64,
+    /// Key projection from records.
+    pub key: KeySpec,
+    /// Value projection from records.
+    pub value: ValueSpec,
+    /// Record-channel capacity (backpressure bound).
+    pub channel_capacity: usize,
+}
+
+/// Handle to a running streaming detector.
+pub struct StreamingHandle {
+    /// Send flow records here; drop (or [`StreamingHandle::shutdown`]) to stop.
+    records: Sender<FlowRecord>,
+    /// Interval reports arrive here as event time advances.
+    reports: Receiver<IntervalReport>,
+    thread: JoinHandle<u64>,
+}
+
+impl StreamingHandle {
+    /// Sends one record; blocks when the channel is full (backpressure).
+    /// Returns `false` if the detector thread has already stopped.
+    pub fn send(&self, record: FlowRecord) -> bool {
+        self.records.send(record).is_ok()
+    }
+
+    /// The report stream.
+    pub fn reports(&self) -> &Receiver<IntervalReport> {
+        &self.reports
+    }
+
+    /// Stops the detector, drains remaining reports, and returns them with
+    /// the total number of records processed.
+    pub fn shutdown(self) -> (Vec<IntervalReport>, u64) {
+        drop(self.records);
+        let mut remaining = Vec::new();
+        while let Ok(r) = self.reports.recv() {
+            remaining.push(r);
+        }
+        let processed = self.thread.join().expect("detector thread panicked");
+        (remaining, processed)
+    }
+}
+
+/// Spawns the detector thread.
+///
+/// # Panics
+/// Panics if `interval_ms == 0` or `channel_capacity == 0`, or on an
+/// invalid detector configuration.
+pub fn spawn(config: StreamingConfig) -> StreamingHandle {
+    assert!(config.interval_ms > 0, "interval must be positive");
+    assert!(config.channel_capacity > 0, "channel capacity must be positive");
+    let (record_tx, record_rx) = bounded::<FlowRecord>(config.channel_capacity);
+    let (report_tx, report_rx) = bounded::<IntervalReport>(64);
+    let mut detector = SketchChangeDetector::new(config.detector.clone());
+    let interval_ms = config.interval_ms;
+    let key = config.key;
+    let value = config.value;
+
+    let thread = std::thread::Builder::new()
+        .name("scd-streaming-detector".into())
+        .spawn(move || {
+            let mut processed = 0u64;
+            let mut current: Vec<(u64, f64)> = Vec::new();
+            // Event-time interval index; fixed by the first record.
+            let mut interval_idx: Option<u64> = None;
+            for record in record_rx.iter() {
+                processed += 1;
+                let t = record.timestamp_ms / interval_ms;
+                let idx = *interval_idx.get_or_insert(t);
+                if t > idx {
+                    // Flush the finished interval, then any empty ones the
+                    // stream skipped over (models advance through silence).
+                    let report = detector.process_interval(&current);
+                    current.clear();
+                    if report_tx.send(report).is_err() {
+                        return processed; // receiver gone: stop quietly
+                    }
+                    for _ in (idx + 1)..t {
+                        let report = detector.process_interval(&[]);
+                        if report_tx.send(report).is_err() {
+                            return processed;
+                        }
+                    }
+                    interval_idx = Some(t);
+                }
+                // Late records (t < idx) fold into the current interval.
+                current.push((key.key_of(&record), value.value_of(&record)));
+            }
+            // Sender dropped: flush the final partial interval.
+            if !current.is_empty() {
+                let report = detector.process_interval(&current);
+                let _ = report_tx.send(report);
+            }
+            processed
+        })
+        .expect("spawn detector thread");
+
+    StreamingHandle { records: record_tx, reports: report_rx, thread }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::KeyStrategy;
+    use scd_forecast::ModelSpec;
+    use scd_sketch::SketchConfig;
+
+    fn config() -> StreamingConfig {
+        StreamingConfig {
+            detector: DetectorConfig {
+                sketch: SketchConfig { h: 3, k: 1024, seed: 3 },
+                model: ModelSpec::Ewma { alpha: 0.5 },
+                threshold: 0.3,
+                key_strategy: KeyStrategy::TwoPass,
+            },
+            interval_ms: 1_000,
+            key: KeySpec::DstIp,
+            value: ValueSpec::Bytes,
+            channel_capacity: 256,
+        }
+    }
+
+    fn record(ts: u64, dst: u32, bytes: u64) -> FlowRecord {
+        FlowRecord {
+            timestamp_ms: ts,
+            src_ip: 1,
+            dst_ip: dst,
+            src_port: 1,
+            dst_port: 80,
+            protocol: 6,
+            bytes,
+            packets: 1,
+        }
+    }
+
+    #[test]
+    fn detects_spike_in_stream() {
+        let handle = spawn(config());
+        // Intervals 0..4: steady; interval 3 carries a spike on dst 99.
+        for t in 0..5u64 {
+            for i in 0..20 {
+                handle.send(record(t * 1000 + i * 40, 7, 1_000));
+                handle.send(record(t * 1000 + i * 40 + 1, 8, 500));
+            }
+            if t == 3 {
+                for i in 0..10 {
+                    handle.send(record(t * 1000 + 500 + i, 99, 50_000));
+                }
+            }
+        }
+        let (reports, processed) = handle.shutdown();
+        assert_eq!(processed, 5 * 40 + 10);
+        assert_eq!(reports.len(), 5, "one report per event-time interval");
+        let spike_report = &reports[3];
+        assert!(
+            spike_report.alarms.iter().any(|a| a.key == 99),
+            "spike not flagged: {:?}",
+            spike_report.alarms
+        );
+        assert!(
+            reports[2].alarms.iter().all(|a| a.key != 99),
+            "no alarm before the spike"
+        );
+    }
+
+    #[test]
+    fn empty_intervals_advance_the_model() {
+        let handle = spawn(config());
+        handle.send(record(100, 5, 1_000));
+        handle.send(record(5_100, 5, 1_000)); // skips intervals 1..=4
+        let (reports, _) = handle.shutdown();
+        // Interval 0 + three empty (1,2,3,4) + final partial (5) = 6.
+        assert_eq!(reports.len(), 6);
+        // The disappearance registers as a negative error in interval 1.
+        let r1 = &reports[1];
+        if r1.warmed_up {
+            assert!(r1.errors.is_empty(), "empty interval scans no keys (two-pass)");
+        }
+    }
+
+    #[test]
+    fn late_records_fold_into_current_interval() {
+        let handle = spawn(config());
+        handle.send(record(2_500, 1, 10.0 as u64));
+        handle.send(record(1_900, 1, 10)); // late by 600ms: accepted
+        let (reports, processed) = handle.shutdown();
+        assert_eq!(processed, 2);
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_with_no_records_is_clean() {
+        let handle = spawn(config());
+        let (reports, processed) = handle.shutdown();
+        assert!(reports.is_empty());
+        assert_eq!(processed, 0);
+    }
+
+    #[test]
+    fn report_interval_indices_are_sequential() {
+        let handle = spawn(config());
+        for t in 0..4u64 {
+            handle.send(record(t * 1000 + 10, 2, 100));
+        }
+        let (reports, _) = handle.shutdown();
+        let idx: Vec<usize> = reports.iter().map(|r| r.interval).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+}

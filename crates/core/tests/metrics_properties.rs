@@ -1,0 +1,101 @@
+//! Property-based tests for the evaluation metrics: the experiment
+//! harness's conclusions are only as sound as these functions.
+
+use proptest::prelude::*;
+use scd_core::metrics;
+
+fn error_list() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..500, -1e6f64..1e6), 0..80).prop_map(|mut v| {
+        // Metrics expect at most one entry per key (they are per-flow error
+        // lists); dedup by key keeping the first occurrence.
+        let mut seen = std::collections::HashSet::new();
+        v.retain(|(k, _)| seen.insert(*k));
+        v
+    })
+}
+
+proptest! {
+    /// Similarity is always within [0, 1].
+    #[test]
+    fn similarity_bounded(pf in error_list(), sk in error_list(), n in 1usize..50) {
+        let s = metrics::topn_similarity(&pf, &sk, n);
+        prop_assert!((0.0..=1.0).contains(&s), "similarity {s}");
+    }
+
+    /// Comparing a list against itself is perfect for any N.
+    #[test]
+    fn self_similarity_is_one(pf in error_list(), n in 1usize..50) {
+        prop_assert_eq!(metrics::topn_similarity(&pf, &pf, n), 1.0);
+    }
+
+    /// Expanding the candidate list (larger X) never reduces similarity.
+    #[test]
+    fn x_monotone(pf in error_list(), sk in error_list(), n in 1usize..30) {
+        let mut prev = 0.0;
+        for x in [1.0, 1.25, 1.5, 1.75, 2.0] {
+            let s = metrics::topn_vs_xn(&pf, &sk, n, x);
+            prop_assert!(s + 1e-12 >= prev, "X={x}: {s} < {prev}");
+            prev = s;
+        }
+    }
+
+    /// Threshold-report counts are internally consistent: the overlap never
+    /// exceeds either side, and ratios are in [0, 1].
+    #[test]
+    fn threshold_report_consistent(
+        pf in error_list(),
+        sk in error_list(),
+        l2 in 0.0f64..1e6,
+        phi in 0.001f64..0.5,
+    ) {
+        let rep = metrics::threshold_report(&pf, &sk, l2, phi);
+        prop_assert!(rep.common_alarms <= rep.perflow_alarms);
+        prop_assert!(rep.common_alarms <= rep.sketch_alarms);
+        prop_assert!((0.0..=1.0).contains(&rep.false_negative_ratio()));
+        prop_assert!((0.0..=1.0).contains(&rep.false_positive_ratio()));
+    }
+
+    /// Raising the threshold fraction never raises the per-flow alarm count.
+    #[test]
+    fn alarms_monotone_in_threshold(pf in error_list(), sk in error_list(), l2 in 1.0f64..1e6) {
+        let mut prev = usize::MAX;
+        for phi in [0.01, 0.02, 0.05, 0.1, 0.3] {
+            let rep = metrics::threshold_report(&pf, &sk, l2, phi);
+            prop_assert!(rep.perflow_alarms <= prev);
+            prev = rep.perflow_alarms;
+        }
+    }
+
+    /// The empirical CDF is monotone in both coordinates, starts above 0
+    /// and ends at exactly 1.
+    #[test]
+    fn cdf_well_formed(values in prop::collection::vec(-1e9f64..1e9, 1..200)) {
+        let cdf = metrics::empirical_cdf(&values);
+        prop_assert_eq!(cdf.len(), values.len());
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// Total energy is the Euclidean norm of the per-interval L2 values:
+    /// permutation-invariant and monotone under adding intervals.
+    #[test]
+    fn total_energy_properties(f2s in prop::collection::vec(0.0f64..1e9, 1..40)) {
+        let e = metrics::total_energy(&f2s);
+        let mut shuffled = f2s.clone();
+        shuffled.reverse();
+        prop_assert!((metrics::total_energy(&shuffled) - e).abs() < 1e-9);
+        let mut extended = f2s.clone();
+        extended.push(1.0);
+        prop_assert!(metrics::total_energy(&extended) >= e);
+    }
+
+    /// Relative difference is antisymmetric-ish around equality and zero
+    /// exactly at equality.
+    #[test]
+    fn relative_difference_zero_at_equality(e in 1.0f64..1e9) {
+        prop_assert_eq!(metrics::relative_difference(e, e), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Time-series forecasting models over *linear summaries* (paper §3.2).
+//!
+//! The forecasting module of sketch-based change detection computes, for
+//! each time interval `t`, a forecast `Sf(t)` from the observed summaries
+//! of past intervals, and the forecast error `Se(t) = So(t) − Sf(t)`. The
+//! paper implements six univariate models — moving average (MA), S-shaped
+//! moving average (SMA), exponentially weighted moving average (EWMA),
+//! non-seasonal Holt-Winters (NSHW), and ARIMA with `d = 0` and `d = 1` —
+//! and observes that **every one of them is a linear function of past
+//! observations**, so they can run directly on sketches via COMBINE.
+//!
+//! This crate captures that observation in the type system: each model is
+//! implemented once, generically over the [`Summary`] trait (a vector-space
+//! API: zero, scale, add-scaled). Instantiated at `f64` it is the classic
+//! scalar forecaster used for exact per-flow analysis; instantiated at
+//! [`scd_sketch::KarySketch`] it is the sketch-level forecaster. Because
+//! sketching is itself linear, the two instantiations commute: running the
+//! model in sketch space equals sketching the per-flow forecasts — a
+//! property the integration tests verify cell-for-cell.
+//!
+//! # Example
+//!
+//! ```
+//! use scd_forecast::{Ewma, Forecaster};
+//!
+//! // Scalar instantiation: forecast a single flow's byte counts.
+//! let mut model: Ewma<f64> = Ewma::new(0.5);
+//! assert!(model.forecast().is_none()); // warm-up: nothing observed yet
+//! model.observe(&100.0);
+//! assert_eq!(model.forecast(), Some(100.0)); // Sf(2) = So(1)
+//! model.observe(&200.0);
+//! assert_eq!(model.forecast(), Some(150.0)); // 0.5*200 + 0.5*100
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arima;
+pub mod ewma;
+pub mod holt_winters;
+pub mod ma;
+pub mod model;
+pub mod seasonal;
+pub mod sma;
+pub mod summary;
+
+pub use arima::{Arima, ArimaSpec};
+pub use ewma::Ewma;
+pub use holt_winters::NonSeasonalHoltWinters;
+pub use ma::MovingAverage;
+pub use model::{ModelError, ModelKind, ModelSpec};
+pub use seasonal::SeasonalHoltWinters;
+pub use sma::SShapedMovingAverage;
+pub use summary::Summary;
+
+/// A forecasting model over summaries of type `S`.
+///
+/// Time advances one interval per [`observe`](Forecaster::observe) call.
+/// [`forecast`](Forecaster::forecast) returns the model's prediction for
+/// the *next unobserved* interval, or `None` while the model is still
+/// warming up (§4.2 of the paper sets aside the first hour of each trace
+/// for exactly this reason).
+pub trait Forecaster<S: Summary> {
+    /// Prediction `Sf(t)` for the upcoming interval `t`, from data observed
+    /// strictly before `t`. `None` during warm-up.
+    fn forecast(&self) -> Option<S>;
+
+    /// Feeds the observed summary `So(t)` for the current interval and
+    /// advances the model to interval `t + 1`.
+    fn observe(&mut self, observed: &S);
+
+    /// Number of `observe` calls needed before `forecast` returns `Some`.
+    fn warm_up(&self) -> usize;
+
+    /// Short human-readable model name (e.g. `"EWMA"`).
+    fn name(&self) -> &'static str;
+
+    /// Convenience for the detection loop: returns
+    /// `(Sf(t), Se(t) = So(t) − Sf(t))` for the current interval — `None`
+    /// during warm-up — and then advances the model with `So(t)`.
+    fn step(&mut self, observed: &S) -> Option<(S, S)> {
+        let out = self.forecast().map(|f| {
+            let mut err = observed.clone();
+            err.add_scaled(&f, -1.0);
+            (f, err)
+        });
+        self.observe(observed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_returns_forecast_and_error() {
+        let mut m: Ewma<f64> = Ewma::new(1.0); // alpha=1: last-value forecast
+        assert!(m.step(&10.0).is_none()); // warm-up interval
+        let (f, e) = m.step(&14.0).unwrap();
+        assert_eq!(f, 10.0);
+        assert_eq!(e, 4.0);
+    }
+}

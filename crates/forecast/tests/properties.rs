@@ -1,0 +1,134 @@
+//! Property-based tests of the forecasting models' structural invariants.
+
+use proptest::prelude::*;
+use scd_forecast::{ArimaSpec, Forecaster, ModelSpec};
+
+fn spec_strategy() -> impl Strategy<Value = ModelSpec> {
+    prop_oneof![
+        (1usize..8).prop_map(|window| ModelSpec::Ma { window }),
+        (1usize..8).prop_map(|window| ModelSpec::Sma { window }),
+        (0.0f64..=1.0).prop_map(|alpha| ModelSpec::Ewma { alpha }),
+        ((0.0f64..=1.0), (0.0f64..=1.0))
+            .prop_map(|(alpha, beta)| ModelSpec::Nshw { alpha, beta }),
+        (
+            0usize..=1,
+            prop::collection::vec(-1.5f64..1.5, 0..=2),
+            prop::collection::vec(-1.5f64..1.5, 0..=2)
+        )
+            .prop_map(|(d, ar, ma)| ModelSpec::Arima(ArimaSpec::new(d, &ar, &ma).unwrap())),
+    ]
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e4f64..1e4, 4..20)
+}
+
+proptest! {
+    /// Every model is linear: model(c1·x + c2·y) = c1·model(x) + c2·model(y).
+    /// This is the precondition for running the model on sketches at all.
+    #[test]
+    fn models_are_linear(
+        spec in spec_strategy(),
+        xs in stream_strategy(),
+        ys in stream_strategy(),
+        c1 in -3.0f64..3.0,
+        c2 in -3.0f64..3.0,
+    ) {
+        let n = xs.len().min(ys.len());
+        let mut mx: Box<dyn Forecaster<f64> + Send> = spec.build();
+        let mut my: Box<dyn Forecaster<f64> + Send> = spec.build();
+        let mut mz: Box<dyn Forecaster<f64> + Send> = spec.build();
+        for i in 0..n {
+            mx.observe(&xs[i]);
+            my.observe(&ys[i]);
+            mz.observe(&(c1 * xs[i] + c2 * ys[i]));
+        }
+        match (mx.forecast(), my.forecast(), mz.forecast()) {
+            (Some(fx), Some(fy), Some(fz)) => {
+                let expect = c1 * fx + c2 * fy;
+                // Scale-aware tolerance: inputs up to 1e4, a few intervals
+                // of accumulation.
+                let tol = 1e-6_f64.max(expect.abs() * 1e-9);
+                prop_assert!((fz - expect).abs() <= tol,
+                    "{}: {} vs {}", spec.describe(), fz, expect);
+            }
+            (a, b, c) => {
+                // Warm-up states must agree across the three instances.
+                prop_assert_eq!(a.is_some(), c.is_some());
+                prop_assert_eq!(b.is_some(), c.is_some());
+            }
+        }
+    }
+
+    /// Forecasts are finite for finite inputs.
+    #[test]
+    fn forecasts_stay_finite(spec in spec_strategy(), xs in stream_strategy()) {
+        let mut m: Box<dyn Forecaster<f64> + Send> = spec.build();
+        for x in &xs {
+            m.observe(x);
+            if let Some(f) = m.forecast() {
+                prop_assert!(f.is_finite(), "{}: non-finite forecast", spec.describe());
+            }
+        }
+    }
+
+    /// Warm-up contract: forecast() is None for exactly the first
+    /// `warm_up()` observations and Some afterwards.
+    #[test]
+    fn warm_up_contract(spec in spec_strategy(), xs in stream_strategy()) {
+        let mut m: Box<dyn Forecaster<f64> + Send> = spec.build();
+        let warm = m.warm_up();
+        for (i, x) in xs.iter().enumerate() {
+            let expected_ready = i >= warm;
+            prop_assert_eq!(m.forecast().is_some(), expected_ready,
+                "{}: after {} observations (warm_up = {})", spec.describe(), i, warm);
+            m.observe(x);
+        }
+    }
+
+    /// A constant stream is eventually forecast as (close to) the constant
+    /// by every smoothing model; ARIMA is excluded since arbitrary random
+    /// coefficients need not have unit DC gain.
+    #[test]
+    fn smoothing_models_track_constants(
+        window in 1usize..8,
+        alpha in 0.05f64..=1.0,
+        beta in 0.0f64..=1.0,
+        level in 1.0f64..1e4,
+    ) {
+        let specs = [
+            ModelSpec::Ma { window },
+            ModelSpec::Sma { window },
+            ModelSpec::Ewma { alpha },
+            ModelSpec::Nshw { alpha, beta },
+        ];
+        for spec in specs {
+            let mut m: Box<dyn Forecaster<f64> + Send> = spec.build();
+            for _ in 0..200 {
+                m.observe(&level);
+            }
+            let f = m.forecast().unwrap();
+            prop_assert!((f - level).abs() < 1e-6 * level + 1e-9,
+                "{}: forecast {} for constant {}", spec.describe(), f, level);
+        }
+    }
+
+    /// `step` returns an error equal to observation minus forecast.
+    #[test]
+    fn step_error_identity(spec in spec_strategy(), xs in stream_strategy()) {
+        let mut m: Box<dyn Forecaster<f64> + Send> = spec.build();
+        for x in &xs {
+            let pre = m.forecast();
+            let stepped = m.step(x);
+            match (pre, stepped) {
+                (Some(f), Some((f2, e))) => {
+                    prop_assert_eq!(f, f2);
+                    prop_assert!((e - (x - f)).abs() < 1e-9);
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false,
+                    "step/forecast disagree: {:?} vs {:?}", a, b.map(|p| p.0)),
+            }
+        }
+    }
+}

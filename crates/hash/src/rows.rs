@@ -1,0 +1,145 @@
+//! `H` independent hash rows, the per-sketch bundle the k-ary sketch uses.
+//!
+//! A k-ary sketch is "an array of hash tables" (paper §3.1): `H` rows, each
+//! with its own independent 4-universal function into `[K]`. The paper
+//! constructs the rows "using independent seeds"; [`HashRows`] does exactly
+//! that, deriving one sub-seed per row from the family seed through
+//! SplitMix64 so that the whole bundle is reproducible from `(h, k, seed)`.
+//!
+//! Two sketches can only be combined (added, subtracted, scaled — the
+//! linearity that the forecasting layer depends on) if they share the same
+//! rows. `HashRows` therefore exposes an [`identity`](HashRows::identity)
+//! fingerprint that the sketch layer checks before combining.
+
+use crate::splitmix::SplitMix64;
+use crate::Hasher4;
+
+/// A family of `H` independent 4-universal hash functions into `[0, K)`.
+#[derive(Clone)]
+pub struct HashRows {
+    hashers: Vec<Hasher4>,
+    k: usize,
+    identity: (usize, usize, u64),
+}
+
+impl HashRows {
+    /// Builds `h` rows bucketing into `[0, k)`. `k` must be a power of two;
+    /// `h` must be at least 1.
+    ///
+    /// # Panics
+    /// Panics if `h == 0` or `k` is not a power of two.
+    pub fn new(h: usize, k: usize, seed: u64) -> Self {
+        assert!(h >= 1, "need at least one hash row");
+        assert!(k.is_power_of_two(), "K must be a power of two, got {k}");
+        let mut sm = SplitMix64::new(seed ^ 0x5EED_0F5E_ED00);
+        let hashers = (0..h).map(|_| Hasher4::new(sm.next_u64())).collect();
+        HashRows {
+            hashers,
+            k,
+            identity: (h, k, seed),
+        }
+    }
+
+    /// Number of rows `H`.
+    #[inline]
+    pub fn h(&self) -> usize {
+        self.hashers.len()
+    }
+
+    /// Number of buckets per row `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Fingerprint `(H, K, seed)`: two `HashRows` with equal identities
+    /// compute identical bucket mappings, so sketches built on them are
+    /// combinable.
+    #[inline]
+    pub fn identity(&self) -> (usize, usize, u64) {
+        self.identity
+    }
+
+    /// Bucket of `key` in row `row`.
+    #[inline]
+    pub fn bucket(&self, row: usize, key: u64) -> usize {
+        self.hashers[row].bucket(key, self.k)
+    }
+
+    /// Fills `out[row]` with the bucket of `key` in each row.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.h()`.
+    #[inline]
+    pub fn buckets(&self, key: u64, out: &mut [usize]) {
+        assert_eq!(out.len(), self.h(), "output slice must have H entries");
+        for (slot, hasher) in out.iter_mut().zip(&self.hashers) {
+            *slot = hasher.bucket(key, self.k);
+        }
+    }
+}
+
+impl std::fmt::Debug for HashRows {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashRows")
+            .field("h", &self.h())
+            .field("k", &self.k)
+            .field("seed", &self.identity.2)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_mutually_independent() {
+        let rows = HashRows::new(5, 1024, 9);
+        // Two rows agreeing on many keys would indicate shared seeds.
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                let agree = (0..2000u64)
+                    .filter(|&key| rows.bucket(a, key) == rows.bucket(b, key))
+                    .count();
+                // Expected agreement = 2000/1024 ≈ 2.
+                assert!(agree < 12, "rows {a},{b} agree on {agree} of 2000 keys");
+            }
+        }
+    }
+
+    #[test]
+    fn same_identity_same_mapping() {
+        let a = HashRows::new(3, 256, 123);
+        let b = HashRows::new(3, 256, 123);
+        assert_eq!(a.identity(), b.identity());
+        for key in 0..500u64 {
+            for row in 0..3 {
+                assert_eq!(a.bucket(row, key), b.bucket(row, key));
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_fills_all_rows() {
+        let rows = HashRows::new(7, 64, 1);
+        let mut out = [usize::MAX; 7];
+        rows.buckets(42, &mut out);
+        for (row, &b) in out.iter().enumerate() {
+            assert_eq!(b, rows.bucket(row, 42));
+            assert!(b < 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_k() {
+        let _ = HashRows::new(1, 1000, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_rows() {
+        let _ = HashRows::new(0, 1024, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for sketch operations.
+
+/// Errors returned by sketch combination and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// Two sketches were combined that do not share hash rows
+    /// (different `H`, `K`, or seed). Linear combination is only meaningful
+    /// cell-by-cell over identical hash functions.
+    IncompatibleSketches {
+        /// `(H, K, seed)` of the left operand.
+        left: (usize, usize, u64),
+        /// `(H, K, seed)` of the right operand.
+        right: (usize, usize, u64),
+    },
+    /// A linear combination was requested with no terms.
+    EmptyCombination,
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SketchError::IncompatibleSketches { left, right } => write!(
+                f,
+                "cannot combine sketches with different hash families: \
+                 (H={}, K={}, seed={}) vs (H={}, K={}, seed={})",
+                left.0, left.1, left.2, right.0, right.1, right.2
+            ),
+            SketchError::EmptyCombination => {
+                write!(f, "linear combination requires at least one term")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SketchError::IncompatibleSketches {
+            left: (5, 1024, 1),
+            right: (5, 2048, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("K=1024") && s.contains("K=2048"));
+        assert!(SketchError::EmptyCombination.to_string().contains("at least one"));
+    }
+}

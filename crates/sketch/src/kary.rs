@@ -1,0 +1,447 @@
+//! The k-ary sketch data structure (paper §3.1).
+//!
+//! An `H × K` table of registers. Each row `i` has its own 4-universal
+//! hash `h_i : [u] → [K]`; "we can view the data structure as an array of
+//! hash tables". Four operations are defined:
+//!
+//! * **UPDATE(S, a, u)**: for each row `i`, `T[i][h_i(a)] += u`.
+//! * **ESTIMATE(S, a)**: `median_i (T[i][h_i(a)] − sum/K) / (1 − 1/K)`,
+//!   where `sum = Σ_j T[0][j]` is the stream total. Each per-row value is
+//!   an unbiased estimator of `v_a` with variance ≤ `F2/(K−1)`
+//!   (Appendix A); the median avoids the extreme rows.
+//! * **ESTIMATEF2(S)**: `median_i [ K/(K−1) · Σ_j T[i][j]² − sum²/(K−1) ]`,
+//!   an unbiased estimator of the second moment (Appendix B).
+//! * **COMBINE(c1,S1,…,cl,Sl)**: entry-wise linear combination — the
+//!   property that lets forecasting models run in sketch space.
+//!
+//! Registers are `f64`: the change-detection pipeline combines sketches
+//! with fractional coefficients (EWMA's `α`, Holt-Winters' `β`, ARIMA
+//! coefficients), so integer cells would not survive COMBINE. Linearity is
+//! then *exact per cell* up to floating-point rounding, a fact the
+//! forecasting layer's property tests rely on.
+
+use crate::error::SketchError;
+use crate::median::median_inplace;
+use scd_hash::HashRows;
+use std::sync::Arc;
+
+/// Shape and seeding of a k-ary sketch.
+///
+/// Sketches are only combinable when **all three fields are equal** — the
+/// hash rows must agree for cell-wise arithmetic to be meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SketchConfig {
+    /// Number of hash rows `H`. The paper evaluates `H ∈ {1, 5, 9, 25}`
+    /// (odd, so the median is a single element, and small, because update
+    /// cost is proportional to `H`).
+    pub h: usize,
+    /// Buckets per row `K`; must be a power of two. The paper evaluates
+    /// `K` from 1024 ("the lower bound we quickly zoomed in on") to 65536
+    /// (the analytic upper bound for its target error).
+    pub k: usize,
+    /// Seed for the 4-universal hash family.
+    pub seed: u64,
+}
+
+impl SketchConfig {
+    /// The configuration used for most accuracy results in the paper
+    /// (§5.2: "with K = 32K, the similarity is over 0.95 even for large N").
+    pub fn paper_default() -> Self {
+        SketchConfig { h: 5, k: 32_768, seed: 0x5CD_2003 }
+    }
+}
+
+/// The k-ary sketch: a constant-memory linear summary of a keyed update
+/// stream. See the [module docs](self) for the operation definitions.
+#[derive(Clone)]
+pub struct KarySketch {
+    rows: Arc<HashRows>,
+    /// Row-major `H × K` register table.
+    table: Vec<f64>,
+}
+
+impl KarySketch {
+    /// Creates an empty sketch with freshly derived hash rows.
+    pub fn new(config: SketchConfig) -> Self {
+        let rows = Arc::new(HashRows::new(config.h, config.k, config.seed));
+        Self::with_rows(rows)
+    }
+
+    /// Creates an empty sketch sharing an existing hash family. Sharing the
+    /// `Arc` avoids re-deriving (and re-storing) tabulation tables when many
+    /// sketches per family are alive — e.g. one observed sketch per interval
+    /// plus model history.
+    pub fn with_rows(rows: Arc<HashRows>) -> Self {
+        let len = rows.h() * rows.k();
+        KarySketch { rows, table: vec![0.0; len] }
+    }
+
+    /// The hash family shared by this sketch.
+    pub fn rows(&self) -> &Arc<HashRows> {
+        &self.rows
+    }
+
+    /// Number of hash rows `H`.
+    #[inline]
+    pub fn h(&self) -> usize {
+        self.rows.h()
+    }
+
+    /// Number of buckets per row `K`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.rows.k()
+    }
+
+    /// Raw register table (row-major, length `H·K`). Exposed read-only for
+    /// diagnostics and serialization.
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Heap bytes used by the register table (the "constant, small amount
+    /// of memory" the paper claims: `H·K·8` bytes, e.g. 1.25 MiB at
+    /// `H=5, K=32768`).
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f64>()
+    }
+
+    /// **UPDATE(S, a, u)** — folds one arrival into the sketch: `H` hash
+    /// evaluations and `H` adds.
+    #[inline]
+    pub fn update(&mut self, key: u64, value: f64) {
+        let k = self.k();
+        for row in 0..self.h() {
+            let bucket = self.rows.bucket(row, key);
+            self.table[row * k + bucket] += value;
+        }
+    }
+
+    /// Sum of all registers in row 0 — the stream total `Σ_a v_a` (every
+    /// row holds the same total; the paper reads it from one row).
+    pub fn sum(&self) -> f64 {
+        self.table[..self.k()].iter().sum()
+    }
+
+    /// **ESTIMATE(S, a)** — unbiased estimate of the value of `key`.
+    ///
+    /// Recomputes `sum(S)` on each call; when estimating many keys against
+    /// a fixed sketch (the change-detection inner loop), use
+    /// [`estimator`](Self::estimator), which snapshots the sum once, as the
+    /// paper prescribes ("which only needs to be computed once before any
+    /// ESTIMATE(S, a) is called").
+    pub fn estimate(&self, key: u64) -> f64 {
+        self.estimator().estimate(key)
+    }
+
+    /// Snapshots `sum(S)` and returns a borrowing estimator for repeated
+    /// point queries.
+    pub fn estimator(&self) -> Estimator<'_> {
+        Estimator { sketch: self, sum: self.sum() }
+    }
+
+    /// **ESTIMATEF2(S)** — unbiased estimate of the second moment
+    /// `F2 = Σ_a v_a²`.
+    pub fn estimate_f2(&self) -> f64 {
+        let k = self.k() as f64;
+        let sum = self.sum();
+        let mut per_row: Vec<f64> = (0..self.h())
+            .map(|row| {
+                let row_slice = &self.table[row * self.k()..(row + 1) * self.k()];
+                let sq: f64 = row_slice.iter().map(|&x| x * x).sum();
+                (k / (k - 1.0)) * sq - (sum * sum) / (k - 1.0)
+            })
+            .collect();
+        median_inplace(&mut per_row)
+    }
+
+    /// The L2 norm `sqrt(max(F2est, 0))` — the paper's "total energy" for
+    /// one interval. Negative F2 estimates (possible for near-empty
+    /// sketches since the estimator is unbiased, not nonnegative) clamp to
+    /// zero.
+    pub fn l2_norm(&self) -> f64 {
+        self.estimate_f2().max(0.0).sqrt()
+    }
+
+    /// **COMBINE(c1,S1,…,cl,Sl)** — returns `Σ_i c_i · S_i`.
+    ///
+    /// All sketches (including `self`, which only supplies the hash family)
+    /// must share identical hash rows.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] on any identity mismatch and
+    /// [`SketchError::EmptyCombination`] for an empty term list.
+    pub fn combine(&self, terms: &[(f64, &KarySketch)]) -> Result<KarySketch, SketchError> {
+        if terms.is_empty() {
+            return Err(SketchError::EmptyCombination);
+        }
+        let mut out = KarySketch::with_rows(Arc::clone(&self.rows));
+        for &(c, s) in terms {
+            out.add_scaled(s, c)?;
+        }
+        Ok(out)
+    }
+
+    /// In-place `self += c · other`.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if the hash families differ.
+    pub fn add_scaled(&mut self, other: &KarySketch, c: f64) -> Result<(), SketchError> {
+        if self.rows.identity() != other.rows.identity() {
+            return Err(SketchError::IncompatibleSketches {
+                left: self.rows.identity(),
+                right: other.rows.identity(),
+            });
+        }
+        for (dst, src) in self.table.iter_mut().zip(&other.table) {
+            *dst += c * src;
+        }
+        Ok(())
+    }
+
+    /// In-place `self *= c`.
+    pub fn scale(&mut self, c: f64) {
+        for cell in &mut self.table {
+            *cell *= c;
+        }
+    }
+
+    /// Resets every register to zero, keeping the hash family.
+    pub fn clear(&mut self) {
+        self.table.fill(0.0);
+    }
+
+    /// Returns a zeroed sketch over the same hash family.
+    pub fn zero_like(&self) -> KarySketch {
+        KarySketch::with_rows(Arc::clone(&self.rows))
+    }
+
+    /// Replaces the register table wholesale (deserialization path).
+    ///
+    /// # Panics
+    /// Panics if the length differs from `H·K`.
+    pub(crate) fn load_table(&mut self, table: Vec<f64>) {
+        assert_eq!(table.len(), self.table.len(), "table shape mismatch");
+        self.table = table;
+    }
+}
+
+impl std::fmt::Debug for KarySketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KarySketch")
+            .field("h", &self.h())
+            .field("k", &self.k())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// Point-query handle with the stream total precomputed (paper §3.1:
+/// `sum(S)` "only needs to be computed once before any ESTIMATE is
+/// called").
+pub struct Estimator<'a> {
+    sketch: &'a KarySketch,
+    sum: f64,
+}
+
+impl Estimator<'_> {
+    /// Unbiased estimate of the value associated with `key`:
+    /// `median_i (T[i][h_i(key)] − sum/K) / (1 − 1/K)`.
+    pub fn estimate(&self, key: u64) -> f64 {
+        let k = self.sketch.k() as f64;
+        let kk = self.sketch.k();
+        let mut per_row: Vec<f64> = (0..self.sketch.h())
+            .map(|row| {
+                let cell = self.sketch.table[row * kk + self.sketch.rows.bucket(row, key)];
+                (cell - self.sum / k) / (1.0 - 1.0 / k)
+            })
+            .collect();
+        median_inplace(&mut per_row)
+    }
+
+    /// The snapshotted stream total.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SketchConfig {
+        SketchConfig { h: 5, k: 1024, seed: 42 }
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = KarySketch::new(cfg());
+        assert_eq!(s.estimate(12345), 0.0);
+        assert_eq!(s.estimate_f2(), 0.0);
+        assert_eq!(s.sum(), 0.0);
+    }
+
+    #[test]
+    fn single_key_estimate_is_near_exact() {
+        let mut s = KarySketch::new(cfg());
+        s.update(7, 500.0);
+        // With a single key, the row estimate is (500 - 500/K)/(1 - 1/K) = 500.
+        assert!((s.estimate(7) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_key_f2_is_near_exact() {
+        let mut s = KarySketch::new(cfg());
+        s.update(7, 500.0);
+        // K/(K-1)*500^2 - 500^2/(K-1) = 500^2.
+        assert!((s.estimate_f2() - 250_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn updates_accumulate_per_key() {
+        let mut s = KarySketch::new(cfg());
+        s.update(9, 100.0);
+        s.update(9, 50.0);
+        s.update(9, -30.0); // Turnstile model: negative updates allowed
+        assert!((s.estimate(9) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_equals_total_updates() {
+        let mut s = KarySketch::new(cfg());
+        let mut total = 0.0;
+        for key in 0..200u64 {
+            let v = (key % 17) as f64 + 0.5;
+            s.update(key, v);
+            total += v;
+        }
+        assert!((s.sum() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_accuracy_over_many_keys() {
+        // 200 keys, values 1..=200 spread over K=1024 buckets: estimates
+        // should track true values well within the F2/(K-1) noise scale.
+        let mut s = KarySketch::new(SketchConfig { h: 9, k: 4096, seed: 3 });
+        let mut f2 = 0.0;
+        for key in 0..200u64 {
+            let v = (key + 1) as f64;
+            s.update(key, v);
+            f2 += v * v;
+        }
+        let noise = (f2 / 4095.0).sqrt(); // one-row std dev upper bound
+        let est = s.estimator();
+        for key in 0..200u64 {
+            let e = est.estimate(key);
+            let truth = (key + 1) as f64;
+            assert!(
+                (e - truth).abs() < 6.0 * noise,
+                "key {key}: est {e}, truth {truth}, noise scale {noise}"
+            );
+        }
+    }
+
+    #[test]
+    fn f2_estimate_tracks_truth() {
+        let mut s = KarySketch::new(SketchConfig { h: 9, k: 8192, seed: 5 });
+        let mut f2 = 0.0;
+        for key in 0..500u64 {
+            let v = ((key * key) % 97) as f64 + 1.0;
+            s.update(key, v);
+            f2 += v * v;
+        }
+        let est = s.estimate_f2();
+        assert!(
+            (est - f2).abs() < 0.1 * f2,
+            "estimated F2 {est} vs true {f2}"
+        );
+    }
+
+    #[test]
+    fn combine_is_entrywise_linear() {
+        let c = cfg();
+        let mut a = KarySketch::new(c);
+        let mut b = KarySketch::new(c);
+        for key in 0..50u64 {
+            a.update(key, key as f64);
+            b.update(key * 3, 1.0);
+        }
+        let combo = a.combine(&[(2.0, &a), (-0.5, &b)]).unwrap();
+        for (i, cell) in combo.table().iter().enumerate() {
+            let expect = 2.0 * a.table()[i] - 0.5 * b.table()[i];
+            assert!((cell - expect).abs() < 1e-12, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn combine_estimate_matches_combined_values() {
+        let c = cfg();
+        let mut obs = KarySketch::new(c);
+        let mut fcst = KarySketch::new(c);
+        obs.update(1, 100.0);
+        fcst.update(1, 60.0);
+        let err = obs.combine(&[(1.0, &obs), (-1.0, &fcst)]).unwrap();
+        assert!((err.estimate(1) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incompatible_sketches_rejected() {
+        let a = KarySketch::new(SketchConfig { h: 5, k: 1024, seed: 1 });
+        let b = KarySketch::new(SketchConfig { h: 5, k: 1024, seed: 2 });
+        let err = a.combine(&[(1.0, &a), (1.0, &b)]).unwrap_err();
+        assert!(matches!(err, SketchError::IncompatibleSketches { .. }));
+    }
+
+    #[test]
+    fn empty_combination_rejected() {
+        let a = KarySketch::new(cfg());
+        assert_eq!(a.combine(&[]).unwrap_err(), SketchError::EmptyCombination);
+    }
+
+    #[test]
+    fn scale_and_clear() {
+        let mut s = KarySketch::new(cfg());
+        s.update(10, 8.0);
+        s.scale(0.25);
+        assert!((s.estimate(10) - 2.0).abs() < 1e-9);
+        s.clear();
+        assert_eq!(s.sum(), 0.0);
+        assert_eq!(s.estimate(10), 0.0);
+    }
+
+    #[test]
+    fn shared_rows_combine_without_reseeding() {
+        let rows = Arc::new(scd_hash::HashRows::new(3, 256, 77));
+        let mut a = KarySketch::with_rows(Arc::clone(&rows));
+        let mut b = KarySketch::with_rows(Arc::clone(&rows));
+        a.update(5, 2.0);
+        b.update(5, 3.0);
+        let sum = a.combine(&[(1.0, &a), (1.0, &b)]).unwrap();
+        assert!((sum.estimate(5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_matches_h_times_k() {
+        let s = KarySketch::new(SketchConfig { h: 5, k: 32768, seed: 0 });
+        assert_eq!(s.memory_bytes(), 5 * 32768 * 8);
+    }
+
+    #[test]
+    fn l2_norm_nonnegative_and_consistent() {
+        let mut s = KarySketch::new(cfg());
+        s.update(3, 30.0);
+        s.update(4, 40.0);
+        let l2 = s.l2_norm();
+        assert!((l2 - 50.0).abs() < 1.0, "l2 = {l2}");
+        assert!(KarySketch::new(cfg()).l2_norm() >= 0.0);
+    }
+
+    #[test]
+    fn zero_like_preserves_family() {
+        let mut s = KarySketch::new(cfg());
+        s.update(1, 1.0);
+        let z = s.zero_like();
+        assert_eq!(z.sum(), 0.0);
+        assert_eq!(z.rows().identity(), s.rows().identity());
+    }
+}

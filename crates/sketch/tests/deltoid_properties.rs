@@ -1,0 +1,93 @@
+//! Property-based tests for the group-testing (deltoid) sketch.
+
+use proptest::prelude::*;
+use scd_sketch::{Deltoid, DeltoidConfig};
+
+fn cfg() -> DeltoidConfig {
+    DeltoidConfig { h: 3, k: 128, key_bits: 32, seed: 0xD317 }
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((0u64..0xFFFF_FFFF, -500.0f64..500.0), 0..50)
+}
+
+fn build(updates: &[(u64, f64)]) -> Deltoid {
+    let mut d = Deltoid::new(cfg());
+    for &(k, v) in updates {
+        d.update(k, v);
+    }
+    d
+}
+
+proptest! {
+    /// Deltoids are linear: sketch(A) + sketch(B) == sketch(A ++ B).
+    #[test]
+    fn additive(a in stream_strategy(), b in stream_strategy()) {
+        let da = build(&a);
+        let db = build(&b);
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let dc = build(&concat);
+        let mut sum = da.clone();
+        sum.add_scaled(&db, 1.0).unwrap();
+        // Compare through estimates on every key present (tables are not
+        // exposed; estimates are a complete proxy given identical families).
+        for &(k, _) in &concat {
+            let x = sum.estimate(k);
+            let y = dc.estimate(k);
+            prop_assert!((x - y).abs() <= 1e-6_f64.max(x.abs() * 1e-9),
+                "key {}: {} vs {}", k, x, y);
+        }
+        prop_assert!((sum.sum() - dc.sum()).abs() < 1e-6);
+    }
+
+    /// Scaling commutes with estimation.
+    #[test]
+    fn scaling(a in stream_strategy(), c in -3.0f64..3.0, probe in 0u64..0xFFFF_FFFF) {
+        let base = build(&a);
+        let mut scaled = base.clone();
+        scaled.scale(c);
+        let x = scaled.estimate(probe);
+        let y = c * base.estimate(probe);
+        prop_assert!((x - y).abs() <= 1e-6_f64.max(y.abs() * 1e-9));
+    }
+
+    /// Recovery is sound: every recovered key's reported estimate respects
+    /// the threshold, keys are unique, and sorting is by |estimate| desc.
+    #[test]
+    fn recovery_sound(a in stream_strategy(), thresh in 1.0f64..10_000.0) {
+        let d = build(&a);
+        let found = d.recover(thresh);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = f64::INFINITY;
+        for (key, est) in &found {
+            prop_assert!(est.abs() >= thresh);
+            prop_assert!(seen.insert(*key), "duplicate key {key}");
+            prop_assert!(est.abs() <= last + 1e-9, "not sorted");
+            last = est.abs();
+        }
+    }
+
+    /// A single overwhelming key is always recovered exactly, regardless of
+    /// the background stream.
+    #[test]
+    fn dominant_key_recovered(a in stream_strategy(), key in 0u64..0xFFFF_FFFF) {
+        let mut updates = a.clone();
+        // Mass far above anything the background (|v| <= 500, <=50 items)
+        // can assemble in one bucket.
+        updates.push((key, 1e9));
+        let d = build(&updates);
+        let found = d.recover(1e8);
+        prop_assert!(found.iter().any(|&(k, _)| k == key),
+            "dominant key {key:#x} missing from {found:?}");
+    }
+
+    /// Recovery never panics and returns finitely many keys (bounded by
+    /// H·K buckets).
+    #[test]
+    fn recovery_bounded(a in stream_strategy()) {
+        let d = build(&a);
+        let found = d.recover(0.5);
+        prop_assert!(found.len() <= 3 * 128);
+    }
+}

@@ -1,0 +1,172 @@
+//! Statistical verification of the paper's Appendix A and B guarantees.
+//!
+//! These tests instantiate many independently-seeded sketches over a fixed
+//! stream and check the *distribution* of the estimators:
+//!
+//! * Theorem 1 (Appendix A): each `v^h_a` is unbiased, `Var ≤ F2/(K−1)`.
+//! * Theorem 4 (Appendix B): `F2^h` is unbiased for the second moment.
+//! * Theorems 2/3/5: the median over `H` rows concentrates — large
+//!   deviations vanish as `H` grows.
+//!
+//! Some are marked `#[ignore]` because they build hundreds of tabulation
+//! tables; run them with `cargo test -p scd-sketch --release -- --ignored`.
+
+use scd_sketch::{KarySketch, SketchConfig};
+
+/// A fixed synthetic stream: 64 keys with values 1..=64 (F2 = Σ i²).
+fn fill(sketch: &mut KarySketch) -> (f64, f64) {
+    let mut f2 = 0.0;
+    let mut total = 0.0;
+    for key in 0..64u64 {
+        let v = (key + 1) as f64;
+        sketch.update(key * 0x9E37_79B9, v);
+        f2 += v * v;
+        total += v;
+    }
+    (f2, total)
+}
+
+#[test]
+fn estimate_is_unbiased_across_seeds() {
+    // H = 1 isolates the raw row estimator (the median of one row is the
+    // row itself), so the sample mean over seeds must approach the truth.
+    let key = 5 * 0x9E37_79B9;
+    let truth = 6.0;
+    let trials = 800;
+    let mut sum = 0.0;
+    let mut f2 = 0.0;
+    for seed in 0..trials {
+        let mut s = KarySketch::new(SketchConfig { h: 1, k: 64, seed });
+        let (stream_f2, _) = fill(&mut s);
+        f2 = stream_f2;
+        sum += s.estimate(key);
+    }
+    let mean = sum / trials as f64;
+    // Tolerance derived from the Appendix A variance bound itself: the
+    // standard error of the sample mean is at most sqrt(F2/(K-1)/trials);
+    // 4 standard errors gives a ~6e-5 false-failure rate.
+    let se = (f2 / 63.0 / trials as f64).sqrt();
+    assert!(
+        (mean - truth).abs() < 4.0 * se,
+        "sample mean {mean} too far from {truth} (4se = {})",
+        4.0 * se
+    );
+}
+
+#[test]
+fn estimate_variance_within_appendix_a_bound() {
+    let key = 5 * 0x9E37_79B9;
+    let truth = 6.0;
+    let k = 64usize;
+    let trials = 400;
+    let mut sq_dev = 0.0;
+    let mut f2 = 0.0;
+    for seed in 0..trials {
+        let mut s = KarySketch::new(SketchConfig { h: 1, k, seed: 1000 + seed });
+        let (stream_f2, _) = fill(&mut s);
+        f2 = stream_f2;
+        let d = s.estimate(key) - truth;
+        sq_dev += d * d;
+    }
+    let var = sq_dev / trials as f64;
+    let bound = f2 / (k as f64 - 1.0);
+    // Allow sampling slack: the empirical variance should not exceed the
+    // theoretical bound by more than ~35% over 400 trials.
+    assert!(
+        var <= bound * 1.35,
+        "empirical variance {var} exceeds Appendix A bound {bound}"
+    );
+}
+
+#[test]
+fn f2_estimator_is_unbiased() {
+    let trials = 300;
+    let mut sum = 0.0;
+    let mut truth = 0.0;
+    for seed in 0..trials {
+        let mut s = KarySketch::new(SketchConfig { h: 1, k: 128, seed: 9_000 + seed });
+        let (f2, _) = fill(&mut s);
+        truth = f2;
+        sum += s.estimate_f2();
+    }
+    let mean = sum / trials as f64;
+    assert!(
+        (mean - truth).abs() < 0.05 * truth,
+        "mean F2 estimate {mean} vs truth {truth}"
+    );
+}
+
+#[test]
+fn median_concentration_improves_with_h() {
+    // Deviation of the median estimator should shrink (stochastically) as H
+    // grows: compare mean absolute error at H=1 vs H=9 over seeds.
+    let key = 5 * 0x9E37_79B9;
+    let truth = 6.0;
+    let trials = 120;
+    let mae = |h: usize, base: u64| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let mut s = KarySketch::new(SketchConfig { h, k: 64, seed: base + seed });
+            fill(&mut s);
+            total += (s.estimate(key) - truth).abs();
+        }
+        total / trials as f64
+    };
+    let mae1 = mae(1, 50_000);
+    let mae9 = mae(9, 80_000);
+    assert!(
+        mae9 < mae1,
+        "H=9 MAE {mae9} should beat H=1 MAE {mae1}"
+    );
+}
+
+#[test]
+#[ignore = "slow: builds 800 tabulation families; run with --release -- --ignored"]
+fn tail_probability_shrinks_exponentially_in_h() {
+    // Theorem 2-style check: P(|est - truth| > t) for a fixed t should drop
+    // steeply from H=1 to H=5 to H=9.
+    let key = 5 * 0x9E37_79B9;
+    let truth = 6.0;
+    let trials = 800u64;
+    // Self-calibrated deviation threshold: 1.5 row standard deviations,
+    // where the row variance bound is F2/(K-1) (Appendix A).
+    let f2: f64 = (1..=64u64).map(|i| (i * i) as f64).sum();
+    let t = 1.5 * (f2 / 63.0).sqrt();
+    let tail = |h: usize, base: u64| -> f64 {
+        let mut hits = 0u32;
+        for seed in 0..trials {
+            let mut s = KarySketch::new(SketchConfig { h, k: 64, seed: base + seed });
+            fill(&mut s);
+            if (s.estimate(key) - truth).abs() > t {
+                hits += 1;
+            }
+        }
+        hits as f64 / trials as f64
+    };
+    let p1 = tail(1, 100_000);
+    let p5 = tail(5, 200_000);
+    let p9 = tail(9, 300_000);
+    // Medians over more rows must push the tail down, markedly by H=9.
+    assert!(p5 < p1 * 0.8 + 0.01, "p1={p1}, p5={p5}");
+    assert!(p9 < p1 * 0.5 + 0.01, "p1={p1}, p9={p9}");
+    assert!(p9 <= p5 + 0.01, "p5={p5}, p9={p9}");
+}
+
+#[test]
+fn negative_f2_estimates_only_for_tiny_streams() {
+    // The F2 estimator is unbiased, not non-negative; check it goes
+    // negative only when the stream is nearly empty relative to K, and that
+    // l2_norm clamps.
+    let mut any_negative = false;
+    for seed in 0..50u64 {
+        let mut s = KarySketch::new(SketchConfig { h: 1, k: 1024, seed });
+        s.update(1, 1e-3);
+        if s.estimate_f2() < 0.0 {
+            any_negative = true;
+        }
+        assert!(s.l2_norm() >= 0.0);
+    }
+    // Not asserting any_negative == true (it depends on hashing), just that
+    // the clamp held; silence the unused warning meaningfully:
+    let _ = any_negative;
+}

@@ -1,0 +1,220 @@
+//! Trace persistence: CSV (human-inspectable) and a compact binary format.
+//!
+//! The binary layout is a fixed 31-byte little-endian record:
+//! `timestamp_ms:u64, src_ip:u32, dst_ip:u32, src_port:u16, dst_port:u16,
+//! protocol:u8, bytes:u64, packets:u32`, preceded by an 8-byte magic +
+//! version header. It exists so large generated traces can be cached
+//! between experiment runs without paying CSV parsing costs.
+
+use crate::record::FlowRecord;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Magic + format version for the binary trace format.
+const MAGIC: &[u8; 8] = b"SCDTRC01";
+/// Serialized size of one record.
+const RECORD_LEN: usize = 8 + 4 + 4 + 2 + 2 + 1 + 8 + 4;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The binary header was missing or unrecognized.
+    BadMagic,
+    /// The payload length was not a whole number of records.
+    Truncated,
+    /// A CSV line could not be parsed.
+    BadCsv {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceIoError::Truncated => write!(f, "trace file truncated mid-record"),
+            TraceIoError::BadCsv { line } => write!(f, "malformed CSV at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serializes records to the binary format.
+pub fn to_binary(records: &[FlowRecord]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + records.len() * RECORD_LEN);
+    buf.put_slice(MAGIC);
+    for r in records {
+        buf.put_u64_le(r.timestamp_ms);
+        buf.put_u32_le(r.src_ip);
+        buf.put_u32_le(r.dst_ip);
+        buf.put_u16_le(r.src_port);
+        buf.put_u16_le(r.dst_port);
+        buf.put_u8(r.protocol);
+        buf.put_u64_le(r.bytes);
+        buf.put_u32_le(r.packets);
+    }
+    buf.freeze()
+}
+
+/// Deserializes records from the binary format.
+pub fn from_binary(mut data: &[u8]) -> Result<Vec<FlowRecord>, TraceIoError> {
+    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    data = &data[MAGIC.len()..];
+    if data.len() % RECORD_LEN != 0 {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut out = Vec::with_capacity(data.len() / RECORD_LEN);
+    while data.has_remaining() {
+        out.push(FlowRecord {
+            timestamp_ms: data.get_u64_le(),
+            src_ip: data.get_u32_le(),
+            dst_ip: data.get_u32_le(),
+            src_port: data.get_u16_le(),
+            dst_port: data.get_u16_le(),
+            protocol: data.get_u8(),
+            bytes: data.get_u64_le(),
+            packets: data.get_u32_le(),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes records as binary to any writer (file, socket, buffer).
+pub fn write_binary<W: Write>(w: W, records: &[FlowRecord]) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&to_binary(records))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads binary records from any reader.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<FlowRecord>, TraceIoError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    from_binary(&data)
+}
+
+/// CSV header line.
+pub const CSV_HEADER: &str = "timestamp_ms,src_ip,dst_ip,src_port,dst_port,protocol,bytes,packets";
+
+/// Writes records as CSV with header.
+pub fn write_csv<W: Write>(w: W, records: &[FlowRecord]) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "{CSV_HEADER}")?;
+    for r in records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{}",
+            r.timestamp_ms, r.src_ip, r.dst_ip, r.src_port, r.dst_port, r.protocol, r.bytes,
+            r.packets
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads CSV records (header optional).
+pub fn read_csv<R: Read>(r: R) -> Result<Vec<FlowRecord>, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || (i == 0 && line == CSV_HEADER) {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = || fields.next().ok_or(TraceIoError::BadCsv { line: i + 1 });
+        let parse = |s: &str, i: usize| -> Result<u64, TraceIoError> {
+            s.parse().map_err(|_| TraceIoError::BadCsv { line: i + 1 })
+        };
+        let rec = FlowRecord {
+            timestamp_ms: parse(next()?, i)?,
+            src_ip: parse(next()?, i)? as u32,
+            dst_ip: parse(next()?, i)? as u32,
+            src_port: parse(next()?, i)? as u16,
+            dst_port: parse(next()?, i)? as u16,
+            protocol: parse(next()?, i)? as u8,
+            bytes: parse(next()?, i)?,
+            packets: parse(next()?, i)? as u32,
+        };
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{RouterProfile, TrafficGenerator};
+
+    fn sample_records() -> Vec<FlowRecord> {
+        let mut cfg = RouterProfile::Small.config(3);
+        cfg.records_per_sec = 1.0;
+        cfg.interval_secs = 30;
+        let mut g = TrafficGenerator::new(cfg);
+        g.interval_records(0)
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let records = sample_records();
+        let bytes = to_binary(&records);
+        let back = from_binary(&bytes).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn binary_round_trip_empty() {
+        let bytes = to_binary(&[]);
+        assert_eq!(from_binary(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(matches!(from_binary(b"not a trace"), Err(TraceIoError::BadMagic)));
+        let mut ok = to_binary(&sample_records()).to_vec();
+        ok.pop(); // truncate one byte
+        assert!(matches!(from_binary(&ok), Err(TraceIoError::Truncated)));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn csv_reports_bad_line() {
+        let data = format!("{CSV_HEADER}\n1,2,3\n");
+        match read_csv(data.as_bytes()) {
+            Err(TraceIoError::BadCsv { line }) => assert_eq!(line, 2),
+            other => panic!("expected BadCsv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip_via_io() {
+        let records = sample_records();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &records).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(records, back);
+    }
+}

@@ -1,0 +1,175 @@
+//! Flow records and their projection to `(key, value)` update streams.
+//!
+//! The paper's Turnstile-model instantiation (§2.1): "the key can be
+//! defined using one or more fields in packet headers such as source and
+//! destination IP addresses, source and destination port numbers, protocol
+//! number etc. … The update can be the size of a packet, the total bytes or
+//! packets in a flow". The experiments use destination IP and bytes; both
+//! axes are configurable here.
+
+use serde::{Deserialize, Serialize};
+
+/// One netflow-style record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow start time, milliseconds since trace start.
+    pub timestamp_ms: u64,
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP, …).
+    pub protocol: u8,
+    /// Total bytes in the flow.
+    pub bytes: u64,
+    /// Total packets in the flow.
+    pub packets: u32,
+}
+
+/// Which header fields form the stream key (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeySpec {
+    /// Destination IP address — the key used throughout the paper's
+    /// experiments.
+    DstIp,
+    /// Source IP address.
+    SrcIp,
+    /// (source IP, destination IP) pair, packed into 64 bits.
+    SrcDstPair,
+    /// (destination IP, destination port) pair — finer-grained service key.
+    DstIpPort,
+    /// Destination network prefix of the given length (higher aggregation).
+    DstPrefix(
+        /// Prefix length in bits, 0–32.
+        u8,
+    ),
+}
+
+/// Which field is the update value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueSpec {
+    /// Bytes per flow — the value used throughout the paper's experiments.
+    Bytes,
+    /// Packets per flow.
+    Packets,
+    /// Each record counts 1 (connection counting).
+    Count,
+}
+
+impl KeySpec {
+    /// Extracts the key from a record.
+    #[inline]
+    pub fn key_of(&self, r: &FlowRecord) -> u64 {
+        match *self {
+            KeySpec::DstIp => r.dst_ip as u64,
+            KeySpec::SrcIp => r.src_ip as u64,
+            KeySpec::SrcDstPair => ((r.src_ip as u64) << 32) | r.dst_ip as u64,
+            KeySpec::DstIpPort => ((r.dst_ip as u64) << 16) | r.dst_port as u64,
+            KeySpec::DstPrefix(len) => {
+                let len = len.min(32);
+                if len == 0 {
+                    0
+                } else {
+                    (r.dst_ip >> (32 - len)) as u64
+                }
+            }
+        }
+    }
+}
+
+impl ValueSpec {
+    /// Extracts the update value from a record.
+    #[inline]
+    pub fn value_of(&self, r: &FlowRecord) -> f64 {
+        match self {
+            ValueSpec::Bytes => r.bytes as f64,
+            ValueSpec::Packets => r.packets as f64,
+            ValueSpec::Count => 1.0,
+        }
+    }
+}
+
+/// Projects records onto the `(key, value)` update stream the sketch layer
+/// consumes.
+pub fn to_updates(records: &[FlowRecord], key: KeySpec, value: ValueSpec) -> Vec<(u64, f64)> {
+    records
+        .iter()
+        .map(|r| (key.key_of(r), value.value_of(r)))
+        .collect()
+}
+
+/// Formats an IPv4 address for human-readable diagnostics.
+pub fn format_ipv4(ip: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        (ip >> 24) & 0xFF,
+        (ip >> 16) & 0xFF,
+        (ip >> 8) & 0xFF,
+        ip & 0xFF
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FlowRecord {
+        FlowRecord {
+            timestamp_ms: 1000,
+            src_ip: 0x0A00_0001,  // 10.0.0.1
+            dst_ip: 0xC0A8_0102,  // 192.168.1.2
+            src_port: 40000,
+            dst_port: 443,
+            protocol: 6,
+            bytes: 1500,
+            packets: 3,
+        }
+    }
+
+    #[test]
+    fn key_extraction_variants() {
+        let r = record();
+        assert_eq!(KeySpec::DstIp.key_of(&r), 0xC0A8_0102);
+        assert_eq!(KeySpec::SrcIp.key_of(&r), 0x0A00_0001);
+        assert_eq!(KeySpec::SrcDstPair.key_of(&r), 0x0A00_0001_C0A8_0102);
+        assert_eq!(KeySpec::DstIpPort.key_of(&r), (0xC0A8_0102u64 << 16) | 443);
+    }
+
+    #[test]
+    fn prefix_aggregation() {
+        let r = record();
+        assert_eq!(KeySpec::DstPrefix(24).key_of(&r), 0x00C0_A801);
+        assert_eq!(KeySpec::DstPrefix(16).key_of(&r), 0xC0A8);
+        assert_eq!(KeySpec::DstPrefix(8).key_of(&r), 0xC0);
+        assert_eq!(KeySpec::DstPrefix(0).key_of(&r), 0);
+        assert_eq!(KeySpec::DstPrefix(32).key_of(&r), 0xC0A8_0102);
+        // Lengths beyond 32 clamp.
+        assert_eq!(KeySpec::DstPrefix(40).key_of(&r), 0xC0A8_0102);
+    }
+
+    #[test]
+    fn value_extraction() {
+        let r = record();
+        assert_eq!(ValueSpec::Bytes.value_of(&r), 1500.0);
+        assert_eq!(ValueSpec::Packets.value_of(&r), 3.0);
+        assert_eq!(ValueSpec::Count.value_of(&r), 1.0);
+    }
+
+    #[test]
+    fn to_updates_projects_all_records() {
+        let rs = vec![record(), record()];
+        let ups = to_updates(&rs, KeySpec::DstIp, ValueSpec::Bytes);
+        assert_eq!(ups, vec![(0xC0A8_0102, 1500.0), (0xC0A8_0102, 1500.0)]);
+    }
+
+    #[test]
+    fn ipv4_formatting() {
+        assert_eq!(format_ipv4(0xC0A8_0102), "192.168.1.2");
+        assert_eq!(format_ipv4(0), "0.0.0.0");
+        assert_eq!(format_ipv4(u32::MAX), "255.255.255.255");
+    }
+}

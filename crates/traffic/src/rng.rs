@@ -1,0 +1,174 @@
+//! Deterministic random-variate generation for the traffic substrate.
+//!
+//! Built on the same vendored SplitMix64 the hash layer uses, so a trace is
+//! a pure function of its seed — a property the experiment harness depends
+//! on (every figure must be regenerable bit-for-bit). Provides the handful
+//! of distributions traffic synthesis needs: uniforms, Gaussians
+//! (Box–Muller), lognormals and Poisson counts.
+
+use scd_hash::SplitMix64;
+
+/// Seedable random-variate generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    sm: SplitMix64,
+    /// Spare Gaussian from Box–Muller.
+    spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { sm: SplitMix64::new(seed), spare: None }
+    }
+
+    /// Next raw 64 bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.sm.next_u64()
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.sm.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.sm.next_below(bound)
+    }
+
+    /// Standard normal via Box–Muller (cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Avoid u == 0 for the logarithm.
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let v = self.uniform();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Lognormal: `exp(N(mu, sigma))` — the classic heavy-ish flow-size
+    /// model for per-record byte counts.
+    #[inline]
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Poisson count with the given mean. Uses Knuth's product method for
+    /// small means and a Gaussian approximation above 64 (adequate for
+    /// record-count synthesis; exact tails are not load-bearing here).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            return self.normal(mean, mean.sqrt()).round().max(0.0) as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::new(2);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = r.gaussian();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_parameter() {
+        let mut r = Rng::new(3);
+        for &lambda in &[0.5, 4.0, 20.0, 200.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| r.poisson(lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(r.poisson(0.0), 0);
+        assert_eq!(r.poisson(-3.0), 0);
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut r = Rng::new(4);
+        for _ in 0..1000 {
+            assert!(r.lognormal(5.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut r = Rng::new(6);
+        for _ in 0..1000 {
+            let v = r.uniform_in(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&v));
+        }
+    }
+}

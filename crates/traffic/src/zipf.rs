@@ -1,0 +1,139 @@
+//! Zipf-distributed rank sampling.
+//!
+//! Internet traffic shares across destinations are famously heavy-tailed;
+//! a Zipf law with exponent near 1 is the standard first-order model. The
+//! sampler precomputes the normalized cumulative mass over `n` ranks and
+//! draws by binary search — `O(n)` setup, `O(log n)` per sample, exact.
+
+use crate::rng::Rng;
+
+/// Zipf sampler over ranks `0..n` with `P(rank = r) ∝ 1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution; `cdf[r]` = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n ≥ 1` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; `s ≈ 1` is the
+    /// classic Zipf shape.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff there are no ranks (never: construction requires `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.uniform();
+        // First index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(100));
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = Rng::new(9);
+        let n = 200_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let emp = counts[r] as f64 / n as f64;
+            let expect = z.pmf(r);
+            assert!(
+                (emp - expect).abs() < 0.1 * expect + 0.001,
+                "rank {r}: empirical {emp} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(37, 1.3);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 37);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Flash-crowd monitoring: gradual versus abrupt change.
+//!
+//! A flash crowd (the paper's motivating benign anomaly, after Jung et
+//! al.'s WWW 2002 study) ramps up over many intervals, while a DoS attack
+//! switches on instantly. This example injects one of each with the *same*
+//! peak volume and shows how the forecast-error timeline distinguishes
+//! them: the attack produces one huge error at onset, the flash crowd a
+//! sustained run of moderate errors.
+//!
+//! ```sh
+//! cargo run --release --example flash_crowd
+//! ```
+
+use sketch_change::prelude::*;
+
+fn main() {
+    let intervals = 30usize;
+    let mut cfg = RouterProfile::Small.config(2718);
+    cfg.interval_secs = 60;
+    cfg.records_per_sec = 25.0;
+    cfg.n_flows = 3_000;
+    let mut generator = TrafficGenerator::new(cfg);
+
+    let crowd_rank = 400; // a quiet destination suddenly popular
+    let attack_rank = 600; // another quiet destination, attacked
+    let peak = 40.0 * generator.expected_rank_bytes(10, 0); // same peak for both
+
+    let injector = AnomalyInjector::new(
+        vec![
+            AnomalyEvent {
+                kind: AnomalyKind::FlashCrowd { peak_byte_rate: peak, flows: 80 },
+                victim_rank: crowd_rank,
+                start_interval: 8,
+                duration: 12,
+            },
+            AnomalyEvent {
+                kind: AnomalyKind::DosAttack { byte_rate: peak, flows: 80 },
+                victim_rank: attack_rank,
+                start_interval: 16,
+                duration: 4,
+            },
+        ],
+        31,
+    );
+    let crowd_ip = generator.dst_ip_of_rank(crowd_rank) as u64;
+    let attack_ip = generator.dst_ip_of_rank(attack_rank) as u64;
+
+    let mut detector = SketchChangeDetector::new(DetectorConfig {
+        sketch: SketchConfig { h: 5, k: 32_768, seed: 17 },
+        model: ModelSpec::Ewma { alpha: 0.5 },
+        threshold: 0.05,
+        key_strategy: KeyStrategy::TwoPass,
+    });
+
+    println!("flash crowd ramps t=8..20 on {}, DoS hits t=16..20 on {}",
+        sketch_change::traffic::record::format_ipv4(crowd_ip as u32),
+        sketch_change::traffic::record::format_ipv4(attack_ip as u32));
+    println!(
+        "{:<9} {:>16} {:>16}   (estimated forecast error, MB)",
+        "interval", "flash-crowd key", "dos key"
+    );
+
+    let mut crowd_errors = Vec::new();
+    let mut attack_errors = Vec::new();
+    for t in 0..intervals {
+        let mut records = generator.interval_records(t);
+        injector.apply(&generator, t, &mut records);
+        let updates = to_updates(&records, KeySpec::DstIp, ValueSpec::Bytes);
+        let report = detector.process_interval(&updates);
+        if !report.warmed_up {
+            continue;
+        }
+        let err_of = |key: u64| {
+            report
+                .errors
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, e)| e)
+                .unwrap_or(0.0)
+        };
+        let (ce, ae) = (err_of(crowd_ip), err_of(attack_ip));
+        crowd_errors.push(ce.abs());
+        attack_errors.push(ae.abs());
+        let mark = |e: f64| if e.abs() >= report.alarm_threshold { "*" } else { " " };
+        println!(
+            "{:<9} {:>15.2}{} {:>15.2}{}",
+            t,
+            ce / 1e6,
+            mark(ce),
+            ae / 1e6,
+            mark(ae)
+        );
+    }
+
+    // Signature: the attack's largest single-interval error dwarfs its
+    // typical active-interval error; the flash crowd's errors are flat.
+    // (Statistics over intervals where the key actually registered an
+    // error — a vanished key is invisible to two-pass key replay, which is
+    // why the crowd's post-event drop shows as 0.00 above: §3.3.)
+    let peakiness = |errs: &[f64]| {
+        let mut active: Vec<f64> = errs.iter().copied().filter(|e| *e > 1e3).collect();
+        active.sort_by(f64::total_cmp);
+        match active.as_slice() {
+            [] => 0.0,
+            xs => xs[xs.len() - 1] / xs[xs.len() / 2],
+        }
+    };
+    println!();
+    println!(
+        "peak/median active error ratio — flash crowd: {:.1}, DoS: {:.1}",
+        peakiness(&crowd_errors),
+        peakiness(&attack_errors)
+    );
+    println!("(a high ratio indicates an abrupt change; '*' marks raised alarms)");
+}
