@@ -3,7 +3,8 @@
 //! compared with the per-flow reference — the scalability claim of §1.3
 //! made measurable.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scd_bench::microbench::{Criterion, Throughput};
+use scd_bench::{criterion_group, criterion_main};
 use scd_core::{DetectorConfig, KeyStrategy, PerFlowDetector, SketchChangeDetector};
 use scd_forecast::ModelSpec;
 use scd_sketch::SketchConfig;

@@ -2,7 +2,8 @@
 //! stepping cost in sketch space, across all six models. This is the
 //! once-per-interval cost the paper amortizes over the interval (§5.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scd_bench::microbench::{BenchmarkId, Criterion};
+use scd_bench::{criterion_group, criterion_main};
 use scd_forecast::{ArimaSpec, Forecaster, ModelSpec};
 use scd_sketch::{KarySketch, SketchConfig};
 use std::hint::black_box;
@@ -22,22 +23,18 @@ fn bench_model_step(c: &mut Criterion) {
     let cfg = SketchConfig { h: 5, k: 32_768, seed: 1 };
     let mut group = c.benchmark_group("model_step_sketch_h5_k32768");
     for spec in specs() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(spec.describe()),
-            &spec,
-            |b, spec| {
-                let mut model: Box<dyn Forecaster<KarySketch>> = spec.build();
-                let mut observed = KarySketch::new(cfg);
-                for key in 0..1000u64 {
-                    observed.update(key, (key % 13) as f64);
-                }
-                // Warm the model so steady-state cost is measured.
-                for _ in 0..5 {
-                    model.observe(&observed);
-                }
-                b.iter(|| black_box(model.step(&observed)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(spec.describe()), &spec, |b, spec| {
+            let mut model: Box<dyn Forecaster<KarySketch>> = spec.build();
+            let mut observed = KarySketch::new(cfg);
+            for key in 0..1000u64 {
+                observed.update(key, (key % 13) as f64);
+            }
+            // Warm the model so steady-state cost is measured.
+            for _ in 0..5 {
+                model.observe(&observed);
+            }
+            b.iter(|| black_box(model.step(&observed)))
+        });
     }
     group.finish();
 }
@@ -46,21 +43,17 @@ fn bench_scalar_step(c: &mut Criterion) {
     // The per-flow reference cost: one scalar step per flow per interval.
     let mut group = c.benchmark_group("model_step_scalar");
     for spec in specs() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(spec.describe()),
-            &spec,
-            |b, spec| {
-                let mut model: Box<dyn Forecaster<f64>> = spec.build();
-                for v in [10.0, 12.0, 9.0, 14.0, 11.0] {
-                    model.observe(&v);
-                }
-                let mut x = 10.0;
-                b.iter(|| {
-                    x = 0.9 * x + 1.0;
-                    black_box(model.step(&x))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(spec.describe()), &spec, |b, spec| {
+            let mut model: Box<dyn Forecaster<f64>> = spec.build();
+            for v in [10.0, 12.0, 9.0, 14.0, 11.0] {
+                model.observe(&v);
+            }
+            let mut x = 10.0;
+            b.iter(|| {
+                x = 0.9 * x + 1.0;
+                black_box(model.step(&x))
+            })
+        });
     }
     group.finish();
 }

@@ -4,7 +4,8 @@
 //! (two 64-bit outputs in our formulation). Criterion reports per-op times;
 //! multiply by 1e7 to compare against Table 1's seconds.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scd_bench::microbench::{BatchSize, Criterion};
+use scd_bench::{criterion_group, criterion_main};
 use scd_hash::{Hasher4, Poly4, Tab4};
 use std::hint::black_box;
 

@@ -2,7 +2,8 @@
 //! so optimized median networks apply; this bench measures what that buys
 //! over generic selection, per median, at each supported size.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use scd_bench::microbench::{BatchSize, BenchmarkId, Criterion};
+use scd_bench::{criterion_group, criterion_main};
 use scd_sketch::median::{median_inplace, median_selection_only};
 use std::hint::black_box;
 
@@ -12,7 +13,8 @@ fn inputs(n: usize) -> Vec<Vec<f64>> {
         .map(|_| {
             (0..n)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     (state >> 11) as f64
                 })
                 .collect()

@@ -2,7 +2,8 @@
 //! per-interval operations (ESTIMATEF2, COMBINE) whose "amortized costs are
 //! insignificant" per §5.3 — quantified here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scd_bench::microbench::Criterion;
+use scd_bench::{criterion_group, criterion_main};
 use scd_sketch::{CountMinSketch, CountSketch, Deltoid, DeltoidConfig, KarySketch, SketchConfig};
 use std::hint::black_box;
 
@@ -57,9 +58,7 @@ fn bench_recover(c: &mut Criterion) {
     for heavy in 0..8u64 {
         dl.update(heavy.wrapping_mul(0x0101_0101) + 1, 500_000.0);
     }
-    group.bench_function("recover_8_heavy_of_20k", |b| {
-        b.iter(|| black_box(dl.recover(100_000.0)))
-    });
+    group.bench_function("recover_8_heavy_of_20k", |b| b.iter(|| black_box(dl.recover(100_000.0))));
     group.finish();
 }
 

@@ -9,14 +9,17 @@
 
 use crate::args::Args;
 use crate::table::{f, Table};
-use scd_core::{DetectorConfig, KeyStrategy, ReversibleChangeDetector, ReversibleConfig,
-    SketchChangeDetector};
+use scd_core::{
+    DetectorConfig, KeyStrategy, ReversibleChangeDetector, ReversibleConfig, SketchChangeDetector,
+};
 use scd_forecast::ModelSpec;
 use scd_hash::{Poly4, Tab4};
 use scd_sketch::median::{median_inplace, median_selection_only};
 use scd_sketch::{DeltoidConfig, SketchConfig};
-use scd_traffic::{to_updates, AnomalyEvent, AnomalyInjector, AnomalyKind, KeySpec, Rng,
-    RouterProfile, TrafficGenerator, ValueSpec};
+use scd_traffic::{
+    to_updates, AnomalyEvent, AnomalyInjector, AnomalyKind, KeySpec, Rng, RouterProfile,
+    TrafficGenerator, ValueSpec,
+};
 use std::time::Instant;
 
 /// Runs all four ablations.
@@ -35,9 +38,8 @@ fn median_ablation(args: &Args) {
         &["H", "network", "selection", "speedup"],
     );
     for &h in &[5usize, 9, 25] {
-        let inputs: Vec<Vec<f64>> = (0..64)
-            .map(|_| (0..h).map(|_| rng.uniform()).collect())
-            .collect();
+        let inputs: Vec<Vec<f64>> =
+            (0..64).map(|_| (0..h).map(|_| rng.uniform()).collect()).collect();
         let time = |use_network: bool| -> f64 {
             let start = Instant::now();
             let mut acc = 0.0;

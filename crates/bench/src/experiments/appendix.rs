@@ -80,11 +80,7 @@ pub fn run(args: &Args) {
     for &h in &[1usize, 5, 9, 25] {
         let mut hits = 0u64;
         for seed in 0..trials {
-            let mut s = KarySketch::new(SketchConfig {
-                h,
-                k,
-                seed: 20_000 + seed * 31 + h as u64,
-            });
+            let mut s = KarySketch::new(SketchConfig { h, k, seed: 20_000 + seed * 31 + h as u64 });
             fill(&mut s);
             if (s.estimate(probe_key) - truth).abs() > dev {
                 hits += 1;

@@ -36,13 +36,7 @@ pub fn build_traces(
     routers
         .iter()
         .map(|&(profile, seed)| {
-            make_trace(
-                profile,
-                interval_secs,
-                common.intervals(interval_secs),
-                common.scale,
-                seed,
-            )
+            make_trace(profile, interval_secs, common.intervals(interval_secs), common.scale, seed)
         })
         .collect()
 }

@@ -21,13 +21,8 @@ pub fn run(args: &Args) {
     let n_random = args.get("random-points", 3usize);
     let sketch = SketchConfig { h: 1, k: 1024, seed: common.seed ^ 0x0F16_0001 };
 
-    println!(
-        "Figure 1: relative difference CDF, all models, interval=300, H=1, K=1024"
-    );
-    println!(
-        "({} routers x {} random parameter points per model)\n",
-        10, n_random
-    );
+    println!("Figure 1: relative difference CDF, all models, interval=300, H=1, K=1024");
+    println!("({} routers x {} random parameter points per model)\n", 10, n_random);
 
     let routers = cdf::ten_routers(common.seed);
     let traces = cdf::build_traces(&routers, interval_secs, &common);
@@ -47,7 +42,5 @@ pub fn run(args: &Args) {
         &curves,
         "fig1_cdf",
     );
-    println!(
-        "paper shape: mass near 0%, worst case |difference| ~3.5% (NSHW the widest)."
-    );
+    println!("paper shape: mass near 0%, worst case |difference| ~3.5% (NSHW the widest).");
 }

@@ -55,8 +55,14 @@ fn run_panel(args: &Args, interval_secs: u32, fig: &str) {
     let combos: [(usize, usize); 4] = [(8192, 1), (8192, 5), (32_768, 5), (65_536, 5)];
     let mut ta = Table::new(
         &format!("{fig}(a) — mean #alarms vs threshold, interval={interval_secs}s"),
-        &["threshold", "sk(K=8192,H=1)", "sk(K=8192,H=5)", "sk(K=32768,H=5)",
-          "sk(K=65536,H=5)", "per-flow"],
+        &[
+            "threshold",
+            "sk(K=8192,H=1)",
+            "sk(K=8192,H=5)",
+            "sk(K=32768,H=5)",
+            "sk(K=65536,H=5)",
+            "per-flow",
+        ],
     );
     let sketch_runs: Vec<Vec<IntervalOutcome>> = combos
         .iter()
@@ -79,8 +85,10 @@ fn run_panel(args: &Args, interval_secs: u32, fig: &str) {
     // Panels (b)/(c): FN and FP ratios vs K at H = 5.
     let mut tb = Table::new(
         &format!("{fig}(b,c) — mean FN / FP ratios vs K (H=5), interval={interval_secs}s"),
-        &["K", "FN@0.01", "FN@0.02", "FN@0.05", "FN@0.07", "FP@0.01", "FP@0.02", "FP@0.05",
-          "FP@0.07"],
+        &[
+            "K", "FN@0.01", "FN@0.02", "FN@0.05", "FN@0.07", "FP@0.01", "FP@0.02", "FP@0.05",
+            "FP@0.07",
+        ],
     );
     for &k in &KS {
         let sk = run_sketch(

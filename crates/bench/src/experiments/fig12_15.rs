@@ -19,12 +19,8 @@ use scd_traffic::RouterProfile;
 
 const PHIS: [f64; 4] = [0.01, 0.02, 0.05, 0.07];
 const KS: [usize; 3] = [8192, 32_768, 65_536];
-const MODELS: [ModelKind; 4] = [
-    ModelKind::Ewma,
-    ModelKind::Nshw,
-    ModelKind::Arima0,
-    ModelKind::Arima1,
-];
+const MODELS: [ModelKind; 4] =
+    [ModelKind::Ewma, ModelKind::Nshw, ModelKind::Arima0, ModelKind::Arima1];
 
 /// Regenerates Figures 12–15.
 pub fn run(args: &Args) {
@@ -39,18 +35,17 @@ pub fn run(args: &Args) {
         common.seed,
     );
     let warm = common.warm_up(interval_secs);
-    println!(
-        "Figures 12-15: medium router, interval=300s, {} records\n",
-        trace.records
-    );
+    println!("Figures 12-15: medium router, interval=300s, {} records\n", trace.records);
 
     for kind in MODELS {
         let spec = tuned(kind, &trace, common.seed, depth);
         let pf = run_perflow(&trace, &spec, warm);
         let mut t = Table::new(
             &format!("{} — mean FN / FP ratios vs K (H=5, 300s)", spec.describe()),
-            &["K", "FN@0.01", "FN@0.02", "FN@0.05", "FN@0.07", "FP@0.01", "FP@0.02",
-              "FP@0.05", "FP@0.07"],
+            &[
+                "K", "FN@0.01", "FN@0.02", "FN@0.05", "FN@0.07", "FP@0.01", "FP@0.02", "FP@0.05",
+                "FP@0.07",
+            ],
         );
         for &k in &KS {
             let sk = run_sketch(

@@ -27,9 +27,8 @@ pub fn run(args: &Args) {
             .iter()
             .map(|&h| {
                 let sketch = SketchConfig { h, k, seed: common.seed ^ 0x0F16_0002 };
-                let samples = cdf::samples_for_model(
-                    kind, &traces, sketch, n_random, warm_up, common.seed,
-                );
+                let samples =
+                    cdf::samples_for_model(kind, &traces, sketch, n_random, warm_up, common.seed);
                 (format!("H={h}, K={k}"), samples)
             })
             .collect();

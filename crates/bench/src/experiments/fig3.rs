@@ -18,17 +18,15 @@ pub fn run(args: &Args) {
     let traces = cdf::build_traces(&routers, interval_secs, &common);
     let warm_up = common.warm_up(interval_secs);
 
-    for (panel, kind) in [
-        ("(a) Model=EWMA", ModelKind::Ewma),
-        ("(b) Model=ARIMA0", ModelKind::Arima0),
-    ] {
+    for (panel, kind) in
+        [("(a) Model=EWMA", ModelKind::Ewma), ("(b) Model=ARIMA0", ModelKind::Arima0)]
+    {
         let curves: Vec<(String, Vec<f64>)> = [1024usize, 8192, 65_536]
             .iter()
             .map(|&k| {
                 let sketch = SketchConfig { h: 5, k, seed: common.seed ^ 0x0F16_0003 };
-                let samples = cdf::samples_for_model(
-                    kind, &traces, sketch, n_random, warm_up, common.seed,
-                );
+                let samples =
+                    cdf::samples_for_model(kind, &traces, sketch, n_random, warm_up, common.seed);
                 (format!("H=5, K={k}"), samples)
             })
             .collect();

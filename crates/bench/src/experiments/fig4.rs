@@ -48,20 +48,12 @@ pub fn run(args: &Args) {
         );
         let mut means = [0.0f64; 4];
         for (p, s) in &pairs {
-            let sims: Vec<f64> = TOP_NS
-                .iter()
-                .map(|&n| metrics::topn_similarity(&p.errors, &s.errors, n))
-                .collect();
+            let sims: Vec<f64> =
+                TOP_NS.iter().map(|&n| metrics::topn_similarity(&p.errors, &s.errors, n)).collect();
             for (m, v) in means.iter_mut().zip(&sims) {
                 *m += v;
             }
-            t.row(&[
-                p.t.to_string(),
-                f(sims[0], 3),
-                f(sims[1], 3),
-                f(sims[2], 3),
-                f(sims[3], 3),
-            ]);
+            t.row(&[p.t.to_string(), f(sims[0], 3), f(sims[1], 3), f(sims[2], 3), f(sims[3], 3)]);
         }
         let n = pairs.len().max(1) as f64;
         t.row(&[
@@ -72,9 +64,7 @@ pub fn run(args: &Args) {
             f(means[3] / n, 3),
         ]);
         t.print();
-        let path = t
-            .save_csv(&format!("fig4_interval{interval_secs}"))
-            .expect("write results/");
+        let path = t.save_csv(&format!("fig4_interval{interval_secs}")).expect("write results/");
         println!("csv: {}\n", path.display());
     }
     println!("paper shape: similarity ~0.95+ even at N=1000, stable across intervals.");

@@ -58,12 +58,7 @@ pub fn run(args: &Args) {
                 }
             }
             let c = pairs.len().max(1) as f64;
-            t.row(&[
-                format!("{x:.2}"),
-                f(sums[0] / c, 3),
-                f(sums[1] / c, 3),
-                f(sums[2] / c, 3),
-            ]);
+            t.row(&[format!("{x:.2}"), f(sums[0] / c, 3), f(sums[1] / c, 3), f(sums[2] / c, 3)]);
         }
         t.print();
         let path = t

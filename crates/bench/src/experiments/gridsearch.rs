@@ -18,7 +18,11 @@ use scd_core::metrics;
 use scd_forecast::ModelKind;
 use scd_traffic::{Rng, RouterProfile};
 
-fn perflow_energy(trace: &crate::runner::Trace, spec: &scd_forecast::ModelSpec, warm: usize) -> f64 {
+fn perflow_energy(
+    trace: &crate::runner::Trace,
+    spec: &scd_forecast::ModelSpec,
+    warm: usize,
+) -> f64 {
     let pf = run_perflow(trace, spec, warm);
     metrics::total_energy(&pf.iter().map(|o| o.f2).collect::<Vec<_>>())
 }
@@ -43,8 +47,16 @@ pub fn run(args: &Args) {
 
     let mut t = Table::new(
         "§5.1.1 — grid search vs random parameters",
-        &["model", "router", "interval", "grid energy", "best random", "worst random",
-          "grid<=all random", "#random >=2x worse"],
+        &[
+            "model",
+            "router",
+            "interval",
+            "grid energy",
+            "best random",
+            "worst random",
+            "grid<=all random",
+            "#random >=2x worse",
+        ],
     );
     let mut cases = 0usize;
     let mut never_worse = 0usize;
@@ -69,7 +81,11 @@ pub fn run(args: &Args) {
                 let t_pf = t0.elapsed().as_secs_f64();
                 eprintln!(
                     "  [{} {} {}s: search {:.1}s, per-flow eval {:.1}s x{}]",
-                    kind.name(), profile.name(), interval_secs, t_search, t_pf,
+                    kind.name(),
+                    profile.name(),
+                    interval_secs,
+                    t_search,
+                    t_pf,
                     n_random + 1
                 );
 

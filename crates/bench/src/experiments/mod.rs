@@ -44,7 +44,11 @@ pub fn registry() -> Vec<Experiment> {
         ("hh_vs_change", "Heavy hitters vs heavy changers (§1.1 claim)", hh_vs_change::run),
         ("seasonal", "Seasonal vs non-seasonal Holt-Winters on diurnal traffic", seasonal::run),
         ("appendix", "Empirical check of Appendix A/B accuracy theorems", appendix::run),
-        ("ablations", "Design-choice ablations (medians, hashing, strategies, intervals)", ablations::run),
+        (
+            "ablations",
+            "Design-choice ablations (medians, hashing, strategies, intervals)",
+            ablations::run,
+        ),
     ]
 }
 

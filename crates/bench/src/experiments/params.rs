@@ -38,12 +38,8 @@ static CACHE: Mutex<Option<HashMap<CacheKey, ModelSpec>>> = Mutex::new(None);
 /// The cache key includes the trace's record count as a fingerprint.
 pub fn tuned(kind: ModelKind, trace: &Trace, seed: u64, depth: SearchDepth) -> ModelSpec {
     let key = (kind, trace.interval_secs, seed, trace.records, depth);
-    if let Some(cached) = CACHE
-        .lock()
-        .expect("params cache")
-        .get_or_insert_with(HashMap::new)
-        .get(&key)
-        .cloned()
+    if let Some(cached) =
+        CACHE.lock().expect("params cache").get_or_insert_with(HashMap::new).get(&key).cloned()
     {
         return cached;
     }

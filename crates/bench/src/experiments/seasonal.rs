@@ -60,11 +60,7 @@ pub fn run(args: &Args) {
         let pf = run_perflow(&trace, spec, warm);
         let energy = metrics::total_energy(&pf.iter().map(|o| o.f2).collect::<Vec<_>>());
         let base = *baseline.get_or_insert(energy);
-        t.row(&[
-            spec.describe(),
-            f(energy, 0),
-            format!("{:+.1}%", 100.0 * (energy - base) / base),
-        ]);
+        t.row(&[spec.describe(), f(energy, 0), format!("{:+.1}%", 100.0 * (energy - base) / base)]);
     }
     t.print();
     println!();

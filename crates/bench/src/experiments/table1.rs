@@ -87,6 +87,9 @@ pub fn run(args: &Args) {
     ]);
     t.print();
     let path = t.save_csv("table1").expect("write results/");
-    println!("\nshape check: ESTIMATE/UPDATE ratio = {:.2} (paper: 3.3x / 3.2x)", estimate_secs / update_secs);
+    println!(
+        "\nshape check: ESTIMATE/UPDATE ratio = {:.2} (paper: 3.3x / 3.2x)",
+        estimate_secs / update_secs
+    );
     println!("csv: {}", path.display());
 }

@@ -15,5 +15,6 @@
 
 pub mod args;
 pub mod experiments;
+pub mod microbench;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,262 @@
+//! Minimal self-contained micro-benchmark harness with a Criterion-shaped
+//! API.
+//!
+//! The benchmark sources in `benches/` were written against Criterion;
+//! this module provides the subset of its surface they use —
+//! `Criterion::benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros — on `std` alone, so
+//! `cargo bench` works without any external dependency.
+//!
+//! Methodology: each benchmark auto-calibrates its batch size until one
+//! batch takes at least ~2 ms, then times `sample_size` batches and
+//! reports the **median** ns/op (medians resist scheduler noise, the same
+//! reasoning the sketch itself uses against outliers). This is a
+//! deliberately small tool for relative comparisons — update vs estimate,
+//! H=5 vs H=9 — not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Minimum duration of one timed batch; batches shorter than this are
+/// doubled and retried.
+const MIN_BATCH: Duration = Duration::from_millis(2);
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup { _criterion: self, sample_size: 9, throughput: None }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+/// Units-per-iteration annotation; turns ns/op into a rate line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; retained for API compatibility
+/// (all sizes share one strategy here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per timed call.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declares work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        self.report(&id.label, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input (Criterion parity; the
+    /// input is simply passed through).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op hook).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, samples: &[f64]) {
+        if samples.is_empty() {
+            println!("  {label:<40} (no samples)");
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median = sorted[sorted.len() / 2];
+        let spread = sorted[sorted.len() - 1] - sorted[0];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 * 1e3 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.2} MiB/s)", n as f64 * 1e9 / median / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("  {label:<40} {median:>12.1} ns/op  (spread {spread:.1}){rate}");
+    }
+}
+
+/// Passed to each benchmark body; runs and times the measured closure.
+pub struct Bencher {
+    /// Recorded samples, ns per iteration.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` in auto-calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut iters: u64 = 1;
+        while self.samples.len() < self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || iters >= u64::MAX / 2 {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+            } else {
+                iters = iters.saturating_mul(2);
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding setup
+    /// cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters: usize = 1;
+        while self.samples.len() < self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || iters >= 1 << 24 {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+            } else {
+                iters = iters.saturating_mul(2);
+            }
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets
+/// (Criterion-compatible form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (Criterion-compatible form).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 3, "the measured closure must actually run");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke_batched");
+        group.sample_size(3);
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("case", 1), &(), |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| {
+                    runs += 1;
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, runs, "one setup per timed call");
+    }
+}

@@ -118,26 +118,29 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    use std::sync::Mutex;
     let workers = workers.max(1);
     let n = items.len();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for job in jobs {
-        queue.push(job);
-    }
-    let results = crossbeam::queue::SegQueue::new();
-    crossbeam::thread::scope(|scope| {
+    // A shared LIFO job queue and a result bin, both behind plain mutexes:
+    // jobs here are coarse (whole detector runs), so lock traffic is noise.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|_| {
-                while let Some((idx, item)) = queue.pop() {
-                    results.push((idx, f(item)));
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("job queue").pop();
+                match job {
+                    Some((idx, item)) => {
+                        let r = f(item);
+                        results.lock().expect("result bin").push((idx, r));
+                    }
+                    None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
-    while let Some((idx, r)) = results.pop() {
+    });
+    for (idx, r) in results.into_inner().expect("result bin") {
         slots[idx] = Some(r);
     }
     slots.into_iter().map(|s| s.expect("all jobs completed")).collect()
@@ -172,10 +175,8 @@ mod tests {
         let pairs = paired(&pf, &sk);
         assert_eq!(pairs.len(), pf.len());
         // Agreement sanity on the paired intervals.
-        let sims: Vec<f64> = pairs
-            .iter()
-            .map(|(p, s)| metrics::topn_similarity(&p.errors, &s.errors, 20))
-            .collect();
+        let sims: Vec<f64> =
+            pairs.iter().map(|(p, s)| metrics::topn_similarity(&p.errors, &s.errors, 20)).collect();
         assert!(metrics::mean(&sims) > 0.5, "sims: {sims:?}");
     }
 

@@ -47,17 +47,16 @@ impl Flags {
             .map
             .get(name)
             .ok_or_else(|| FlagError(format!("missing required flag --{name}")))?;
-        raw.parse()
-            .map_err(|_| FlagError(format!("--{name}: cannot parse '{raw}'")))
+        raw.parse().map_err(|_| FlagError(format!("--{name}: cannot parse '{raw}'")))
     }
 
     /// Optional flag with default.
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, FlagError> {
         match self.map.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| FlagError(format!("--{name}: cannot parse '{raw}'"))),
+            Some(raw) => {
+                raw.parse().map_err(|_| FlagError(format!("--{name}: cannot parse '{raw}'")))
+            }
         }
     }
 

@@ -8,9 +8,12 @@
 //! scd detect   --trace trace.bin --interval 300 --model ewma:0.5
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--strategy twopass|next|sampled:R|reversible] [--top N]
-//! scd sketch   --trace trace.bin --interval 300 --at 7 --out s.sketch
+//! scd sketch   --trace trace.bin --interval 60 --at 7 --out s.sketch
 //!              [--h 5] [--k 32768] [--sketch-seed N]
 //! scd combine  --out sum.sketch A.sketch B.sketch ... [--query IP]
+//! scd stream   --trace trace.bin --interval 60 --model ewma:0.5
+//!              [--policy block|drop|sample:R] [--capacity N]
+//!              [--checkpoint FILE] [--every N] [--h 5] [--k 32768]
 //! ```
 //!
 //! Traces are the binary/CSV formats of `scd-traffic::io` (format chosen by
@@ -39,8 +42,9 @@ macro_rules! outln {
 use flags::{FlagError, Flags};
 use scd_core::gridsearch::{search_model, GridSearchConfig};
 use scd_core::{
-    segment_records, DetectorConfig, KeyStrategy, ReversibleChangeDetector, ReversibleConfig,
-    SketchChangeDetector,
+    segment_records, spawn_supervised, CheckpointPolicy, DetectorConfig, KeyStrategy,
+    LifecycleEvent, OverloadPolicy, RestartPolicy, ReversibleChangeDetector, ReversibleConfig,
+    SketchChangeDetector, StreamingConfig, SupervisorConfig,
 };
 use scd_forecast::{ModelKind, ModelSpec};
 use scd_sketch::{DeltoidConfig, SketchConfig};
@@ -64,7 +68,9 @@ fn usage() -> ExitCode {
          \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
          \u{20}          [--strategy twopass|next|sampled:R|reversible]\n\
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
-         combine   --out FILE A.sketch B.sketch ... [--query IP]\n\n\
+         combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
+         stream    --trace FILE --interval S --model SPEC [--policy block|drop|sample:R]\n\
+         \u{20}          [--capacity N] [--checkpoint FILE] [--every N] [--h 5] [--k 32768]\n\n\
          model SPEC syntax: ma:5 | ewma:0.5 | nshw:0.6:0.2 | arima0:0.7,-0.1/0.3 | shw:a:b:g:m"
     );
     ExitCode::from(2)
@@ -83,6 +89,7 @@ fn main() -> ExitCode {
         "detect" => detect(&flags),
         "sketch" => sketch(&flags),
         "combine" => combine(&flags),
+        "stream" => stream(&flags),
         _ => return usage(),
     };
     match result {
@@ -98,11 +105,7 @@ type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn read_trace(path: &str) -> Result<Vec<FlowRecord>, Box<dyn std::error::Error>> {
     let file = File::open(path)?;
-    let records = if path.ends_with(".csv") {
-        io::read_csv(file)?
-    } else {
-        io::read_binary(file)?
-    };
+    let records = if path.ends_with(".csv") { io::read_csv(file)? } else { io::read_binary(file)? };
     Ok(records)
 }
 
@@ -130,10 +133,9 @@ fn generate(flags: &Flags) -> CliResult {
         for part in spec.split(',') {
             let fields: Vec<&str> = part.split(':').collect();
             if fields.len() != 4 {
-                return Err(FlagError(format!(
-                    "--dos expects RANK:START:DUR:MULT, got '{part}'"
-                ))
-                .into());
+                return Err(
+                    FlagError(format!("--dos expects RANK:START:DUR:MULT, got '{part}'")).into()
+                );
             }
             let rank: usize = fields[0].parse().map_err(|_| FlagError(part.into()))?;
             let start: usize = fields[1].parse().map_err(|_| FlagError(part.into()))?;
@@ -263,7 +265,11 @@ fn detect(flags: &Flags) -> CliResult {
         });
         for items in &intervals {
             let report = det.process_interval(items);
-            print_alarms(report.interval, report.alarms.iter().map(|a| (a.key, a.estimated_error)), top);
+            print_alarms(
+                report.interval,
+                report.alarms.iter().map(|a| (a.key, a.estimated_error)),
+                top,
+            );
         }
         return Ok(());
     }
@@ -287,7 +293,11 @@ fn detect(flags: &Flags) -> CliResult {
     });
     for items in &intervals {
         let report = det.process_interval(items);
-        print_alarms(report.interval, report.alarms.iter().map(|a| (a.key, a.estimated_error)), top);
+        print_alarms(
+            report.interval,
+            report.alarms.iter().map(|a| (a.key, a.estimated_error)),
+            top,
+        );
     }
     Ok(())
 }
@@ -297,11 +307,7 @@ fn print_alarms(interval: usize, alarms: impl Iterator<Item = (u64, f64)>, top: 
         if i == 0 {
             outln!("interval {interval}:");
         }
-        outln!(
-            "  ALARM {:<16} error {:+.0} bytes",
-            format_ipv4(key as u32),
-            err
-        );
+        outln!("  ALARM {:<16} error {:+.0} bytes", format_ipv4(key as u32), err);
     }
 }
 
@@ -318,9 +324,9 @@ fn sketch(flags: &Flags) -> CliResult {
 
     let records = read_trace(&path)?;
     let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
-    let items = intervals
-        .get(at)
-        .ok_or_else(|| FlagError(format!("interval {at} beyond trace ({} intervals)", intervals.len())))?;
+    let items = intervals.get(at).ok_or_else(|| {
+        FlagError(format!("interval {at} beyond trace ({} intervals)", intervals.len()))
+    })?;
     let mut s = scd_sketch::KarySketch::new(SketchConfig { h, k, seed: sketch_seed });
     for &(key, value) in items {
         s.update(key, value);
@@ -364,6 +370,101 @@ fn combine(flags: &Flags) -> CliResult {
     Ok(())
 }
 
+/// Replays a trace through the supervised streaming detector: records are
+/// pushed through the bounded channel under the chosen overload policy,
+/// intervals are cut by event time, and (optionally) the detector state is
+/// checkpointed every N intervals so a crashed run resumes where it left
+/// off. Lifecycle events and drop counters are reported at the end.
+fn stream(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let interval: u32 = flags.require("interval")?;
+    let model = ModelSpec::parse(&flags.require::<String>("model")?)?;
+    let h: usize = flags.get("h", 5)?;
+    let k: usize = flags.get("k", 32_768)?;
+    let threshold: f64 = flags.get("threshold", 0.05)?;
+    let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
+    let top: usize = flags.get("top", 10)?;
+    let capacity: usize = flags.get("capacity", 4096)?;
+
+    let overload = match flags.raw("policy").unwrap_or("block") {
+        "block" => OverloadPolicy::Block,
+        "drop" => OverloadPolicy::DropNewest,
+        s if s.starts_with("sample:") => {
+            let rate: f64 = s["sample:".len()..]
+                .parse()
+                .map_err(|_| FlagError(format!("bad sample rate in '{s}'")))?;
+            if !(rate > 0.0 && rate <= 1.0) {
+                return Err(FlagError(format!("sample rate {rate} not in (0, 1]")).into());
+            }
+            OverloadPolicy::Sample { rate, seed: sketch_seed ^ 0xFA11 }
+        }
+        other => return Err(FlagError(format!("unknown policy '{other}'")).into()),
+    };
+    let checkpoint = flags.raw("checkpoint").map(|file| CheckpointPolicy {
+        path: file.into(),
+        every_intervals: flags.get("every", 10).unwrap_or(10),
+    });
+
+    let mut records = read_trace(&path)?;
+    records.sort_by_key(|r| r.timestamp_ms);
+    let n_records = records.len();
+
+    let handle = spawn_supervised(SupervisorConfig {
+        stream: StreamingConfig {
+            detector: DetectorConfig {
+                sketch: SketchConfig { h, k, seed: sketch_seed },
+                model,
+                threshold,
+                key_strategy: KeyStrategy::TwoPass,
+            },
+            interval_ms: u64::from(interval) * 1000,
+            key: KeySpec::DstIp,
+            value: ValueSpec::Bytes,
+            channel_capacity: capacity,
+            overload,
+            checkpoint,
+        },
+        restart: RestartPolicy::default(),
+        fault: None,
+    });
+    for record in records {
+        if !handle.send(record) {
+            break; // detector gave up; shutdown() reports why
+        }
+    }
+    let (reports, events, processed) =
+        handle.shutdown().map_err(|e| FlagError(format!("stream failed: {e}")))?;
+
+    outln!("streamed {n_records} records; detector processed {processed}");
+    for report in &reports {
+        print_alarms(
+            report.interval,
+            report.alarms.iter().map(|a| (a.key, a.estimated_error)),
+            top,
+        );
+        let drops = report.drops;
+        if drops.lost() > 0 || drops.sampled_in > 0 {
+            outln!(
+                "  interval {}: dropped {} shed {} sampled-in {}",
+                report.interval,
+                drops.dropped,
+                drops.shed,
+                drops.sampled_in
+            );
+        }
+    }
+    for event in &events {
+        match event {
+            LifecycleEvent::Started => {}
+            LifecycleEvent::CheckpointWritten { intervals } => {
+                outln!("checkpoint written at interval {intervals}");
+            }
+            other => outln!("lifecycle: {other:?}"),
+        }
+    }
+    Ok(())
+}
+
 /// Accepts dotted-quad IPv4 or a raw integer key.
 fn parse_ip_or_key(text: &str) -> Result<u64, FlagError> {
     if let Ok(n) = text.parse::<u64>() {
@@ -373,9 +474,7 @@ fn parse_ip_or_key(text: &str) -> Result<u64, FlagError> {
     if octets.len() == 4 {
         let mut v: u64 = 0;
         for o in octets {
-            let b: u64 = o
-                .parse()
-                .map_err(|_| FlagError(format!("bad IP/key '{text}'")))?;
+            let b: u64 = o.parse().map_err(|_| FlagError(format!("bad IP/key '{text}'")))?;
             if b > 255 {
                 return Err(FlagError(format!("bad IP/key '{text}'")));
             }

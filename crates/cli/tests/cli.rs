@@ -55,10 +55,7 @@ fn generate_info_detect_pipeline() {
     assert!(ok, "detect failed: {stderr}");
     let after_12 = stdout.split("interval 12:").nth(1).expect("interval 12 in output");
     let block_12 = after_12.split("interval").next().expect("block");
-    assert!(
-        block_12.contains(&victim),
-        "victim {victim} not alarmed at interval 12:\n{stdout}"
-    );
+    assert!(block_12.contains(&victim), "victim {victim} not alarmed at interval 12:\n{stdout}");
 
     // The reversible strategy finds it too — with no key replay.
     let (stdout, stderr, ok) = run(scd()
@@ -80,14 +77,22 @@ fn tune_emits_spec_that_detect_accepts() {
         .args(["--out", trace_s, "--seed", "3"]));
     assert!(ok, "generate failed: {stderr}");
 
-    let (stdout, stderr, ok) = run(scd()
-        .args(["tune", "--trace", trace_s, "--interval", "60", "--model", "ewma", "--quiet"]));
+    let (stdout, stderr, ok) = run(scd().args([
+        "tune",
+        "--trace",
+        trace_s,
+        "--interval",
+        "60",
+        "--model",
+        "ewma",
+        "--quiet",
+    ]));
     assert!(ok, "tune failed: {stderr}");
     let spec = stdout.trim().to_string();
     assert!(spec.starts_with("ewma:"), "unexpected spec '{spec}'");
 
-    let (_, stderr, ok) = run(scd()
-        .args(["detect", "--trace", trace_s, "--interval", "60", "--model", &spec]));
+    let (_, stderr, ok) =
+        run(scd().args(["detect", "--trace", trace_s, "--interval", "60", "--model", &spec]));
     assert!(ok, "detect with tuned spec failed: {stderr}");
 
     std::fs::remove_file(&trace).ok();
@@ -107,7 +112,13 @@ fn helpful_errors() {
 
     // Bad model spec names the offender.
     let (_, stderr, ok) = run(scd().args([
-        "detect", "--trace", "/nonexistent", "--interval", "60", "--model", "bogus:1",
+        "detect",
+        "--trace",
+        "/nonexistent",
+        "--interval",
+        "60",
+        "--model",
+        "bogus:1",
     ]));
     assert!(!ok);
     assert!(stderr.contains("bogus"), "{stderr}");

@@ -1,0 +1,532 @@
+//! Durable checkpoints of a running detector, for crash recovery.
+//!
+//! A checkpoint is a single self-describing binary blob holding everything
+//! needed to resume a streaming detector exactly where it left off: the
+//! [`DetectorConfig`] (so a restored run cannot silently diverge from the
+//! config it was started with), the [`DetectorSnapshot`] (model state,
+//! pending error sketch, sampler state, interval counter), and the
+//! streaming binner's position (the event-time index of the interval being
+//! accumulated and the running record count).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "SCDCKPT1"                               magic, 8 bytes
+//! h: u32, k: u32, seed: u64               sketch shape
+//! model: u32 len + utf-8 compact spec     e.g. "nshw:0.2,0.4"
+//! threshold: f64
+//! key strategy: u8 tag (+ rate f64 + seed u64 for Sampled)
+//! intervals_processed: u64
+//! sampler_state: u64
+//! pending_error: u8 flag (+ interval u64 + sketch blob)
+//! model state: u8 tag + variant payload   (sketch blobs are u64 len +
+//!                                          scd-sketch wire bytes)
+//! binner: u8 flag (+ next_interval u64), processed: u64
+//! crc32: u32                              over every preceding byte
+//! ```
+//!
+//! The trailing CRC-32 means any single-byte corruption anywhere in the
+//! file is detected before any state is trusted; each embedded sketch blob
+//! additionally carries its own wire-format checksum. Writes go through a
+//! temp file plus atomic rename, so a crash mid-write leaves the previous
+//! checkpoint intact — the supervisor never sees a torn file.
+
+use crate::detector::{
+    DetectorConfig, DetectorSnapshot, KeyStrategy, RestoreError, SketchChangeDetector,
+};
+use scd_forecast::{ModelSpec, ModelState, NshwParts, ShwParts};
+use scd_hash::byteio::{self, Cursor};
+use scd_hash::{crc32, HashRows};
+use scd_sketch::{wire, KarySketch, SketchConfig};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic for checkpoint version 1.
+pub const MAGIC: &[u8; 8] = b"SCDCKPT1";
+
+/// Everything needed to resume a streaming detector after a crash.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The detector's configuration at checkpoint time.
+    pub config: DetectorConfig,
+    /// The detector's mutable state.
+    pub snapshot: DetectorSnapshot,
+    /// Event-time index of the interval the streaming binner was
+    /// accumulating (`None` if no record had arrived yet). Records binned
+    /// into this interval before the crash are the "checkpoint gap" — they
+    /// are lost; everything up to the previous flush is not.
+    pub next_interval: Option<u64>,
+    /// Records processed up to the last completed interval.
+    pub processed: u64,
+}
+
+/// Errors from reading or writing checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file ends before its structure does.
+    Truncated,
+    /// The CRC-32 footer does not match the payload.
+    BadChecksum {
+        /// Checksum computed over the payload as read.
+        computed: u32,
+        /// Checksum stored in the footer.
+        stored: u32,
+    },
+    /// A structurally invalid field (bad model spec, unknown tag, bad
+    /// UTF-8).
+    Malformed(String),
+    /// An embedded sketch blob failed to decode.
+    Sketch(wire::WireError),
+    /// The decoded state was rejected by the detector.
+    Restore(RestoreError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadChecksum { computed, stored } => {
+                write!(f, "checkpoint corrupt: crc32 {computed:#010x} != stored {stored:#010x}")
+            }
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::Sketch(e) => write!(f, "embedded sketch: {e}"),
+            CheckpointError::Restore(e) => write!(f, "checkpoint rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<byteio::ShortInput> for CheckpointError {
+    fn from(_: byteio::ShortInput) -> Self {
+        CheckpointError::Truncated
+    }
+}
+
+impl From<wire::WireError> for CheckpointError {
+    fn from(e: wire::WireError) -> Self {
+        CheckpointError::Sketch(e)
+    }
+}
+
+fn put_sketch(out: &mut Vec<u8>, sketch: &KarySketch) {
+    let blob = wire::to_bytes(sketch);
+    byteio::put_u64(out, blob.len() as u64);
+    out.extend_from_slice(&blob);
+}
+
+fn take_sketch(cur: &mut Cursor<'_>, rows: &Arc<HashRows>) -> Result<KarySketch, CheckpointError> {
+    let len = cur.u64()? as usize;
+    let blob = cur.take(len)?;
+    Ok(wire::from_bytes_with_rows(blob, rows)?)
+}
+
+fn put_opt_sketch(out: &mut Vec<u8>, sketch: Option<&KarySketch>) {
+    match sketch {
+        None => byteio::put_u8(out, 0),
+        Some(s) => {
+            byteio::put_u8(out, 1);
+            put_sketch(out, s);
+        }
+    }
+}
+
+fn take_opt_sketch(
+    cur: &mut Cursor<'_>,
+    rows: &Arc<HashRows>,
+) -> Result<Option<KarySketch>, CheckpointError> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(take_sketch(cur, rows)?)),
+        other => Err(CheckpointError::Malformed(format!("option flag {other}"))),
+    }
+}
+
+fn put_sketch_vec(out: &mut Vec<u8>, sketches: &[KarySketch]) {
+    byteio::put_u64(out, sketches.len() as u64);
+    for s in sketches {
+        put_sketch(out, s);
+    }
+}
+
+fn take_sketch_vec(
+    cur: &mut Cursor<'_>,
+    rows: &Arc<HashRows>,
+) -> Result<Vec<KarySketch>, CheckpointError> {
+    let n = cur.u64()? as usize;
+    // Each sketch blob is at least a header; reject absurd counts before
+    // allocating.
+    if n > cur.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    (0..n).map(|_| take_sketch(cur, rows)).collect()
+}
+
+fn put_model_state(out: &mut Vec<u8>, state: &ModelState<KarySketch>) {
+    match state {
+        ModelState::Ma { history } => {
+            byteio::put_u8(out, 0);
+            put_sketch_vec(out, history);
+        }
+        ModelState::Sma { history } => {
+            byteio::put_u8(out, 1);
+            put_sketch_vec(out, history);
+        }
+        ModelState::Ewma { forecast } => {
+            byteio::put_u8(out, 2);
+            put_opt_sketch(out, forecast.as_ref());
+        }
+        ModelState::Nshw { first, state } => {
+            byteio::put_u8(out, 3);
+            put_opt_sketch(out, first.as_ref());
+            match state {
+                None => byteio::put_u8(out, 0),
+                Some(p) => {
+                    byteio::put_u8(out, 1);
+                    put_sketch(out, &p.level);
+                    put_sketch(out, &p.trend);
+                    put_sketch(out, &p.forecast);
+                }
+            }
+        }
+        ModelState::Arima { x_hist, e_hist, observed_count } => {
+            byteio::put_u8(out, 4);
+            put_sketch_vec(out, x_hist);
+            put_sketch_vec(out, e_hist);
+            byteio::put_u64(out, *observed_count);
+        }
+        ModelState::Shw { init, state } => {
+            byteio::put_u8(out, 5);
+            put_sketch_vec(out, init);
+            match state {
+                None => byteio::put_u8(out, 0),
+                Some(p) => {
+                    byteio::put_u8(out, 1);
+                    put_sketch(out, &p.level);
+                    put_sketch(out, &p.trend);
+                    put_sketch_vec(out, &p.season);
+                    byteio::put_u64(out, p.phase as u64);
+                }
+            }
+        }
+    }
+}
+
+fn take_model_state(
+    cur: &mut Cursor<'_>,
+    rows: &Arc<HashRows>,
+) -> Result<ModelState<KarySketch>, CheckpointError> {
+    match cur.u8()? {
+        0 => Ok(ModelState::Ma { history: take_sketch_vec(cur, rows)? }),
+        1 => Ok(ModelState::Sma { history: take_sketch_vec(cur, rows)? }),
+        2 => Ok(ModelState::Ewma { forecast: take_opt_sketch(cur, rows)? }),
+        3 => {
+            let first = take_opt_sketch(cur, rows)?;
+            let state = match cur.u8()? {
+                0 => None,
+                1 => Some(NshwParts {
+                    level: take_sketch(cur, rows)?,
+                    trend: take_sketch(cur, rows)?,
+                    forecast: take_sketch(cur, rows)?,
+                }),
+                other => return Err(CheckpointError::Malformed(format!("NSHW flag {other}"))),
+            };
+            Ok(ModelState::Nshw { first, state })
+        }
+        4 => Ok(ModelState::Arima {
+            x_hist: take_sketch_vec(cur, rows)?,
+            e_hist: take_sketch_vec(cur, rows)?,
+            observed_count: cur.u64()?,
+        }),
+        5 => {
+            let init = take_sketch_vec(cur, rows)?;
+            let state = match cur.u8()? {
+                0 => None,
+                1 => Some(ShwParts {
+                    level: take_sketch(cur, rows)?,
+                    trend: take_sketch(cur, rows)?,
+                    season: take_sketch_vec(cur, rows)?,
+                    phase: cur.u64()? as usize,
+                }),
+                other => return Err(CheckpointError::Malformed(format!("SHW flag {other}"))),
+            };
+            Ok(ModelState::Shw { init, state })
+        }
+        other => Err(CheckpointError::Malformed(format!("model state tag {other}"))),
+    }
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint, CRC-32 footer included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        byteio::put_u32(&mut out, self.config.sketch.h as u32);
+        byteio::put_u32(&mut out, self.config.sketch.k as u32);
+        byteio::put_u64(&mut out, self.config.sketch.seed);
+        let spec = self.config.model.compact();
+        byteio::put_u32(&mut out, spec.len() as u32);
+        out.extend_from_slice(spec.as_bytes());
+        byteio::put_f64(&mut out, self.config.threshold);
+        match self.config.key_strategy {
+            KeyStrategy::TwoPass => byteio::put_u8(&mut out, 0),
+            KeyStrategy::NextInterval => byteio::put_u8(&mut out, 1),
+            KeyStrategy::Sampled { rate, seed } => {
+                byteio::put_u8(&mut out, 2);
+                byteio::put_f64(&mut out, rate);
+                byteio::put_u64(&mut out, seed);
+            }
+        }
+        byteio::put_u64(&mut out, self.snapshot.intervals_processed);
+        byteio::put_u64(&mut out, self.snapshot.sampler_state);
+        match &self.snapshot.pending_error {
+            None => byteio::put_u8(&mut out, 0),
+            Some((t, s)) => {
+                byteio::put_u8(&mut out, 1);
+                byteio::put_u64(&mut out, *t);
+                put_sketch(&mut out, s);
+            }
+        }
+        put_model_state(&mut out, &self.snapshot.model);
+        match self.next_interval {
+            None => byteio::put_u8(&mut out, 0),
+            Some(t) => {
+                byteio::put_u8(&mut out, 1);
+                byteio::put_u64(&mut out, t);
+            }
+        }
+        byteio::put_u64(&mut out, self.processed);
+        let crc = crc32(&out);
+        byteio::put_u32(&mut out, crc);
+        out
+    }
+
+    /// Parses a checkpoint, verifying the CRC before trusting any field.
+    pub fn from_bytes(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        if data.len() < MAGIC.len() + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let (payload, footer) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
+        let computed = crc32(payload);
+        if computed != stored {
+            return Err(CheckpointError::BadChecksum { computed, stored });
+        }
+        let mut cur = Cursor::new(&payload[MAGIC.len()..]);
+        let h = cur.u32()? as usize;
+        let k = cur.u32()? as usize;
+        let seed = cur.u64()?;
+        let spec_len = cur.u32()? as usize;
+        let spec_bytes = cur.take(spec_len)?;
+        let spec_text = std::str::from_utf8(spec_bytes)
+            .map_err(|_| CheckpointError::Malformed("model spec is not utf-8".into()))?;
+        let model = ModelSpec::parse(spec_text)
+            .map_err(|e| CheckpointError::Malformed(format!("model spec: {e}")))?;
+        let threshold = cur.f64()?;
+        let key_strategy = match cur.u8()? {
+            0 => KeyStrategy::TwoPass,
+            1 => KeyStrategy::NextInterval,
+            2 => KeyStrategy::Sampled { rate: cur.f64()?, seed: cur.u64()? },
+            other => return Err(CheckpointError::Malformed(format!("key strategy tag {other}"))),
+        };
+        let config =
+            DetectorConfig { sketch: SketchConfig { h, k, seed }, model, threshold, key_strategy };
+        // One hash family for every embedded sketch: decoding through
+        // `from_bytes_with_rows` both enforces that each blob matches the
+        // config's family and avoids re-deriving tabulation tables per
+        // sketch.
+        let rows = Arc::new(HashRows::new(h, k, seed));
+        let intervals_processed = cur.u64()?;
+        let sampler_state = cur.u64()?;
+        let pending_error = match cur.u8()? {
+            0 => None,
+            1 => {
+                let t = cur.u64()?;
+                Some((t, take_sketch(&mut cur, &rows)?))
+            }
+            other => return Err(CheckpointError::Malformed(format!("pending flag {other}"))),
+        };
+        let model_state = take_model_state(&mut cur, &rows)?;
+        let next_interval = match cur.u8()? {
+            0 => None,
+            1 => Some(cur.u64()?),
+            other => return Err(CheckpointError::Malformed(format!("binner flag {other}"))),
+        };
+        let processed = cur.u64()?;
+        if cur.remaining() != 0 {
+            return Err(CheckpointError::Malformed(format!("{} trailing bytes", cur.remaining())));
+        }
+        Ok(Checkpoint {
+            config,
+            snapshot: DetectorSnapshot {
+                intervals_processed,
+                sampler_state,
+                pending_error,
+                model: model_state,
+            },
+            next_interval,
+            processed,
+        })
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A crash at any point leaves either the old
+    /// checkpoint or the new one — never a torn file.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and verifies a checkpoint from disk.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::from_bytes(&bytes)
+    }
+
+    /// Rebuilds the detector this checkpoint describes.
+    pub fn restore_detector(&self) -> Result<SketchChangeDetector, CheckpointError> {
+        SketchChangeDetector::restore(self.config.clone(), self.snapshot.clone())
+            .map_err(CheckpointError::Restore)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::KeyStrategy;
+    use scd_forecast::ModelSpec;
+
+    fn sample_checkpoint(model: ModelSpec, strategy: KeyStrategy) -> Checkpoint {
+        let config = DetectorConfig {
+            sketch: SketchConfig { h: 3, k: 256, seed: 11 },
+            model,
+            threshold: 0.05,
+            key_strategy: strategy,
+        };
+        let mut det = SketchChangeDetector::new(config.clone());
+        for t in 0..6 {
+            let items: Vec<(u64, f64)> =
+                (0..20u64).map(|k| (k, 100.0 + (t * 7 + k as usize) as f64)).collect();
+            det.process_interval(&items);
+        }
+        Checkpoint { config, snapshot: det.snapshot(), next_interval: Some(6), processed: 120 }
+    }
+
+    fn all_cases() -> Vec<Checkpoint> {
+        use scd_forecast::ArimaSpec;
+        vec![
+            sample_checkpoint(ModelSpec::Ewma { alpha: 0.5 }, KeyStrategy::TwoPass),
+            sample_checkpoint(ModelSpec::Ma { window: 3 }, KeyStrategy::NextInterval),
+            sample_checkpoint(ModelSpec::Sma { window: 4 }, KeyStrategy::TwoPass),
+            sample_checkpoint(
+                ModelSpec::Nshw { alpha: 0.4, beta: 0.3 },
+                KeyStrategy::Sampled { rate: 0.5, seed: 9 },
+            ),
+            sample_checkpoint(
+                ModelSpec::Arima(ArimaSpec::new(1, &[0.5], &[0.2]).unwrap()),
+                KeyStrategy::TwoPass,
+            ),
+            sample_checkpoint(
+                ModelSpec::Shw { alpha: 0.4, beta: 0.2, gamma: 0.3, period: 3 },
+                KeyStrategy::TwoPass,
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for ck in all_cases() {
+            let decoded = Checkpoint::from_bytes(&ck.to_bytes()).expect("decode");
+            assert_eq!(decoded.config, ck.config);
+            assert_eq!(decoded.next_interval, ck.next_interval);
+            assert_eq!(decoded.processed, ck.processed);
+            assert_eq!(decoded.snapshot.intervals_processed, ck.snapshot.intervals_processed);
+            assert_eq!(decoded.snapshot.sampler_state, ck.snapshot.sampler_state);
+            // Restored detectors behave identically (the real invariant).
+            let mut a = ck.restore_detector().expect("restore original");
+            let mut b = decoded.restore_detector().expect("restore decoded");
+            for t in 0..4 {
+                let items: Vec<(u64, f64)> =
+                    (0..20u64).map(|k| (k, 50.0 * (t + 1) as f64 + k as f64)).collect();
+                assert_eq!(a.process_interval(&items), b.process_interval(&items));
+            }
+        }
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let ck = sample_checkpoint(ModelSpec::Ewma { alpha: 0.5 }, KeyStrategy::TwoPass);
+        let bytes = ck.to_bytes();
+        // Deterministically probe positions across the whole file.
+        let step = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            for bit in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= bit;
+                assert!(
+                    Checkpoint::from_bytes(&corrupt).is_err(),
+                    "flip at byte {pos} (mask {bit:#04x}) went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let ck = sample_checkpoint(ModelSpec::Ma { window: 2 }, KeyStrategy::TwoPass);
+        let bytes = ck.to_bytes();
+        let step = (bytes.len() / 61).max(1);
+        for len in (0..bytes.len()).step_by(step) {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let ck = sample_checkpoint(ModelSpec::Ewma { alpha: 0.5 }, KeyStrategy::TwoPass);
+        let mut bytes = ck.to_bytes();
+        bytes[..8].copy_from_slice(b"SCDTRC02");
+        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(CheckpointError::BadMagic)));
+    }
+
+    #[test]
+    fn atomic_write_and_load() {
+        let dir = std::env::temp_dir().join("scd-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("det.ckpt");
+        let ck = sample_checkpoint(ModelSpec::Ewma { alpha: 0.3 }, KeyStrategy::TwoPass);
+        ck.write_atomic(&path).expect("write");
+        // Overwrite with a second checkpoint; the rename must replace.
+        let ck2 = sample_checkpoint(ModelSpec::Ma { window: 5 }, KeyStrategy::TwoPass);
+        ck2.write_atomic(&path).expect("overwrite");
+        let loaded = Checkpoint::load(&path).expect("load");
+        assert_eq!(loaded.config, ck2.config);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,6 +1,6 @@
 //! The sketch-based change detector (paper §2.2, §3.3).
 
-use scd_forecast::{Forecaster, ModelSpec};
+use scd_forecast::{Forecaster, ModelSpec, ModelState, StateError};
 use scd_hash::{HashRows, SplitMix64};
 use scd_sketch::{KarySketch, SketchConfig};
 use std::collections::HashSet;
@@ -57,8 +57,29 @@ pub struct Alarm {
     pub threshold: f64,
 }
 
+/// Records shed by the streaming front end during one interval, under the
+/// configured [`crate::streaming::OverloadPolicy`]. All zero when the
+/// policy is `Block` (backpressure never drops).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DropStats {
+    /// Records discarded because the input queue was full (`DropNewest`).
+    pub dropped: u64,
+    /// Records admitted by the `Sample` policy (each carries weight
+    /// `1/rate` so sketch totals stay unbiased, §3.3).
+    pub sampled_in: u64,
+    /// Records shed by the `Sample` policy (not admitted).
+    pub shed: u64,
+}
+
+impl DropStats {
+    /// Total records that never reached the detector.
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.shed
+    }
+}
+
 /// Everything the detector can say about one interval.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IntervalReport {
     /// Interval index (0-based, counting processed intervals).
     pub interval: usize,
@@ -75,6 +96,9 @@ pub struct IntervalReport {
     /// sorted by decreasing |error|. This is the raw material for the
     /// paper's top-N comparisons.
     pub errors: Vec<(u64, f64)>,
+    /// Records shed during this interval by the streaming overload policy.
+    /// Always zero for detectors fed directly via `process_interval`.
+    pub drops: DropStats,
 }
 
 /// The full sketch-based change-detection pipeline.
@@ -113,21 +137,14 @@ impl SketchChangeDetector {
             "threshold parameter T must be positive"
         );
         if let KeyStrategy::Sampled { rate, .. } = config.key_strategy {
-            assert!(
-                (0.0..=1.0).contains(&rate),
-                "sampling rate must be in [0, 1], got {rate}"
-            );
+            assert!((0.0..=1.0).contains(&rate), "sampling rate must be in [0, 1], got {rate}");
         }
         let model = config.model.build();
         let sampler_seed = match config.key_strategy {
             KeyStrategy::Sampled { seed, .. } => seed,
             _ => 0,
         };
-        let rows = Arc::new(HashRows::new(
-            config.sketch.h,
-            config.sketch.k,
-            config.sketch.seed,
-        ));
+        let rows = Arc::new(HashRows::new(config.sketch.h, config.sketch.k, config.sketch.seed));
         SketchChangeDetector {
             config,
             rows,
@@ -226,22 +243,14 @@ impl SketchChangeDetector {
     }
 
     /// Change-detection module: threshold selection + key scan.
-    fn detect(
-        &self,
-        interval: usize,
-        error_sketch: &KarySketch,
-        keys: Vec<u64>,
-    ) -> IntervalReport {
+    fn detect(&self, interval: usize, error_sketch: &KarySketch, keys: Vec<u64>) -> IntervalReport {
         let f2 = error_sketch.estimate_f2();
         let alarm_threshold = self.config.threshold * f2.max(0.0).sqrt();
         let estimator = error_sketch.estimator();
         let mut errors: Vec<(u64, f64)> =
             keys.into_iter().map(|k| (k, estimator.estimate(k))).collect();
         errors.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .expect("finite errors")
-                .then_with(|| a.0.cmp(&b.0))
+            b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors").then_with(|| a.0.cmp(&b.0))
         });
         // |error| must meet the threshold *and* be nonzero: when an interval
         // is predicted perfectly, F2 = 0 makes TA = 0, and flows with zero
@@ -262,6 +271,134 @@ impl SketchChangeDetector {
             alarm_threshold,
             alarms,
             errors,
+            drops: DropStats::default(),
+        }
+    }
+
+    /// The hash family shared by every sketch this detector touches.
+    pub fn rows(&self) -> &Arc<HashRows> {
+        &self.rows
+    }
+
+    /// Exports the detector's complete mutable state for checkpointing.
+    ///
+    /// Together with the (immutable) [`DetectorConfig`], the snapshot fully
+    /// determines future behaviour: [`SketchChangeDetector::restore`] on an
+    /// equal config yields a detector whose reports are bit-identical to
+    /// this one's from here on.
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot {
+            intervals_processed: self.intervals_processed as u64,
+            sampler_state: self.sampler.state(),
+            pending_error: self.pending_error.as_ref().map(|(t, s)| (*t as u64, s.clone())),
+            model: self.model.snapshot_state(),
+        }
+    }
+
+    /// Rebuilds a detector from a config and a snapshot taken by
+    /// [`SketchChangeDetector::snapshot`] on a detector with an equal
+    /// config.
+    ///
+    /// Corrupt or mismatched snapshots yield a typed [`RestoreError`],
+    /// never a panic — this is the path a supervisor takes after a crash,
+    /// where the checkpoint on disk is the least-trusted input in the
+    /// system.
+    pub fn restore(
+        config: DetectorConfig,
+        snapshot: DetectorSnapshot,
+    ) -> Result<Self, RestoreError> {
+        config.model.validate().map_err(|e| RestoreError::BadConfig(e.to_string()))?;
+        if !(config.threshold > 0.0 && config.threshold.is_finite()) {
+            return Err(RestoreError::BadConfig("threshold parameter T must be positive".into()));
+        }
+        let identity = (config.sketch.h, config.sketch.k, config.sketch.seed);
+        let mut sketches: Vec<&KarySketch> = model_sketches(&snapshot.model);
+        if let Some((_, s)) = &snapshot.pending_error {
+            sketches.push(s);
+        }
+        if sketches.iter().any(|s| s.rows().identity() != identity) {
+            return Err(RestoreError::FamilyMismatch);
+        }
+        // Reuse the snapshot's hash family when one is present: rebuilding
+        // tabulation tables is the expensive part of detector construction,
+        // and restart latency is on the supervisor's critical path.
+        let rows = match sketches.first() {
+            Some(s) => Arc::clone(s.rows()),
+            None => Arc::new(HashRows::new(config.sketch.h, config.sketch.k, config.sketch.seed)),
+        };
+        let model = config.model.restore(snapshot.model).map_err(RestoreError::Model)?;
+        Ok(SketchChangeDetector {
+            config,
+            rows,
+            model,
+            pending_error: snapshot.pending_error.map(|(t, s)| (t as usize, s)),
+            sampler: SplitMix64::new(snapshot.sampler_state),
+            intervals_processed: snapshot.intervals_processed as usize,
+        })
+    }
+}
+
+/// Complete mutable state of a [`SketchChangeDetector`], as captured by
+/// [`SketchChangeDetector::snapshot`].
+#[derive(Debug, Clone)]
+pub struct DetectorSnapshot {
+    /// Number of intervals fed so far.
+    pub intervals_processed: u64,
+    /// Internal state of the key-sampling generator (`Sampled` strategy),
+    /// so restored runs sample the same keys the original would have.
+    pub sampler_state: u64,
+    /// The pending error sketch (`NextInterval` strategy only).
+    pub pending_error: Option<(u64, KarySketch)>,
+    /// The forecasting model's state.
+    pub model: ModelState<KarySketch>,
+}
+
+/// Errors from [`SketchChangeDetector::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The config itself is invalid (bad model spec or threshold).
+    BadConfig(String),
+    /// The model state does not match the config's model spec.
+    Model(StateError),
+    /// A sketch in the snapshot was built over a different hash family
+    /// than the config describes.
+    FamilyMismatch,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::BadConfig(what) => write!(f, "invalid detector config: {what}"),
+            RestoreError::Model(e) => write!(f, "model state rejected: {e}"),
+            RestoreError::FamilyMismatch => {
+                write!(f, "snapshot sketches use a different hash family than the config")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Every sketch embedded in a model state (for family validation).
+fn model_sketches(state: &ModelState<KarySketch>) -> Vec<&KarySketch> {
+    match state {
+        ModelState::Ma { history } | ModelState::Sma { history } => history.iter().collect(),
+        ModelState::Ewma { forecast } => forecast.iter().collect(),
+        ModelState::Nshw { first, state } => {
+            let mut v: Vec<&KarySketch> = first.iter().collect();
+            if let Some(p) = state {
+                v.extend([&p.level, &p.trend, &p.forecast]);
+            }
+            v
+        }
+        ModelState::Arima { x_hist, e_hist, .. } => x_hist.iter().chain(e_hist.iter()).collect(),
+        ModelState::Shw { init, state } => {
+            let mut v: Vec<&KarySketch> = init.iter().collect();
+            if let Some(p) = state {
+                v.extend([&p.level, &p.trend]);
+                v.extend(p.season.iter());
+            }
+            v
         }
     }
 }
@@ -363,18 +500,13 @@ mod tests {
     #[test]
     fn sampled_strategy_scans_subset() {
         let many: Vec<(u64, f64)> = (0..400u64).map(|k| (k, 100.0)).collect();
-        let mut det = SketchChangeDetector::new(config(KeyStrategy::Sampled {
-            rate: 0.25,
-            seed: 7,
-        }));
+        let mut det =
+            SketchChangeDetector::new(config(KeyStrategy::Sampled { rate: 0.25, seed: 7 }));
         det.process_interval(&many);
         let r = det.process_interval(&many);
         assert!(r.warmed_up);
         let scanned = r.errors.len();
-        assert!(
-            (40..=160).contains(&scanned),
-            "expected ~100 of 400 keys scanned, got {scanned}"
-        );
+        assert!((40..=160).contains(&scanned), "expected ~100 of 400 keys scanned, got {scanned}");
     }
 
     #[test]
@@ -425,6 +557,43 @@ mod tests {
         let mut cfg = config(KeyStrategy::TwoPass);
         cfg.threshold = 0.0;
         let _ = SketchChangeDetector::new(cfg);
+    }
+
+    #[test]
+    fn snapshot_restore_reports_identical() {
+        for strategy in [
+            KeyStrategy::TwoPass,
+            KeyStrategy::NextInterval,
+            KeyStrategy::Sampled { rate: 0.5, seed: 3 },
+        ] {
+            let mut original = SketchChangeDetector::new(config(strategy));
+            for t in 0..3 {
+                original.process_interval(&spike_stream(t));
+            }
+            let snap = original.snapshot();
+            let mut restored =
+                SketchChangeDetector::restore(original.config().clone(), snap).expect("restore");
+            for t in 3..7 {
+                let a = original.process_interval(&spike_stream(t));
+                let b = restored.process_interval(&spike_stream(t));
+                assert_eq!(a, b, "{strategy:?} diverged at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_hash_family() {
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        for t in 0..3 {
+            det.process_interval(&spike_stream(t));
+        }
+        let snap = det.snapshot();
+        let mut other = config(KeyStrategy::TwoPass);
+        other.sketch.seed = 1234; // different family, same shape
+        match SketchChangeDetector::restore(other, snap) {
+            Err(RestoreError::FamilyMismatch) => {}
+            other => panic!("expected FamilyMismatch, got {other:?}"),
+        }
     }
 
     #[test]

@@ -128,22 +128,20 @@ pub fn search_model(
     };
 
     let (spec, energy) = match kind {
-        ModelKind::Ma => search_window(config.max_window, &mut eval, |w| ModelSpec::Ma {
-            window: w,
-        }),
-        ModelKind::Sma => search_window(config.max_window, &mut eval, |w| ModelSpec::Sma {
-            window: w,
-        }),
+        ModelKind::Ma => {
+            search_window(config.max_window, &mut eval, |w| ModelSpec::Ma { window: w })
+        }
+        ModelKind::Sma => {
+            search_window(config.max_window, &mut eval, |w| ModelSpec::Sma { window: w })
+        }
         ModelKind::Ewma => {
-            let (best, energy) = search_smoothing(config, &mut eval, 1, |p| ModelSpec::Ewma {
-                alpha: p[0],
-            });
+            let (best, energy) =
+                search_smoothing(config, &mut eval, 1, |p| ModelSpec::Ewma { alpha: p[0] });
             (best, energy)
         }
-        ModelKind::Nshw => search_smoothing(config, &mut eval, 2, |p| ModelSpec::Nshw {
-            alpha: p[0],
-            beta: p[1],
-        }),
+        ModelKind::Nshw => {
+            search_smoothing(config, &mut eval, 2, |p| ModelSpec::Nshw { alpha: p[0], beta: p[1] })
+        }
         ModelKind::Arima0 => search_arima(config, &mut eval, 0),
         ModelKind::Arima1 => search_arima(config, &mut eval, 1),
         ModelKind::Shw => {
@@ -257,8 +255,7 @@ fn search_arima(
                     .map(|&c| {
                         (0..n)
                             .map(|i| {
-                                let frac =
-                                    if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
+                                let frac = if n == 1 { 0.5 } else { i as f64 / (n - 1) as f64 };
                                 (c - half_range + 2.0 * half_range * frac).clamp(-2.0, 2.0)
                             })
                             .collect()
@@ -267,8 +264,7 @@ fn search_arima(
                 let mut structure_best: Option<(Vec<f64>, f64)> = None;
                 let mut index = vec![0usize; n_coef];
                 loop {
-                    let coefs: Vec<f64> =
-                        index.iter().zip(&axes).map(|(&i, ax)| ax[i]).collect();
+                    let coefs: Vec<f64> = index.iter().zip(&axes).map(|(&i, ax)| ax[i]).collect();
                     let spec = ModelSpec::Arima(
                         ArimaSpec::new(d, &coefs[..p], &coefs[p..])
                             .expect("grid points are in range"),
@@ -324,10 +320,9 @@ pub fn random_spec(kind: ModelKind, max_window: usize, rng: &mut Rng) -> ModelSp
         ModelKind::Ma => ModelSpec::Ma { window: 1 + rng.below(max_window as u64) as usize },
         ModelKind::Sma => ModelSpec::Sma { window: 1 + rng.below(max_window as u64) as usize },
         ModelKind::Ewma => ModelSpec::Ewma { alpha: rng.uniform_in(0.05, 1.0) },
-        ModelKind::Nshw => ModelSpec::Nshw {
-            alpha: rng.uniform_in(0.05, 1.0),
-            beta: rng.uniform_in(0.0, 1.0),
-        },
+        ModelKind::Nshw => {
+            ModelSpec::Nshw { alpha: rng.uniform_in(0.05, 1.0), beta: rng.uniform_in(0.0, 1.0) }
+        }
         ModelKind::Arima0 => ModelSpec::Arima(random_arima(0, rng)),
         ModelKind::Arima1 => ModelSpec::Arima(random_arima(1, rng)),
         ModelKind::Shw => ModelSpec::Shw {
@@ -504,12 +499,7 @@ mod tests {
         // energy must come back as +inf, not NaN.
         let trace = toy_trace(40);
         let spec = ModelSpec::Arima(ArimaSpec::new(1, &[2.0, 2.0], &[]).unwrap());
-        let e = estimated_total_energy(
-            &spec,
-            SketchConfig { h: 1, k: 64, seed: 1 },
-            &trace,
-            0,
-        );
+        let e = estimated_total_energy(&spec, SketchConfig { h: 1, k: 64, seed: 1 }, &trace, 0);
         assert!(e == f64::INFINITY || e.is_finite());
         assert!(!e.is_nan());
     }

@@ -108,9 +108,7 @@ impl HierarchicalDetector {
             .map(|(prefix_len, det)| {
                 let items: Vec<(u64, f64)> = records
                     .iter()
-                    .map(|r| {
-                        (KeySpec::DstPrefix(*prefix_len).key_of(r), self.value.value_of(r))
-                    })
+                    .map(|r| (KeySpec::DstPrefix(*prefix_len).key_of(r), self.value.value_of(r)))
                     .collect();
                 LevelReport { prefix_len: *prefix_len, report: det.process_interval(&items) }
             })
@@ -128,8 +126,7 @@ impl HierarchicalDetector {
                 // shortened to this level's length, equals this key.)
                 let covered = reports[..i].iter().any(|finer| {
                     finer.report.alarms.iter().any(|fa| {
-                        fa.key >> (level_shift(finer.prefix_len, level.prefix_len))
-                            == alarm.key
+                        fa.key >> (level_shift(finer.prefix_len, level.prefix_len)) == alarm.key
                     })
                 });
                 if covered {
@@ -140,8 +137,7 @@ impl HierarchicalDetector {
                     .iter()
                     .filter(|coarser| {
                         coarser.report.alarms.iter().any(|ca| {
-                            alarm.key >> level_shift(level.prefix_len, coarser.prefix_len)
-                                == ca.key
+                            alarm.key >> level_shift(level.prefix_len, coarser.prefix_len) == ca.key
                         })
                     })
                     .map(|c| c.prefix_len)
@@ -232,9 +228,7 @@ mod tests {
         );
         // And no separate /24 alarm for the same region (it is covered).
         assert!(
-            !localized
-                .iter()
-                .any(|a| a.prefix_len == 24 && a.alarm.key == (victim >> 8) as u64),
+            !localized.iter().any(|a| a.prefix_len == 24 && a.alarm.key == (victim >> 8) as u64),
             "covered /24 alarm should be folded into the /32 one"
         );
     }

@@ -36,6 +36,11 @@
 //!   directly, with no key stream at all), and [`hierarchy`]
 //!   (simultaneous detection at multiple prefix lengths with drill-down
 //!   localization — §2.1's aggregation levels).
+//! * A fault-tolerance layer for the §6 online deployment: [`checkpoint`]
+//!   (CRC-guarded atomic snapshots of the full detector state),
+//!   [`supervisor`] (panic recovery with checkpoint restarts and a
+//!   lifecycle event stream), and [`streaming`]'s overload policies
+//!   (block / drop / sample, with per-interval shed accounting).
 //!
 //! # Example
 //!
@@ -64,6 +69,8 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod channel;
+pub mod checkpoint;
 pub mod detector;
 pub mod gridsearch;
 pub mod hierarchy;
@@ -74,11 +81,14 @@ pub mod sampling;
 pub mod staggered;
 pub mod stream;
 pub mod streaming;
+pub mod supervisor;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveDetector};
-pub use detector::{Alarm, DetectorConfig, IntervalReport, KeyStrategy, SketchChangeDetector};
-pub use sampling::UpdateSampler;
-pub use staggered::{StaggeredAlarm, StaggeredDetector};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use detector::{
+    Alarm, DetectorConfig, DetectorSnapshot, DropStats, IntervalReport, KeyStrategy, RestoreError,
+    SketchChangeDetector,
+};
 pub use gridsearch::{search_model, GridSearchConfig, GridSearchResult};
 pub use hierarchy::{HierarchicalDetector, HierarchyConfig, LocalizedAlarm};
 pub use metrics::{
@@ -87,5 +97,13 @@ pub use metrics::{
 };
 pub use perflow::{PerFlowDetector, PerFlowReport};
 pub use reversible::{ReversibleChangeDetector, ReversibleConfig, ReversibleReport};
+pub use sampling::UpdateSampler;
+pub use staggered::{StaggeredAlarm, StaggeredDetector};
 pub use stream::segment_records;
-pub use streaming::{spawn as spawn_streaming, StreamingConfig, StreamingHandle};
+pub use streaming::{
+    spawn as spawn_streaming, CheckpointPolicy, OverloadPolicy, RecordSender, StreamFault,
+    StreamingConfig, StreamingHandle,
+};
+pub use supervisor::{
+    spawn_supervised, LifecycleEvent, RestartPolicy, SupervisedHandle, SupervisorConfig,
+};

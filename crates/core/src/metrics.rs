@@ -15,10 +15,7 @@
 /// orderings are deterministic across runs.
 fn sort_by_magnitude(list: &mut [(u64, f64)]) {
     list.sort_by(|a, b| {
-        b.1.abs()
-            .partial_cmp(&a.1.abs())
-            .expect("finite errors")
-            .then_with(|| a.0.cmp(&b.0))
+        b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors").then_with(|| a.0.cmp(&b.0))
     });
 }
 
@@ -101,16 +98,10 @@ pub fn threshold_report(
 ) -> ThresholdReport {
     assert!(phi > 0.0, "threshold fraction must be positive");
     let perflow_l2: f64 = per_flow.iter().map(|&(_, e)| e * e).sum::<f64>().sqrt();
-    let pf_set: std::collections::HashSet<u64> = per_flow
-        .iter()
-        .filter(|&&(_, e)| e.abs() >= phi * perflow_l2)
-        .map(|&(k, _)| k)
-        .collect();
-    let sk_set: std::collections::HashSet<u64> = sketch
-        .iter()
-        .filter(|&&(_, e)| e.abs() >= phi * sketch_l2)
-        .map(|&(k, _)| k)
-        .collect();
+    let pf_set: std::collections::HashSet<u64> =
+        per_flow.iter().filter(|&&(_, e)| e.abs() >= phi * perflow_l2).map(|&(k, _)| k).collect();
+    let sk_set: std::collections::HashSet<u64> =
+        sketch.iter().filter(|&&(_, e)| e.abs() >= phi * sketch_l2).map(|&(k, _)| k).collect();
     ThresholdReport {
         phi,
         perflow_alarms: pf_set.len(),
@@ -139,11 +130,7 @@ pub fn empirical_cdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
-    sorted
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n))
-        .collect()
+    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n)).collect()
 }
 
 /// Mean of a sample (0 for an empty sample) — used for the "mean similarity

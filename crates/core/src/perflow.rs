@@ -35,11 +35,7 @@ pub struct PerFlowReport {
 impl PerFlowReport {
     /// Flows whose |error| meets `threshold`.
     pub fn alarms(&self, threshold: f64) -> Vec<(u64, f64)> {
-        self.errors
-            .iter()
-            .copied()
-            .take_while(|(_, e)| e.abs() >= threshold)
-            .collect()
+        self.errors.iter().copied().take_while(|(_, e)| e.abs() >= threshold).collect()
     }
 
     /// The L2 norm of the interval's forecast errors.
@@ -72,11 +68,7 @@ impl PerFlowDetector {
     /// Panics on an invalid model spec.
     pub fn new(model: ModelSpec) -> Self {
         model.validate().expect("invalid model spec");
-        PerFlowDetector {
-            model_spec: model,
-            models: HashMap::new(),
-            intervals_processed: 0,
-        }
+        PerFlowDetector { model_spec: model, models: HashMap::new(), intervals_processed: 0 }
     }
 
     /// Number of flows currently tracked.
@@ -132,17 +124,9 @@ impl PerFlowDetector {
             }
         }
         errors.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .expect("finite errors")
-                .then_with(|| a.0.cmp(&b.0))
+            b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors").then_with(|| a.0.cmp(&b.0))
         });
-        PerFlowReport {
-            interval: t,
-            warmed_up: any_warm,
-            error_f2: f2,
-            errors,
-        }
+        PerFlowReport { interval: t, warmed_up: any_warm, error_f2: f2, errors }
     }
 
     /// Convenience: runs the detector over a whole trace and returns one
@@ -228,11 +212,7 @@ mod tests {
 
     #[test]
     fn run_processes_whole_trace() {
-        let trace = vec![
-            vec![(1u64, 10.0)],
-            vec![(1u64, 12.0)],
-            vec![(1u64, 14.0)],
-        ];
+        let trace = vec![vec![(1u64, 10.0)], vec![(1u64, 12.0)], vec![(1u64, 14.0)]];
         let mut det = PerFlowDetector::new(ewma());
         let reports = det.run(&trace);
         assert_eq!(reports.len(), 3);

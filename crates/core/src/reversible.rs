@@ -77,11 +77,7 @@ impl ReversibleChangeDetector {
             "threshold parameter T must be positive"
         );
         let model = config.model.build();
-        let rows = Arc::new(HashRows::new(
-            config.deltoid.h,
-            config.deltoid.k,
-            config.deltoid.seed,
-        ));
+        let rows = Arc::new(HashRows::new(config.deltoid.h, config.deltoid.k, config.deltoid.seed));
         ReversibleChangeDetector { config, rows, model, intervals_processed: 0 }
     }
 
@@ -96,8 +92,7 @@ impl ReversibleChangeDetector {
         let t = self.intervals_processed;
         self.intervals_processed += 1;
 
-        let mut observed =
-            Deltoid::with_rows(Arc::clone(&self.rows), self.config.deltoid.key_bits);
+        let mut observed = Deltoid::with_rows(Arc::clone(&self.rows), self.config.deltoid.key_bits);
         for &(key, value) in items {
             observed.update(key, value);
         }
@@ -110,11 +105,7 @@ impl ReversibleChangeDetector {
                     error
                         .recover(ta)
                         .into_iter()
-                        .map(|(key, estimated_error)| Alarm {
-                            key,
-                            estimated_error,
-                            threshold: ta,
-                        })
+                        .map(|(key, estimated_error)| Alarm { key, estimated_error, threshold: ta })
                         .collect()
                 } else {
                     Vec::new()
@@ -172,11 +163,7 @@ mod tests {
         for _ in 0..4 {
             let r = det.process_interval(&steady());
             if r.warmed_up {
-                assert!(
-                    r.alarms.is_empty(),
-                    "false recovery on steady traffic: {:?}",
-                    r.alarms
-                );
+                assert!(r.alarms.is_empty(), "false recovery on steady traffic: {:?}", r.alarms);
             }
         }
     }

@@ -27,10 +27,7 @@ impl UpdateSampler {
     /// # Panics
     /// Panics unless `0 < rate ≤ 1`.
     pub fn new(rate: f64, seed: u64) -> Self {
-        assert!(
-            rate > 0.0 && rate <= 1.0,
-            "sampling rate must be in (0, 1], got {rate}"
-        );
+        assert!(rate > 0.0 && rate <= 1.0, "sampling rate must be in (0, 1], got {rate}");
         UpdateSampler {
             rate,
             threshold: (rate * u64::MAX as f64) as u64,
@@ -55,10 +52,7 @@ impl UpdateSampler {
 
     /// Thins a whole interval of updates.
     pub fn sample_interval(&mut self, items: &[(u64, f64)]) -> Vec<(u64, f64)> {
-        items
-            .iter()
-            .filter_map(|&(k, v)| self.sample(k, v))
-            .collect()
+        items.iter().filter_map(|&(k, v)| self.sample(k, v)).collect()
     }
 }
 
@@ -84,17 +78,10 @@ mod tests {
         let reps = 20;
         for seed in 0..reps {
             let mut s = UpdateSampler::new(0.1, seed);
-            total += s
-                .sample_interval(&items)
-                .iter()
-                .map(|&(_, v)| v)
-                .sum::<f64>();
+            total += s.sample_interval(&items).iter().map(|&(_, v)| v).sum::<f64>();
         }
         let mean = total / reps as f64;
-        assert!(
-            (mean - truth).abs() < 0.03 * truth,
-            "mean sampled total {mean} vs truth {truth}"
-        );
+        assert!((mean - truth).abs() < 0.03 * truth, "mean sampled total {mean} vs truth {truth}");
     }
 
     #[test]

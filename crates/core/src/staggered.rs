@@ -69,17 +69,8 @@ impl StaggeredDetector {
             "staggered detection currently supports the two-pass strategy"
         );
         let detectors = (0..lanes).map(|_| SketchChangeDetector::new(config.clone())).collect();
-        let rows = Arc::new(HashRows::new(
-            config.sketch.h,
-            config.sketch.k,
-            config.sketch.seed,
-        ));
-        StaggeredDetector {
-            lanes: detectors,
-            rows,
-            recent_slots: Vec::new(),
-            slot: 0,
-        }
+        let rows = Arc::new(HashRows::new(config.sketch.h, config.sketch.k, config.sketch.seed));
+        StaggeredDetector { lanes: detectors, rows, recent_slots: Vec::new(), slot: 0 }
     }
 
     /// Number of lanes.
@@ -115,9 +106,7 @@ impl StaggeredDetector {
         let mut observed = KarySketch::with_rows(Arc::clone(&self.rows));
         let mut interval_keys = Vec::new();
         for (sketch, keys) in &self.recent_slots {
-            observed
-                .add_scaled(sketch, 1.0)
-                .expect("slot sketches share the configured family");
+            observed.add_scaled(sketch, 1.0).expect("slot sketches share the configured family");
             interval_keys.extend_from_slice(keys);
         }
         let report = self.lanes[lane_idx].process_observed(&observed, interval_keys);
@@ -229,14 +218,8 @@ mod tests {
             if pair.len() == 2 {
                 let merged: Vec<(u64, f64)> =
                     pair[0].iter().chain(pair[1].iter()).copied().collect();
-                plain_alarms.push(
-                    plain
-                        .process_interval(&merged)
-                        .alarms
-                        .iter()
-                        .map(|a| a.key)
-                        .collect(),
-                );
+                plain_alarms
+                    .push(plain.process_interval(&merged).alarms.iter().map(|a| a.key).collect());
             }
         }
         let mut staggered_aligned: Vec<Vec<u64>> = Vec::new();

@@ -24,11 +24,8 @@ pub fn segment_records(
 ) -> Vec<Vec<(u64, f64)>> {
     assert!(interval_secs > 0, "interval length must be positive");
     let interval_ms = interval_secs as u64 * 1000;
-    let n_intervals = records
-        .iter()
-        .map(|r| (r.timestamp_ms / interval_ms) as usize + 1)
-        .max()
-        .unwrap_or(0);
+    let n_intervals =
+        records.iter().map(|r| (r.timestamp_ms / interval_ms) as usize + 1).max().unwrap_or(0);
     let mut out: Vec<Vec<(u64, f64)>> = vec![Vec::new(); n_intervals];
     for r in records {
         let idx = (r.timestamp_ms / interval_ms) as usize;

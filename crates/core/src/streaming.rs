@@ -3,8 +3,8 @@
 //!
 //! The offline pipeline consumes pre-binned intervals; a live deployment
 //! consumes a **stream of flow records** and must bin, rotate, and detect
-//! as time advances. [`spawn`] runs the detector on its
-//! own thread behind a bounded crossbeam channel:
+//! as time advances. [`spawn`] runs the detector on its own thread behind
+//! a bounded channel ([`crate::channel`]):
 //!
 //! ```text
 //! capture thread ──records──► [channel] ──► detector thread ──reports──►
@@ -19,15 +19,67 @@
 //! current interval rather than dropped; the paper's two-pass replay is
 //! equally approximate about stragglers.
 //!
-//! Shutdown: drop the record sender. The detector flushes the final
-//! partial interval, emits its report, and the thread ends; the report
-//! receiver then disconnects. No locks are shared — the detector is owned
-//! by its thread; backpressure comes from the bounded channel.
+//! **Overload** is a policy, not an accident: [`OverloadPolicy`] decides
+//! what happens when records outpace the detector — block the producer
+//! (lossless backpressure), drop the newest record (bounded latency), or
+//! admit a random fraction at weight `1/rate` so sketch totals stay
+//! unbiased (the paper's §3.3 sampled-stream estimator). Whatever is shed
+//! is counted and surfaced per interval in [`IntervalReport::drops`].
+//!
+//! **Durability** is optional: give [`StreamingConfig::checkpoint`] a path
+//! and a cadence and the detector thread persists a
+//! [`crate::checkpoint::Checkpoint`] atomically every N flushed intervals.
+//! [`crate::supervisor`] builds crash recovery on top of exactly this
+//! file.
+//!
+//! Shutdown: drop the record sender (or call
+//! [`StreamingHandle::shutdown`]). The detector flushes the final partial
+//! interval, emits its report, and the thread ends. A detector panic is
+//! returned as a typed [`StreamFault`] — shutting down is never itself a
+//! panic.
 
-use crate::detector::{DetectorConfig, IntervalReport, SketchChangeDetector};
-use crossbeam::channel::{bounded, Receiver, Sender};
-use scd_traffic::{FlowRecord, KeySpec, ValueSpec};
+use crate::channel::{bounded, Receiver, Sender, TrySendError};
+use crate::checkpoint::Checkpoint;
+use crate::detector::{DetectorConfig, DropStats, IntervalReport, SketchChangeDetector};
+use crate::supervisor::LifecycleEvent;
+use scd_hash::SplitMix64;
+use scd_traffic::{FaultPlan, FlowRecord, KeySpec, ValueSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// What the record sender does when the detector cannot keep up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverloadPolicy {
+    /// Block the producer until the queue has room. Lossless; producer
+    /// latency is unbounded.
+    Block,
+    /// Drop the record being sent when the queue is full, counting it in
+    /// [`DropStats::dropped`]. Producer never blocks; sketch totals are
+    /// biased low under sustained overload.
+    DropNewest,
+    /// Admit each record with probability `rate`, at weight `1/rate`, and
+    /// shed the rest (counted in [`DropStats::shed`]). This is the paper's
+    /// §3.3 sampled-stream estimator: totals stay unbiased while load
+    /// drops by `1/rate`. Admitted records still block when the queue is
+    /// full.
+    Sample {
+        /// Admission probability, in `(0, 1]`.
+        rate: f64,
+        /// Seed for the admission coin (deterministic experiments).
+        seed: u64,
+    },
+}
+
+/// When and where the detector thread persists checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Checkpoint file; written atomically (temp + rename).
+    pub path: PathBuf,
+    /// Write after every this many flushed intervals (≥ 1).
+    pub every_intervals: u64,
+}
 
 /// Configuration for the streaming front end.
 #[derive(Debug, Clone)]
@@ -42,22 +94,146 @@ pub struct StreamingConfig {
     pub value: ValueSpec,
     /// Record-channel capacity (backpressure bound).
     pub channel_capacity: usize,
+    /// Overload behaviour of [`RecordSender::send`].
+    pub overload: OverloadPolicy,
+    /// Optional periodic checkpointing of the full detector state.
+    pub checkpoint: Option<CheckpointPolicy>,
+}
+
+/// A record admitted into the detector queue, with its sampling weight.
+pub(crate) struct Msg {
+    pub(crate) record: FlowRecord,
+    pub(crate) weight: f64,
+}
+
+/// Shared overload counters, drained into [`DropStats`] at each interval
+/// flush. Attribution is approximate by one queue depth: a record shed
+/// while interval `t` is being accumulated is charged to the next report
+/// flushed, which is the best a sender that never sees event time can do.
+pub(crate) struct OverloadCounters {
+    dropped: AtomicU64,
+    sampled_in: AtomicU64,
+    shed: AtomicU64,
+    sampler: Mutex<SplitMix64>,
+}
+
+impl OverloadCounters {
+    fn new(seed: u64) -> Self {
+        OverloadCounters {
+            dropped: AtomicU64::new(0),
+            sampled_in: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            sampler: Mutex::new(SplitMix64::new(seed)),
+        }
+    }
+
+    fn drain(&self) -> DropStats {
+        DropStats {
+            dropped: self.dropped.swap(0, Ordering::Relaxed),
+            sampled_in: self.sampled_in.swap(0, Ordering::Relaxed),
+            shed: self.shed.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+/// The sending half of a streaming detector: applies the configured
+/// [`OverloadPolicy`] to every record. Clone freely for multiple
+/// producers.
+pub struct RecordSender {
+    tx: Sender<Msg>,
+    policy: OverloadPolicy,
+    counters: Arc<OverloadCounters>,
+}
+
+impl Clone for RecordSender {
+    fn clone(&self) -> Self {
+        RecordSender {
+            tx: self.tx.clone(),
+            policy: self.policy,
+            counters: Arc::clone(&self.counters),
+        }
+    }
+}
+
+impl RecordSender {
+    /// Offers one record under the overload policy. Returns `false` only
+    /// if the detector thread has stopped; a record shed *by policy* is a
+    /// successful send (it is counted, not an error).
+    pub fn send(&self, record: FlowRecord) -> bool {
+        match self.policy {
+            OverloadPolicy::Block => self.tx.send(Msg { record, weight: 1.0 }).is_ok(),
+            OverloadPolicy::DropNewest => match self.tx.try_send(Msg { record, weight: 1.0 }) {
+                Ok(()) => true,
+                Err(TrySendError::Full) => {
+                    self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Err(TrySendError::Disconnected) => false,
+            },
+            OverloadPolicy::Sample { rate, .. } => {
+                let admit = {
+                    let mut rng = self.counters.sampler.lock().expect("sampler lock");
+                    (rng.next_u64() as f64) < rate * (u64::MAX as f64)
+                };
+                if admit {
+                    self.counters.sampled_in.fetch_add(1, Ordering::Relaxed);
+                    self.tx.send(Msg { record, weight: 1.0 / rate }).is_ok()
+                } else {
+                    self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+            }
+        }
+    }
+}
+
+/// Why a detector thread stopped abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFault {
+    /// The detector thread panicked; the payload's message, if any.
+    Panicked(String),
+}
+
+impl std::fmt::Display for StreamFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamFault::Panicked(msg) => write!(f, "detector thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamFault {}
+
+/// Renders a panic payload (from `join` or `catch_unwind`) as text.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Handle to a running streaming detector.
 pub struct StreamingHandle {
     /// Send flow records here; drop (or [`StreamingHandle::shutdown`]) to stop.
-    records: Sender<FlowRecord>,
+    records: RecordSender,
     /// Interval reports arrive here as event time advances.
     reports: Receiver<IntervalReport>,
     thread: JoinHandle<u64>,
 }
 
 impl StreamingHandle {
-    /// Sends one record; blocks when the channel is full (backpressure).
-    /// Returns `false` if the detector thread has already stopped.
+    /// Sends one record under the configured overload policy. Returns
+    /// `false` if the detector thread has already stopped.
     pub fn send(&self, record: FlowRecord) -> bool {
-        self.records.send(record).is_ok()
+        self.records.send(record)
+    }
+
+    /// A cloneable sender for feeding records from multiple threads.
+    pub fn sender(&self) -> RecordSender {
+        self.records.clone()
     }
 
     /// The report stream.
@@ -66,73 +242,198 @@ impl StreamingHandle {
     }
 
     /// Stops the detector, drains remaining reports, and returns them with
-    /// the total number of records processed.
-    pub fn shutdown(self) -> (Vec<IntervalReport>, u64) {
+    /// the total number of records processed. A detector panic surfaces as
+    /// `Err(StreamFault::Panicked)` — this method itself never panics.
+    pub fn shutdown(self) -> Result<(Vec<IntervalReport>, u64), StreamFault> {
         drop(self.records);
-        let mut remaining = Vec::new();
-        while let Ok(r) = self.reports.recv() {
-            remaining.push(r);
+        let remaining: Vec<IntervalReport> = self.reports.iter().collect();
+        match self.thread.join() {
+            Ok(processed) => Ok((remaining, processed)),
+            Err(payload) => Err(StreamFault::Panicked(panic_message(payload.as_ref()))),
         }
-        let processed = self.thread.join().expect("detector thread panicked");
-        (remaining, processed)
     }
+}
+
+/// The streaming binner's position in event time — everything the
+/// detector loop owns besides the detector itself.
+pub(crate) struct BinnerState {
+    /// `(key, weighted value)` pairs of the interval being accumulated.
+    pub(crate) current: Vec<(u64, f64)>,
+    /// Event-time index of the interval being accumulated; fixed by the
+    /// first record.
+    pub(crate) interval_idx: Option<u64>,
+    /// Records processed so far.
+    pub(crate) processed: u64,
+    /// `intervals_processed` at the last checkpoint write.
+    pub(crate) last_checkpoint: u64,
+}
+
+impl BinnerState {
+    pub(crate) fn fresh() -> Self {
+        BinnerState { current: Vec::new(), interval_idx: None, processed: 0, last_checkpoint: 0 }
+    }
+
+    /// Resumes from a checkpoint: the in-flight interval's records are the
+    /// checkpoint gap and are gone; position and counters carry over.
+    pub(crate) fn from_checkpoint(ck: &Checkpoint) -> Self {
+        BinnerState {
+            current: Vec::new(),
+            interval_idx: ck.next_interval,
+            processed: ck.processed,
+            last_checkpoint: ck.snapshot.intervals_processed,
+        }
+    }
+}
+
+/// Everything the detector loop needs besides its mutable state.
+pub(crate) struct LoopContext {
+    pub(crate) config: StreamingConfig,
+    pub(crate) counters: Arc<OverloadCounters>,
+    /// Lifecycle events (checkpoint written / degraded); `None` outside
+    /// supervision.
+    pub(crate) events: Option<Sender<LifecycleEvent>>,
+    /// Test-only fault injection, threaded through the supervisor.
+    pub(crate) fault: Option<FaultPlan>,
+}
+
+/// Why the detector loop returned.
+pub(crate) enum LoopEnd {
+    /// All record senders dropped; final partial interval flushed.
+    InputClosed,
+    /// The report receiver is gone; no point continuing.
+    ReportsGone,
+}
+
+/// The detector loop proper: bin records by event time, flush intervals
+/// through the detector, periodically checkpoint. Runs on the detector
+/// thread; the supervisor calls it inside `catch_unwind` so `detector`
+/// and `binner` live outside and can be rebuilt after a panic.
+pub(crate) fn run_loop(
+    detector: &mut SketchChangeDetector,
+    binner: &mut BinnerState,
+    ctx: &LoopContext,
+    records: &Receiver<Msg>,
+    reports: &Sender<IntervalReport>,
+) -> LoopEnd {
+    let interval_ms = ctx.config.interval_ms;
+    while let Ok(msg) = records.recv() {
+        binner.processed += 1;
+        if let Some(fault) = &ctx.fault {
+            fault.before_record(binner.processed);
+        }
+        let t = msg.record.timestamp_ms / interval_ms;
+        let idx = *binner.interval_idx.get_or_insert(t);
+        if t > idx {
+            // Flush the finished interval, then any empty ones the stream
+            // skipped over (models advance through silence).
+            let mut report = detector.process_interval(&binner.current);
+            report.drops = ctx.counters.drain();
+            binner.current.clear();
+            if reports.send(report).is_err() {
+                return LoopEnd::ReportsGone;
+            }
+            for _ in (idx + 1)..t {
+                if reports.send(detector.process_interval(&[])).is_err() {
+                    return LoopEnd::ReportsGone;
+                }
+            }
+            binner.interval_idx = Some(t);
+            maybe_checkpoint(detector, binner, ctx);
+        }
+        // Late records (t < idx) fold into the current interval.
+        binner.current.push((
+            ctx.config.key.key_of(&msg.record),
+            ctx.config.value.value_of(&msg.record) * msg.weight,
+        ));
+    }
+    // Senders dropped: flush the final partial interval.
+    if !binner.current.is_empty() {
+        let mut report = detector.process_interval(&binner.current);
+        report.drops = ctx.counters.drain();
+        binner.current.clear();
+        binner.interval_idx = binner.interval_idx.map(|t| t + 1);
+        let _ = reports.send(report);
+        maybe_checkpoint(detector, binner, ctx);
+    }
+    LoopEnd::InputClosed
+}
+
+/// Writes a checkpoint if the cadence says so. Write failures degrade
+/// (reported on the event channel when there is one) rather than kill the
+/// detector: losing durability is strictly better than losing detection.
+fn maybe_checkpoint(detector: &SketchChangeDetector, binner: &mut BinnerState, ctx: &LoopContext) {
+    let Some(policy) = &ctx.config.checkpoint else { return };
+    let done = detector.intervals_processed() as u64;
+    if done < binner.last_checkpoint + policy.every_intervals.max(1) {
+        return;
+    }
+    let ck = Checkpoint {
+        config: ctx.config.detector.clone(),
+        snapshot: detector.snapshot(),
+        next_interval: binner.interval_idx,
+        processed: binner.processed,
+    };
+    match ck.write_atomic(&policy.path) {
+        Ok(()) => {
+            binner.last_checkpoint = done;
+            if let Some(events) = &ctx.events {
+                let _ = events.send(LifecycleEvent::CheckpointWritten { intervals: done });
+            }
+        }
+        Err(e) => {
+            if let Some(events) = &ctx.events {
+                let _ = events.send(LifecycleEvent::Degraded {
+                    reason: format!("checkpoint write failed: {e}"),
+                });
+            }
+        }
+    }
+}
+
+/// Builds the record channel + counters + sender for a config.
+pub(crate) fn make_front_end(
+    config: &StreamingConfig,
+) -> (RecordSender, Receiver<Msg>, Arc<OverloadCounters>) {
+    assert!(config.interval_ms > 0, "interval must be positive");
+    assert!(config.channel_capacity > 0, "channel capacity must be positive");
+    let sampler_seed = match config.overload {
+        OverloadPolicy::Sample { rate, seed } => {
+            assert!(rate > 0.0 && rate <= 1.0, "sampling rate must be in (0, 1], got {rate}");
+            seed
+        }
+        _ => 0,
+    };
+    let (tx, rx) = bounded::<Msg>(config.channel_capacity);
+    let counters = Arc::new(OverloadCounters::new(sampler_seed));
+    let sender = RecordSender { tx, policy: config.overload, counters: Arc::clone(&counters) };
+    (sender, rx, counters)
 }
 
 /// Spawns the detector thread.
 ///
+/// For crash recovery (automatic restart from checkpoints), use
+/// [`crate::supervisor::spawn_supervised`] instead; this plain variant
+/// reports a detector panic once, at [`StreamingHandle::shutdown`].
+///
 /// # Panics
-/// Panics if `interval_ms == 0` or `channel_capacity == 0`, or on an
-/// invalid detector configuration.
+/// Panics if `interval_ms == 0`, `channel_capacity == 0`, or the sampling
+/// rate is out of range, or on an invalid detector configuration.
 pub fn spawn(config: StreamingConfig) -> StreamingHandle {
-    assert!(config.interval_ms > 0, "interval must be positive");
-    assert!(config.channel_capacity > 0, "channel capacity must be positive");
-    let (record_tx, record_rx) = bounded::<FlowRecord>(config.channel_capacity);
+    let (sender, record_rx, counters) = make_front_end(&config);
     let (report_tx, report_rx) = bounded::<IntervalReport>(64);
     let mut detector = SketchChangeDetector::new(config.detector.clone());
-    let interval_ms = config.interval_ms;
-    let key = config.key;
-    let value = config.value;
+    let ctx = LoopContext { config, counters, events: None, fault: None };
 
     let thread = std::thread::Builder::new()
         .name("scd-streaming-detector".into())
         .spawn(move || {
-            let mut processed = 0u64;
-            let mut current: Vec<(u64, f64)> = Vec::new();
-            // Event-time interval index; fixed by the first record.
-            let mut interval_idx: Option<u64> = None;
-            for record in record_rx.iter() {
-                processed += 1;
-                let t = record.timestamp_ms / interval_ms;
-                let idx = *interval_idx.get_or_insert(t);
-                if t > idx {
-                    // Flush the finished interval, then any empty ones the
-                    // stream skipped over (models advance through silence).
-                    let report = detector.process_interval(&current);
-                    current.clear();
-                    if report_tx.send(report).is_err() {
-                        return processed; // receiver gone: stop quietly
-                    }
-                    for _ in (idx + 1)..t {
-                        let report = detector.process_interval(&[]);
-                        if report_tx.send(report).is_err() {
-                            return processed;
-                        }
-                    }
-                    interval_idx = Some(t);
-                }
-                // Late records (t < idx) fold into the current interval.
-                current.push((key.key_of(&record), value.value_of(&record)));
-            }
-            // Sender dropped: flush the final partial interval.
-            if !current.is_empty() {
-                let report = detector.process_interval(&current);
-                let _ = report_tx.send(report);
-            }
-            processed
+            let mut binner = BinnerState::fresh();
+            run_loop(&mut detector, &mut binner, &ctx, &record_rx, &report_tx);
+            binner.processed
         })
         .expect("spawn detector thread");
 
-    StreamingHandle { records: record_tx, reports: report_rx, thread }
+    StreamingHandle { records: sender, reports: report_rx, thread }
 }
 
 #[cfg(test)]
@@ -154,6 +455,8 @@ mod tests {
             key: KeySpec::DstIp,
             value: ValueSpec::Bytes,
             channel_capacity: 256,
+            overload: OverloadPolicy::Block,
+            checkpoint: None,
         }
     }
 
@@ -185,7 +488,7 @@ mod tests {
                 }
             }
         }
-        let (reports, processed) = handle.shutdown();
+        let (reports, processed) = handle.shutdown().expect("clean shutdown");
         assert_eq!(processed, 5 * 40 + 10);
         assert_eq!(reports.len(), 5, "one report per event-time interval");
         let spike_report = &reports[3];
@@ -194,10 +497,7 @@ mod tests {
             "spike not flagged: {:?}",
             spike_report.alarms
         );
-        assert!(
-            reports[2].alarms.iter().all(|a| a.key != 99),
-            "no alarm before the spike"
-        );
+        assert!(reports[2].alarms.iter().all(|a| a.key != 99), "no alarm before the spike");
     }
 
     #[test]
@@ -205,7 +505,7 @@ mod tests {
         let handle = spawn(config());
         handle.send(record(100, 5, 1_000));
         handle.send(record(5_100, 5, 1_000)); // skips intervals 1..=4
-        let (reports, _) = handle.shutdown();
+        let (reports, _) = handle.shutdown().expect("clean shutdown");
         // Interval 0 + three empty (1,2,3,4) + final partial (5) = 6.
         assert_eq!(reports.len(), 6);
         // The disappearance registers as a negative error in interval 1.
@@ -218,9 +518,9 @@ mod tests {
     #[test]
     fn late_records_fold_into_current_interval() {
         let handle = spawn(config());
-        handle.send(record(2_500, 1, 10.0 as u64));
+        handle.send(record(2_500, 1, 10));
         handle.send(record(1_900, 1, 10)); // late by 600ms: accepted
-        let (reports, processed) = handle.shutdown();
+        let (reports, processed) = handle.shutdown().expect("clean shutdown");
         assert_eq!(processed, 2);
         assert_eq!(reports.len(), 1);
     }
@@ -228,7 +528,7 @@ mod tests {
     #[test]
     fn shutdown_with_no_records_is_clean() {
         let handle = spawn(config());
-        let (reports, processed) = handle.shutdown();
+        let (reports, processed) = handle.shutdown().expect("clean shutdown");
         assert!(reports.is_empty());
         assert_eq!(processed, 0);
     }
@@ -239,8 +539,58 @@ mod tests {
         for t in 0..4u64 {
             handle.send(record(t * 1000 + 10, 2, 100));
         }
-        let (reports, _) = handle.shutdown();
+        let (reports, _) = handle.shutdown().expect("clean shutdown");
         let idx: Vec<usize> = reports.iter().map(|r| r.interval).collect();
         assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn block_policy_reports_zero_drops() {
+        let handle = spawn(config());
+        for t in 0..3u64 {
+            for i in 0..50 {
+                handle.send(record(t * 1000 + i, 7, 100));
+            }
+        }
+        let (reports, _) = handle.shutdown().expect("clean shutdown");
+        assert!(reports.iter().all(|r| r.drops == DropStats::default()));
+    }
+
+    #[test]
+    fn sample_policy_counts_and_reweights() {
+        let mut cfg = config();
+        cfg.overload = OverloadPolicy::Sample { rate: 0.5, seed: 42 };
+        let handle = spawn(cfg);
+        // One interval of 2000 identical records on one key, then a
+        // boundary record to force the flush.
+        for i in 0..2_000u64 {
+            handle.send(record(i % 1000, 7, 100));
+        }
+        handle.send(record(1_500, 7, 100));
+        let (reports, processed) = handle.shutdown().expect("clean shutdown");
+        let admitted: u64 = reports.iter().map(|r| r.drops.sampled_in).sum();
+        let shed: u64 = reports.iter().map(|r| r.drops.shed).sum();
+        assert_eq!(admitted + shed, 2_001, "every record is either admitted or shed");
+        assert!((700..=1_300).contains(&admitted), "rate 0.5 admitted {admitted} of 2001");
+        // Only admitted records reached the detector.
+        assert_eq!(processed, admitted);
+        assert!(reports.iter().all(|r| r.drops.dropped == 0));
+    }
+
+    #[test]
+    fn drop_newest_policy_never_blocks() {
+        let mut cfg = config();
+        cfg.channel_capacity = 4;
+        cfg.overload = OverloadPolicy::DropNewest;
+        let handle = spawn(cfg);
+        // Flood far beyond capacity; with Block this could stall only if
+        // the detector hung, with DropNewest it must always return.
+        for i in 0..10_000u64 {
+            assert!(handle.send(record(i % 500, 9, 10)));
+        }
+        handle.send(record(2_000, 9, 10)); // flush boundary
+        let (reports, processed) = handle.shutdown().expect("clean shutdown");
+        let total_dropped: u64 = reports.iter().map(|r| r.drops.dropped).sum();
+        assert_eq!(processed + total_dropped, 10_001);
     }
 }

@@ -1,0 +1,257 @@
+//! Supervised streaming: panic recovery with checkpoint restarts.
+//!
+//! [`spawn`](crate::streaming::spawn) runs the detector on a bare thread —
+//! a panic there surfaces only at shutdown, and everything the detector
+//! knew dies with it. A monitoring deployment wants the opposite: the
+//! detector is the component *least* allowed to disappear, precisely
+//! because it is the thing watching everything else.
+//!
+//! [`spawn_supervised`] wraps the same detector loop in a supervisor that:
+//!
+//! 1. catches panics (`catch_unwind`) instead of unwinding the thread,
+//! 2. restarts the detector from its last on-disk
+//!    [`Checkpoint`](crate::checkpoint::Checkpoint) (or fresh, if none),
+//! 3. backs off exponentially between attempts and gives up after a
+//!    configurable budget, and
+//! 4. narrates everything on a dedicated [`LifecycleEvent`] channel, so
+//!    operators observe restarts instead of discovering them.
+//!
+//! The record channel lives *outside* the supervised region: producers
+//! keep their sender across restarts, and records queued at crash time
+//! are delivered to the restarted detector. What is lost is the
+//! checkpoint gap — intervals flushed after the last checkpoint — and the
+//! partially accumulated interval; the restarted detector resumes at the
+//! checkpointed position and re-emits from there, so the report stream
+//! has no holes, only a rewind.
+
+use crate::channel::{bounded, Receiver, Sender};
+use crate::checkpoint::Checkpoint;
+use crate::detector::{IntervalReport, SketchChangeDetector};
+use crate::streaming::{
+    make_front_end, panic_message, run_loop, BinnerState, LoopContext, RecordSender, StreamFault,
+    StreamingConfig,
+};
+use scd_traffic::FaultPlan;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the supervisor announces on its event channel.
+///
+/// Events are delivered best-effort (`try_send`): an undrained event
+/// channel is allowed to lose events, never to stall detection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleEvent {
+    /// The detector thread is up and consuming records.
+    Started,
+    /// A checkpoint was persisted after this many flushed intervals.
+    CheckpointWritten {
+        /// Total intervals flushed at write time.
+        intervals: u64,
+    },
+    /// The detector panicked and was restarted.
+    Restarted {
+        /// Restart attempt number (1-based).
+        attempt: u32,
+        /// Interval count the restarted detector resumed from (0 when no
+        /// checkpoint was available).
+        resumed_intervals: u64,
+        /// The panic message that triggered the restart.
+        panic: String,
+    },
+    /// Something non-fatal went wrong (checkpoint unwritable or
+    /// unloadable); the detector keeps running with reduced guarantees.
+    Degraded {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The restart budget is exhausted; the detector is down for good.
+    GaveUp {
+        /// Panics absorbed before giving up.
+        attempts: u32,
+    },
+}
+
+/// Restart budget and backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartPolicy {
+    /// Panics tolerated before [`LifecycleEvent::GaveUp`].
+    pub max_restarts: u32,
+    /// Backoff before restart attempt `n` is `base · 2^(n−1)`, capped.
+    pub backoff_base_ms: u64,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy { max_restarts: 3, backoff_base_ms: 10, backoff_cap_ms: 1_000 }
+    }
+}
+
+impl RestartPolicy {
+    fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u64 << attempt.saturating_sub(1).min(20);
+        Duration::from_millis(self.backoff_base_ms.saturating_mul(factor).min(self.backoff_cap_ms))
+    }
+}
+
+/// Configuration of a supervised streaming detector.
+#[derive(Clone)]
+pub struct SupervisorConfig {
+    /// The streaming front end (set [`StreamingConfig::checkpoint`] to
+    /// make restarts resume instead of starting over).
+    pub stream: StreamingConfig,
+    /// Restart budget and backoff.
+    pub restart: RestartPolicy,
+    /// Test-only fault injection, consulted once per record inside the
+    /// supervised region. `None` in production.
+    pub fault: Option<FaultPlan>,
+}
+
+/// Handle to a supervised streaming detector.
+pub struct SupervisedHandle {
+    records: RecordSender,
+    reports: Receiver<IntervalReport>,
+    events: Receiver<LifecycleEvent>,
+    thread: JoinHandle<u64>,
+}
+
+impl SupervisedHandle {
+    /// Sends one record under the configured overload policy. Returns
+    /// `false` once the supervisor has given up or shut down.
+    pub fn send(&self, record: scd_traffic::FlowRecord) -> bool {
+        self.records.send(record)
+    }
+
+    /// A cloneable sender for feeding records from multiple threads.
+    pub fn sender(&self) -> RecordSender {
+        self.records.clone()
+    }
+
+    /// The report stream (survives restarts).
+    pub fn reports(&self) -> &Receiver<IntervalReport> {
+        &self.reports
+    }
+
+    /// The lifecycle event stream.
+    pub fn events(&self) -> &Receiver<LifecycleEvent> {
+        &self.events
+    }
+
+    /// Stops the detector, then drains and returns remaining reports,
+    /// all undrained lifecycle events, and the processed-record count.
+    /// `Err` only if the *supervisor itself* panicked, which no detector
+    /// panic can cause.
+    pub fn shutdown(self) -> Result<(Vec<IntervalReport>, Vec<LifecycleEvent>, u64), StreamFault> {
+        drop(self.records);
+        let reports: Vec<IntervalReport> = self.reports.iter().collect();
+        let events: Vec<LifecycleEvent> = self.events.iter().collect();
+        match self.thread.join() {
+            Ok(processed) => Ok((reports, events, processed)),
+            Err(payload) => Err(StreamFault::Panicked(panic_message(payload.as_ref()))),
+        }
+    }
+}
+
+fn emit(events: &Sender<LifecycleEvent>, event: LifecycleEvent) {
+    // Best-effort: losing an event beats stalling the detector.
+    let _ = events.try_send(event);
+}
+
+/// Spawns a streaming detector under supervision.
+///
+/// # Panics
+/// Panics on an invalid configuration (same rules as
+/// [`crate::streaming::spawn`]).
+pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
+    let (sender, record_rx, counters) = make_front_end(&config.stream);
+    let (report_tx, report_rx) = bounded::<IntervalReport>(64);
+    let (event_tx, event_rx) = bounded::<LifecycleEvent>(256);
+    let mut detector = SketchChangeDetector::new(config.stream.detector.clone());
+    let restart = config.restart;
+    let ctx = LoopContext {
+        config: config.stream,
+        counters,
+        events: Some(event_tx.clone()),
+        fault: config.fault,
+    };
+
+    let thread = std::thread::Builder::new()
+        .name("scd-supervised-detector".into())
+        .spawn(move || {
+            let mut binner = BinnerState::fresh();
+            emit(&event_tx, LifecycleEvent::Started);
+            let mut attempts = 0u32;
+            loop {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_loop(&mut detector, &mut binner, &ctx, &record_rx, &report_tx)
+                }));
+                match outcome {
+                    Ok(_) => break, // input closed or reports dropped: done
+                    Err(payload) => {
+                        attempts += 1;
+                        if attempts > restart.max_restarts {
+                            emit(&event_tx, LifecycleEvent::GaveUp { attempts: attempts - 1 });
+                            break;
+                        }
+                        std::thread::sleep(restart.backoff(attempts));
+                        let panic = panic_message(payload.as_ref());
+                        // Rebuild state: from the last checkpoint when one
+                        // is readable, from scratch otherwise. The
+                        // half-mutated detector/binner from the panicked
+                        // run are discarded either way.
+                        match recover(&ctx) {
+                            Ok(Some((d, b))) => {
+                                detector = d;
+                                binner = b;
+                            }
+                            Ok(None) => {
+                                detector = SketchChangeDetector::new(ctx.config.detector.clone());
+                                binner = BinnerState::fresh();
+                            }
+                            Err(reason) => {
+                                emit(&event_tx, LifecycleEvent::Degraded { reason });
+                                detector = SketchChangeDetector::new(ctx.config.detector.clone());
+                                binner = BinnerState::fresh();
+                            }
+                        }
+                        emit(
+                            &event_tx,
+                            LifecycleEvent::Restarted {
+                                attempt: attempts,
+                                resumed_intervals: detector.intervals_processed() as u64,
+                                panic,
+                            },
+                        );
+                    }
+                }
+            }
+            binner.processed
+        })
+        .expect("spawn supervisor thread");
+
+    SupervisedHandle { records: sender, reports: report_rx, events: event_rx, thread }
+}
+
+/// Loads the last checkpoint, if checkpointing is configured and a file
+/// exists. `Ok(None)` — nothing to resume from; `Err` — a checkpoint
+/// exists but is unusable (corrupt, or for a different config).
+fn recover(ctx: &LoopContext) -> Result<Option<(SketchChangeDetector, BinnerState)>, String> {
+    let Some(policy) = &ctx.config.checkpoint else {
+        return Ok(None);
+    };
+    if !policy.path.exists() {
+        return Ok(None);
+    }
+    let ck = Checkpoint::load(&policy.path)
+        .map_err(|e| format!("checkpoint unusable, restarting fresh: {e}"))?;
+    if ck.config != ctx.config.detector {
+        return Err("checkpoint is for a different detector config, restarting fresh".into());
+    }
+    let detector = ck
+        .restore_detector()
+        .map_err(|e| format!("checkpoint restore failed, restarting fresh: {e}"))?;
+    let binner = BinnerState::from_checkpoint(&ck);
+    Ok(Some((detector, binner)))
+}

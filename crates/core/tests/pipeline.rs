@@ -1,9 +1,7 @@
 //! End-to-end pipeline tests on generated traffic: the miniature version of
 //! the paper's evaluation, asserting its qualitative results hold.
 
-use scd_core::{
-    metrics, DetectorConfig, KeyStrategy, PerFlowDetector, SketchChangeDetector,
-};
+use scd_core::{metrics, DetectorConfig, KeyStrategy, PerFlowDetector, SketchChangeDetector};
 use scd_forecast::ModelSpec;
 use scd_sketch::SketchConfig;
 use scd_traffic::{
@@ -88,10 +86,7 @@ fn similarity_improves_with_k() {
 
     let low = mean_sim(256);
     let high = mean_sim(32_768);
-    assert!(
-        high > low,
-        "similarity should improve with K: K=256 -> {low}, K=32768 -> {high}"
-    );
+    assert!(high > low, "similarity should improve with K: K=256 -> {low}, K=32768 -> {high}");
     assert!(high > 0.85, "large-K similarity too low: {high}");
 }
 
@@ -224,10 +219,8 @@ fn energy_relative_difference_small() {
             pf_f2.push(pf.error_f2);
         }
     }
-    let rel = metrics::relative_difference(
-        metrics::total_energy(&sk_f2),
-        metrics::total_energy(&pf_f2),
-    );
+    let rel =
+        metrics::relative_difference(metrics::total_energy(&sk_f2), metrics::total_energy(&pf_f2));
     assert!(
         rel.abs() < 5.0,
         "relative difference {rel}% exceeds the paper's ±3.5% envelope (with margin)"

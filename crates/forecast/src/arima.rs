@@ -28,6 +28,7 @@
 //! errors — and errors are themselves linear in observations — so the model
 //! runs unchanged over sketches.
 
+use crate::state::{ModelState, StateError};
 use crate::{Forecaster, Summary};
 use std::collections::VecDeque;
 
@@ -119,11 +120,7 @@ impl std::error::Error for ArimaError {}
 impl ArimaSpec {
     /// Builds and validates a specification.
     pub fn new(d: usize, ar: &[f64], ma: &[f64]) -> Result<Self, ArimaError> {
-        let spec = ArimaSpec {
-            d,
-            ar: ArimaCoeffs::new(ar),
-            ma: ArimaCoeffs::new(ma),
-        };
+        let spec = ArimaSpec { d, ar: ArimaCoeffs::new(ar), ma: ArimaCoeffs::new(ma) };
         spec.validate()?;
         Ok(spec)
     }
@@ -181,17 +178,45 @@ impl<S: Summary> Arima<S> {
     /// Creates the forecaster from a validated spec.
     pub fn new(spec: ArimaSpec) -> Self {
         spec.validate().expect("invalid ArimaSpec");
-        Arima {
-            spec,
-            x_hist: VecDeque::new(),
-            e_hist: VecDeque::new(),
-            observed_count: 0,
-        }
+        Arima { spec, x_hist: VecDeque::new(), e_hist: VecDeque::new(), observed_count: 0 }
     }
 
     /// The model specification.
     pub fn spec(&self) -> &ArimaSpec {
         &self.spec
+    }
+
+    /// Rebuilds the model from checkpointed state.
+    pub fn resume(
+        spec: ArimaSpec,
+        x_hist: Vec<S>,
+        e_hist: Vec<S>,
+        observed_count: u64,
+    ) -> Result<Self, StateError> {
+        spec.validate().map_err(|e| StateError::InvalidShape(format!("bad ARIMA spec: {e}")))?;
+        let keep = (spec.p() + spec.d).max(spec.d + 1).max(1);
+        if x_hist.len() > keep {
+            return Err(StateError::InvalidShape(format!(
+                "ARIMA x history of {} exceeds retention {keep}",
+                x_hist.len()
+            )));
+        }
+        if e_hist.len() > spec.q() {
+            return Err(StateError::InvalidShape(format!(
+                "ARIMA error history of {} exceeds q={}",
+                e_hist.len(),
+                spec.q()
+            )));
+        }
+        if (observed_count as usize) < x_hist.len() {
+            return Err(StateError::InvalidShape("ARIMA observed_count below held history".into()));
+        }
+        Ok(Arima {
+            spec,
+            x_hist: x_hist.into(),
+            e_hist: e_hist.into(),
+            observed_count: observed_count as usize,
+        })
     }
 
     /// History length needed before a forecast can be formed.
@@ -275,6 +300,14 @@ impl<S: Summary> Forecaster<S> for Arima<S> {
     fn name(&self) -> &'static str {
         self.spec.class_name()
     }
+
+    fn snapshot_state(&self) -> ModelState<S> {
+        ModelState::Arima {
+            x_hist: self.x_hist.iter().cloned().collect(),
+            e_hist: self.e_hist.iter().cloned().collect(),
+            observed_count: self.observed_count as u64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -346,10 +379,10 @@ mod tests {
         m.observe(&10.0); // e=0
         assert!(m.forecast().is_none()); // needs p=2 history
         m.observe(&20.0); // e=0 (no forecast yet)
-        // Ẑ = 0.6*20 - 0.2*10 + 0.3*0 = 10
+                          // Ẑ = 0.6*20 - 0.2*10 + 0.3*0 = 10
         assert_eq!(m.forecast(), Some(10.0));
         m.observe(&13.0); // e = 3
-        // Ẑ = 0.6*13 - 0.2*20 + 0.3*3 = 7.8 - 4 + 0.9 = 4.7
+                          // Ẑ = 0.6*13 - 0.2*20 + 0.3*3 = 7.8 - 4 + 0.9 = 4.7
         let f = m.forecast().unwrap();
         assert!((f - 4.7).abs() < 1e-12, "{f}");
     }

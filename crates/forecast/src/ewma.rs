@@ -12,6 +12,7 @@
 //! versus history. EWMA is the workhorse of the paper's evaluation
 //! (Figures 4–9 all use it).
 
+use crate::state::ModelState;
 use crate::{Forecaster, Summary};
 
 /// EWMA forecaster with smoothing constant `α`.
@@ -34,6 +35,14 @@ impl<S: Summary> Ewma<S> {
     /// The smoothing constant `α`.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Rebuilds the model from checkpointed state. Any `forecast` (or none)
+    /// is a valid EWMA state, so this cannot fail.
+    pub fn resume(alpha: f64, forecast: Option<S>) -> Self {
+        let mut m = Ewma::new(alpha);
+        m.forecast = forecast;
+        m
     }
 }
 
@@ -61,6 +70,10 @@ impl<S: Summary> Forecaster<S> for Ewma<S> {
 
     fn name(&self) -> &'static str {
         "EWMA"
+    }
+
+    fn snapshot_state(&self) -> ModelState<S> {
+        ModelState::Ewma { forecast: self.forecast.clone() }
     }
 }
 

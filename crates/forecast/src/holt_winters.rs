@@ -15,6 +15,7 @@
 //! behaviour detector (the paper's reference \[9\]) builds on, and the model
 //! behind the paper's thresholding experiments (Figures 10–11).
 
+use crate::state::{ModelState, NshwParts, StateError};
 use crate::{Forecaster, Summary};
 
 /// State carried between intervals once the model is warm.
@@ -52,6 +53,22 @@ impl<S: Summary> NonSeasonalHoltWinters<S> {
     /// Smoothing parameters `(α, β)`.
     pub fn params(&self) -> (f64, f64) {
         (self.alpha, self.beta)
+    }
+
+    /// Rebuilds the model from checkpointed state.
+    pub fn resume(
+        alpha: f64,
+        beta: f64,
+        first: Option<S>,
+        state: Option<NshwParts<S>>,
+    ) -> Result<Self, StateError> {
+        if first.is_some() && state.is_some() {
+            return Err(StateError::InvalidShape("NSHW cannot be both warming up and warm".into()));
+        }
+        let mut m = NonSeasonalHoltWinters::new(alpha, beta);
+        m.first = first;
+        m.state = state.map(|p| HwState { level: p.level, trend: p.trend, forecast: p.forecast });
+        Ok(m)
     }
 }
 
@@ -114,6 +131,17 @@ impl<S: Summary> Forecaster<S> for NonSeasonalHoltWinters<S> {
 
     fn name(&self) -> &'static str {
         "NSHW"
+    }
+
+    fn snapshot_state(&self) -> ModelState<S> {
+        ModelState::Nshw {
+            first: self.first.clone(),
+            state: self.state.as_ref().map(|s| NshwParts {
+                level: s.level.clone(),
+                trend: s.trend.clone(),
+                forecast: s.forecast.clone(),
+            }),
+        }
     }
 }
 

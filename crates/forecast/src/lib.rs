@@ -42,6 +42,7 @@ pub mod ma;
 pub mod model;
 pub mod seasonal;
 pub mod sma;
+pub mod state;
 pub mod summary;
 
 pub use arima::{Arima, ArimaSpec};
@@ -51,6 +52,7 @@ pub use ma::MovingAverage;
 pub use model::{ModelError, ModelKind, ModelSpec};
 pub use seasonal::SeasonalHoltWinters;
 pub use sma::SShapedMovingAverage;
+pub use state::{ModelState, NshwParts, ShwParts, StateError};
 pub use summary::Summary;
 
 /// A forecasting model over summaries of type `S`.
@@ -74,6 +76,12 @@ pub trait Forecaster<S: Summary> {
 
     /// Short human-readable model name (e.g. `"EWMA"`).
     fn name(&self) -> &'static str;
+
+    /// Exports the model's complete mutable state for checkpointing.
+    /// Restoring it with [`ModelSpec::restore`](model::ModelSpec::restore)
+    /// (same spec) yields a forecaster whose future outputs are
+    /// bit-identical to this one's.
+    fn snapshot_state(&self) -> ModelState<S>;
 
     /// Convenience for the detection loop: returns
     /// `(Sf(t), Se(t) = So(t) − Sf(t))` for the current interval — `None`

@@ -14,6 +14,7 @@
 //! discarding the first hour of every trace, and the evaluation harness
 //! does the same.
 
+use crate::state::{ModelState, StateError};
 use crate::{Forecaster, Summary};
 use std::collections::VecDeque;
 
@@ -37,6 +38,20 @@ impl<S: Summary> MovingAverage<S> {
     /// The configured window `W`.
     pub fn window(&self) -> usize {
         self.window
+    }
+
+    /// Rebuilds the model from checkpointed state.
+    pub fn resume(window: usize, history: Vec<S>) -> Result<Self, StateError> {
+        if window == 0 {
+            return Err(StateError::InvalidShape("MA window must be at least 1".into()));
+        }
+        if history.len() > window {
+            return Err(StateError::InvalidShape(format!(
+                "MA history of {} exceeds window {window}",
+                history.len()
+            )));
+        }
+        Ok(MovingAverage { window, history: history.into() })
     }
 }
 
@@ -66,6 +81,10 @@ impl<S: Summary> Forecaster<S> for MovingAverage<S> {
 
     fn name(&self) -> &'static str {
         "MA"
+    }
+
+    fn snapshot_state(&self) -> ModelState<S> {
+        ModelState::Ma { history: self.history.iter().cloned().collect() }
     }
 }
 

@@ -289,9 +289,7 @@ impl ModelSpec {
                     if t.trim().is_empty() {
                         return Ok(Vec::new());
                     }
-                    t.split(',')
-                        .map(|c| c.trim().parse::<f64>().map_err(|_| bad()))
-                        .collect()
+                    t.split(',').map(|c| c.trim().parse::<f64>().map_err(|_| bad())).collect()
                 };
                 let ar = parse_list(ar_text)?;
                 let ma = parse_list(ma_text)?;
@@ -306,20 +304,15 @@ impl ModelSpec {
     /// Renders the spec in the exact syntax [`parse`](Self::parse) accepts
     /// (`parse(compact()) == self`), for tools that emit reusable configs.
     pub fn compact(&self) -> String {
-        let join = |c: &[f64]| {
-            c.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",")
-        };
+        let join = |c: &[f64]| c.iter().map(|v| format!("{v}")).collect::<Vec<_>>().join(",");
         match self {
             ModelSpec::Ma { window } => format!("ma:{window}"),
             ModelSpec::Sma { window } => format!("sma:{window}"),
             ModelSpec::Ewma { alpha } => format!("ewma:{alpha}"),
             ModelSpec::Nshw { alpha, beta } => format!("nshw:{alpha}:{beta}"),
-            ModelSpec::Arima(s) => format!(
-                "arima{}:{}/{}",
-                s.d,
-                join(s.ar.as_slice()),
-                join(s.ma.as_slice())
-            ),
+            ModelSpec::Arima(s) => {
+                format!("arima{}:{}/{}", s.d, join(s.ar.as_slice()), join(s.ma.as_slice()))
+            }
             ModelSpec::Shw { alpha, beta, gamma, period } => {
                 format!("shw:{alpha}:{beta}:{gamma}:{period}")
             }
@@ -341,9 +334,9 @@ impl ModelSpec {
                 s.ar.as_slice(),
                 s.ma.as_slice()
             ),
-            ModelSpec::Shw { alpha, beta, gamma, period } => format!(
-                "SHW(a={alpha:.4}, b={beta:.4}, g={gamma:.4}, m={period})"
-            ),
+            ModelSpec::Shw { alpha, beta, gamma, period } => {
+                format!("SHW(a={alpha:.4}, b={beta:.4}, g={gamma:.4}, m={period})")
+            }
         }
     }
 }
@@ -416,10 +409,7 @@ mod tests {
     #[test]
     fn shw_parse_build_and_validate() {
         let spec = ModelSpec::parse("shw:0.3:0.1:0.5:288").unwrap();
-        assert_eq!(
-            spec,
-            ModelSpec::Shw { alpha: 0.3, beta: 0.1, gamma: 0.5, period: 288 }
-        );
+        assert_eq!(spec, ModelSpec::Shw { alpha: 0.3, beta: 0.1, gamma: 0.5, period: 288 });
         assert_eq!(spec.kind(), ModelKind::Shw);
         assert!(ModelSpec::parse("shw:0.3:0.1:0.5").is_err());
         assert!(ModelSpec::Shw { alpha: 0.3, beta: 0.1, gamma: 1.5, period: 4 }

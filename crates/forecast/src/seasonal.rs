@@ -22,6 +22,7 @@
 //! trend = 0, seasonal indices = deviations from that mean. Warm-up is
 //! therefore `m` observations.
 
+use crate::state::{ModelState, ShwParts, StateError};
 use crate::{Forecaster, Summary};
 
 /// Additive seasonal Holt-Winters forecaster with period `m`.
@@ -77,6 +78,51 @@ impl<S: Summary> SeasonalHoltWinters<S> {
     pub fn params(&self) -> (f64, f64, f64) {
         (self.alpha, self.beta, self.gamma)
     }
+
+    /// Rebuilds the model from checkpointed state.
+    pub fn resume(
+        alpha: f64,
+        beta: f64,
+        gamma: f64,
+        period: usize,
+        init: Vec<S>,
+        state: Option<ShwParts<S>>,
+    ) -> Result<Self, StateError> {
+        if init.len() >= period.max(1) && state.is_none() {
+            return Err(StateError::InvalidShape(format!(
+                "SHW init buffer of {} should have seeded state at period {period}",
+                init.len()
+            )));
+        }
+        if let Some(p) = &state {
+            if !init.is_empty() {
+                return Err(StateError::InvalidShape(
+                    "SHW cannot be both initializing and warm".into(),
+                ));
+            }
+            if p.season.len() != period {
+                return Err(StateError::InvalidShape(format!(
+                    "SHW season vector of {} does not match period {period}",
+                    p.season.len()
+                )));
+            }
+            if p.phase >= period {
+                return Err(StateError::InvalidShape(format!(
+                    "SHW phase {} out of range for period {period}",
+                    p.phase
+                )));
+            }
+        }
+        let mut m = SeasonalHoltWinters::new(alpha, beta, gamma, period);
+        m.init_buffer = init;
+        m.state = state.map(|p| SeasonState {
+            level: p.level,
+            trend: p.trend,
+            season: p.season,
+            phase: p.phase,
+        });
+        Ok(m)
+    }
 }
 
 impl<S: Summary> Forecaster<S> for SeasonalHoltWinters<S> {
@@ -110,12 +156,8 @@ impl<S: Summary> Forecaster<S> for SeasonalHoltWinters<S> {
                             s
                         })
                         .collect();
-                    self.state = Some(SeasonState {
-                        trend: level.zero_like(),
-                        level,
-                        season,
-                        phase: 0,
-                    });
+                    self.state =
+                        Some(SeasonState { trend: level.zero_like(), level, season, phase: 0 });
                     self.init_buffer.clear();
                 }
             }
@@ -153,6 +195,18 @@ impl<S: Summary> Forecaster<S> for SeasonalHoltWinters<S> {
 
     fn name(&self) -> &'static str {
         "SHW"
+    }
+
+    fn snapshot_state(&self) -> ModelState<S> {
+        ModelState::Shw {
+            init: self.init_buffer.clone(),
+            state: self.state.as_ref().map(|s| ShwParts {
+                level: s.level.clone(),
+                trend: s.trend.clone(),
+                season: s.season.clone(),
+                phase: s.phase,
+            }),
+        }
     }
 }
 

@@ -16,6 +16,7 @@
 //! age `i ≥ r` (0-indexed from most recent) get weight
 //! `(W − i) / (W − r + 1)`.
 
+use crate::state::{ModelState, StateError};
 use crate::{Forecaster, Summary};
 use std::collections::VecDeque;
 
@@ -53,6 +54,20 @@ impl<S: Summary> SShapedMovingAverage<S> {
     pub fn window(&self) -> usize {
         self.window
     }
+
+    /// Rebuilds the model from checkpointed state.
+    pub fn resume(window: usize, history: Vec<S>) -> Result<Self, StateError> {
+        if window == 0 {
+            return Err(StateError::InvalidShape("SMA window must be at least 1".into()));
+        }
+        if history.len() > window {
+            return Err(StateError::InvalidShape(format!(
+                "SMA history of {} exceeds window {window}",
+                history.len()
+            )));
+        }
+        Ok(SShapedMovingAverage { window, history: history.into() })
+    }
 }
 
 impl<S: Summary> Forecaster<S> for SShapedMovingAverage<S> {
@@ -87,6 +102,10 @@ impl<S: Summary> Forecaster<S> for SShapedMovingAverage<S> {
 
     fn name(&self) -> &'static str {
         "SMA"
+    }
+
+    fn snapshot_state(&self) -> ModelState<S> {
+        ModelState::Sma { history: self.history.iter().cloned().collect() }
     }
 }
 

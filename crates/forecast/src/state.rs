@@ -1,0 +1,267 @@
+//! Serializable model state, for checkpoint/restore of running detectors.
+//!
+//! Every forecaster in this crate can export its complete mutable state as
+//! a [`ModelState`] — a plain data enum over the summary type `S` — and a
+//! [`ModelSpec`] can rebuild an equivalent forecaster from that state via
+//! [`ModelSpec::restore`]. The round trip is exact: a restored model
+//! produces bit-identical forecasts to the original from that point on,
+//! which is what lets a crashed streaming detector resume from its last
+//! checkpoint without replaying the entire stream.
+//!
+//! The split mirrors the config/state distinction: the *spec* (window,
+//! smoothing constants, coefficients) travels in the checkpoint header as a
+//! compact string ([`ModelSpec::compact`]); the *state* (histories, levels,
+//! trends, error buffers) travels as summaries encoded by the caller.
+
+use crate::model::{ModelKind, ModelSpec};
+use crate::{Forecaster, Summary};
+
+/// Complete mutable state of one forecasting model over summary type `S`.
+///
+/// Field meanings match the private state of the corresponding model; all
+/// sequences are oldest-first, exactly as the models store them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelState<S> {
+    /// [`crate::MovingAverage`] — the rolling window, oldest first.
+    Ma {
+        /// Held observations (at most the configured window).
+        history: Vec<S>,
+    },
+    /// [`crate::SShapedMovingAverage`] — the rolling window, oldest first.
+    Sma {
+        /// Held observations (at most the configured window).
+        history: Vec<S>,
+    },
+    /// [`crate::Ewma`] — the current forecast, if past warm-up.
+    Ewma {
+        /// `Sf(t)`, or `None` before the first observation.
+        forecast: Option<S>,
+    },
+    /// [`crate::NonSeasonalHoltWinters`].
+    Nshw {
+        /// First observation, held only during warm-up.
+        first: Option<S>,
+        /// Warm state `(level, trend, forecast)`, once seeded.
+        state: Option<NshwParts<S>>,
+    },
+    /// [`crate::Arima`].
+    Arima {
+        /// Raw observation history `X`, oldest first.
+        x_hist: Vec<S>,
+        /// Forecast-error history `e`, oldest first.
+        e_hist: Vec<S>,
+        /// Total observations seen (drives warm-up).
+        observed_count: u64,
+    },
+    /// [`crate::SeasonalHoltWinters`].
+    Shw {
+        /// First-cycle observations buffered during initialization.
+        init: Vec<S>,
+        /// Warm state, once a full period has been seen.
+        state: Option<ShwParts<S>>,
+    },
+}
+
+/// Warm-state components of non-seasonal Holt-Winters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NshwParts<S> {
+    /// Smoothed level `Ss(t)`.
+    pub level: S,
+    /// Smoothed trend `St(t)`.
+    pub trend: S,
+    /// Current forecast `Sf(t)`.
+    pub forecast: S,
+}
+
+/// Warm-state components of seasonal Holt-Winters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShwParts<S> {
+    /// Smoothed level.
+    pub level: S,
+    /// Smoothed trend.
+    pub trend: S,
+    /// Seasonal indices, one per phase; length equals the period.
+    pub season: Vec<S>,
+    /// Phase (`t mod m`) of the next observation.
+    pub phase: usize,
+}
+
+impl<S> ModelState<S> {
+    /// Short tag naming the variant, used in errors and on the wire.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ModelState::Ma { .. } => "MA",
+            ModelState::Sma { .. } => "SMA",
+            ModelState::Ewma { .. } => "EWMA",
+            ModelState::Nshw { .. } => "NSHW",
+            ModelState::Arima { .. } => "ARIMA",
+            ModelState::Shw { .. } => "SHW",
+        }
+    }
+}
+
+/// Errors from rebuilding a forecaster out of serialized state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateError {
+    /// The state variant does not belong to the spec's model family.
+    KindMismatch {
+        /// Family the spec describes.
+        expected: ModelKind,
+        /// Variant tag found in the state.
+        got: &'static str,
+    },
+    /// The state's shape is inconsistent with the spec (e.g. a history
+    /// longer than the window, or a season vector of the wrong length).
+    InvalidShape(String),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::KindMismatch { expected, got } => {
+                write!(f, "model state {got} does not match spec {expected}")
+            }
+            StateError::InvalidShape(what) => write!(f, "invalid model state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl ModelSpec {
+    /// Rebuilds a forecaster from its serialized state.
+    ///
+    /// The state must have been produced by
+    /// [`Forecaster::snapshot_state`] on a model built from an equal spec;
+    /// variant and shape are validated, so corrupt or mismatched state is a
+    /// typed [`StateError`], never a panic.
+    pub fn restore<S: Summary + Send + 'static>(
+        &self,
+        state: ModelState<S>,
+    ) -> Result<Box<dyn Forecaster<S> + Send>, StateError> {
+        let mismatch = |got: &'static str| StateError::KindMismatch { expected: self.kind(), got };
+        match (self.clone(), state) {
+            (ModelSpec::Ma { window }, ModelState::Ma { history }) => {
+                Ok(Box::new(crate::MovingAverage::resume(window, history)?))
+            }
+            (ModelSpec::Sma { window }, ModelState::Sma { history }) => {
+                Ok(Box::new(crate::SShapedMovingAverage::resume(window, history)?))
+            }
+            (ModelSpec::Ewma { alpha }, ModelState::Ewma { forecast }) => {
+                Ok(Box::new(crate::Ewma::resume(alpha, forecast)))
+            }
+            (ModelSpec::Nshw { alpha, beta }, ModelState::Nshw { first, state }) => {
+                Ok(Box::new(crate::NonSeasonalHoltWinters::resume(alpha, beta, first, state)?))
+            }
+            (ModelSpec::Arima(spec), ModelState::Arima { x_hist, e_hist, observed_count }) => {
+                Ok(Box::new(crate::Arima::resume(spec, x_hist, e_hist, observed_count)?))
+            }
+            (ModelSpec::Shw { alpha, beta, gamma, period }, ModelState::Shw { init, state }) => {
+                Ok(Box::new(crate::SeasonalHoltWinters::resume(
+                    alpha, beta, gamma, period, init, state,
+                )?))
+            }
+            (_, state) => Err(mismatch(state.tag())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arima::ArimaSpec;
+
+    fn all_specs() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::Ma { window: 3 },
+            ModelSpec::Sma { window: 4 },
+            ModelSpec::Ewma { alpha: 0.4 },
+            ModelSpec::Nshw { alpha: 0.5, beta: 0.3 },
+            ModelSpec::Arima(ArimaSpec::new(0, &[0.6, -0.2], &[0.3]).unwrap()),
+            ModelSpec::Arima(ArimaSpec::new(1, &[0.5], &[0.2, 0.1]).unwrap()),
+            ModelSpec::Shw { alpha: 0.4, beta: 0.2, gamma: 0.3, period: 3 },
+        ]
+    }
+
+    /// The core guarantee: snapshot at any point, restore, and the restored
+    /// model's future outputs are bit-identical to the original's.
+    #[test]
+    fn snapshot_restore_is_exact_at_every_prefix() {
+        let xs: Vec<f64> = (0..20).map(|t| 100.0 + 17.0 * ((t % 5) as f64) - t as f64).collect();
+        for spec in all_specs() {
+            for cut in 0..xs.len() {
+                let mut original: Box<dyn Forecaster<f64> + Send> = spec.build();
+                for x in &xs[..cut] {
+                    original.observe(x);
+                }
+                let state = original.snapshot_state();
+                let mut restored = spec.restore(state).expect("restore");
+                for x in &xs[cut..] {
+                    assert_eq!(
+                        original.forecast().map(f64::to_bits),
+                        restored.forecast().map(f64::to_bits),
+                        "{} cut={cut}",
+                        spec.describe()
+                    );
+                    original.observe(x);
+                    restored.observe(x);
+                }
+                assert_eq!(
+                    original.forecast().map(f64::to_bits),
+                    restored.forecast().map(f64::to_bits),
+                    "{} final",
+                    spec.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_typed() {
+        let state: ModelState<f64> = ModelState::Ewma { forecast: Some(1.0) };
+        match (ModelSpec::Ma { window: 3 }).restore(state) {
+            Err(StateError::KindMismatch { .. }) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("mismatched state restored"),
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_are_typed() {
+        // History longer than the window.
+        let too_long: ModelState<f64> = ModelState::Ma { history: vec![1.0; 5] };
+        assert!(matches!(
+            ModelSpec::Ma { window: 3 }.restore(too_long),
+            Err(StateError::InvalidShape(_))
+        ));
+        // Season vector of the wrong length.
+        let bad_season: ModelState<f64> = ModelState::Shw {
+            init: vec![],
+            state: Some(ShwParts { level: 0.0, trend: 0.0, season: vec![0.0; 2], phase: 0 }),
+        };
+        assert!(matches!(
+            ModelSpec::Shw { alpha: 0.5, beta: 0.5, gamma: 0.5, period: 4 }.restore(bad_season),
+            Err(StateError::InvalidShape(_))
+        ));
+        // Phase out of range.
+        let bad_phase: ModelState<f64> = ModelState::Shw {
+            init: vec![],
+            state: Some(ShwParts { level: 0.0, trend: 0.0, season: vec![0.0; 4], phase: 9 }),
+        };
+        assert!(ModelSpec::Shw { alpha: 0.5, beta: 0.5, gamma: 0.5, period: 4 }
+            .restore(bad_phase)
+            .is_err());
+        // NSHW with both warm-up and warm state set.
+        let both: ModelState<f64> = ModelState::Nshw {
+            first: Some(1.0),
+            state: Some(NshwParts { level: 0.0, trend: 0.0, forecast: 0.0 }),
+        };
+        assert!(ModelSpec::Nshw { alpha: 0.5, beta: 0.5 }.restore(both).is_err());
+        // ARIMA with more errors than q.
+        let bad_arima: ModelState<f64> =
+            ModelState::Arima { x_hist: vec![1.0], e_hist: vec![0.0; 4], observed_count: 1 };
+        assert!(ModelSpec::Arima(ArimaSpec::new(0, &[0.5], &[0.3]).unwrap())
+            .restore(bad_arima)
+            .is_err());
+    }
+}

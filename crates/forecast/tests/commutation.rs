@@ -94,10 +94,7 @@ fn sketched_forecast_equals_sketch_of_scalar_forecasts() {
             let mut observed = KarySketch::new(CFG);
             for (&key, &v) in interval {
                 observed.update(key, v);
-                scalar_models
-                    .entry(key)
-                    .or_insert_with(|| spec.build())
-                    .observe(&v);
+                scalar_models.entry(key).or_insert_with(|| spec.build()).observe(&v);
             }
             sketch_model.observe(&observed);
         }

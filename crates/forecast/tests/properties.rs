@@ -1,39 +1,46 @@
-//! Property-based tests of the forecasting models' structural invariants.
+//! Property-based tests of the forecasting models' structural invariants,
+//! driven by a seeded `SplitMix64` so runs are reproducible.
 
-use proptest::prelude::*;
 use scd_forecast::{ArimaSpec, Forecaster, ModelSpec};
+use scd_hash::SplitMix64;
 
-fn spec_strategy() -> impl Strategy<Value = ModelSpec> {
-    prop_oneof![
-        (1usize..8).prop_map(|window| ModelSpec::Ma { window }),
-        (1usize..8).prop_map(|window| ModelSpec::Sma { window }),
-        (0.0f64..=1.0).prop_map(|alpha| ModelSpec::Ewma { alpha }),
-        ((0.0f64..=1.0), (0.0f64..=1.0))
-            .prop_map(|(alpha, beta)| ModelSpec::Nshw { alpha, beta }),
-        (
-            0usize..=1,
-            prop::collection::vec(-1.5f64..1.5, 0..=2),
-            prop::collection::vec(-1.5f64..1.5, 0..=2)
-        )
-            .prop_map(|(d, ar, ma)| ModelSpec::Arima(ArimaSpec::new(d, &ar, &ma).unwrap())),
-    ]
+const CASES: u64 = 64;
+
+fn uniform(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * (rng.next_below(1_000_000) as f64) / 1_000_000.0
 }
 
-fn stream_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e4f64..1e4, 4..20)
+fn random_spec(rng: &mut SplitMix64) -> ModelSpec {
+    match rng.next_below(5) {
+        0 => ModelSpec::Ma { window: 1 + rng.next_below(7) as usize },
+        1 => ModelSpec::Sma { window: 1 + rng.next_below(7) as usize },
+        2 => ModelSpec::Ewma { alpha: uniform(rng, 0.0, 1.0) },
+        3 => ModelSpec::Nshw { alpha: uniform(rng, 0.0, 1.0), beta: uniform(rng, 0.0, 1.0) },
+        _ => {
+            let d = rng.next_below(2) as usize;
+            let ar: Vec<f64> = (0..rng.next_below(3)).map(|_| uniform(rng, -1.5, 1.5)).collect();
+            let ma: Vec<f64> = (0..rng.next_below(3)).map(|_| uniform(rng, -1.5, 1.5)).collect();
+            ModelSpec::Arima(ArimaSpec::new(d, &ar, &ma).unwrap())
+        }
+    }
 }
 
-proptest! {
-    /// Every model is linear: model(c1·x + c2·y) = c1·model(x) + c2·model(y).
-    /// This is the precondition for running the model on sketches at all.
-    #[test]
-    fn models_are_linear(
-        spec in spec_strategy(),
-        xs in stream_strategy(),
-        ys in stream_strategy(),
-        c1 in -3.0f64..3.0,
-        c2 in -3.0f64..3.0,
-    ) {
+fn random_stream(rng: &mut SplitMix64) -> Vec<f64> {
+    let len = 4 + rng.next_below(16) as usize;
+    (0..len).map(|_| uniform(rng, -1e4, 1e4)).collect()
+}
+
+/// Every model is linear: model(c1·x + c2·y) = c1·model(x) + c2·model(y).
+/// This is the precondition for running the model on sketches at all.
+#[test]
+fn models_are_linear() {
+    let mut rng = SplitMix64::new(0x11EA);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let xs = random_stream(&mut rng);
+        let ys = random_stream(&mut rng);
+        let c1 = uniform(&mut rng, -3.0, 3.0);
+        let c2 = uniform(&mut rng, -3.0, 3.0);
         let n = xs.len().min(ys.len());
         let mut mx: Box<dyn Forecaster<f64> + Send> = spec.build();
         let mut my: Box<dyn Forecaster<f64> + Send> = spec.build();
@@ -49,53 +56,68 @@ proptest! {
                 // Scale-aware tolerance: inputs up to 1e4, a few intervals
                 // of accumulation.
                 let tol = 1e-6_f64.max(expect.abs() * 1e-9);
-                prop_assert!((fz - expect).abs() <= tol,
-                    "{}: {} vs {}", spec.describe(), fz, expect);
+                assert!((fz - expect).abs() <= tol, "{}: {fz} vs {expect}", spec.describe());
             }
             (a, b, c) => {
                 // Warm-up states must agree across the three instances.
-                prop_assert_eq!(a.is_some(), c.is_some());
-                prop_assert_eq!(b.is_some(), c.is_some());
+                assert_eq!(a.is_some(), c.is_some());
+                assert_eq!(b.is_some(), c.is_some());
             }
         }
     }
+}
 
-    /// Forecasts are finite for finite inputs.
-    #[test]
-    fn forecasts_stay_finite(spec in spec_strategy(), xs in stream_strategy()) {
+/// Forecasts are finite for finite inputs.
+#[test]
+fn forecasts_stay_finite() {
+    let mut rng = SplitMix64::new(0xF1417E);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let xs = random_stream(&mut rng);
         let mut m: Box<dyn Forecaster<f64> + Send> = spec.build();
         for x in &xs {
             m.observe(x);
             if let Some(f) = m.forecast() {
-                prop_assert!(f.is_finite(), "{}: non-finite forecast", spec.describe());
+                assert!(f.is_finite(), "{}: non-finite forecast", spec.describe());
             }
         }
     }
+}
 
-    /// Warm-up contract: forecast() is None for exactly the first
-    /// `warm_up()` observations and Some afterwards.
-    #[test]
-    fn warm_up_contract(spec in spec_strategy(), xs in stream_strategy()) {
+/// Warm-up contract: forecast() is None for exactly the first
+/// `warm_up()` observations and Some afterwards.
+#[test]
+fn warm_up_contract() {
+    let mut rng = SplitMix64::new(0x3A52);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let xs = random_stream(&mut rng);
         let mut m: Box<dyn Forecaster<f64> + Send> = spec.build();
         let warm = m.warm_up();
         for (i, x) in xs.iter().enumerate() {
             let expected_ready = i >= warm;
-            prop_assert_eq!(m.forecast().is_some(), expected_ready,
-                "{}: after {} observations (warm_up = {})", spec.describe(), i, warm);
+            assert_eq!(
+                m.forecast().is_some(),
+                expected_ready,
+                "{}: after {i} observations (warm_up = {warm})",
+                spec.describe()
+            );
             m.observe(x);
         }
     }
+}
 
-    /// A constant stream is eventually forecast as (close to) the constant
-    /// by every smoothing model; ARIMA is excluded since arbitrary random
-    /// coefficients need not have unit DC gain.
-    #[test]
-    fn smoothing_models_track_constants(
-        window in 1usize..8,
-        alpha in 0.05f64..=1.0,
-        beta in 0.0f64..=1.0,
-        level in 1.0f64..1e4,
-    ) {
+/// A constant stream is eventually forecast as (close to) the constant
+/// by every smoothing model; ARIMA is excluded since arbitrary random
+/// coefficients need not have unit DC gain.
+#[test]
+fn smoothing_models_track_constants() {
+    let mut rng = SplitMix64::new(0xC025);
+    for _ in 0..CASES {
+        let window = 1 + rng.next_below(7) as usize;
+        let alpha = uniform(&mut rng, 0.05, 1.0);
+        let beta = uniform(&mut rng, 0.0, 1.0);
+        let level = uniform(&mut rng, 1.0, 1e4);
         let specs = [
             ModelSpec::Ma { window },
             ModelSpec::Sma { window },
@@ -108,27 +130,69 @@ proptest! {
                 m.observe(&level);
             }
             let f = m.forecast().unwrap();
-            prop_assert!((f - level).abs() < 1e-6 * level + 1e-9,
-                "{}: forecast {} for constant {}", spec.describe(), f, level);
+            assert!(
+                (f - level).abs() < 1e-6 * level + 1e-9,
+                "{}: forecast {f} for constant {level}",
+                spec.describe()
+            );
         }
     }
+}
 
-    /// `step` returns an error equal to observation minus forecast.
-    #[test]
-    fn step_error_identity(spec in spec_strategy(), xs in stream_strategy()) {
+/// `step` returns an error equal to observation minus forecast.
+#[test]
+fn step_error_identity() {
+    let mut rng = SplitMix64::new(0x57E9);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let xs = random_stream(&mut rng);
         let mut m: Box<dyn Forecaster<f64> + Send> = spec.build();
         for x in &xs {
             let pre = m.forecast();
             let stepped = m.step(x);
             match (pre, stepped) {
                 (Some(f), Some((f2, e))) => {
-                    prop_assert_eq!(f, f2);
-                    prop_assert!((e - (x - f)).abs() < 1e-9);
+                    assert_eq!(f, f2);
+                    assert!((e - (x - f)).abs() < 1e-9);
                 }
                 (None, None) => {}
-                (a, b) => prop_assert!(false,
-                    "step/forecast disagree: {:?} vs {:?}", a, b.map(|p| p.0)),
+                (a, b) => {
+                    panic!("step/forecast disagree: {:?} vs {:?}", a, b.map(|p| p.0))
+                }
             }
         }
+    }
+}
+
+/// Snapshot/restore round-trips through a random prefix for a random spec:
+/// restored forecasts are bit-identical to the uninterrupted model's.
+#[test]
+fn snapshot_restore_round_trip() {
+    let mut rng = SplitMix64::new(0x5A47);
+    for _ in 0..CASES {
+        let spec = random_spec(&mut rng);
+        let xs = random_stream(&mut rng);
+        let cut = rng.next_below(xs.len() as u64 + 1) as usize;
+        let mut original: Box<dyn Forecaster<f64> + Send> = spec.build();
+        for x in &xs[..cut] {
+            original.observe(x);
+        }
+        let mut restored = spec.restore(original.snapshot_state()).expect("restore");
+        for x in &xs[cut..] {
+            assert_eq!(
+                original.forecast().map(f64::to_bits),
+                restored.forecast().map(f64::to_bits),
+                "{}",
+                spec.describe()
+            );
+            original.observe(x);
+            restored.observe(x);
+        }
+        assert_eq!(
+            original.forecast().map(f64::to_bits),
+            restored.forecast().map(f64::to_bits),
+            "{}",
+            spec.describe()
+        );
     }
 }

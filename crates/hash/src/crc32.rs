@@ -1,0 +1,106 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the integrity
+//! footer shared by every on-disk format in this workspace.
+//!
+//! The sketch wire format (`SCDSKT02`), the binary trace format
+//! (`SCDTRC02`), and the detector checkpoint format (`SCDCKPT1`) all close
+//! with a 4-byte CRC so truncation and bit-rot are *detected* instead of
+//! silently decoding garbage. The checksum lives in this crate because it
+//! is the one crate every other crate already depends on.
+//!
+//! This is the same CRC as zlib/PNG/Ethernet; `crc32(b"123456789")` is the
+//! classic check value `0xCBF43926`.
+
+/// Lookup table for one byte of reflected CRC-32, built at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 of `data` in one call.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finalize()
+}
+
+/// Incremental CRC-32 state, for writers that stream bytes out.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds more bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        for &b in data {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        // The universal CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"sketch-based change detection";
+        let mut inc = Crc32::new();
+        inc.update(&data[..7]);
+        inc.update(&data[7..]);
+        assert_eq!(inc.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn detects_any_single_byte_flip() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let clean = crc32(&data);
+        for pos in 0..data.len() {
+            let mut corrupt = data.clone();
+            corrupt[pos] ^= 0x01;
+            assert_ne!(crc32(&corrupt), clean, "flip at {pos} undetected");
+        }
+    }
+}

@@ -52,11 +52,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod byteio;
+pub mod crc32;
 pub mod poly;
 pub mod rows;
 pub mod splitmix;
 pub mod tabulation;
 
+pub use crc32::{crc32, Crc32};
 pub use poly::Poly4;
 pub use rows::HashRows;
 pub use splitmix::SplitMix64;
@@ -81,10 +84,7 @@ impl Hasher4 {
         let mut sm = SplitMix64::new(seed);
         let tab_seed = sm.next_u64();
         let poly_seed = sm.next_u64();
-        Hasher4 {
-            tab: Tab4::new(tab_seed),
-            poly: Poly4::new(poly_seed),
-        }
+        Hasher4 { tab: Tab4::new(tab_seed), poly: Poly4::new(poly_seed) }
     }
 
     /// Returns 64 output bits. Keys `< 2^32` use tabulation; larger keys use

@@ -158,14 +158,8 @@ mod tests {
 
     #[test]
     fn mod_p128_matches_naive() {
-        let cases: [u128; 6] = [
-            0,
-            1,
-            MERSENNE_P as u128,
-            (MERSENNE_P as u128) * 2 + 5,
-            u64::MAX as u128,
-            u128::MAX,
-        ];
+        let cases: [u128; 6] =
+            [0, 1, MERSENNE_P as u128, (MERSENNE_P as u128) * 2 + 5, u64::MAX as u128, u128::MAX];
         for &x in &cases {
             assert_eq!(mod_p128(x) as u128, x % MERSENNE_P as u128, "x = {x}");
         }

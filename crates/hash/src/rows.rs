@@ -33,11 +33,7 @@ impl HashRows {
         assert!(k.is_power_of_two(), "K must be a power of two, got {k}");
         let mut sm = SplitMix64::new(seed ^ 0x5EED_0F5E_ED00);
         let hashers = (0..h).map(|_| Hasher4::new(sm.next_u64())).collect();
-        HashRows {
-            hashers,
-            k,
-            identity: (h, k, seed),
-        }
+        HashRows { hashers, k, identity: (h, k, seed) }
     }
 
     /// Number of rows `H`.
@@ -99,9 +95,8 @@ mod tests {
         // Two rows agreeing on many keys would indicate shared seeds.
         for a in 0..5 {
             for b in (a + 1)..5 {
-                let agree = (0..2000u64)
-                    .filter(|&key| rows.bucket(a, key) == rows.bucket(b, key))
-                    .count();
+                let agree =
+                    (0..2000u64).filter(|&key| rows.bucket(a, key) == rows.bucket(b, key)).count();
                 // Expected agreement = 2000/1024 ≈ 2.
                 assert!(agree < 12, "rows {a},{b} agree on {agree} of 2000 keys");
             }

@@ -21,6 +21,14 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state. `SplitMix64::new(g.state())` resumes the
+    /// stream exactly where `g` left off — checkpoint/restore relies on this
+    /// to make restored detectors bit-identical to uninterrupted ones.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Returns the next 64 pseudo-random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -47,14 +47,8 @@ impl Tab4 {
     /// Builds the three tables from a seed (deterministic; ≈2 MiB).
     pub fn new(seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
-        let mut fill = |len: usize| -> Box<[u64]> {
-            (0..len).map(|_| rng.next_u64()).collect()
-        };
-        Tab4 {
-            t0: fill(TABLE_LEN),
-            t1: fill(TABLE_LEN),
-            t2: fill(DERIVED_LEN),
-        }
+        let mut fill = |len: usize| -> Box<[u64]> { (0..len).map(|_| rng.next_u64()).collect() };
+        Tab4 { t0: fill(TABLE_LEN), t1: fill(TABLE_LEN), t2: fill(DERIVED_LEN) }
     }
 
     /// Hashes a 32-bit key to 64 uniform bits.
@@ -83,9 +77,7 @@ impl Tab4 {
 
 impl std::fmt::Debug for Tab4 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Tab4")
-            .field("memory_bytes", &self.memory_bytes())
-            .finish()
+        f.debug_struct("Tab4").field("memory_bytes", &self.memory_bytes()).finish()
     }
 }
 
@@ -152,20 +144,12 @@ mod tests {
     fn four_key_parity_unbiased() {
         // Keys forming a rectangle in (c0, c1): the adversarial pattern for
         // plain 2-table tabulation.
-        let keys = [
-            0x0001_0002u32,
-            0x0001_0003,
-            0x0004_0002,
-            0x0004_0003,
-        ];
+        let keys = [0x0001_0002u32, 0x0001_0003, 0x0004_0002, 0x0004_0003];
         let trials = 2000;
         let mut ones = 0u32;
         for seed in 0..trials {
             let t = Tab4::new(seed as u64 * 7919 + 1);
-            let parity = keys
-                .iter()
-                .fold(0u64, |acc, &k| acc ^ t.hash32(k))
-                & 1;
+            let parity = keys.iter().fold(0u64, |acc, &k| acc ^ t.hash32(k)) & 1;
             ones += parity as u32;
         }
         // Without the derived table, parity would be 0 for every seed.

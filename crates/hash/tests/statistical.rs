@@ -37,10 +37,7 @@ fn tabulation_pairs_uniform_across_seeds() {
     pairwise_chi_square(
         |seed, key| {
             let t = Tab4::new(seed);
-            (
-                t.bucket32(key as u32, 8),
-                t.bucket32(key.wrapping_add(1) as u32, 8),
-            )
+            (t.bucket32(key as u32, 8), t.bucket32(key.wrapping_add(1) as u32, 8))
         },
         8,
     );
@@ -70,10 +67,7 @@ fn four_key_and_probability(bit_of: impl Fn(u64, u64) -> u64) {
     }
     let p = hits as f64 / trials as f64;
     // Expect 1/16 = 0.0625, sd = sqrt(p(1-p)/n) ≈ 0.0027; allow 5 sd.
-    assert!(
-        (p - 0.0625).abs() < 0.014,
-        "P(all four bits set) = {p}, expected 0.0625"
-    );
+    assert!((p - 0.0625).abs() < 0.014, "P(all four bits set) = {p}, expected 0.0625");
 }
 
 #[test]
@@ -101,10 +95,7 @@ fn bit_balance_over_keys() {
     }
     for (b, &c) in ones.iter().enumerate() {
         let p = c as f64 / n as f64;
-        assert!(
-            (p - 0.5).abs() < 0.02,
-            "output bit {b} biased: P(1) = {p}"
-        );
+        assert!((p - 0.5).abs() < 0.02, "output bit {b} biased: P(1) = {p}");
     }
 }
 
@@ -126,10 +117,7 @@ fn avalanche_on_single_bit_flips() {
         }
     }
     let avg = total_flips as f64 / cases as f64;
-    assert!(
-        (avg - 32.0).abs() < 2.0,
-        "average flipped output bits {avg}, expected ~32"
-    );
+    assert!((avg - 32.0).abs() < 2.0, "average flipped output bits {avg}, expected ~32");
 }
 
 /// Bucket masks of each row in a family must look independent: the

@@ -72,10 +72,7 @@ impl CountMinSketch {
 
 impl std::fmt::Debug for CountMinSketch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CountMinSketch")
-            .field("h", &self.h())
-            .field("k", &self.k())
-            .finish()
+        f.debug_struct("CountMinSketch").field("h", &self.h()).field("k", &self.k()).finish()
     }
 }
 

@@ -94,10 +94,7 @@ impl CountSketch {
 
 impl std::fmt::Debug for CountSketch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CountSketch")
-            .field("h", &self.h())
-            .field("k", &self.k())
-            .finish()
+        f.debug_struct("CountSketch").field("h", &self.h()).field("k", &self.k()).finish()
     }
 }
 

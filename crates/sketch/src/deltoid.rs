@@ -76,10 +76,7 @@ impl Deltoid {
     /// # Panics
     /// Panics if `key_bits` is 0 or exceeds 64.
     pub fn with_rows(rows: Arc<HashRows>, key_bits: u32) -> Self {
-        assert!(
-            (1..=64).contains(&key_bits),
-            "key_bits must be in 1..=64, got {key_bits}"
-        );
+        assert!((1..=64).contains(&key_bits), "key_bits must be in 1..=64, got {key_bits}");
         let len = rows.h() * rows.k() * (key_bits as usize + 1);
         Deltoid { rows, key_bits, table: vec![0.0; len] }
     }
@@ -264,10 +261,7 @@ impl Deltoid {
             }
         }
         out.sort_by(|a, b| {
-            b.1.abs()
-                .partial_cmp(&a.1.abs())
-                .expect("finite estimates")
-                .then_with(|| a.0.cmp(&b.0))
+            b.1.abs().partial_cmp(&a.1.abs()).expect("finite estimates").then_with(|| a.0.cmp(&b.0))
         });
         out
     }

@@ -40,10 +40,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SketchError::IncompatibleSketches {
-            left: (5, 1024, 1),
-            right: (5, 2048, 1),
-        };
+        let e = SketchError::IncompatibleSketches { left: (5, 1024, 1), right: (5, 2048, 1) };
         let s = e.to_string();
         assert!(s.contains("K=1024") && s.contains("K=2048"));
         assert!(SketchError::EmptyCombination.to_string().contains("at least one"));

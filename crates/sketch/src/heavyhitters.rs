@@ -34,11 +34,7 @@ impl MisraGries {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "capacity must be at least 1");
-        MisraGries {
-            capacity,
-            counters: HashMap::with_capacity(capacity + 1),
-            total: 0.0,
-        }
+        MisraGries { capacity, counters: HashMap::with_capacity(capacity + 1), total: 0.0 }
     }
 
     /// Number of counters currently held (≤ capacity).
@@ -79,12 +75,7 @@ impl MisraGries {
         // Decrement-all step, weighted: subtract the smallest amount that
         // frees at least one slot (the classic generalization for weighted
         // updates: decrement by min(weight, smallest counter)).
-        let min = self
-            .counters
-            .values()
-            .cloned()
-            .fold(f64::INFINITY, f64::min)
-            .min(weight);
+        let min = self.counters.values().cloned().fold(f64::INFINITY, f64::min).min(weight);
         self.counters.retain(|_, c| {
             *c -= min;
             *c > 1e-12
@@ -112,9 +103,7 @@ impl MisraGries {
     pub fn top(&self, n: usize) -> Vec<(u64, f64)> {
         let mut items: Vec<(u64, f64)> = self.counters.iter().map(|(&k, &v)| (k, v)).collect();
         items.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite counters")
-                .then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).expect("finite counters").then_with(|| a.0.cmp(&b.0))
         });
         items.truncate(n);
         items

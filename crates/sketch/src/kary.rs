@@ -351,10 +351,7 @@ mod tests {
             f2 += v * v;
         }
         let est = s.estimate_f2();
-        assert!(
-            (est - f2).abs() < 0.1 * f2,
-            "estimated F2 {est} vs true {f2}"
-        );
+        assert!((est - f2).abs() < 0.1 * f2, "estimated F2 {est} vs true {f2}");
     }
 
     #[test]

@@ -6,27 +6,37 @@
 //! matters: a deserialized sketch carries its hash-family identity
 //! `(H, K, seed)`, so an incompatible COMBINE is still caught.
 //!
-//! Layout (little-endian):
+//! Layout of the current version (little-endian):
 //!
 //! ```text
-//! magic   8  b"SCDSKT01"
+//! magic   8  b"SCDSKT02"
 //! h       8  u64
 //! k       8  u64
 //! seed    8  u64
 //! cells   H*K*8  f64 bits, row-major
+//! crc     4  CRC-32 (IEEE) of all preceding bytes
 //! ```
 //!
-//! At the paper's `H = 5, K = 32768` a sketch serializes to 1.25 MiB + 32
+//! Version 02 appends the CRC-32 footer so truncation and bit-rot are
+//! detected instead of silently decoding a garbage table. The v01 format
+//! (same layout, magic `SCDSKT01`, no footer) is still accepted on the
+//! read side for sketches serialized by older builds.
+//!
+//! At the paper's `H = 5, K = 32768` a sketch serializes to 1.25 MiB + 36
 //! bytes — the "ship a sketch, not per-flow tables" story in §1.3.
 //! Deserialization re-derives the hash tables from the seed (~2 MiB of
 //! tabulation per row, built once per family thanks to the shared
-//! `Arc<HashRows>`).
+//! `Arc<HashRows>`); [`from_bytes_with_rows`] skips even that when the
+//! caller already holds the family.
 
 use crate::error::SketchError;
 use crate::kary::{KarySketch, SketchConfig};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scd_hash::byteio::{put_f64, put_u32, put_u64, Cursor};
+use scd_hash::{crc32, HashRows};
+use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"SCDSKT01";
+const MAGIC_V1: &[u8; 8] = b"SCDSKT01";
+const MAGIC_V2: &[u8; 8] = b"SCDSKT02";
 
 /// Errors from sketch (de)serialization.
 #[derive(Debug)]
@@ -43,6 +53,17 @@ pub enum WireError {
         /// Declared buckets.
         k: u64,
     },
+    /// The CRC-32 footer does not match the payload (v02 only): the bytes
+    /// were corrupted in flight or at rest.
+    BadChecksum {
+        /// Checksum recomputed over the payload.
+        computed: u32,
+        /// Checksum stored in the footer.
+        stored: u32,
+    },
+    /// The serialized family does not match the one the caller supplied to
+    /// [`from_bytes_with_rows`].
+    FamilyMismatch,
     /// A combine against an incompatible family after deserialization.
     Incompatible(SketchError),
 }
@@ -55,6 +76,13 @@ impl std::fmt::Display for WireError {
             WireError::BadHeader { h, k } => {
                 write!(f, "invalid sketch header: H={h}, K={k}")
             }
+            WireError::BadChecksum { computed, stored } => write!(
+                f,
+                "sketch checksum mismatch: computed {computed:#010x}, stored {stored:#010x}"
+            ),
+            WireError::FamilyMismatch => {
+                write!(f, "serialized sketch belongs to a different hash family")
+            }
             WireError::Incompatible(e) => write!(f, "{e}"),
         }
     }
@@ -66,45 +94,96 @@ impl std::error::Error for WireError {}
 /// a defensive bound so corrupt headers cannot trigger huge allocations.
 const MAX_CELLS: u64 = 64 * 1024 * 1024;
 
-/// Serializes the sketch (header + raw cells).
-pub fn to_bytes(sketch: &KarySketch) -> Bytes {
+/// Serializes the sketch in the current (v02) format: header + raw cells +
+/// CRC-32 footer.
+pub fn to_bytes(sketch: &KarySketch) -> Vec<u8> {
     let (h, k, seed) = sketch.rows().identity();
-    let mut buf = BytesMut::with_capacity(32 + sketch.table().len() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(h as u64);
-    buf.put_u64_le(k as u64);
-    buf.put_u64_le(seed);
+    let mut buf = Vec::with_capacity(36 + sketch.table().len() * 8);
+    buf.extend_from_slice(MAGIC_V2);
+    put_u64(&mut buf, h as u64);
+    put_u64(&mut buf, k as u64);
+    put_u64(&mut buf, seed);
     for &cell in sketch.table() {
-        buf.put_f64_le(cell);
+        put_f64(&mut buf, cell);
     }
-    buf.freeze()
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
 }
 
-/// Deserializes a sketch, re-deriving its hash family from the header.
-pub fn from_bytes(mut data: &[u8]) -> Result<KarySketch, WireError> {
-    if data.len() < 32 || &data[..8] != MAGIC {
-        return Err(WireError::BadMagic);
-    }
-    data.advance(8);
-    let h = data.get_u64_le();
-    let k = data.get_u64_le();
-    let seed = data.get_u64_le();
+/// Validated header + cell payload, shared by the two decode entry points.
+struct Decoded<'a> {
+    h: u64,
+    k: u64,
+    seed: u64,
+    cells: Cursor<'a>,
+    n_cells: usize,
+}
+
+fn decode(data: &[u8]) -> Result<Decoded<'_>, WireError> {
+    let mut cur = Cursor::new(data);
+    let magic = cur.take(8).map_err(|_| WireError::BadMagic)?;
+    let body_len = match magic {
+        m if m == MAGIC_V2 => {
+            // Footer covers everything before it, including the magic.
+            if data.len() < 12 {
+                return Err(WireError::Truncated);
+            }
+            let (payload, footer) = data.split_at(data.len() - 4);
+            let stored = u32::from_le_bytes(footer.try_into().expect("length checked"));
+            let computed = crc32(payload);
+            if computed != stored {
+                return Err(WireError::BadChecksum { computed, stored });
+            }
+            payload.len() - 8
+        }
+        m if m == MAGIC_V1 => data.len() - 8,
+        _ => return Err(WireError::BadMagic),
+    };
+    let mut cur = Cursor::new(&data[8..8 + body_len]);
+    let h = cur.u64().map_err(|_| WireError::Truncated)?;
+    let k = cur.u64().map_err(|_| WireError::Truncated)?;
+    let seed = cur.u64().map_err(|_| WireError::Truncated)?;
     if h == 0 || k == 0 || !k.is_power_of_two() || h.saturating_mul(k) > MAX_CELLS {
         return Err(WireError::BadHeader { h, k });
     }
-    let cells = (h * k) as usize;
-    if data.remaining() != cells * 8 {
+    let n_cells = (h * k) as usize;
+    if cur.remaining() != n_cells * 8 {
         return Err(WireError::Truncated);
     }
-    let mut sketch = KarySketch::new(SketchConfig { h: h as usize, k: k as usize, seed });
-    // Fill cells through the linear API: reconstruct by direct table write
-    // is not exposed, so we deserialize into a scratch table and inject via
-    // add_raw (crate-private).
-    let mut table = Vec::with_capacity(cells);
-    for _ in 0..cells {
-        table.push(data.get_f64_le());
+    Ok(Decoded { h, k, seed, cells: cur, n_cells })
+}
+
+fn read_table(mut d: Decoded<'_>) -> Vec<f64> {
+    let mut table = Vec::with_capacity(d.n_cells);
+    for _ in 0..d.n_cells {
+        table.push(d.cells.f64().expect("cell count validated"));
     }
-    sketch.load_table(table);
+    table
+}
+
+/// Deserializes a sketch, re-deriving its hash family from the header.
+/// Accepts both v02 (checksummed) and legacy v01 payloads.
+pub fn from_bytes(data: &[u8]) -> Result<KarySketch, WireError> {
+    let d = decode(data)?;
+    let config = SketchConfig { h: d.h as usize, k: d.k as usize, seed: d.seed };
+    let mut sketch = KarySketch::new(config);
+    sketch.load_table(read_table(d));
+    Ok(sketch)
+}
+
+/// Deserializes a sketch into an existing hash family, skipping the (large)
+/// table re-derivation. The serialized identity must match `rows` exactly;
+/// a mismatch is [`WireError::FamilyMismatch`]. This is the hot path for
+/// checkpoint restore, which decodes several sketches of one family.
+pub fn from_bytes_with_rows(data: &[u8], rows: &Arc<HashRows>) -> Result<KarySketch, WireError> {
+    let d = decode(data)?;
+    let (h, k, seed) = rows.identity();
+    if (d.h, d.k, d.seed) != (h as u64, k as u64, seed) {
+        return Err(WireError::FamilyMismatch);
+    }
+    let mut sketch = KarySketch::with_rows(Arc::clone(rows));
+    sketch.load_table(read_table(d));
     Ok(sketch)
 }
 
@@ -148,31 +227,81 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(matches!(from_bytes(b"nope"), Err(WireError::BadMagic)));
-        let mut ok = to_bytes(&sample()).to_vec();
+        let mut ok = to_bytes(&sample());
         ok.pop();
-        assert!(matches!(from_bytes(&ok), Err(WireError::Truncated)));
+        // Dropping a footer byte breaks the checksum/length invariant.
+        assert!(from_bytes(&ok).is_err());
+    }
+
+    #[test]
+    fn reads_legacy_v01_payloads() {
+        let s = sample();
+        let (h, k, seed) = s.rows().identity();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        buf.extend_from_slice(&(h as u64).to_le_bytes());
+        buf.extend_from_slice(&(k as u64).to_le_bytes());
+        buf.extend_from_slice(&seed.to_le_bytes());
+        for &cell in s.table() {
+            buf.extend_from_slice(&cell.to_le_bytes());
+        }
+        let back = from_bytes(&buf).unwrap();
+        assert_eq!(back.table(), s.table());
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_a_typed_error_or_detected() {
+        let clean = to_bytes(&sample());
+        let mut rng = scd_hash::SplitMix64::new(0xC0DE);
+        for _ in 0..200 {
+            let pos = rng.next_below(clean.len() as u64) as usize;
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << rng.next_below(8);
+            match from_bytes(&bad) {
+                Err(_) => {}
+                Ok(_) => panic!("byte flip at {pos} decoded successfully"),
+            }
+        }
+    }
+
+    #[test]
+    fn with_rows_shares_family_and_rejects_mismatch() {
+        let s = sample();
+        let bytes = to_bytes(&s);
+        let rows = Arc::clone(s.rows());
+        let back = from_bytes_with_rows(&bytes, &rows).unwrap();
+        assert_eq!(back.table(), s.table());
+
+        let other = KarySketch::new(SketchConfig { h: 3, k: 256, seed: 43 });
+        let other_rows = Arc::clone(other.rows());
+        assert!(matches!(
+            from_bytes_with_rows(&bytes, &other_rows),
+            Err(WireError::FamilyMismatch)
+        ));
     }
 
     #[test]
     fn rejects_hostile_header() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // h
-        buf.extend_from_slice(&1024u64.to_le_bytes()); // k
-        buf.extend_from_slice(&0u64.to_le_bytes()); // seed
-        assert!(matches!(from_bytes(&buf), Err(WireError::BadHeader { .. })));
-
-        let mut buf2 = Vec::new();
-        buf2.extend_from_slice(MAGIC);
-        buf2.extend_from_slice(&1u64.to_le_bytes());
-        buf2.extend_from_slice(&1000u64.to_le_bytes()); // not a power of two
-        buf2.extend_from_slice(&0u64.to_le_bytes());
-        assert!(matches!(from_bytes(&buf2), Err(WireError::BadHeader { .. })));
+        fn frame(h: u64, k: u64) -> Vec<u8> {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(MAGIC_V2);
+            buf.extend_from_slice(&h.to_le_bytes());
+            buf.extend_from_slice(&k.to_le_bytes());
+            buf.extend_from_slice(&0u64.to_le_bytes()); // seed
+            let crc = crc32(&buf);
+            buf.extend_from_slice(&crc.to_le_bytes());
+            buf
+        }
+        assert!(matches!(from_bytes(&frame(u64::MAX, 1024)), Err(WireError::BadHeader { .. })));
+        assert!(matches!(
+            from_bytes(&frame(1, 1000)), // not a power of two
+            Err(WireError::BadHeader { .. })
+        ));
     }
 
     #[test]
     fn size_matches_layout() {
         let s = sample();
-        assert_eq!(to_bytes(&s).len(), 32 + 3 * 256 * 8);
+        assert_eq!(to_bytes(&s).len(), 36 + 3 * 256 * 8);
     }
 }

@@ -1,14 +1,24 @@
-//! Property-based tests for the group-testing (deltoid) sketch.
+//! Property-based tests for the group-testing (deltoid) sketch, driven by
+//! a seeded `SplitMix64` so every run replays the same generated cases.
 
-use proptest::prelude::*;
+use scd_hash::SplitMix64;
 use scd_sketch::{Deltoid, DeltoidConfig};
+
+const CASES: u64 = 32;
 
 fn cfg() -> DeltoidConfig {
     DeltoidConfig { h: 3, k: 128, key_bits: 32, seed: 0xD317 }
 }
 
-fn stream_strategy() -> impl Strategy<Value = Vec<(u64, f64)>> {
-    prop::collection::vec((0u64..0xFFFF_FFFF, -500.0f64..500.0), 0..50)
+fn stream(rng: &mut SplitMix64) -> Vec<(u64, f64)> {
+    let len = rng.next_below(50) as usize;
+    (0..len)
+        .map(|_| {
+            let key = rng.next_below(0xFFFF_FFFF);
+            let v = (rng.next_below(1_000_000) as f64) / 1000.0 - 500.0;
+            (key, v)
+        })
+        .collect()
 }
 
 fn build(updates: &[(u64, f64)]) -> Deltoid {
@@ -19,10 +29,13 @@ fn build(updates: &[(u64, f64)]) -> Deltoid {
     d
 }
 
-proptest! {
-    /// Deltoids are linear: sketch(A) + sketch(B) == sketch(A ++ B).
-    #[test]
-    fn additive(a in stream_strategy(), b in stream_strategy()) {
+/// Deltoids are linear: sketch(A) + sketch(B) == sketch(A ++ B).
+#[test]
+fn additive() {
+    let mut rng = SplitMix64::new(0xADD);
+    for case in 0..CASES {
+        let a = stream(&mut rng);
+        let b = stream(&mut rng);
         let da = build(&a);
         let db = build(&b);
         let mut concat = a.clone();
@@ -35,59 +48,82 @@ proptest! {
         for &(k, _) in &concat {
             let x = sum.estimate(k);
             let y = dc.estimate(k);
-            prop_assert!((x - y).abs() <= 1e-6_f64.max(x.abs() * 1e-9),
-                "key {}: {} vs {}", k, x, y);
+            assert!(
+                (x - y).abs() <= 1e-6_f64.max(x.abs() * 1e-9),
+                "case {case}, key {k}: {x} vs {y}"
+            );
         }
-        prop_assert!((sum.sum() - dc.sum()).abs() < 1e-6);
+        assert!((sum.sum() - dc.sum()).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Scaling commutes with estimation.
-    #[test]
-    fn scaling(a in stream_strategy(), c in -3.0f64..3.0, probe in 0u64..0xFFFF_FFFF) {
+/// Scaling commutes with estimation.
+#[test]
+fn scaling() {
+    let mut rng = SplitMix64::new(0x5CA1);
+    for case in 0..CASES {
+        let a = stream(&mut rng);
+        let c = (rng.next_below(6_000) as f64) / 1000.0 - 3.0;
+        let probe = rng.next_below(0xFFFF_FFFF);
         let base = build(&a);
         let mut scaled = base.clone();
         scaled.scale(c);
         let x = scaled.estimate(probe);
         let y = c * base.estimate(probe);
-        prop_assert!((x - y).abs() <= 1e-6_f64.max(y.abs() * 1e-9));
+        assert!((x - y).abs() <= 1e-6_f64.max(y.abs() * 1e-9), "case {case}: {x} vs {y}");
     }
+}
 
-    /// Recovery is sound: every recovered key's reported estimate respects
-    /// the threshold, keys are unique, and sorting is by |estimate| desc.
-    #[test]
-    fn recovery_sound(a in stream_strategy(), thresh in 1.0f64..10_000.0) {
+/// Recovery is sound: every recovered key's reported estimate respects
+/// the threshold, keys are unique, and sorting is by |estimate| desc.
+#[test]
+fn recovery_sound() {
+    let mut rng = SplitMix64::new(0x50D);
+    for case in 0..CASES {
+        let a = stream(&mut rng);
+        let thresh = 1.0 + (rng.next_below(9_999_000) as f64) / 1000.0;
         let d = build(&a);
         let found = d.recover(thresh);
         let mut seen = std::collections::HashSet::new();
         let mut last = f64::INFINITY;
         for (key, est) in &found {
-            prop_assert!(est.abs() >= thresh);
-            prop_assert!(seen.insert(*key), "duplicate key {key}");
-            prop_assert!(est.abs() <= last + 1e-9, "not sorted");
+            assert!(est.abs() >= thresh, "case {case}");
+            assert!(seen.insert(*key), "case {case}: duplicate key {key}");
+            assert!(est.abs() <= last + 1e-9, "case {case}: not sorted");
             last = est.abs();
         }
     }
+}
 
-    /// A single overwhelming key is always recovered exactly, regardless of
-    /// the background stream.
-    #[test]
-    fn dominant_key_recovered(a in stream_strategy(), key in 0u64..0xFFFF_FFFF) {
-        let mut updates = a.clone();
+/// A single overwhelming key is always recovered exactly, regardless of
+/// the background stream.
+#[test]
+fn dominant_key_recovered() {
+    let mut rng = SplitMix64::new(0xD011);
+    for case in 0..CASES {
+        let mut updates = stream(&mut rng);
+        let key = rng.next_below(0xFFFF_FFFF);
         // Mass far above anything the background (|v| <= 500, <=50 items)
         // can assemble in one bucket.
         updates.push((key, 1e9));
         let d = build(&updates);
         let found = d.recover(1e8);
-        prop_assert!(found.iter().any(|&(k, _)| k == key),
-            "dominant key {key:#x} missing from {found:?}");
+        assert!(
+            found.iter().any(|&(k, _)| k == key),
+            "case {case}: dominant key {key:#x} missing from {found:?}"
+        );
     }
+}
 
-    /// Recovery never panics and returns finitely many keys (bounded by
-    /// H·K buckets).
-    #[test]
-    fn recovery_bounded(a in stream_strategy()) {
+/// Recovery never panics and returns finitely many keys (bounded by
+/// H·K buckets).
+#[test]
+fn recovery_bounded() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..CASES {
+        let a = stream(&mut rng);
         let d = build(&a);
         let found = d.recover(0.5);
-        prop_assert!(found.len() <= 3 * 128);
+        assert!(found.len() <= 3 * 128);
     }
 }

@@ -72,10 +72,7 @@ fn estimate_variance_within_appendix_a_bound() {
     let bound = f2 / (k as f64 - 1.0);
     // Allow sampling slack: the empirical variance should not exceed the
     // theoretical bound by more than ~35% over 400 trials.
-    assert!(
-        var <= bound * 1.35,
-        "empirical variance {var} exceeds Appendix A bound {bound}"
-    );
+    assert!(var <= bound * 1.35, "empirical variance {var} exceeds Appendix A bound {bound}");
 }
 
 #[test]
@@ -90,10 +87,7 @@ fn f2_estimator_is_unbiased() {
         sum += s.estimate_f2();
     }
     let mean = sum / trials as f64;
-    assert!(
-        (mean - truth).abs() < 0.05 * truth,
-        "mean F2 estimate {mean} vs truth {truth}"
-    );
+    assert!((mean - truth).abs() < 0.05 * truth, "mean F2 estimate {mean} vs truth {truth}");
 }
 
 #[test]
@@ -114,10 +108,7 @@ fn median_concentration_improves_with_h() {
     };
     let mae1 = mae(1, 50_000);
     let mae9 = mae(9, 80_000);
-    assert!(
-        mae9 < mae1,
-        "H=9 MAE {mae9} should beat H=1 MAE {mae1}"
-    );
+    assert!(mae9 < mae1, "H=9 MAE {mae9} should beat H=1 MAE {mae1}");
 }
 
 #[test]

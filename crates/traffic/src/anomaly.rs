@@ -25,11 +25,10 @@
 use crate::gen::TrafficGenerator;
 use crate::record::FlowRecord;
 use crate::rng::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What kind of traffic change to inject.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AnomalyKind {
     /// Sudden extra volume to the victim: `byte_rate` bytes per interval,
     /// split across `flows` records from random spoofed sources.
@@ -72,7 +71,7 @@ impl AnomalyKind {
 }
 
 /// One scheduled anomaly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnomalyEvent {
     /// What happens.
     pub kind: AnomalyKind,
@@ -166,7 +165,13 @@ impl AnomalyInjector {
                 AnomalyKind::DosAttack { byte_rate, flows } => {
                     let victim = generator.dst_ip_of_rank(ev.victim_rank);
                     push_attack_records(
-                        records, &mut rng, victim, byte_rate, flows, t0, interval_ms,
+                        records,
+                        &mut rng,
+                        victim,
+                        byte_rate,
+                        flows,
+                        t0,
+                        interval_ms,
                     );
                     touched.insert(victim as u64);
                 }
@@ -292,10 +297,7 @@ mod tests {
         assert!(touched.contains(&(victim as u64)));
         let after: u64 = hot.iter().filter(|r| r.dst_ip == victim).map(|r| r.bytes).sum();
         let added = after - baseline;
-        assert!(
-            (added as f64 - 1_000_000.0).abs() < 10_000.0,
-            "added {added} bytes"
-        );
+        assert!((added as f64 - 1_000_000.0).abs() < 10_000.0, "added {added} bytes");
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Fault injection for exercising the fault-tolerance layer.
+//!
+//! Testing crash recovery honestly requires crashing: [`FaultPlan`] is a
+//! deterministic schedule of one-shot faults — panic at the Nth record,
+//! stall for a while — that the streaming detector consults once per
+//! record when a plan is installed. Each fault fires exactly once, so a
+//! supervisor that restarts the detector is not immediately re-killed by
+//! the same trigger (restarts replay record counts from the last
+//! checkpoint).
+//!
+//! [`Corruptor`] is the storage-side counterpart: a seeded source of
+//! single-byte flips for proving that every persisted format (sketch
+//! wire, trace files, checkpoints) turns arbitrary corruption into a
+//! typed error instead of a panic or silent misreads.
+
+use scd_hash::SplitMix64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scheduled fault.
+#[derive(Debug)]
+struct Fault {
+    /// Fires on the first record whose 1-based index is ≥ `at`.
+    at: u64,
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// What a fault does when it fires.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// Panic with this message (exercises supervision).
+    Panic(String),
+    /// Sleep this long (exercises overload policies and backpressure).
+    Stall(Duration),
+}
+
+/// A deterministic, shareable schedule of one-shot faults.
+///
+/// Cloning shares the schedule — the fired flags are common to all
+/// clones, preserving the fire-exactly-once guarantee across the restart
+/// boundary.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Arc<Vec<Fault>>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that panics once, at the `at`-th record (1-based).
+    pub fn panic_at(at: u64, message: &str) -> Self {
+        FaultPlan::none().and_panic_at(at, message)
+    }
+
+    /// A plan that stalls once, at the `at`-th record (1-based).
+    pub fn stall_at(at: u64, pause: Duration) -> Self {
+        FaultPlan::none().and_stall_at(at, pause)
+    }
+
+    /// Adds a one-shot panic to the schedule.
+    pub fn and_panic_at(self, at: u64, message: &str) -> Self {
+        self.push(at, FaultKind::Panic(message.to_string()))
+    }
+
+    /// Adds a one-shot stall to the schedule.
+    pub fn and_stall_at(self, at: u64, pause: Duration) -> Self {
+        self.push(at, FaultKind::Stall(pause))
+    }
+
+    fn push(self, at: u64, kind: FaultKind) -> Self {
+        let mut faults: Vec<Fault> = Arc::try_unwrap(self.faults).unwrap_or_else(|arc| {
+            arc.iter()
+                .map(|f| Fault {
+                    at: f.at,
+                    kind: f.kind.clone(),
+                    fired: AtomicBool::new(f.fired.load(Ordering::Relaxed)),
+                })
+                .collect()
+        });
+        faults.push(Fault { at, kind, fired: AtomicBool::new(false) });
+        FaultPlan { faults: Arc::new(faults) }
+    }
+
+    /// Called by the consumer before processing its `n`-th record
+    /// (1-based). Triggers every not-yet-fired fault whose threshold has
+    /// been reached: stalls sleep, panics panic.
+    pub fn before_record(&self, n: u64) {
+        for fault in self.faults.iter() {
+            if n >= fault.at && !fault.fired.swap(true, Ordering::SeqCst) {
+                match &fault.kind {
+                    FaultKind::Stall(pause) => std::thread::sleep(*pause),
+                    FaultKind::Panic(message) => {
+                        panic!("injected fault: {message}")
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if every scheduled fault has fired.
+    pub fn exhausted(&self) -> bool {
+        self.faults.iter().all(|f| f.fired.load(Ordering::Relaxed))
+    }
+}
+
+/// Deterministic single-byte corrupter for persisted-format tests.
+#[derive(Debug)]
+pub struct Corruptor {
+    rng: SplitMix64,
+}
+
+impl Corruptor {
+    /// A corrupter with a fixed seed (reproducible failures).
+    pub fn new(seed: u64) -> Self {
+        Corruptor { rng: SplitMix64::new(seed) }
+    }
+
+    /// Flips one random bit of one random byte in place; returns the
+    /// position and the XOR mask applied, for error messages.
+    pub fn flip_one_byte(&mut self, data: &mut [u8]) -> (usize, u8) {
+        assert!(!data.is_empty(), "cannot corrupt an empty buffer");
+        let pos = self.rng.next_below(data.len() as u64) as usize;
+        let mask = 1u8 << self.rng.next_below(8);
+        data[pos] ^= mask;
+        (pos, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_fault_fires_exactly_once() {
+        let plan = FaultPlan::panic_at(3, "boom");
+        plan.before_record(1);
+        plan.before_record(2);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.before_record(3)));
+        assert!(caught.is_err(), "fault should panic at record 3");
+        // Fired: later records (including replays after restart) pass.
+        plan.before_record(3);
+        plan.before_record(4);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn threshold_crossing_fires_even_if_exact_index_skipped() {
+        let plan = FaultPlan::panic_at(10, "boom");
+        // The consumer jumps from 5 straight to 12 (e.g. sampling).
+        plan.before_record(5);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.before_record(12)));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn clones_share_fired_state() {
+        let plan = FaultPlan::panic_at(1, "boom");
+        let clone = plan.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.before_record(1)));
+        clone.before_record(1); // must not panic again
+        assert!(clone.exhausted());
+    }
+
+    #[test]
+    fn stall_fault_sleeps_once() {
+        let plan = FaultPlan::stall_at(1, Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        plan.before_record(1);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        let again = std::time::Instant::now();
+        plan.before_record(2);
+        assert!(again.elapsed() < Duration::from_millis(25));
+    }
+
+    #[test]
+    fn corruptor_changes_exactly_one_byte() {
+        let original = vec![0u8; 64];
+        let mut c = Corruptor::new(7);
+        for _ in 0..20 {
+            let mut data = original.clone();
+            let (pos, mask) = c.flip_one_byte(&mut data);
+            let diffs: Vec<usize> = (0..64).filter(|&i| data[i] != original[i]).collect();
+            assert_eq!(diffs, vec![pos]);
+            assert_eq!(data[pos] ^ original[pos], mask);
+        }
+    }
+}

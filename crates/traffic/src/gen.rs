@@ -17,10 +17,9 @@ use crate::record::FlowRecord;
 use crate::rng::Rng;
 use crate::zipf::Zipf;
 use scd_hash::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// Generator parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficConfig {
     /// Number of distinct destination hosts in the router's population.
     pub n_flows: usize,
@@ -65,7 +64,7 @@ impl TrafficConfig {
 /// The paper's three router sizes (§5.2: "three router data files
 /// representing high volume (over 60 Million), medium (12.7 Million), and
 /// low (5.3 Million) records" over four hours), at ~1/100 scale.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RouterProfile {
     /// ≈42 records/s (~600 K over 4 h at full scale ÷ 100 ≈ 150 K records).
     Large,
@@ -115,11 +114,8 @@ impl RouterProfile {
     }
 
     /// All three profiles.
-    pub const ALL: [RouterProfile; 3] = [
-        RouterProfile::Large,
-        RouterProfile::Medium,
-        RouterProfile::Small,
-    ];
+    pub const ALL: [RouterProfile; 3] =
+        [RouterProfile::Large, RouterProfile::Medium, RouterProfile::Small];
 }
 
 /// Deterministic synthetic trace generator.
@@ -148,7 +144,8 @@ impl TrafficGenerator {
     /// pseudo-random, distinct-with-high-probability addresses so key
     /// distributions over the sketch are realistic (not sequential).
     pub fn dst_ip_of_rank(&self, rank: usize) -> u32 {
-        let mut sm = SplitMix64::new(self.ip_salt ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut sm =
+            SplitMix64::new(self.ip_salt ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         // Avoid 0.0.0.0 and multicast/reserved high ranges for plausibility.
         0x0100_0000 + (sm.next_u64() % 0xDF00_0000u64) as u32
     }
@@ -205,9 +202,8 @@ impl TrafficGenerator {
         for _ in 0..n {
             let rank = self.zipf.sample(&mut rng);
             let key_factor = self.key_interval_factor(rank, t);
-            let bytes = (rng.lognormal(mu, self.config.byte_sigma) * key_factor)
-                .round()
-                .max(40.0) as u64;
+            let bytes =
+                (rng.lognormal(mu, self.config.byte_sigma) * key_factor).round().max(40.0) as u64;
             let packets = ((bytes as f64 / 700.0).ceil() as u32).max(1);
             out.push(FlowRecord {
                 timestamp_ms: t0 + rng.below(interval_ms),
@@ -267,10 +263,7 @@ mod tests {
         let total: usize = (0..20).map(|t| g.interval_records(t).len()).sum();
         let expect = 20.0 * 600.0; // 10 rec/s * 60 s * 20 intervals
         let got = total as f64;
-        assert!(
-            (got - expect).abs() < 0.15 * expect,
-            "total records {got} vs expected {expect}"
-        );
+        assert!((got - expect).abs() < 0.15 * expect, "total records {got} vs expected {expect}");
     }
 
     #[test]
@@ -288,12 +281,7 @@ mod tests {
         let top10: u64 = volumes.iter().take(10).sum();
         // Zipf(1.0) over 500 keys: top 10 of ~500 keys should carry a
         // disproportionate share (≥ 25% here; uniform would give 2%).
-        assert!(
-            top10 as f64 > 0.25 * total as f64,
-            "top-10 share {} of {}",
-            top10,
-            total
-        );
+        assert!(top10 as f64 > 0.25 * total as f64, "top-10 share {} of {}", top10, total);
     }
 
     #[test]

@@ -3,15 +3,22 @@
 //! The binary layout is a fixed 31-byte little-endian record:
 //! `timestamp_ms:u64, src_ip:u32, dst_ip:u32, src_port:u16, dst_port:u16,
 //! protocol:u8, bytes:u64, packets:u32`, preceded by an 8-byte magic +
-//! version header. It exists so large generated traces can be cached
-//! between experiment runs without paying CSV parsing costs.
+//! version header and — since version 02 — followed by a 4-byte CRC-32
+//! footer over everything before it, so truncation and bit-rot produce a
+//! typed error instead of silently decoding garbage flows. Files written
+//! by older builds (magic `SCDTRC01`, no footer) are still readable. The
+//! format exists so large generated traces can be cached between
+//! experiment runs without paying CSV parsing costs.
 
 use crate::record::FlowRecord;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use scd_hash::byteio::{put_u16, put_u32, put_u64, put_u8, Cursor};
+use scd_hash::crc32;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
-/// Magic + format version for the binary trace format.
-const MAGIC: &[u8; 8] = b"SCDTRC01";
+/// Magic + format version for the legacy (unchecksummed) binary format.
+const MAGIC_V1: &[u8; 8] = b"SCDTRC01";
+/// Magic + format version for the current (checksummed) binary format.
+const MAGIC_V2: &[u8; 8] = b"SCDTRC02";
 /// Serialized size of one record.
 const RECORD_LEN: usize = 8 + 4 + 4 + 2 + 2 + 1 + 8 + 4;
 
@@ -24,6 +31,13 @@ pub enum TraceIoError {
     BadMagic,
     /// The payload length was not a whole number of records.
     Truncated,
+    /// The CRC-32 footer does not match the payload (v02 only).
+    BadChecksum {
+        /// Checksum recomputed over the payload.
+        computed: u32,
+        /// Checksum stored in the footer.
+        stored: u32,
+    },
     /// A CSV line could not be parsed.
     BadCsv {
         /// 1-based line number.
@@ -37,6 +51,10 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
             TraceIoError::Truncated => write!(f, "trace file truncated mid-record"),
+            TraceIoError::BadChecksum { computed, stored } => write!(
+                f,
+                "trace checksum mismatch: computed {computed:#010x}, stored {stored:#010x}"
+            ),
             TraceIoError::BadCsv { line } => write!(f, "malformed CSV at line {line}"),
         }
     }
@@ -50,44 +68,66 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
-/// Serializes records to the binary format.
-pub fn to_binary(records: &[FlowRecord]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(MAGIC.len() + records.len() * RECORD_LEN);
-    buf.put_slice(MAGIC);
+/// Serializes records to the current (v02) binary format.
+pub fn to_binary(records: &[FlowRecord]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(MAGIC_V2.len() + records.len() * RECORD_LEN + 4);
+    buf.extend_from_slice(MAGIC_V2);
     for r in records {
-        buf.put_u64_le(r.timestamp_ms);
-        buf.put_u32_le(r.src_ip);
-        buf.put_u32_le(r.dst_ip);
-        buf.put_u16_le(r.src_port);
-        buf.put_u16_le(r.dst_port);
-        buf.put_u8(r.protocol);
-        buf.put_u64_le(r.bytes);
-        buf.put_u32_le(r.packets);
+        put_u64(&mut buf, r.timestamp_ms);
+        put_u32(&mut buf, r.src_ip);
+        put_u32(&mut buf, r.dst_ip);
+        put_u16(&mut buf, r.src_port);
+        put_u16(&mut buf, r.dst_port);
+        put_u8(&mut buf, r.protocol);
+        put_u64(&mut buf, r.bytes);
+        put_u32(&mut buf, r.packets);
     }
-    buf.freeze()
+    let crc = crc32(&buf);
+    put_u32(&mut buf, crc);
+    buf
 }
 
-/// Deserializes records from the binary format.
-pub fn from_binary(mut data: &[u8]) -> Result<Vec<FlowRecord>, TraceIoError> {
-    if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+/// Deserializes records from the binary format (v02 or legacy v01).
+pub fn from_binary(data: &[u8]) -> Result<Vec<FlowRecord>, TraceIoError> {
+    if data.len() < 8 {
         return Err(TraceIoError::BadMagic);
     }
-    data = &data[MAGIC.len()..];
-    if data.len() % RECORD_LEN != 0 {
+    let body = match &data[..8] {
+        m if m == MAGIC_V2 => {
+            if data.len() < 12 {
+                return Err(TraceIoError::Truncated);
+            }
+            let (payload, footer) = data.split_at(data.len() - 4);
+            let stored = u32::from_le_bytes(footer.try_into().expect("length checked"));
+            let computed = crc32(payload);
+            if computed != stored {
+                return Err(TraceIoError::BadChecksum { computed, stored });
+            }
+            &payload[8..]
+        }
+        m if m == MAGIC_V1 => &data[8..],
+        _ => return Err(TraceIoError::BadMagic),
+    };
+    if body.len() % RECORD_LEN != 0 {
         return Err(TraceIoError::Truncated);
     }
-    let mut out = Vec::with_capacity(data.len() / RECORD_LEN);
-    while data.has_remaining() {
-        out.push(FlowRecord {
-            timestamp_ms: data.get_u64_le(),
-            src_ip: data.get_u32_le(),
-            dst_ip: data.get_u32_le(),
-            src_port: data.get_u16_le(),
-            dst_port: data.get_u16_le(),
-            protocol: data.get_u8(),
-            bytes: data.get_u64_le(),
-            packets: data.get_u32_le(),
-        });
+    let mut cur = Cursor::new(body);
+    let mut out = Vec::with_capacity(body.len() / RECORD_LEN);
+    while cur.remaining() > 0 {
+        // Field reads cannot fail: length is a whole number of records.
+        let read = |c: &mut Cursor<'_>| -> Result<FlowRecord, scd_hash::byteio::ShortInput> {
+            Ok(FlowRecord {
+                timestamp_ms: c.u64()?,
+                src_ip: c.u32()?,
+                dst_ip: c.u32()?,
+                src_port: c.u16()?,
+                dst_port: c.u16()?,
+                protocol: c.u8()?,
+                bytes: c.u64()?,
+                packets: c.u32()?,
+            })
+        };
+        out.push(read(&mut cur).map_err(|_| TraceIoError::Truncated)?);
     }
     Ok(out)
 }
@@ -118,7 +158,13 @@ pub fn write_csv<W: Write>(w: W, records: &[FlowRecord]) -> Result<(), TraceIoEr
         writeln!(
             w,
             "{},{},{},{},{},{},{},{}",
-            r.timestamp_ms, r.src_ip, r.dst_ip, r.src_port, r.dst_port, r.protocol, r.bytes,
+            r.timestamp_ms,
+            r.src_ip,
+            r.dst_ip,
+            r.src_port,
+            r.dst_port,
+            r.protocol,
+            r.bytes,
             r.packets
         )?;
     }
@@ -186,9 +232,32 @@ mod tests {
     #[test]
     fn binary_rejects_garbage() {
         assert!(matches!(from_binary(b"not a trace"), Err(TraceIoError::BadMagic)));
-        let mut ok = to_binary(&sample_records()).to_vec();
-        ok.pop(); // truncate one byte
-        assert!(matches!(from_binary(&ok), Err(TraceIoError::Truncated)));
+        let mut ok = to_binary(&sample_records());
+        ok.pop(); // truncate one byte: checksum can no longer match
+        assert!(from_binary(&ok).is_err());
+    }
+
+    #[test]
+    fn reads_legacy_v01_payloads() {
+        let records = sample_records();
+        let v2 = to_binary(&records);
+        // A v01 file is the v02 body with the old magic and no footer.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&v2[8..v2.len() - 4]);
+        assert_eq!(from_binary(&v1).unwrap(), records);
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let clean = to_binary(&sample_records());
+        let mut rng = scd_hash::SplitMix64::new(0x7AC3);
+        for _ in 0..200 {
+            let pos = rng.next_below(clean.len() as u64) as usize;
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << rng.next_below(8);
+            assert!(from_binary(&bad).is_err(), "byte flip at {pos} decoded successfully");
+        }
     }
 
     #[test]

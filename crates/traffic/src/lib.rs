@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod anomaly;
+pub mod fault;
 pub mod gen;
 pub mod io;
 pub mod packet;
@@ -46,9 +47,10 @@ pub mod routes;
 pub mod zipf;
 
 pub use anomaly::{AnomalyEvent, AnomalyInjector, AnomalyKind, GroundTruth};
+pub use fault::{Corruptor, FaultKind, FaultPlan};
 pub use gen::{RouterProfile, TrafficConfig, TrafficGenerator};
 pub use packet::{parse_ethernet, parse_ipv4, PacketError, PacketSummary};
 pub use record::{to_updates, FlowRecord, KeySpec, ValueSpec};
-pub use routes::RouteTable;
 pub use rng::Rng;
+pub use routes::RouteTable;
 pub use zipf::Zipf;

@@ -173,14 +173,7 @@ pub fn parse_ipv4(packet: &[u8]) -> Result<PacketSummary, PacketError> {
         (0, 0)
     };
 
-    Ok(PacketSummary {
-        src_ip,
-        dst_ip,
-        src_port,
-        dst_port,
-        protocol,
-        total_length,
-    })
+    Ok(PacketSummary { src_ip, dst_ip, src_port, dst_port, protocol, total_length })
 }
 
 impl PacketSummary {

@@ -7,10 +7,8 @@
 //! packets in a flow". The experiments use destination IP and bytes; both
 //! axes are configurable here.
 
-use serde::{Deserialize, Serialize};
-
 /// One netflow-style record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowRecord {
     /// Flow start time, milliseconds since trace start.
     pub timestamp_ms: u64,
@@ -31,7 +29,7 @@ pub struct FlowRecord {
 }
 
 /// Which header fields form the stream key (paper §2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KeySpec {
     /// Destination IP address — the key used throughout the paper's
     /// experiments.
@@ -50,7 +48,7 @@ pub enum KeySpec {
 }
 
 /// Which field is the update value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueSpec {
     /// Bytes per flow — the value used throughout the paper's experiments.
     Bytes,
@@ -96,21 +94,12 @@ impl ValueSpec {
 /// Projects records onto the `(key, value)` update stream the sketch layer
 /// consumes.
 pub fn to_updates(records: &[FlowRecord], key: KeySpec, value: ValueSpec) -> Vec<(u64, f64)> {
-    records
-        .iter()
-        .map(|r| (key.key_of(r), value.value_of(r)))
-        .collect()
+    records.iter().map(|r| (key.key_of(r), value.value_of(r))).collect()
 }
 
 /// Formats an IPv4 address for human-readable diagnostics.
 pub fn format_ipv4(ip: u32) -> String {
-    format!(
-        "{}.{}.{}.{}",
-        (ip >> 24) & 0xFF,
-        (ip >> 16) & 0xFF,
-        (ip >> 8) & 0xFF,
-        ip & 0xFF
-    )
+    format!("{}.{}.{}.{}", (ip >> 24) & 0xFF, (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF)
 }
 
 #[cfg(test)]
@@ -120,8 +109,8 @@ mod tests {
     fn record() -> FlowRecord {
         FlowRecord {
             timestamp_ms: 1000,
-            src_ip: 0x0A00_0001,  // 10.0.0.1
-            dst_ip: 0xC0A8_0102,  // 192.168.1.2
+            src_ip: 0x0A00_0001, // 10.0.0.1
+            dst_ip: 0xC0A8_0102, // 192.168.1.2
             src_port: 40000,
             dst_port: 443,
             protocol: 6,

@@ -146,10 +146,7 @@ mod tests {
             let n = 20_000;
             let total: u64 = (0..n).map(|_| r.poisson(lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!(
-                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
-                "lambda {lambda}: mean {mean}"
-            );
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.05, "lambda {lambda}: mean {mean}");
         }
         assert_eq!(r.poisson(0.0), 0);
         assert_eq!(r.poisson(-3.0), 0);

@@ -99,10 +99,7 @@ impl RouteTable {
         record: &crate::record::FlowRecord,
         value: crate::record::ValueSpec,
     ) -> (u64, f64) {
-        let key = self
-            .lookup(record.dst_ip)
-            .map(|asn| asn as u64)
-            .unwrap_or(u64::MAX);
+        let key = self.lookup(record.dst_ip).map(|asn| asn as u64).unwrap_or(u64::MAX);
         (key, value.value_of(record))
     }
 
@@ -185,7 +182,7 @@ mod tests {
     fn synthetic_layout_routes_all_space() {
         let t = RouteTable::synthetic(16);
         assert_eq!(t.len(), 17); // 16 blocks + default
-        // Block i covers i<<28 ..; transit unused since blocks tile space.
+                                 // Block i covers i<<28 ..; transit unused since blocks tile space.
         assert_eq!(t.lookup(0x0000_0001), Some(1));
         assert_eq!(t.lookup(0x1000_0000), Some(2));
         assert_eq!(t.lookup(0xF234_5678), Some(16));
@@ -241,10 +238,8 @@ mod tests {
         for j in 0..2000u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(j);
             let addr = (state >> 29) as u32;
-            let expect = reference
-                .iter()
-                .find(|&&(p, _)| p == (addr & 0xFFFF_0000))
-                .map(|&(_, v)| v);
+            let expect =
+                reference.iter().find(|&&(p, _)| p == (addr & 0xFFFF_0000)).map(|&(_, v)| v);
             assert_eq!(t.lookup(addr), expect, "addr {addr:#010x}");
         }
     }

@@ -30,16 +30,12 @@ fn parse_args() -> Args {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--intensity" => {
-                args.intensity = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--intensity needs a number");
+                args.intensity =
+                    it.next().and_then(|v| v.parse().ok()).expect("--intensity needs a number");
             }
             "--threshold" => {
-                args.threshold = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threshold needs a number");
+                args.threshold =
+                    it.next().and_then(|v| v.parse().ok()).expect("--threshold needs a number");
             }
             "--online" => args.online = true,
             other => {
@@ -70,10 +66,7 @@ fn main() {
         .map(|(i, &rank)| {
             let baseline = generator.expected_rank_bytes(rank, 0).max(10_000.0);
             AnomalyEvent {
-                kind: AnomalyKind::DosAttack {
-                    byte_rate: baseline * args.intensity,
-                    flows: 100,
-                },
+                kind: AnomalyKind::DosAttack { byte_rate: baseline * args.intensity, flows: 100 },
                 victim_rank: rank,
                 start_interval: 12 + 10 * i,
                 duration: 3,
@@ -83,11 +76,7 @@ fn main() {
     let injector = AnomalyInjector::new(events.clone(), 99);
     let (trace, truth) = injector.labeled_trace(&mut generator, intervals);
 
-    let key_strategy = if args.online {
-        KeyStrategy::NextInterval
-    } else {
-        KeyStrategy::TwoPass
-    };
+    let key_strategy = if args.online { KeyStrategy::NextInterval } else { KeyStrategy::TwoPass };
     let mut detector = SketchChangeDetector::new(DetectorConfig {
         sketch: SketchConfig { h: 5, k: 32_768, seed: 7 },
         model: ModelSpec::Nshw { alpha: 0.6, beta: 0.2 },
@@ -142,11 +131,7 @@ fn main() {
     }
 
     println!();
-    println!(
-        "event recall: {}/{} attack onsets detected",
-        onset_alarms.len(),
-        events.len()
-    );
+    println!("event recall: {}/{} attack onsets detected", onset_alarms.len(), events.len());
     println!(
         "background alarm rate: {:.1} alarms/interval on attack-free intervals \
          (natural traffic changes: surges, drops)",

@@ -52,9 +52,11 @@ fn main() {
         key_strategy: KeyStrategy::TwoPass,
     });
 
-    println!("flash crowd ramps t=8..20 on {}, DoS hits t=16..20 on {}",
+    println!(
+        "flash crowd ramps t=8..20 on {}, DoS hits t=16..20 on {}",
         sketch_change::traffic::record::format_ipv4(crowd_ip as u32),
-        sketch_change::traffic::record::format_ipv4(attack_ip as u32));
+        sketch_change::traffic::record::format_ipv4(attack_ip as u32)
+    );
     println!(
         "{:<9} {:>16} {:>16}   (estimated forecast error, MB)",
         "interval", "flash-crowd key", "dos key"
@@ -71,25 +73,13 @@ fn main() {
             continue;
         }
         let err_of = |key: u64| {
-            report
-                .errors
-                .iter()
-                .find(|&&(k, _)| k == key)
-                .map(|&(_, e)| e)
-                .unwrap_or(0.0)
+            report.errors.iter().find(|&&(k, _)| k == key).map(|&(_, e)| e).unwrap_or(0.0)
         };
         let (ce, ae) = (err_of(crowd_ip), err_of(attack_ip));
         crowd_errors.push(ce.abs());
         attack_errors.push(ae.abs());
         let mark = |e: f64| if e.abs() >= report.alarm_threshold { "*" } else { " " };
-        println!(
-            "{:<9} {:>15.2}{} {:>15.2}{}",
-            t,
-            ce / 1e6,
-            mark(ce),
-            ae / 1e6,
-            mark(ae)
-        );
+        println!("{:<9} {:>15.2}{} {:>15.2}{}", t, ce / 1e6, mark(ce), ae / 1e6, mark(ae));
     }
 
     // Signature: the attack's largest single-interval error dwarfs its

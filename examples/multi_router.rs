@@ -105,9 +105,7 @@ fn main() {
             }
 
             // Ship the (tiny) sketch to the aggregation point: COMBINE.
-            aggregate
-                .add_scaled(&observed, 1.0)
-                .expect("same hash family at every router");
+            aggregate.add_scaled(&observed, 1.0).expect("same hash family at every router");
         }
 
         // Network-wide detection on the summed sketch.

@@ -17,8 +17,8 @@
 //! ```
 
 use sketch_change::core::{
-    AdaptiveConfig, AdaptiveDetector, GridSearchConfig, ReversibleChangeDetector,
-    ReversibleConfig, StaggeredDetector, UpdateSampler,
+    AdaptiveConfig, AdaptiveDetector, GridSearchConfig, ReversibleChangeDetector, ReversibleConfig,
+    StaggeredDetector, UpdateSampler,
 };
 use sketch_change::prelude::*;
 use sketch_change::sketch::DeltoidConfig;
@@ -59,18 +59,17 @@ fn main() {
     });
     let mut sampler = UpdateSampler::new(0.10, 5);
 
-    println!("events: straddling burst on {} at slots 29-30; hit-and-run on {} at slot 40",
+    println!(
+        "events: straddling burst on {} at slots 29-30; hit-and-run on {} at slot 40",
         sketch_change::traffic::record::format_ipv4(straddler as u32),
-        sketch_change::traffic::record::format_ipv4(hit_and_run as u32));
+        sketch_change::traffic::record::format_ipv4(hit_and_run as u32)
+    );
     println!("sampling 10% of records into every detector\n");
 
     let mut findings: Vec<String> = Vec::new();
     for s in 0..slots {
-        let mut updates = to_updates(
-            &generator.interval_records(s),
-            KeySpec::DstIp,
-            ValueSpec::Bytes,
-        );
+        let mut updates =
+            to_updates(&generator.interval_records(s), KeySpec::DstIp, ValueSpec::Bytes);
         // Attacks arrive as many small flows (as real floods do) so the
         // 10% record sampler sees a representative subset of them.
         if s == 29 || s == 30 {

@@ -43,9 +43,14 @@ fn main() {
         key_strategy: KeyStrategy::TwoPass,
     });
 
-    println!("monitoring 20 intervals; victim = {} (rank {victim_rank})",
-        sketch_change::traffic::record::format_ipv4(victim_ip));
-    println!("{:<10} {:>12} {:>14} {:>8}  alarmed flows", "interval", "records", "error-L2", "alarms");
+    println!(
+        "monitoring 20 intervals; victim = {} (rank {victim_rank})",
+        sketch_change::traffic::record::format_ipv4(victim_ip)
+    );
+    println!(
+        "{:<10} {:>12} {:>14} {:>8}  alarmed flows",
+        "interval", "records", "error-L2", "alarms"
+    );
 
     for t in 0..20 {
         let mut records = generator.interval_records(t);
@@ -80,9 +85,5 @@ fn main() {
     }
 
     println!();
-    println!(
-        "sketch memory: {} KiB for {} tracked destinations",
-        5 * 32_768 * 8 / 1024,
-        2_000
-    );
+    println!("sketch memory: {} KiB for {} tracked destinations", 5 * 32_768 * 8 / 1024, 2_000);
 }

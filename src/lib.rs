@@ -64,14 +64,13 @@ pub use scd_traffic as traffic;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use scd_core::{
-        Alarm, DetectorConfig, IntervalReport, KeyStrategy, PerFlowDetector,
-        SketchChangeDetector,
+        Alarm, DetectorConfig, IntervalReport, KeyStrategy, PerFlowDetector, SketchChangeDetector,
     };
     pub use scd_forecast::{ArimaSpec, Forecaster, ModelKind, ModelSpec, Summary};
     pub use scd_sketch::{KarySketch, SketchConfig};
     pub use scd_traffic::{
-        to_updates, AnomalyEvent, AnomalyInjector, AnomalyKind, FlowRecord, KeySpec,
-        RouterProfile, TrafficGenerator, ValueSpec,
+        to_updates, AnomalyEvent, AnomalyInjector, AnomalyKind, FlowRecord, KeySpec, RouterProfile,
+        TrafficGenerator, ValueSpec,
     };
 }
 

@@ -3,7 +3,7 @@
 //! verified), projected to updates, and pushed through the threaded
 //! detector — the full "sit directly on a packet feed" deployment.
 
-use sketch_change::core::{spawn_streaming, StreamingConfig};
+use sketch_change::core::{spawn_streaming, OverloadPolicy, StreamingConfig};
 use sketch_change::prelude::*;
 use sketch_change::traffic::packet::{build_frame, parse_ethernet};
 use sketch_change::traffic::routes::RouteTable;
@@ -21,6 +21,8 @@ fn frames_to_alarms_through_streaming_detector() {
         key: KeySpec::DstIp,
         value: ValueSpec::Bytes,
         channel_capacity: 1024,
+        overload: OverloadPolicy::Block,
+        checkpoint: None,
     });
 
     // Four event-time seconds of packets to two services; second 2 floods
@@ -48,8 +50,7 @@ fn frames_to_alarms_through_streaming_detector() {
         }
         if t == 2 {
             for i in 0..40u64 {
-                let frame =
-                    build_frame(0x3000_0000 + i as u32, 0x0A00_00FF, 1024, 80, 6, 1400);
+                let frame = build_frame(0x3000_0000 + i as u32, 0x0A00_00FF, 1024, 80, 6, 1400);
                 let pkt = parse_ethernet(&frame).unwrap();
                 handle.send(FlowRecord {
                     timestamp_ms: t * 1000 + 900,
@@ -64,7 +65,7 @@ fn frames_to_alarms_through_streaming_detector() {
             }
         }
     }
-    let (reports, processed) = handle.shutdown();
+    let (reports, processed) = handle.shutdown().expect("clean shutdown");
     assert_eq!(processed, 4 * 60 + 40);
     assert_eq!(reports.len(), 4);
     assert!(
@@ -72,10 +73,7 @@ fn frames_to_alarms_through_streaming_detector() {
         "packet flood not flagged at second 2: {:?}",
         reports[2].alarms
     );
-    assert!(
-        reports[1].alarms.iter().all(|a| a.key != 0x0A00_00FF),
-        "no alarm before the flood"
-    );
+    assert!(reports[1].alarms.iter().all(|a| a.key != 0x0A00_00FF), "no alarm before the flood");
 }
 
 #[test]
