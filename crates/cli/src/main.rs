@@ -427,13 +427,27 @@ fn stream(flags: &Flags) -> CliResult {
         restart: RestartPolicy::default(),
         fault: None,
     });
+    let mut reports = Vec::new();
+    let mut events = Vec::new();
     for record in records {
         if !handle.send(record) {
             break; // detector gave up; shutdown() reports why
         }
+        // Drain as we go: the report channel is bounded, so collecting
+        // only at shutdown would deadlock once it fills while the record
+        // channel is also full (the detector blocks sending a report, the
+        // producer blocks sending a record, and neither can proceed).
+        while let Some(report) = handle.reports().try_recv() {
+            reports.push(report);
+        }
+        while let Some(event) = handle.events().try_recv() {
+            events.push(event);
+        }
     }
-    let (reports, events, processed) =
+    let (tail_reports, tail_events, processed) =
         handle.shutdown().map_err(|e| FlagError(format!("stream failed: {e}")))?;
+    reports.extend(tail_reports);
+    events.extend(tail_events);
 
     outln!("streamed {n_records} records; detector processed {processed}");
     for report in &reports {

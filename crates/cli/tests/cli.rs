@@ -178,3 +178,44 @@ fn sketch_combine_workflow() {
         std::fs::remove_file(p).ok();
     }
 }
+
+/// `scd stream` over a trace with more event-time intervals than the
+/// bounded report channel holds (64). The CLI must drain reports while it
+/// is still sending records; collecting them only at shutdown deadlocks —
+/// detector blocked sending a report, producer blocked sending a record.
+#[test]
+fn stream_with_many_intervals_does_not_deadlock() {
+    let trace = temp_trace("stream-many");
+    let trace_s = trace.to_str().unwrap();
+    // 1.5 hours at 60s intervals = 90 intervals > 64.
+    let (_, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "1.5", "--interval", "60"])
+        .args(["--out", trace_s, "--seed", "11"]));
+    assert!(ok, "generate failed: {stderr}");
+
+    // Stdout goes to a file so a full pipe can never masquerade as the
+    // deadlock this test is hunting.
+    let out_path = trace.with_extension("out");
+    let out_file = std::fs::File::create(&out_path).expect("stdout file");
+    let mut child = scd()
+        .args(["stream", "--trace", trace_s, "--interval", "60", "--model", "ewma:0.5"])
+        .stdout(out_file)
+        .spawn()
+        .expect("spawn scd stream");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let status = loop {
+        match child.try_wait().expect("poll scd stream") {
+            Some(status) => break status,
+            None if std::time::Instant::now() > deadline => {
+                child.kill().ok();
+                panic!("scd stream made no progress within 120s: deadlocked");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    };
+    assert!(status.success(), "stream exited with failure");
+    let stdout = std::fs::read_to_string(&out_path).expect("read stream output");
+    assert!(stdout.contains("streamed"), "{stdout}");
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&out_path).ok();
+}

@@ -385,11 +385,23 @@ impl Checkpoint {
     }
 
     /// Writes the checkpoint atomically: serialize to `<path>.tmp`, fsync,
-    /// rename over `path`. A crash at any point leaves either the old
-    /// checkpoint or the new one — never a torn file.
+    /// rename over `path`, fsync the parent directory. A crash at any
+    /// point leaves either the old checkpoint or the new one — never a
+    /// torn file.
     pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
         let bytes = self.to_bytes();
-        let tmp = path.with_extension("tmp");
+        let file_name = path.file_name().ok_or_else(|| {
+            CheckpointError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("checkpoint path has no file name: {}", path.display()),
+            ))
+        })?;
+        // `.tmp` is appended to the full file name rather than swapped for
+        // the final extension, so sibling checkpoints `a.ckpt` and
+        // `a.state` never collide on the same temp file.
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
         {
             use std::io::Write;
             let mut f = std::fs::File::create(&tmp)?;
@@ -397,6 +409,13 @@ impl Checkpoint {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        // The rename is durable only once the directory entry itself is
+        // synced; without this a power loss can roll back to the old file.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
         Ok(())
     }
 
@@ -513,6 +532,37 @@ mod tests {
         let mut bytes = ck.to_bytes();
         bytes[..8].copy_from_slice(b"SCDTRC02");
         assert!(matches!(Checkpoint::from_bytes(&bytes), Err(CheckpointError::BadMagic)));
+    }
+
+    /// Sibling checkpoints differing only by extension (`det.ckpt`,
+    /// `det.state`) must not share a temp file: concurrent atomic writes
+    /// never cross-contaminate or clobber each other.
+    #[test]
+    fn sibling_checkpoints_use_distinct_temp_files() {
+        let dir = std::env::temp_dir().join("scd-checkpoint-siblings");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path_a = dir.join("det.ckpt");
+        let path_b = dir.join("det.state");
+        let ck_a = sample_checkpoint(ModelSpec::Ewma { alpha: 0.3 }, KeyStrategy::TwoPass);
+        let ck_b = sample_checkpoint(ModelSpec::Ma { window: 4 }, KeyStrategy::TwoPass);
+        std::thread::scope(|s| {
+            let (a, b) = (&ck_a, &ck_b);
+            let (pa, pb) = (&path_a, &path_b);
+            s.spawn(move || {
+                for _ in 0..20 {
+                    a.write_atomic(pa).expect("write det.ckpt");
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..20 {
+                    b.write_atomic(pb).expect("write det.state");
+                }
+            });
+        });
+        assert_eq!(Checkpoint::load(&path_a).expect("load det.ckpt").config, ck_a.config);
+        assert_eq!(Checkpoint::load(&path_b).expect("load det.state").config, ck_b.config);
+        std::fs::remove_file(&path_a).ok();
+        std::fs::remove_file(&path_b).ok();
     }
 
     #[test]

@@ -346,14 +346,27 @@ pub(crate) fn run_loop(
             ctx.config.value.value_of(&msg.record) * msg.weight,
         ));
     }
-    // Senders dropped: flush the final partial interval.
+    // Senders dropped: flush the final partial interval. Counters are
+    // drained unconditionally — even when every tail record was shed or
+    // dropped (leaving nothing to process), the counts must surface in a
+    // report so `processed + lost == sent` accounting holds.
+    let drops = ctx.counters.drain();
     if !binner.current.is_empty() {
         let mut report = detector.process_interval(&binner.current);
-        report.drops = ctx.counters.drain();
+        report.drops = drops;
         binner.current.clear();
         binner.interval_idx = binner.interval_idx.map(|t| t + 1);
         let _ = reports.send(report);
         maybe_checkpoint(detector, binner, ctx);
+    } else if drops != DropStats::default() {
+        // No records to process, so the detector is not advanced; the
+        // trailing counts ride out on a synthetic counters-only report.
+        let report = IntervalReport {
+            interval: detector.intervals_processed(),
+            drops,
+            ..IntervalReport::default()
+        };
+        let _ = reports.send(report);
     }
     LoopEnd::InputClosed
 }
@@ -374,15 +387,17 @@ fn maybe_checkpoint(detector: &SketchChangeDetector, binner: &mut BinnerState, c
         processed: binner.processed,
     };
     match ck.write_atomic(&policy.path) {
+        // Lifecycle events are best-effort (try_send): an undrained event
+        // channel may lose events, never stall detection.
         Ok(()) => {
             binner.last_checkpoint = done;
             if let Some(events) = &ctx.events {
-                let _ = events.send(LifecycleEvent::CheckpointWritten { intervals: done });
+                let _ = events.try_send(LifecycleEvent::CheckpointWritten { intervals: done });
             }
         }
         Err(e) => {
             if let Some(events) = &ctx.events {
-                let _ = events.send(LifecycleEvent::Degraded {
+                let _ = events.try_send(LifecycleEvent::Degraded {
                     reason: format!("checkpoint write failed: {e}"),
                 });
             }

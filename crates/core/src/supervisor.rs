@@ -16,6 +16,12 @@
 //! 4. narrates everything on a dedicated [`LifecycleEvent`] channel, so
 //!    operators observe restarts instead of discovering them.
 //!
+//! Recovery is consulted at **startup** too, not only after a panic: if a
+//! checkpoint file already exists when [`spawn_supervised`] runs, the
+//! detector resumes from it — so a crashed or cleanly stopped *process*
+//! restarted with the same config picks up where it left off instead of
+//! starting over from interval 0.
+//!
 //! The record channel lives *outside* the supervised region: producers
 //! keep their sender across restarts, and records queued at crash time
 //! are delivered to the restarted detector. What is lost is the
@@ -168,7 +174,6 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
     let (sender, record_rx, counters) = make_front_end(&config.stream);
     let (report_tx, report_rx) = bounded::<IntervalReport>(64);
     let (event_tx, event_rx) = bounded::<LifecycleEvent>(256);
-    let mut detector = SketchChangeDetector::new(config.stream.detector.clone());
     let restart = config.restart;
     let ctx = LoopContext {
         config: config.stream,
@@ -180,7 +185,20 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
     let thread = std::thread::Builder::new()
         .name("scd-supervised-detector".into())
         .spawn(move || {
-            let mut binner = BinnerState::fresh();
+            // Process-level resume: consult the configured checkpoint
+            // *before* the first record, so a restarted process continues
+            // where the previous one left off instead of starting over
+            // (and clobbering the old checkpoint at its first write). An
+            // unusable checkpoint degrades to a fresh start, same as on a
+            // mid-run restart.
+            let (mut detector, mut binner) = match recover(&ctx) {
+                Ok(Some(resumed)) => resumed,
+                Ok(None) => fresh_state(&ctx),
+                Err(reason) => {
+                    emit(&event_tx, LifecycleEvent::Degraded { reason });
+                    fresh_state(&ctx)
+                }
+            };
             emit(&event_tx, LifecycleEvent::Started);
             let mut attempts = 0u32;
             loop {
@@ -207,13 +225,11 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
                                 binner = b;
                             }
                             Ok(None) => {
-                                detector = SketchChangeDetector::new(ctx.config.detector.clone());
-                                binner = BinnerState::fresh();
+                                (detector, binner) = fresh_state(&ctx);
                             }
                             Err(reason) => {
                                 emit(&event_tx, LifecycleEvent::Degraded { reason });
-                                detector = SketchChangeDetector::new(ctx.config.detector.clone());
-                                binner = BinnerState::fresh();
+                                (detector, binner) = fresh_state(&ctx);
                             }
                         }
                         emit(
@@ -232,6 +248,10 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
         .expect("spawn supervisor thread");
 
     SupervisedHandle { records: sender, reports: report_rx, events: event_rx, thread }
+}
+
+fn fresh_state(ctx: &LoopContext) -> (SketchChangeDetector, BinnerState) {
+    (SketchChangeDetector::new(ctx.config.detector.clone()), BinnerState::fresh())
 }
 
 /// Loads the last checkpoint, if checkpointing is configured and a file

@@ -333,3 +333,75 @@ fn intra_interval_order_is_irrelevant() {
     backward.reverse();
     assert_eq!(run(&forward)[0], run(&backward)[0]);
 }
+
+/// Process-level resume: a *new* supervised detector pointed at an
+/// existing checkpoint file picks up where the previous run left off —
+/// its first report continues the interval sequence instead of starting
+/// over at 0 (and quietly overwriting the old checkpoint).
+#[test]
+fn new_process_resumes_from_existing_checkpoint() {
+    let path = temp_path("process-resume.ckpt");
+    std::fs::remove_file(&path).ok();
+    let policy = || Some(CheckpointPolicy { path: path.clone(), every_intervals: 2 });
+
+    // First "process": 6 intervals, checkpointed every 2 (and once more at
+    // the final flush).
+    let first = spawn_supervised(SupervisorConfig {
+        stream: streaming_config(policy()),
+        restart: RestartPolicy::default(),
+        fault: None,
+    });
+    for t in 0..6u64 {
+        for i in 0..5u64 {
+            assert!(first.send(record(t * 1_000 + i * 100, (i % 3) as u32, 400 + t)));
+        }
+    }
+    let (first_reports, _, _) = first.shutdown().expect("clean first run");
+    let first_max = first_reports.iter().map(|r| r.interval).max().expect("reports");
+
+    // Second "process", same config and checkpoint path, fed the next
+    // stretch of the stream.
+    let second = spawn_supervised(SupervisorConfig {
+        stream: streaming_config(policy()),
+        restart: RestartPolicy::default(),
+        fault: None,
+    });
+    for t in 6..9u64 {
+        for i in 0..5u64 {
+            assert!(second.send(record(t * 1_000 + i * 100, (i % 3) as u32, 400 + t)));
+        }
+    }
+    let (reports, events, _) = second.shutdown().expect("clean second run");
+    assert!(events.contains(&LifecycleEvent::Started));
+    assert!(
+        !events.iter().any(|e| matches!(e, LifecycleEvent::Degraded { .. })),
+        "valid checkpoint must not degrade: {events:?}"
+    );
+    let min = reports.iter().map(|r| r.interval).min().expect("second run reports");
+    assert!(
+        min > first_max,
+        "second process restarted from interval {min} instead of resuming past {first_max}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Overload accounting survives a fully shed tail: when every record of
+/// the stream is shed by the sampler (nothing ever reaches the detector),
+/// the shed counts still surface in a report instead of vanishing, so
+/// `processed + lost == sent` holds.
+#[test]
+fn fully_shed_tail_still_surfaces_drop_counters() {
+    let mut cfg = streaming_config(None);
+    // Rate low enough that (deterministically, for this seed) all 50
+    // records are shed.
+    cfg.overload = OverloadPolicy::Sample { rate: 1e-9, seed: 7 };
+    let handle = spawn_streaming(cfg);
+    for i in 0..50u64 {
+        assert!(handle.send(record(i * 10, 1, 100)));
+    }
+    let (reports, processed) = handle.shutdown().expect("clean");
+    assert_eq!(processed, 0, "every record should have been shed");
+    let shed: u64 = reports.iter().map(|r| r.drops.shed).sum();
+    let admitted: u64 = reports.iter().map(|r| r.drops.sampled_in).sum();
+    assert_eq!(shed + admitted, 50, "tail counters lost: {reports:?}");
+}
