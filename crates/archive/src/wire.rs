@@ -1,0 +1,334 @@
+//! On-disk format for k-ary sketch archives.
+//!
+//! Same durability posture as `scd-core`'s checkpoints: one
+//! self-describing blob, CRC-32 footer over every preceding byte, atomic
+//! tmp-file + rename + parent-directory fsync on write. An archive file
+//! and a PR-1 detector checkpoint side by side capture a node's full
+//! state: the checkpoint resumes the live pipeline, the archive resumes
+//! history.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! "SCDARCH1"                       magic, 8 bytes
+//! max_sketches: u32, full_resolution: u32, keys_per_epoch: u32
+//! next_interval: u64
+//! n_epochs: u32
+//! per epoch:
+//!   start: u64, len: u64
+//!   n_notable: u32, then (key: u64, weight: f64) pairs
+//!   sketch blob: u64 length + scd-sketch wire bytes (self-checksummed)
+//! crc32: u32                       over every preceding byte
+//! ```
+//!
+//! Decoding trusts nothing: CRC first, then per-field validation, then
+//! [`SketchArchive`] re-validates the structural invariants (contiguous
+//! epochs, one hash family) before any query can run. Hash tables are
+//! derived once from the first epoch's header and shared across the
+//! remaining blobs.
+
+use crate::archive::{ArchiveConfig, ArchiveError, Epoch, SketchArchive};
+use scd_hash::byteio::{self, Cursor};
+use scd_hash::crc32;
+use scd_sketch::{wire as sketch_wire, KarySketch};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic for archive version 1.
+pub const MAGIC: &[u8; 8] = b"SCDARCH1";
+
+/// Errors from reading or writing archive files.
+#[derive(Debug)]
+pub enum ArchiveWireError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file ends before its structure does.
+    Truncated,
+    /// The CRC-32 footer does not match the payload.
+    BadChecksum {
+        /// Checksum computed over the payload as read.
+        computed: u32,
+        /// Checksum stored in the footer.
+        stored: u32,
+    },
+    /// A structurally invalid field.
+    Malformed(String),
+    /// An embedded sketch blob failed to decode.
+    Sketch(sketch_wire::WireError),
+    /// The decoded structure was rejected by the archive's invariants.
+    Archive(ArchiveError),
+}
+
+impl std::fmt::Display for ArchiveWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveWireError::Io(e) => write!(f, "archive i/o: {e}"),
+            ArchiveWireError::BadMagic => write!(f, "not an archive file (bad magic)"),
+            ArchiveWireError::Truncated => write!(f, "archive file truncated"),
+            ArchiveWireError::BadChecksum { computed, stored } => {
+                write!(f, "archive corrupt: crc32 {computed:#010x} != stored {stored:#010x}")
+            }
+            ArchiveWireError::Malformed(what) => write!(f, "malformed archive: {what}"),
+            ArchiveWireError::Sketch(e) => write!(f, "embedded sketch: {e}"),
+            ArchiveWireError::Archive(e) => write!(f, "archive rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveWireError {}
+
+impl From<std::io::Error> for ArchiveWireError {
+    fn from(e: std::io::Error) -> Self {
+        ArchiveWireError::Io(e)
+    }
+}
+
+impl From<byteio::ShortInput> for ArchiveWireError {
+    fn from(_: byteio::ShortInput) -> Self {
+        ArchiveWireError::Truncated
+    }
+}
+
+impl From<sketch_wire::WireError> for ArchiveWireError {
+    fn from(e: sketch_wire::WireError) -> Self {
+        ArchiveWireError::Sketch(e)
+    }
+}
+
+impl From<ArchiveError> for ArchiveWireError {
+    fn from(e: ArchiveError) -> Self {
+        ArchiveWireError::Archive(e)
+    }
+}
+
+/// Serializes the archive, CRC-32 footer included.
+pub fn to_bytes(archive: &SketchArchive<KarySketch>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let cfg = archive.config();
+    byteio::put_u32(&mut out, cfg.max_sketches as u32);
+    byteio::put_u32(&mut out, cfg.full_resolution as u32);
+    byteio::put_u32(&mut out, cfg.keys_per_epoch as u32);
+    byteio::put_u64(&mut out, archive.next_interval());
+    byteio::put_u32(&mut out, archive.sketch_count() as u32);
+    for epoch in archive.epochs() {
+        byteio::put_u64(&mut out, epoch.start());
+        byteio::put_u64(&mut out, epoch.len());
+        byteio::put_u32(&mut out, epoch.notable().len() as u32);
+        for &(key, weight) in epoch.notable() {
+            byteio::put_u64(&mut out, key);
+            byteio::put_f64(&mut out, weight);
+        }
+        let blob = sketch_wire::to_bytes(epoch.sketch());
+        byteio::put_u64(&mut out, blob.len() as u64);
+        out.extend_from_slice(&blob);
+    }
+    let crc = crc32(&out);
+    byteio::put_u32(&mut out, crc);
+    out
+}
+
+/// Parses an archive, verifying the CRC before trusting any field and
+/// re-validating every archive invariant before returning.
+pub fn from_bytes(data: &[u8]) -> Result<SketchArchive<KarySketch>, ArchiveWireError> {
+    if data.len() < MAGIC.len() + 4 {
+        return Err(ArchiveWireError::Truncated);
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return Err(ArchiveWireError::BadMagic);
+    }
+    let (payload, footer) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(ArchiveWireError::BadChecksum { computed, stored });
+    }
+    let mut cur = Cursor::new(&payload[MAGIC.len()..]);
+    let config = ArchiveConfig {
+        max_sketches: cur.u32()? as usize,
+        full_resolution: cur.u32()? as usize,
+        keys_per_epoch: cur.u32()? as usize,
+    };
+    let next_interval = cur.u64()?;
+    let n_epochs = cur.u32()? as usize;
+    if n_epochs > config.max_sketches {
+        return Err(ArchiveWireError::Malformed(format!(
+            "{n_epochs} epochs exceed the declared budget of {}",
+            config.max_sketches
+        )));
+    }
+    let mut rows = None;
+    let mut epochs = Vec::with_capacity(n_epochs);
+    for _ in 0..n_epochs {
+        let start = cur.u64()?;
+        let len = cur.u64()?;
+        let n_notable = cur.u32()? as usize;
+        if n_notable > config.keys_per_epoch {
+            return Err(ArchiveWireError::Malformed(format!(
+                "{n_notable} directory keys exceed keys_per_epoch {}",
+                config.keys_per_epoch
+            )));
+        }
+        let mut notable = Vec::with_capacity(n_notable);
+        for _ in 0..n_notable {
+            let key = cur.u64()?;
+            let weight = cur.f64()?;
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(ArchiveWireError::Malformed(format!(
+                    "directory weight {weight} for key {key} is not a finite nonnegative number"
+                )));
+            }
+            notable.push((key, weight));
+        }
+        let blob_len = cur.u64()? as usize;
+        let blob = cur.take(blob_len)?;
+        // First epoch derives the hash family; the rest must share it
+        // (enforced by `from_bytes_with_rows`, then re-checked by
+        // `from_parts`).
+        let sketch = match &rows {
+            None => {
+                let s = sketch_wire::from_bytes(blob)?;
+                rows = Some(Arc::clone(s.rows()));
+                s
+            }
+            Some(rows) => sketch_wire::from_bytes_with_rows(blob, rows)?,
+        };
+        epochs.push(Epoch { start, len, sketch, notable });
+    }
+    if cur.remaining() != 0 {
+        return Err(ArchiveWireError::Malformed(format!("{} trailing bytes", cur.remaining())));
+    }
+    Ok(SketchArchive::from_parts(config, next_interval, epochs)?)
+}
+
+/// Writes the archive atomically: serialize to `<path>.tmp`, fsync,
+/// rename over `path`, fsync the parent directory — a crash leaves
+/// either the old file or the new one, never a torn hybrid.
+pub fn write_atomic(
+    archive: &SketchArchive<KarySketch>,
+    path: &Path,
+) -> Result<(), ArchiveWireError> {
+    let bytes = to_bytes(archive);
+    let file_name = path.file_name().ok_or_else(|| {
+        ArchiveWireError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("archive path has no file name: {}", path.display()),
+        ))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()?;
+    Ok(())
+}
+
+/// Reads and verifies an archive from disk.
+pub fn load(path: &Path) -> Result<SketchArchive<KarySketch>, ArchiveWireError> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_sketch::SketchConfig;
+
+    fn sample() -> SketchArchive<KarySketch> {
+        let cfg = ArchiveConfig { max_sketches: 8, full_resolution: 2, keys_per_epoch: 4 };
+        let mut archive = SketchArchive::new(cfg).unwrap();
+        let proto = KarySketch::new(SketchConfig { h: 3, k: 256, seed: 21 });
+        for t in 0..40u64 {
+            let mut s = proto.zero_like();
+            s.update(t % 10, (t + 1) as f64);
+            archive.push(s, &[(t % 10, (t + 1) as f64)]).unwrap();
+        }
+        archive
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_answers() {
+        let original = sample();
+        let back = from_bytes(&to_bytes(&original)).expect("decode");
+        assert_eq!(back.config(), original.config());
+        assert_eq!(back.next_interval(), original.next_interval());
+        assert_eq!(back.sketch_count(), original.sketch_count());
+        for (a, b) in original.epochs().zip(back.epochs()) {
+            assert_eq!(a.start(), b.start());
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.notable(), b.notable());
+            assert_eq!(a.sketch().table(), b.sketch().table());
+        }
+        // Queries agree bit for bit.
+        let qa = original.changed_keys(8, 24, 0.05, &[]).unwrap();
+        let qb = back.changed_keys(8, 24, 0.05, &[]).unwrap();
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn empty_archive_round_trips() {
+        let cfg = ArchiveConfig { max_sketches: 8, full_resolution: 2, keys_per_epoch: 4 };
+        let empty = SketchArchive::<KarySketch>::new(cfg).unwrap();
+        let back = from_bytes(&to_bytes(&empty)).expect("decode");
+        assert_eq!(back.sketch_count(), 0);
+        assert_eq!(back.coverage(), None);
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let bytes = to_bytes(&sample());
+        let step = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            for bit in [0x01u8, 0x80] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= bit;
+                assert!(
+                    from_bytes(&corrupt).is_err(),
+                    "flip at byte {pos} (mask {bit:#04x}) went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = to_bytes(&sample());
+        let step = (bytes.len() / 61).max(1);
+        for len in (0..bytes.len()).step_by(step) {
+            assert!(from_bytes(&bytes[..len]).is_err(), "truncation to {len} went undetected");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = to_bytes(&sample());
+        bytes[..8].copy_from_slice(b"SCDCKPT1");
+        assert!(matches!(from_bytes(&bytes), Err(ArchiveWireError::BadMagic)));
+    }
+
+    #[test]
+    fn atomic_write_and_load() {
+        let dir = std::env::temp_dir().join("scd-archive-wire-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("node.arch");
+        let archive = sample();
+        write_atomic(&archive, &path).expect("write");
+        // Overwrite must replace atomically.
+        write_atomic(&archive, &path).expect("overwrite");
+        let back = load(&path).expect("load");
+        assert_eq!(back.sketch_count(), archive.sketch_count());
+        std::fs::remove_file(&path).ok();
+    }
+}

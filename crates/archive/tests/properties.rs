@@ -1,0 +1,156 @@
+//! End-to-end properties of the multi-resolution archive: queries answer
+//! exactly what direct ingest of the covered span would, changes injected
+//! into the past stay findable after resolution decay, and the archive is
+//! genuinely generic over linear summaries.
+
+use scd_archive::{ArchiveConfig, ArchiveError, SketchArchive};
+use scd_hash::SplitMix64;
+use scd_sketch::{CountSketch, KarySketch, SketchConfig};
+
+fn proto() -> KarySketch {
+    KarySketch::new(SketchConfig { h: 5, k: 1024, seed: 77 })
+}
+
+/// Per-interval synthetic traffic: 32 steady keys with integer volumes
+/// (so all sums are exact in f64), deterministic per interval.
+fn interval_updates(t: u64) -> Vec<(u64, f64)> {
+    let mut rng = SplitMix64::new(0x7AFF1C ^ t);
+    (0..32u64).map(|k| (k, (rng.next_below(100) + 1) as f64)).collect()
+}
+
+fn build_archive(
+    config: ArchiveConfig,
+    intervals: u64,
+    inject: impl Fn(u64) -> Option<(u64, f64)>,
+) -> SketchArchive<KarySketch> {
+    let proto = proto();
+    let mut archive = SketchArchive::new(config).unwrap();
+    for t in 0..intervals {
+        let mut s = proto.zero_like();
+        let mut notable: Vec<(u64, f64)> = Vec::new();
+        for (key, v) in interval_updates(t) {
+            s.update(key, v);
+            notable.push((key, v));
+        }
+        if let Some((key, v)) = inject(t) {
+            s.update(key, v);
+            notable.push((key, v));
+        }
+        archive.push(s, &notable).unwrap();
+    }
+    archive
+}
+
+#[test]
+fn range_sketch_is_bit_identical_to_direct_ingest() {
+    let config = ArchiveConfig { max_sketches: 10, full_resolution: 3, keys_per_epoch: 8 };
+    let archive = build_archive(config, 128, |_| None);
+    // Query a window; replay the *covered* span directly into one sketch.
+    let range = archive.range_sketch(40, 90).unwrap();
+    let (lo, hi) = range.covered;
+    assert!(lo <= 40 && hi >= 90, "covered {lo}..{hi} does not contain 40..90");
+    let mut direct = proto().zero_like();
+    for t in lo..hi {
+        for (key, v) in interval_updates(t) {
+            direct.update(key, v);
+        }
+    }
+    // Integer volumes ⇒ every cell is an exact sum ⇒ decay (COMBINE)
+    // cannot perturb a single bit relative to direct ingest.
+    assert_eq!(range.sketch.table(), direct.table());
+    assert_eq!(range.sketch.estimate_f2(), direct.estimate_f2());
+}
+
+#[test]
+fn injected_past_change_survives_resolution_decay() {
+    let config = ArchiveConfig { max_sketches: 8, full_resolution: 2, keys_per_epoch: 16 };
+    let burst_key = 0xBAD_u64;
+    // A burst at interval 50, long since decayed into a coarse epoch by
+    // interval 400.
+    let archive = build_archive(config, 400, |t| (t == 50).then_some((burst_key, 250_000.0)));
+    let report = archive.changed_keys(32, 64, 0.2, &[]).unwrap();
+    assert!(!report.changes.is_empty(), "no changes surfaced");
+    assert_eq!(report.changes[0].key, burst_key, "burst key not ranked first: {report:?}");
+    assert!(report.changes[0].magnitude > 200_000.0);
+    assert!(report.alarm_threshold > 0.0);
+    // A quiet window that *doesn't* snap onto the burst epoch (the recent
+    // full-resolution region) does not implicate the key.
+    let quiet = archive.changed_keys(396, 400, 0.2, &[burst_key]).unwrap();
+    assert!(quiet.covered.0 > 64, "window snapped over the burst: {:?}", quiet.covered);
+    assert!(
+        quiet.changes.iter().all(|c| c.key != burst_key),
+        "burst key alarmed in a quiet window: {quiet:?}"
+    );
+}
+
+#[test]
+fn key_history_localizes_the_burst() {
+    let config = ArchiveConfig { max_sketches: 12, full_resolution: 4, keys_per_epoch: 8 };
+    let burst_key = 7_u64; // also a steady key: history = baseline + burst
+    let archive = build_archive(config, 256, |t| (t == 100).then_some((burst_key, 500_000.0)));
+    let history = archive.key_history(burst_key, 0, 256).unwrap();
+    assert_eq!(history.len(), archive.sketch_count());
+    // Exactly the epoch containing interval 100 carries the burst mass.
+    for point in &history {
+        let has_burst = point.start <= 100 && 100 < point.start + point.len;
+        if has_burst {
+            assert!(point.total > 400_000.0, "burst epoch {point:?} missing mass");
+        } else {
+            // Steady traffic: ≤ 100 per interval per key plus sketch noise.
+            assert!(point.mean < 5_000.0, "quiet epoch {point:?} shows burst mass");
+        }
+    }
+    // Points tile the covered range in order.
+    let mut expect = history[0].start;
+    for point in &history {
+        assert_eq!(point.start, expect);
+        expect = point.start + point.len;
+    }
+    assert_eq!(expect, 256);
+}
+
+#[test]
+fn directory_feeds_queries_even_without_explicit_candidates() {
+    let config = ArchiveConfig { max_sketches: 8, full_resolution: 2, keys_per_epoch: 4 };
+    let archive = build_archive(config, 96, |t| (t == 30).then_some((999, 1_000_000.0)));
+    // The burst key was never passed to the query: the per-epoch
+    // directory alone must remember it across merges.
+    let candidates = archive.candidate_keys(16, 48).unwrap();
+    assert!(candidates.contains(&999), "directory forgot the burst key: {candidates:?}");
+    let report = archive.changed_keys(16, 48, 0.2, &[]).unwrap();
+    assert_eq!(report.changes[0].key, 999);
+}
+
+#[test]
+fn archive_is_generic_over_count_sketch() {
+    let config = ArchiveConfig { max_sketches: 8, full_resolution: 2, keys_per_epoch: 8 };
+    let proto = CountSketch::new(5, 1024, 3);
+    let mut archive = SketchArchive::new(config).unwrap();
+    for t in 0..64u64 {
+        let mut s = proto.zero_like();
+        for (key, v) in interval_updates(t) {
+            s.update(key, v);
+        }
+        if t == 20 {
+            s.update(4242, 100_000.0);
+        }
+        archive.push(s, &[(4242, if t == 20 { 100_000.0 } else { 0.0 })]).unwrap();
+    }
+    assert!(archive.sketch_count() <= 8);
+    let report = archive.changed_keys(16, 32, 0.2, &[]).unwrap();
+    assert_eq!(report.changes[0].key, 4242);
+}
+
+#[test]
+fn queries_reject_bad_windows_with_typed_errors() {
+    let config = ArchiveConfig { max_sketches: 8, full_resolution: 2, keys_per_epoch: 4 };
+    let archive = build_archive(config, 32, |_| None);
+    assert!(matches!(
+        archive.changed_keys(10, 10, 0.05, &[]),
+        Err(ArchiveError::EmptyRange { .. })
+    ));
+    assert!(matches!(
+        archive.key_history(1, 40, 50),
+        Err(ArchiveError::OutOfRange { coverage: Some((0, 32)), .. })
+    ));
+}

@@ -1,0 +1,103 @@
+//! Archive costs: pushing intervals under budget-driven compaction, and
+//! answering historical queries from the dyadic epochs.
+//!
+//! The interesting property is that query cost is bounded by the epoch
+//! count (`O(log T)` with an ample budget), not by how much history the
+//! archive covers — `changed_keys` over 512 archived intervals sums at
+//! most `max_sketches` COMBINE terms.
+//!
+//! Run with `SCD_BENCH_JSON=BENCH_archive.json cargo bench --bench
+//! archive_query` to get the machine-readable report.
+
+use scd_archive::{ArchiveConfig, SketchArchive};
+use scd_bench::microbench::{BatchSize, BenchmarkId, Criterion, Throughput};
+use scd_bench::{criterion_group, criterion_main};
+use scd_hash::SplitMix64;
+use scd_sketch::{KarySketch, SketchConfig};
+
+const SKETCH: SketchConfig = SketchConfig { h: 5, k: 1 << 16, seed: 0x5CD };
+
+fn archive_config() -> ArchiveConfig {
+    ArchiveConfig { max_sketches: 24, full_resolution: 8, keys_per_epoch: 64 }
+}
+
+/// One interval's error-like sketch plus its notable keys.
+fn interval_sketch(proto: &KarySketch, t: u64) -> (KarySketch, Vec<(u64, f64)>) {
+    let mut rng = SplitMix64::new(0xA2C417E ^ t);
+    let mut sketch = proto.zero_like();
+    let mut notable = Vec::with_capacity(16);
+    for _ in 0..500 {
+        let key = rng.next_below(2_000);
+        let value = (rng.next_below(1_000) + 1) as f64;
+        sketch.update(key, value);
+        if notable.len() < 16 {
+            notable.push((key, value));
+        }
+    }
+    (sketch, notable)
+}
+
+/// An archive pre-loaded with `n` intervals.
+fn loaded_archive(proto: &KarySketch, n: u64) -> SketchArchive<KarySketch> {
+    let mut archive = SketchArchive::new(archive_config()).expect("valid config");
+    for t in 0..n {
+        let (sketch, notable) = interval_sketch(proto, t);
+        archive.push(sketch, &notable).expect("same family");
+    }
+    archive
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let proto = KarySketch::new(SKETCH);
+
+    // Steady-state push: every push into a full archive triggers the
+    // budget check and, on average every other push, a buddy merge.
+    let mut group = c.benchmark_group("archive_push");
+    group.sample_size(9);
+    let mut archive = loaded_archive(&proto, 512);
+    let mut t = archive.next_interval();
+    group.bench_function("push_steady_state", |b| {
+        b.iter_batched(
+            || {
+                t += 1;
+                interval_sketch(&proto, t)
+            },
+            |(sketch, notable)| {
+                archive.push(sketch, &notable).expect("same family");
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Queries against 512 archived intervals, windows of growing width.
+    let archive = loaded_archive(&proto, 512);
+    let mut group = c.benchmark_group("archive_query");
+    group.sample_size(9);
+    for width in [8u64, 64, 256] {
+        let (from, to) = (256 - width / 2, 256 + width / 2);
+        group.bench_with_input(BenchmarkId::new("range_sketch", width), &(), |b, ()| {
+            b.iter(|| archive.range_sketch(from, to).expect("in range"))
+        });
+        group.bench_with_input(BenchmarkId::new("changed_keys", width), &(), |b, ()| {
+            b.iter(|| archive.changed_keys(from, to, 0.05, &[]).expect("in range"))
+        });
+    }
+    group.bench_function("key_history_full_span", |b| {
+        b.iter(|| archive.key_history(7, 0, 512).expect("in range"))
+    });
+    group.finish();
+
+    // Serialization of the full archive (budget 24 of H=5, K=65536).
+    let bytes = scd_archive::wire::to_bytes(&archive);
+    let mut group = c.benchmark_group("archive_wire");
+    group.sample_size(9).throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("to_bytes", |b| b.iter(|| scd_archive::wire::to_bytes(&archive)));
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| scd_archive::wire::from_bytes(&bytes).expect("round trip"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_archive);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Sharded-ingest scaling: how interval throughput grows with shard count.
+//!
+//! Two views per shard count `N`:
+//!
+//! * `critical_path/N` — the **parallel model**: the interval's update
+//!   stream is partitioned by key hash, each shard's fold into its private
+//!   sketch is timed *separately*, and the interval latency is the
+//!   bottleneck shard plus the final COMBINE. This is the time an N-core
+//!   machine needs, measured one core at a time — so the scaling number
+//!   is honest even on a single-core CI box (where wall-clock threads
+//!   cannot speed anything up).
+//! * `engine_wall/N` — the real [`ShardedEngine`] end to end (routing,
+//!   channels, worker threads, COMBINE, detection), wall clock. On a
+//!   multi-core machine this tracks the model; on one core it shows the
+//!   sharding overhead instead.
+//!
+//! Run with `SCD_BENCH_JSON=BENCH_ingest.json cargo bench --bench
+//! ingest_scaling` to get the machine-readable report.
+
+use scd_bench::microbench::{BenchmarkId, Criterion, Throughput};
+use scd_bench::{criterion_group, criterion_main};
+use scd_core::{DetectorConfig, EngineConfig, KeyStrategy, ShardedEngine};
+use scd_forecast::ModelSpec;
+use scd_hash::SplitMix64;
+use scd_sketch::{KarySketch, SketchConfig};
+use scd_traffic::{partition_updates, ShardPolicy};
+use std::time::{Duration, Instant};
+
+// Per-update work must dominate the per-interval epilogue for sharding to
+// pay off: 1M updates vs a 5x8192-cell sketch keeps the COMBINE (which
+// walks every cell of every shard's sketch) a few percent of the fold.
+const N_UPDATES: usize = 1_000_000;
+const N_KEYS: u64 = 4_096;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn detector_config() -> DetectorConfig {
+    DetectorConfig {
+        sketch: SketchConfig { h: 5, k: 1 << 13, seed: 0x5CD },
+        model: ModelSpec::Ewma { alpha: 0.5 },
+        threshold: 0.05,
+        key_strategy: KeyStrategy::TwoPass,
+    }
+}
+
+/// One interval's worth of updates: heavy enough that per-update work
+/// dominates the per-interval detection epilogue.
+fn interval_updates() -> Vec<(u64, f64)> {
+    let mut rng = SplitMix64::new(0x1267E5);
+    (0..N_UPDATES).map(|_| (rng.next_below(N_KEYS), (rng.next_below(1_000) + 1) as f64)).collect()
+}
+
+/// Folds each shard's partition separately and returns the modeled
+/// parallel interval latency: `max(shard fold) + COMBINE`.
+fn critical_path(parts: &[Vec<(u64, f64)>], proto: &KarySketch) -> Duration {
+    let mut sketches = Vec::with_capacity(parts.len());
+    let mut bottleneck = Duration::ZERO;
+    for part in parts {
+        let mut sketch = proto.zero_like();
+        let start = Instant::now();
+        for &(key, value) in part {
+            sketch.update(key, value);
+        }
+        bottleneck = bottleneck.max(start.elapsed());
+        sketches.push(sketch);
+    }
+    let start = Instant::now();
+    let terms: Vec<(f64, &KarySketch)> = sketches.iter().map(|s| (1.0, s)).collect();
+    std::hint::black_box(sketches[0].combine(&terms).expect("same family"));
+    bottleneck + start.elapsed()
+}
+
+fn bench_ingest_scaling(c: &mut Criterion) {
+    let updates = interval_updates();
+    let proto = KarySketch::new(detector_config().sketch);
+
+    let mut group = c.benchmark_group("ingest_scaling");
+    group.sample_size(9).throughput(Throughput::Elements(N_UPDATES as u64));
+    for shards in SHARD_COUNTS {
+        let parts = partition_updates(&updates, shards, ShardPolicy::ByKeyHash);
+        group.bench_with_input(BenchmarkId::new("critical_path", shards), &parts, |b, parts| {
+            b.iter_custom(|iters| (0..iters).map(|_| critical_path(parts, &proto)).sum())
+        });
+    }
+    for shards in SHARD_COUNTS {
+        let mut engine =
+            ShardedEngine::new(EngineConfig::new(detector_config(), shards)).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("engine_wall", shards), &updates, |b, updates| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(engine.process_interval(updates).expect("engine alive"));
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+
+    // Headline number: modeled speedup of 4 shards over 1 (medians of 5).
+    let median = |shards: usize| -> f64 {
+        let parts = partition_updates(&updates, shards, ShardPolicy::ByKeyHash);
+        let mut times: Vec<f64> =
+            (0..5).map(|_| critical_path(&parts, &proto).as_nanos() as f64).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        times[times.len() / 2]
+    };
+    let speedup = median(1) / median(4);
+    println!("\nmodeled 4-shard speedup over 1 shard: {speedup:.2}x (critical path)");
+}
+
+criterion_group!(benches, bench_ingest_scaling);
+criterion_main!(benches);

@@ -14,22 +14,113 @@
 //! reasoning the sketch itself uses against outliers). This is a
 //! deliberately small tool for relative comparisons — update vs estimate,
 //! H=5 vs H=9 — not a statistics suite.
+//!
+//! # Machine-readable output
+//!
+//! Set `SCD_BENCH_JSON=/path/to/out.json` and every result is also
+//! collected into a hand-rolled JSON document written when the
+//! [`Criterion`] handle drops: one record per benchmark with the group,
+//! label, parameter (when the [`BenchmarkId`] carried one), median
+//! ns/op, and — when the group declared a [`Throughput`] — the derived
+//! rate. This is how `BENCH_ingest.json` / `BENCH_archive.json` are
+//! produced for the repo.
 
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, as serialized to the JSON report.
+#[derive(Debug, Clone)]
+struct JsonRecord {
+    group: String,
+    bench: String,
+    param: Option<String>,
+    ns_per_op: f64,
+    /// `(field name, value)` — e.g. `("elems_per_sec", 1.2e7)`.
+    rate: Option<(&'static str, f64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Minimum duration of one timed batch; batches shorter than this are
 /// doubled and retried.
 const MIN_BATCH: Duration = Duration::from_millis(2);
 
 /// Top-level harness handle (mirrors `criterion::Criterion`).
-#[derive(Debug, Default)]
-pub struct Criterion {}
+#[derive(Debug)]
+pub struct Criterion {
+    json_path: Option<std::path::PathBuf>,
+    records: Vec<JsonRecord>,
+}
+
+impl Default for Criterion {
+    /// Reads `SCD_BENCH_JSON` from the environment: when set, results are
+    /// also written there as JSON on drop.
+    fn default() -> Self {
+        Criterion {
+            json_path: std::env::var_os("SCD_BENCH_JSON").map(Into::into),
+            records: Vec::new(),
+        }
+    }
+}
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n{name}");
-        BenchmarkGroup { _criterion: self, sample_size: 9, throughput: None }
+        let group = name.to_string();
+        BenchmarkGroup { criterion: self, group, sample_size: 9, throughput: None }
+    }
+
+    fn to_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"harness\": \"scd-bench microbench\",\n  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"group\": \"{}\", \"bench\": \"{}\"",
+                json_escape(&r.group),
+                json_escape(&r.bench)
+            ));
+            if let Some(param) = &r.param {
+                // Numeric parameters (shard counts, sizes) stay numbers so
+                // consumers can plot them without re-parsing.
+                if param.parse::<f64>().is_ok() {
+                    out.push_str(&format!(", \"param\": {param}"));
+                } else {
+                    out.push_str(&format!(", \"param\": \"{}\"", json_escape(param)));
+                }
+            }
+            out.push_str(&format!(", \"ns_per_op\": {:.3}", r.ns_per_op));
+            if let Some((field, value)) = r.rate {
+                out.push_str(&format!(", \"{field}\": {value:.1}"));
+            }
+            out.push('}');
+            out.push_str(if i + 1 < self.records.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Some(path) = &self.json_path else { return };
+        if self.records.is_empty() {
+            return;
+        }
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => println!("\nwrote {} results to {}", self.records.len(), path.display()),
+            Err(e) => eprintln!("microbench: cannot write {}: {e}", path.display()),
+        }
     }
 }
 
@@ -37,23 +128,25 @@ impl Criterion {
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
     label: String,
+    param: Option<String>,
 }
 
 impl BenchmarkId {
     /// `name/parameter` form.
     pub fn new(name: &str, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId { label: format!("{name}/{parameter}"), param: Some(parameter.to_string()) }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        let p = parameter.to_string();
+        BenchmarkId { label: p.clone(), param: Some(p) }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(label: &str) -> Self {
-        BenchmarkId { label: label.to_string() }
+        BenchmarkId { label: label.to_string(), param: None }
     }
 }
 
@@ -80,7 +173,8 @@ pub enum BatchSize {
 
 /// A named collection of benchmarks sharing settings.
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
+    group: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -106,7 +200,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut bencher);
-        self.report(&id.label, &bencher.samples);
+        self.report(&id, &bencher.samples);
         self
     }
 
@@ -118,14 +212,15 @@ impl BenchmarkGroup<'_> {
     {
         let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut bencher, input);
-        self.report(&id.label, &bencher.samples);
+        self.report(&id, &bencher.samples);
         self
     }
 
     /// Ends the group (printing is incremental, so this is a no-op hook).
     pub fn finish(self) {}
 
-    fn report(&self, label: &str, samples: &[f64]) {
+    fn report(&mut self, id: &BenchmarkId, samples: &[f64]) {
+        let label = id.label.as_str();
         if samples.is_empty() {
             println!("  {label:<40} (no samples)");
             return;
@@ -134,16 +229,28 @@ impl BenchmarkGroup<'_> {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
         let median = sorted[sorted.len() / 2];
         let spread = sorted[sorted.len() - 1] - sorted[0];
-        let rate = match self.throughput {
+        let (rate_text, rate_record) = match self.throughput {
             Some(Throughput::Elements(n)) => {
-                format!("  ({:.2} Melem/s)", n as f64 * 1e3 / median)
+                let per_sec = n as f64 * 1e9 / median;
+                (format!("  ({:.2} Melem/s)", per_sec / 1e6), Some(("elems_per_sec", per_sec)))
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  ({:.2} MiB/s)", n as f64 * 1e9 / median / (1 << 20) as f64)
+                let per_sec = n as f64 * 1e9 / median;
+                (
+                    format!("  ({:.2} MiB/s)", per_sec / (1 << 20) as f64),
+                    Some(("bytes_per_sec", per_sec)),
+                )
             }
-            None => String::new(),
+            None => (String::new(), None),
         };
-        println!("  {label:<40} {median:>12.1} ns/op  (spread {spread:.1}){rate}");
+        println!("  {label:<40} {median:>12.1} ns/op  (spread {spread:.1}){rate_text}");
+        self.criterion.records.push(JsonRecord {
+            group: self.group.clone(),
+            bench: label.to_string(),
+            param: id.param.clone(),
+            ns_per_op: median,
+            rate: rate_record,
+        });
     }
 }
 
@@ -164,6 +271,23 @@ impl Bencher {
                 std::hint::black_box(f());
             }
             let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || iters >= u64::MAX / 2 {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+            } else {
+                iters = iters.saturating_mul(2);
+            }
+        }
+    }
+
+    /// Lets the benchmark do its own timing: `f` receives an iteration
+    /// count and returns the `Duration` those iterations "cost". This is
+    /// the escape hatch for *modeled* times that no single wall clock can
+    /// observe — e.g. the critical path of a parallel ingest (bottleneck
+    /// shard + merge) measured by timing each shard's fold separately.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let mut iters: u64 = 1;
+        while self.samples.len() < self.sample_size {
+            let elapsed = f(iters);
             if elapsed >= MIN_BATCH || iters >= u64::MAX / 2 {
                 self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
             } else {
@@ -236,6 +360,26 @@ mod tests {
         });
         group.finish();
         assert!(calls >= 3, "the measured closure must actually run");
+    }
+
+    #[test]
+    fn json_report_carries_params_and_rates() {
+        let mut c = Criterion { json_path: None, records: Vec::new() };
+        {
+            let mut group = c.benchmark_group("ingest");
+            group.sample_size(3).throughput(Throughput::Elements(1000));
+            group.bench_with_input(BenchmarkId::new("shards", 4), &(), |b, _| {
+                b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+            });
+            group.finish();
+        }
+        let json = c.to_json();
+        assert!(json.contains("\"group\": \"ingest\""), "{json}");
+        assert!(json.contains("\"bench\": \"shards/4\""), "{json}");
+        assert!(json.contains("\"param\": 4"), "{json}");
+        assert!(json.contains("\"ns_per_op\": 100.000"), "{json}");
+        assert!(json.contains("\"elems_per_sec\": 10000000000.0"), "{json}");
+        c.records.clear(); // nothing to write on drop
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! scd stream   --trace trace.bin --interval 60 --model ewma:0.5
 //!              [--policy block|drop|sample:R] [--capacity N]
 //!              [--checkpoint FILE] [--every N] [--h 5] [--k 32768]
+//! scd archive  --trace trace.bin --interval 60 --model ewma:0.5 --out hist.scda
+//!              [--shards 4] [--budget 64] [--full-res 8] [--keys 64]
+//!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
+//! scd query    --archive hist.scda --from T1 --to T2
+//!              [--threshold 0.05] [--key IP] [--top N]
 //! ```
 //!
 //! Traces are the binary/CSV formats of `scd-traffic::io` (format chosen by
@@ -40,11 +45,12 @@ macro_rules! outln {
 }
 
 use flags::{FlagError, Flags};
+use scd_archive::ArchiveConfig;
 use scd_core::gridsearch::{search_model, GridSearchConfig};
 use scd_core::{
-    segment_records, spawn_supervised, CheckpointPolicy, DetectorConfig, KeyStrategy,
+    segment_records, spawn_supervised, CheckpointPolicy, DetectorConfig, EngineConfig, KeyStrategy,
     LifecycleEvent, OverloadPolicy, RestartPolicy, ReversibleChangeDetector, ReversibleConfig,
-    SketchChangeDetector, StreamingConfig, SupervisorConfig,
+    ShardedEngine, SketchChangeDetector, StreamingConfig, SupervisorConfig,
 };
 use scd_forecast::{ModelKind, ModelSpec};
 use scd_sketch::{DeltoidConfig, SketchConfig};
@@ -70,7 +76,12 @@ fn usage() -> ExitCode {
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
          combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
          stream    --trace FILE --interval S --model SPEC [--policy block|drop|sample:R]\n\
-         \u{20}          [--capacity N] [--checkpoint FILE] [--every N] [--h 5] [--k 32768]\n\n\
+         \u{20}          [--capacity N] [--checkpoint FILE] [--every N] [--h 5] [--k 32768]\n\
+         archive   --trace FILE --interval S --model SPEC --out FILE [--shards 4]\n\
+         \u{20}          [--budget 64] [--full-res 8] [--keys 64] [--h 5] [--k 32768]\n\
+         \u{20}          [--threshold 0.05] [--sketch-seed N]\n\
+         query     --archive FILE --from T1 --to T2 [--threshold 0.05]\n\
+         \u{20}          [--key IP] [--top N]\n\n\
          model SPEC syntax: ma:5 | ewma:0.5 | nshw:0.6:0.2 | arima0:0.7,-0.1/0.3 | shw:a:b:g:m"
     );
     ExitCode::from(2)
@@ -90,6 +101,8 @@ fn main() -> ExitCode {
         "sketch" => sketch(&flags),
         "combine" => combine(&flags),
         "stream" => stream(&flags),
+        "archive" => archive(&flags),
+        "query" => query(&flags),
         _ => return usage(),
     };
     match result {
@@ -475,6 +488,112 @@ fn stream(flags: &Flags) -> CliResult {
             }
             other => outln!("lifecycle: {other:?}"),
         }
+    }
+    Ok(())
+}
+
+/// Replays a trace through the sharded ingest engine with an attached
+/// multi-resolution archive, then writes the archive to disk for later
+/// `scd query` runs. By linearity the N-shard COMBINE reproduces the
+/// single-threaded sketches bit for bit, so shard count affects only
+/// throughput, never output.
+fn archive(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let interval: u32 = flags.require("interval")?;
+    let model = ModelSpec::parse(&flags.require::<String>("model")?)?;
+    let out: String = flags.require("out")?;
+    let shards: usize = flags.get("shards", 4)?;
+    let h: usize = flags.get("h", 5)?;
+    let k: usize = flags.get("k", 32_768)?;
+    let threshold: f64 = flags.get("threshold", 0.05)?;
+    let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
+    let budget: usize = flags.get("budget", 64)?;
+    let full_resolution: usize = flags.get("full-res", 8)?;
+    let keys_per_epoch: usize = flags.get("keys", 64)?;
+    let top: usize = flags.get("top", 10)?;
+
+    let records = read_trace(&path)?;
+    let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
+    let mut engine = ShardedEngine::new(
+        EngineConfig::new(
+            DetectorConfig {
+                sketch: SketchConfig { h, k, seed: sketch_seed },
+                model,
+                threshold,
+                key_strategy: KeyStrategy::TwoPass,
+            },
+            shards,
+        )
+        .with_archive(ArchiveConfig {
+            max_sketches: budget,
+            full_resolution,
+            keys_per_epoch,
+        }),
+    )?;
+    outln!(
+        "archiving {} intervals of {interval}s across {shards} shards (budget {budget} sketches)",
+        intervals.len()
+    );
+    for items in &intervals {
+        let report = engine.process_interval(items)?;
+        print_alarms(
+            report.interval,
+            report.alarms.iter().map(|a| (a.key, a.estimated_error)),
+            top,
+        );
+    }
+    let archive = engine.take_archive().expect("engine built with an archive");
+    let (from, to) = archive.coverage().unwrap_or((0, 0));
+    outln!(
+        "archive: intervals [{from}, {to}) in {} epochs, {:.1} KiB -> {out}",
+        archive.sketch_count(),
+        archive.memory_bytes() as f64 / 1024.0
+    );
+    scd_archive::wire::write_atomic(&archive, std::path::Path::new(&out))?;
+    Ok(())
+}
+
+/// Answers historical questions from an archive written by `scd archive`:
+/// top changed keys over a past window, or (with `--key`) one key's
+/// forecast-error history at the archive's decayed resolution.
+fn query(flags: &Flags) -> CliResult {
+    let path: String = flags.require("archive")?;
+    let from: u64 = flags.require("from")?;
+    let to: u64 = flags.require("to")?;
+    let threshold: f64 = flags.get("threshold", 0.05)?;
+    let top: usize = flags.get("top", 10)?;
+
+    let archive = scd_archive::wire::load(std::path::Path::new(&path))?;
+    let (lo, hi) = archive.coverage().unwrap_or((0, 0));
+    if let Some(q) = flags.raw("key") {
+        let key = parse_ip_or_key(q)?;
+        let history = archive.key_history(key, from, to)?;
+        outln!("history of {q} over [{from}, {to}) (archive covers [{lo}, {hi})):");
+        for p in &history {
+            outln!(
+                "  intervals [{:>5}, {:>5})  width {:>4}  total {:+14.0}  mean {:+12.0}/interval",
+                p.start,
+                p.start + p.len,
+                p.len,
+                p.total,
+                p.mean
+            );
+        }
+        return Ok(());
+    }
+    let report = archive.changed_keys(from, to, threshold, &[])?;
+    outln!(
+        "changed keys in [{}, {}) (asked [{from}, {to}); {} epochs, T_A = {:.0}):",
+        report.covered.0,
+        report.covered.1,
+        report.epochs_used,
+        report.alarm_threshold
+    );
+    if report.changes.is_empty() {
+        outln!("  none above threshold");
+    }
+    for c in report.changes.iter().take(top) {
+        outln!("  CHANGE {:<16} net error {:+.0} bytes", format_ipv4(c.key as u32), c.magnitude);
     }
     Ok(())
 }

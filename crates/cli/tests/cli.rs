@@ -179,6 +179,59 @@ fn sketch_combine_workflow() {
     }
 }
 
+/// The historical workflow: generate a trace with an injected DoS, replay
+/// it through the 4-shard archiving engine, then query the archive for
+/// the attack window — the victim must come back as a changed key, and
+/// its per-key history must carry the burst.
+#[test]
+fn archive_query_workflow() {
+    let trace = temp_trace("archive");
+    let trace_s = trace.to_str().unwrap();
+    let (stdout, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "0.5", "--interval", "60"])
+        .args(["--out", trace_s, "--dos", "10:12:2:30", "--seed", "7"]));
+    assert!(ok, "generate failed: {stderr}");
+    let victim = stdout
+        .lines()
+        .find(|l| l.contains("injected dos"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .expect("victim ip printed")
+        .to_string();
+
+    let hist = trace.with_extension("scda");
+    let hist_s = hist.to_str().unwrap();
+    let (stdout, stderr, ok) = run(scd()
+        .args(["archive", "--trace", trace_s, "--interval", "60", "--model", "ewma:0.5"])
+        .args(["--out", hist_s, "--shards", "4", "--k", "8192"])
+        .args(["--budget", "16", "--full-res", "4", "--threshold", "0.4"]));
+    assert!(ok, "archive failed: {stderr}");
+    assert!(stdout.contains("archive: intervals [0, 30)"), "{stdout}");
+
+    // The attack ran over intervals 12..=13; ask for the dyadic-decayed
+    // window around it.
+    let (stdout, stderr, ok) = run(scd()
+        .args(["query", "--archive", hist_s, "--from", "8", "--to", "16"])
+        .args(["--threshold", "0.4"]));
+    assert!(ok, "query failed: {stderr}");
+    assert!(stdout.contains(&victim), "victim {victim} not in change report:\n{stdout}");
+
+    // Per-key history localizes the burst inside the window.
+    let (stdout, stderr, ok) = run(scd()
+        .args(["query", "--archive", hist_s, "--from", "0", "--to", "30"])
+        .args(["--key", &victim]));
+    assert!(ok, "history query failed: {stderr}");
+    assert!(stdout.contains("history of"), "{stdout}");
+
+    // Out-of-range windows fail loudly instead of answering nonsense.
+    let (_, stderr, ok) =
+        run(scd().args(["query", "--archive", hist_s, "--from", "50", "--to", "60"]));
+    assert!(!ok, "out-of-range query must fail");
+    assert!(stderr.contains("out"), "{stderr}");
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&hist).ok();
+}
+
 /// `scd stream` over a trace with more event-time intervals than the
 /// bounded report channel holds (64). The CLI must drain reports while it
 /// is still sending records; collecting them only at shutdown deadlocks —

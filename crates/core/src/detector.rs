@@ -194,6 +194,27 @@ impl SketchChangeDetector {
     /// Panics if `observed` was built over a different hash family than
     /// this detector's configuration — their cells would not be comparable.
     pub fn process_observed(&mut self, observed: &KarySketch, keys: Vec<u64>) -> IntervalReport {
+        self.process_observed_archiving(observed, keys).0
+    }
+
+    /// Like [`process_observed`](Self::process_observed), but additionally
+    /// hands back ownership of the error sketch the report was computed
+    /// from, labeled with the interval it covers — the hook the sharded
+    /// engine uses to feed an `scd-archive` without re-deriving `Se(t)`.
+    ///
+    /// The second component is `None` while the model is warming up (no
+    /// error sketch exists). Under [`KeyStrategy::NextInterval`] the
+    /// returned sketch covers the *previous* interval, matching the
+    /// report's lag, and the final interval's error sketch stays pending
+    /// (it has not been queried yet).
+    ///
+    /// # Panics
+    /// As [`process_observed`](Self::process_observed).
+    pub fn process_observed_archiving(
+        &mut self,
+        observed: &KarySketch,
+        keys: Vec<u64>,
+    ) -> (IntervalReport, Option<(usize, KarySketch)>) {
         assert_eq!(
             observed.rows().identity(),
             (self.config.sketch.h, self.config.sketch.k, self.config.sketch.seed),
@@ -207,14 +228,15 @@ impl SketchChangeDetector {
 
         match self.config.key_strategy {
             KeyStrategy::TwoPass => match stepped {
-                None => IntervalReport { interval: t, ..Default::default() },
+                None => (IntervalReport { interval: t, ..Default::default() }, None),
                 Some((_forecast, error)) => {
                     let keys = dedup_keys(keys.into_iter());
-                    self.detect(t, &error, keys)
+                    let report = self.detect(t, &error, keys);
+                    (report, Some((t, error)))
                 }
             },
             KeyStrategy::Sampled { rate, .. } => match stepped {
-                None => IntervalReport { interval: t, ..Default::default() },
+                None => (IntervalReport { interval: t, ..Default::default() }, None),
                 Some((_forecast, error)) => {
                     let threshold = (rate * u64::MAX as f64) as u64;
                     let sampler = &mut self.sampler;
@@ -222,22 +244,27 @@ impl SketchChangeDetector {
                         .into_iter()
                         .filter(|_| sampler.next_u64() <= threshold)
                         .collect();
-                    self.detect(t, &error, keys)
+                    let report = self.detect(t, &error, keys);
+                    (report, Some((t, error)))
                 }
             },
             KeyStrategy::NextInterval => {
                 // Query the *pending* error sketch with this interval's keys.
-                let report = match self.pending_error.take() {
-                    None => IntervalReport { interval: t.saturating_sub(1), ..Default::default() },
+                let (report, queried) = match self.pending_error.take() {
+                    None => (
+                        IntervalReport { interval: t.saturating_sub(1), ..Default::default() },
+                        None,
+                    ),
                     Some((prev_t, error)) => {
                         let keys = dedup_keys(keys.into_iter());
-                        self.detect(prev_t, &error, keys)
+                        let report = self.detect(prev_t, &error, keys);
+                        (report, Some((prev_t, error)))
                     }
                 };
                 if let Some((_forecast, error)) = stepped {
                     self.pending_error = Some((t, error));
                 }
-                report
+                (report, queried)
             }
         }
     }

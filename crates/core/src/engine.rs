@@ -1,0 +1,431 @@
+//! Sharded parallel ingest: N worker threads, one merged sketch, exactly
+//! the single-threaded answer.
+//!
+//! The paper's sketch module is embarrassingly parallel *because the
+//! sketch is linear* (§3.1): partition the interval's update stream by
+//! key across `N` workers, let each fold its share into a private k-ary
+//! sketch over the shared hash family, and COMBINE the per-shard
+//! sketches with coefficient 1 at the interval boundary. Per-cell,
+//! COMBINE is a sum, and sums don't care how the stream was partitioned
+//! — the merged sketch equals the one a single thread would have built.
+//! With integer update values (packet and byte counts) every cell is an
+//! exact integer sum below 2⁵³, so the equality is **bit for bit**, and
+//! the detector's reports — estimates, `ESTIMATEF2`, alarms — are
+//! *identical* to the single-threaded pipeline's, not merely close.
+//! `tests/engine.rs` asserts exactly that, strategy by strategy.
+//!
+//! Design notes:
+//!
+//! * Workers are long-lived `std::thread`s fed update batches over the
+//!   bounded channels of [`crate::channel`] — one queue per shard, so a
+//!   slow shard back-pressures only its own feeder, and batching keeps
+//!   the channel's mutex off the per-update hot path.
+//! * Keys are partitioned by a SplitMix64-style bit mix of the key, not
+//!   `key % N` — sequential IP keys would otherwise stripe unevenly.
+//! * The main thread keeps the arrival-order key log (the §3.3 two-pass
+//!   replay list); workers only ever see `(key, value)` pairs, so the
+//!   merge point is the *only* synchronization per interval.
+//! * When an [`ArchiveConfig`] is supplied, every interval's forecast
+//!   error sketch `Se(t)` — handed back by
+//!   [`SketchChangeDetector::process_observed_archiving`] — is pushed
+//!   into a [`SketchArchive`] keyed by detector interval, with the
+//!   report's top error keys as the epoch's directory entries. Warm-up
+//!   intervals (no error sketch yet) are back-filled with zero sketches
+//!   so archive interval indices always equal detector intervals.
+
+use crate::channel::{bounded, Receiver, Sender};
+use crate::detector::{DetectorConfig, IntervalReport, SketchChangeDetector};
+use scd_archive::{ArchiveConfig, ArchiveError, SketchArchive};
+use scd_sketch::KarySketch;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How many of a report's top error keys are offered to the archive's
+/// per-epoch directory (the archive truncates further to its own
+/// `keys_per_epoch`).
+const NOTABLE_KEYS_OFFERED: usize = 256;
+
+/// Configuration for a [`ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker thread count `N ≥ 1`. `1` degenerates to the
+    /// single-threaded pipeline plus one handoff (the bench baseline).
+    pub shards: usize,
+    /// Updates per batch message. Larger batches amortize channel
+    /// locking; smaller ones bound worker lag at interval boundaries.
+    pub batch: usize,
+    /// Per-shard queue capacity in batches. A full queue back-pressures
+    /// [`ShardedEngine::push`] (blocking send), never drops.
+    pub queue_capacity: usize,
+    /// The detection pipeline the merged sketches feed.
+    pub detector: DetectorConfig,
+    /// When set, archive every interval's error sketch for historical
+    /// change queries.
+    pub archive: Option<ArchiveConfig>,
+}
+
+impl EngineConfig {
+    /// A config with the default batching parameters (512-update
+    /// batches, 8 batches in flight per shard) and no archive.
+    pub fn new(detector: DetectorConfig, shards: usize) -> Self {
+        EngineConfig { shards, batch: 512, queue_capacity: 8, detector, archive: None }
+    }
+
+    /// Enables the multi-resolution error-sketch archive.
+    pub fn with_archive(mut self, archive: ArchiveConfig) -> Self {
+        self.archive = Some(archive);
+        self
+    }
+}
+
+/// Errors from the sharded engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A structurally invalid [`EngineConfig`].
+    BadConfig(String),
+    /// A worker thread died (panicked) — its queue is disconnected. The
+    /// engine cannot guarantee the interval's sketch is complete.
+    WorkerLost {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+    /// The archive rejected a push or was misconfigured.
+    Archive(ArchiveError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BadConfig(why) => write!(f, "invalid engine config: {why}"),
+            EngineError::WorkerLost { shard } => write!(f, "shard {shard} worker died"),
+            EngineError::Archive(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ArchiveError> for EngineError {
+    fn from(e: ArchiveError) -> Self {
+        EngineError::Archive(e)
+    }
+}
+
+enum WorkerMsg {
+    Batch(Vec<(u64, f64)>),
+    /// Interval boundary: ship the accumulated sketch and start fresh.
+    Flush,
+}
+
+struct Worker {
+    /// `Option` so `Drop` can hang up (dropping the sender ends the
+    /// worker's receive loop) before joining.
+    tx: Option<Sender<WorkerMsg>>,
+    results: Receiver<KarySketch>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Mixes the key so that structured key spaces (sequential IPs, aligned
+/// prefixes) still spread evenly across shards. Any deterministic
+/// partition is *correct* (linearity); balance is purely a throughput
+/// concern.
+#[inline]
+fn shard_of(key: u64, shards: usize) -> usize {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
+/// The sharded parallel ingest engine: feed updates with
+/// [`push`](Self::push), close each interval with
+/// [`end_interval`](Self::end_interval), read reports identical to the
+/// single-threaded detector's.
+pub struct ShardedEngine {
+    shards: usize,
+    batch: usize,
+    detector: SketchChangeDetector,
+    archive: Option<SketchArchive<KarySketch>>,
+    workers: Vec<Worker>,
+    /// Per-shard batch under construction.
+    pending: Vec<Vec<(u64, f64)>>,
+    /// Arrival-order key log for two-pass error reconstruction.
+    keys: Vec<u64>,
+    records_total: u64,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards)
+            .field("intervals_processed", &self.detector.intervals_processed())
+            .finish()
+    }
+}
+
+impl ShardedEngine {
+    /// Spawns the worker pool. Workers live for the engine's lifetime —
+    /// interval boundaries reuse them; nothing is spawned per interval.
+    ///
+    /// # Errors
+    /// [`EngineError::BadConfig`] for zero shards/batch/queue, or an
+    /// archive config that cannot sustain compaction.
+    pub fn new(config: EngineConfig) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::BadConfig("shards must be at least 1".into()));
+        }
+        if config.batch == 0 || config.queue_capacity == 0 {
+            return Err(EngineError::BadConfig("batch and queue_capacity must be positive".into()));
+        }
+        let archive = match &config.archive {
+            Some(cfg) => Some(SketchArchive::new(*cfg)?),
+            None => None,
+        };
+        let detector = SketchChangeDetector::new(config.detector.clone());
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded::<WorkerMsg>(config.queue_capacity);
+            let (result_tx, result_rx) = bounded::<KarySketch>(1);
+            let rows = Arc::clone(detector.rows());
+            let thread = std::thread::Builder::new()
+                .name(format!("scd-shard-{shard}"))
+                .spawn(move || {
+                    let mut sketch = KarySketch::with_rows(rows);
+                    loop {
+                        match rx.recv() {
+                            Ok(WorkerMsg::Batch(batch)) => {
+                                for (key, value) in batch {
+                                    sketch.update(key, value);
+                                }
+                            }
+                            Ok(WorkerMsg::Flush) => {
+                                let fresh = sketch.zero_like();
+                                let full = std::mem::replace(&mut sketch, fresh);
+                                if result_tx.send(full).is_err() {
+                                    break;
+                                }
+                            }
+                            // Engine hung up: drain complete, exit.
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn shard worker");
+            workers.push(Worker { tx: Some(tx), results: result_rx, thread: Some(thread) });
+        }
+        Ok(ShardedEngine {
+            shards: config.shards,
+            batch: config.batch,
+            detector,
+            archive,
+            workers,
+            pending: (0..config.shards).map(|_| Vec::new()).collect(),
+            keys: Vec::new(),
+            records_total: 0,
+        })
+    }
+
+    /// Worker count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The detection pipeline fed by the merged sketches.
+    pub fn detector(&self) -> &SketchChangeDetector {
+        &self.detector
+    }
+
+    /// The error-sketch archive, if configured.
+    pub fn archive(&self) -> Option<&SketchArchive<KarySketch>> {
+        self.archive.as_ref()
+    }
+
+    /// Takes ownership of the archive (e.g. to persist it via
+    /// `scd_archive::wire::write_atomic` after a run). Subsequent
+    /// intervals are no longer archived.
+    pub fn take_archive(&mut self) -> Option<SketchArchive<KarySketch>> {
+        self.archive.take()
+    }
+
+    /// Total updates pushed over the engine's lifetime.
+    pub fn records_total(&self) -> u64 {
+        self.records_total
+    }
+
+    fn send(&mut self, shard: usize, msg: WorkerMsg) -> Result<(), EngineError> {
+        let tx = self.workers[shard].tx.as_ref().expect("sender live until drop");
+        tx.send(msg).map_err(|_| EngineError::WorkerLost { shard })
+    }
+
+    /// Routes one update to its shard. Blocks (backpressure) if that
+    /// shard's queue is full — the engine never silently drops.
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerLost`] if the shard's worker has died.
+    pub fn push(&mut self, key: u64, value: f64) -> Result<(), EngineError> {
+        self.keys.push(key);
+        self.records_total += 1;
+        let shard = shard_of(key, self.shards);
+        self.pending[shard].push((key, value));
+        if self.pending[shard].len() >= self.batch {
+            let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.batch));
+            self.send(shard, WorkerMsg::Batch(batch))?;
+        }
+        Ok(())
+    }
+
+    /// Closes the interval: flushes every shard, COMBINEs the per-shard
+    /// sketches in shard order, and runs the detection pipeline on the
+    /// merged observed sketch — then archives the resulting error sketch
+    /// when an archive is configured.
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerLost`] if any worker died mid-interval;
+    /// [`EngineError::Archive`] if the archive rejects the error sketch.
+    pub fn end_interval(&mut self) -> Result<IntervalReport, EngineError> {
+        for shard in 0..self.shards {
+            if !self.pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.pending[shard]);
+                self.send(shard, WorkerMsg::Batch(batch))?;
+            }
+            self.send(shard, WorkerMsg::Flush)?;
+        }
+        let mut shard_sketches = Vec::with_capacity(self.shards);
+        for (shard, worker) in self.workers.iter().enumerate() {
+            shard_sketches
+                .push(worker.results.recv().map_err(|_| EngineError::WorkerLost { shard })?);
+        }
+        // COMBINE in fixed shard order: f64 addition is not associative
+        // in general, so a deterministic merge order keeps reruns (and
+        // the single-vs-sharded comparison) reproducible.
+        let terms: Vec<(f64, &KarySketch)> = shard_sketches.iter().map(|s| (1.0, s)).collect();
+        let observed = shard_sketches[0]
+            .combine(&terms)
+            .expect("shard sketches share one hash family by construction");
+        let keys = std::mem::take(&mut self.keys);
+        let (report, archived) = self.detector.process_observed_archiving(&observed, keys);
+        if let (Some(archive), Some((t, error))) = (self.archive.as_mut(), archived) {
+            // Back-fill warm-up (and NextInterval-lag) gaps with zero
+            // sketches so archive intervals track detector intervals.
+            let zero = error.zero_like();
+            while archive.next_interval() < t as u64 {
+                archive.push(zero.clone(), &[])?;
+            }
+            let notable: Vec<(u64, f64)> = report
+                .errors
+                .iter()
+                .take(NOTABLE_KEYS_OFFERED)
+                .map(|&(key, err)| (key, err.abs()))
+                .collect();
+            archive.push(error, &notable)?;
+        }
+        Ok(report)
+    }
+
+    /// Convenience: push a whole interval's updates and close it — the
+    /// sharded drop-in for `SketchChangeDetector::process_interval`.
+    ///
+    /// # Errors
+    /// As [`push`](Self::push) and [`end_interval`](Self::end_interval).
+    pub fn process_interval(
+        &mut self,
+        items: &[(u64, f64)],
+    ) -> Result<IntervalReport, EngineError> {
+        for &(key, value) in items {
+            self.push(key, value)?;
+        }
+        self.end_interval()
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Hang up every queue first (lets all workers start draining),
+        // then join.
+        for worker in &mut self.workers {
+            worker.tx.take();
+        }
+        for worker in &mut self.workers {
+            if let Some(thread) = worker.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::KeyStrategy;
+    use scd_forecast::ModelSpec;
+    use scd_sketch::SketchConfig;
+
+    fn config(shards: usize) -> EngineConfig {
+        EngineConfig::new(
+            DetectorConfig {
+                sketch: SketchConfig { h: 3, k: 512, seed: 4 },
+                model: ModelSpec::Ewma { alpha: 0.5 },
+                threshold: 0.05,
+                key_strategy: KeyStrategy::TwoPass,
+            },
+            shards,
+        )
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(matches!(
+            ShardedEngine::new(EngineConfig { shards: 0, ..config(1) }),
+            Err(EngineError::BadConfig(_))
+        ));
+        assert!(matches!(
+            ShardedEngine::new(EngineConfig { batch: 0, ..config(2) }),
+            Err(EngineError::BadConfig(_))
+        ));
+        let bad_archive = config(2).with_archive(ArchiveConfig {
+            max_sketches: 2,
+            full_resolution: 4,
+            keys_per_epoch: 4,
+        });
+        assert!(matches!(ShardedEngine::new(bad_archive), Err(EngineError::Archive(_))));
+    }
+
+    #[test]
+    fn shard_routing_is_balanced() {
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0u64; shards];
+            // Sequential keys — the adversarial case for `key % N`.
+            for key in 0..8_000u64 {
+                counts[shard_of(key, shards)] += 1;
+            }
+            let expect = 8_000 / shards as u64;
+            for (shard, &n) in counts.iter().enumerate() {
+                assert!(
+                    n > expect / 2 && n < expect * 2,
+                    "shard {shard}/{shards}: {n} keys (expected ≈{expect})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_engine_matches_detector_exactly() {
+        let mut engine = ShardedEngine::new(config(1)).unwrap();
+        let mut reference = SketchChangeDetector::new(config(1).detector);
+        for t in 0..8u64 {
+            let items: Vec<(u64, f64)> =
+                (0..200u64).map(|k| (k, ((k * 13 + t * 7) % 100) as f64)).collect();
+            let sharded = engine.process_interval(&items).unwrap();
+            let single = reference.process_interval(&items);
+            assert_eq!(sharded, single, "interval {t}");
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let mut engine = ShardedEngine::new(config(4)).unwrap();
+        engine.push(1, 1.0).unwrap();
+        // Dropping with a batch in flight and no flush must not hang.
+        drop(engine);
+    }
+}

@@ -36,6 +36,11 @@
 //!   directly, with no key stream at all), and [`hierarchy`]
 //!   (simultaneous detection at multiple prefix lengths with drill-down
 //!   localization — §2.1's aggregation levels).
+//! * [`engine`] — sharded parallel ingest: worker threads each fold a
+//!   key-partition of the update stream into a private sketch over the
+//!   shared hash family, COMBINEd per interval into exactly the
+//!   single-threaded observed sketch, optionally feeding an
+//!   `scd-archive` multi-resolution history of error sketches.
 //! * A fault-tolerance layer for the §6 online deployment: [`checkpoint`]
 //!   (CRC-guarded atomic snapshots of the full detector state),
 //!   [`supervisor`] (panic recovery with checkpoint restarts and a
@@ -72,6 +77,7 @@ pub mod adaptive;
 pub mod channel;
 pub mod checkpoint;
 pub mod detector;
+pub mod engine;
 pub mod gridsearch;
 pub mod hierarchy;
 pub mod metrics;
@@ -89,6 +95,7 @@ pub use detector::{
     Alarm, DetectorConfig, DetectorSnapshot, DropStats, IntervalReport, KeyStrategy, RestoreError,
     SketchChangeDetector,
 };
+pub use engine::{EngineConfig, EngineError, ShardedEngine};
 pub use gridsearch::{search_model, GridSearchConfig, GridSearchResult};
 pub use hierarchy::{HierarchicalDetector, HierarchyConfig, LocalizedAlarm};
 pub use metrics::{

@@ -10,7 +10,7 @@
 //!
 //! 1. catches panics (`catch_unwind`) instead of unwinding the thread,
 //! 2. restarts the detector from its last on-disk
-//!    [`Checkpoint`](crate::checkpoint::Checkpoint) (or fresh, if none),
+//!    [`Checkpoint`] (or fresh, if none),
 //! 3. backs off exponentially between attempts and gives up after a
 //!    configurable budget, and
 //! 4. narrates everything on a dedicated [`LifecycleEvent`] channel, so

@@ -12,6 +12,7 @@
 //! signed, which Count-Min fundamentally cannot represent — one of the
 //! reasons the paper designs the k-ary sketch instead.
 
+use crate::error::SketchError;
 use scd_hash::HashRows;
 use std::sync::Arc;
 
@@ -67,6 +68,57 @@ impl CountMinSketch {
     /// Total stream mass (row 0 sum).
     pub fn sum(&self) -> f64 {
         self.table[..self.k()].iter().sum()
+    }
+
+    /// The hash family backing this sketch.
+    pub fn rows(&self) -> &Arc<HashRows> {
+        &self.rows
+    }
+
+    /// Heap bytes of the counter table.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f64>()
+    }
+
+    /// In-place `self += c · other` — the counter table is entry-wise
+    /// linear even though the *estimator* (min over rows) is not.
+    ///
+    /// With `c < 0` the result leaves the cash-register model: the
+    /// never-underestimates guarantee no longer holds, exactly as a raw
+    /// negative [`CountMinSketch::update`] would break it. Aggregation
+    /// (all-positive coefficients, e.g. archiving interval sketches) is the
+    /// intended use.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if the hash families differ.
+    pub fn add_scaled(&mut self, other: &CountMinSketch, c: f64) -> Result<(), SketchError> {
+        if self.rows.identity() != other.rows.identity() {
+            return Err(SketchError::IncompatibleSketches {
+                left: self.rows.identity(),
+                right: other.rows.identity(),
+            });
+        }
+        for (dst, src) in self.table.iter_mut().zip(&other.table) {
+            *dst += c * src;
+        }
+        Ok(())
+    }
+
+    /// In-place `self *= c`.
+    pub fn scale(&mut self, c: f64) {
+        for cell in &mut self.table {
+            *cell *= c;
+        }
+    }
+
+    /// Resets every counter to zero, keeping the hash family.
+    pub fn clear(&mut self) {
+        self.table.fill(0.0);
+    }
+
+    /// Returns a zeroed sketch over the same hash family.
+    pub fn zero_like(&self) -> CountMinSketch {
+        CountMinSketch { rows: Arc::clone(&self.rows), table: vec![0.0; self.table.len()] }
     }
 }
 

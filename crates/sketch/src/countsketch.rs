@@ -15,6 +15,7 @@
 //! updates, so it *could* summarize forecast errors; it is retained as the
 //! honest baseline for both accuracy and speed comparisons.
 
+use crate::error::SketchError;
 use crate::median::median_inplace;
 use scd_hash::{HashRows, Hasher4, SplitMix64};
 use std::sync::Arc;
@@ -89,6 +90,61 @@ impl CountSketch {
             .map(|row| self.table[row * k..(row + 1) * k].iter().map(|&x| x * x).sum())
             .collect();
         median_inplace(&mut per_row)
+    }
+
+    /// The hash family backing this sketch (sign hashes are derived
+    /// deterministically from the same seed, so equal identities imply
+    /// equal sign functions).
+    pub fn rows(&self) -> &Arc<HashRows> {
+        &self.rows
+    }
+
+    /// Heap bytes of the counter table.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f64>()
+    }
+
+    /// In-place `self += c · other`. Every counter is a sum of
+    /// `sign_i(a)·u` terms, so the table combines entry-wise exactly like
+    /// the k-ary sketch's.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if the hash families differ
+    /// (the identity covers the sign hashes too — both are derived from
+    /// the construction seed).
+    pub fn add_scaled(&mut self, other: &CountSketch, c: f64) -> Result<(), SketchError> {
+        if self.rows.identity() != other.rows.identity() {
+            return Err(SketchError::IncompatibleSketches {
+                left: self.rows.identity(),
+                right: other.rows.identity(),
+            });
+        }
+        for (dst, src) in self.table.iter_mut().zip(&other.table) {
+            *dst += c * src;
+        }
+        Ok(())
+    }
+
+    /// In-place `self *= c`.
+    pub fn scale(&mut self, c: f64) {
+        for cell in &mut self.table {
+            *cell *= c;
+        }
+    }
+
+    /// Resets every counter to zero, keeping hash family and signs.
+    pub fn clear(&mut self) {
+        self.table.fill(0.0);
+    }
+
+    /// Returns a zeroed sketch sharing this one's hash family and sign
+    /// hashes.
+    pub fn zero_like(&self) -> CountSketch {
+        CountSketch {
+            rows: Arc::clone(&self.rows),
+            signs: self.signs.clone(),
+            table: vec![0.0; self.table.len()],
+        }
     }
 }
 

@@ -55,6 +55,7 @@ pub mod deltoid;
 pub mod error;
 pub mod heavyhitters;
 pub mod kary;
+pub mod linear;
 pub mod median;
 pub mod wire;
 
@@ -64,4 +65,5 @@ pub use deltoid::{Deltoid, DeltoidConfig};
 pub use error::SketchError;
 pub use heavyhitters::MisraGries;
 pub use kary::{Estimator, KarySketch, SketchConfig};
+pub use linear::{LinearSketch, SecondMoment};
 pub use wire::{from_bytes, to_bytes, WireError};

@@ -44,6 +44,7 @@ pub mod packet;
 pub mod record;
 pub mod rng;
 pub mod routes;
+pub mod shard;
 pub mod zipf;
 
 pub use anomaly::{AnomalyEvent, AnomalyInjector, AnomalyKind, GroundTruth};
@@ -53,4 +54,5 @@ pub use packet::{parse_ethernet, parse_ipv4, PacketError, PacketSummary};
 pub use record::{to_updates, FlowRecord, KeySpec, ValueSpec};
 pub use rng::Rng;
 pub use routes::RouteTable;
+pub use shard::{partition_records, partition_updates, shard_of_key, ShardPolicy};
 pub use zipf::Zipf;

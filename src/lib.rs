@@ -23,8 +23,9 @@
 //! | [`hash`] | `scd-hash` | 4-universal hashing (Thorup–Zhang tabulation, Carter–Wegman polynomials) |
 //! | [`sketch`] | `scd-sketch` | k-ary sketch (UPDATE / ESTIMATE / ESTIMATEF2 / COMBINE), count-min & count sketch baselines, median networks |
 //! | [`forecast`] | `scd-forecast` | the six forecast models, generic over scalars and sketches |
-//! | [`core`] | `scd-core` | the change-detection pipeline, per-flow reference, grid search, metrics |
-//! | [`traffic`] | `scd-traffic` | synthetic netflow substrate, packet parsing, LPM routes, anomaly injection |
+//! | [`core`] | `scd-core` | the change-detection pipeline, per-flow reference, grid search, metrics, sharded ingest engine |
+//! | [`archive`] | `scd-archive` | multi-resolution sketch archive with historical change queries |
+//! | [`traffic`] | `scd-traffic` | synthetic netflow substrate, packet parsing, LPM routes, anomaly injection, trace sharding |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use scd_archive as archive;
 pub use scd_core as core;
 pub use scd_forecast as forecast;
 pub use scd_hash as hash;
@@ -63,8 +65,10 @@ pub use scd_traffic as traffic;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use scd_archive::{ArchiveConfig, SketchArchive};
     pub use scd_core::{
-        Alarm, DetectorConfig, IntervalReport, KeyStrategy, PerFlowDetector, SketchChangeDetector,
+        Alarm, DetectorConfig, EngineConfig, IntervalReport, KeyStrategy, PerFlowDetector,
+        ShardedEngine, SketchChangeDetector,
     };
     pub use scd_forecast::{ArimaSpec, Forecaster, ModelKind, ModelSpec, Summary};
     pub use scd_sketch::{KarySketch, SketchConfig};
