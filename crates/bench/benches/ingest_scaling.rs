@@ -1,37 +1,70 @@
 //! Sharded-ingest scaling: how interval throughput grows with shard count.
 //!
-//! Two views per shard count `N`:
+//! Three views:
 //!
+//! * `update_kernel/*` — the per-shard fold in isolation: the classic
+//!   per-update `KarySketch::update` loop against `update_batch` at the
+//!   engine's batch sizes. This isolates the cache win of row-major
+//!   hash-then-scatter from everything the engine adds around it.
 //! * `critical_path/N` — the **parallel model**: the interval's update
-//!   stream is partitioned by key hash, each shard's fold into its private
-//!   sketch is timed *separately*, and the interval latency is the
+//!   stream is partitioned by key hash, each shard's batched fold into its
+//!   private sketch is timed *separately*, and the interval latency is the
 //!   bottleneck shard plus the final COMBINE. This is the time an N-core
 //!   machine needs, measured one core at a time — so the scaling number
 //!   is honest even on a single-core CI box (where wall-clock threads
 //!   cannot speed anything up).
-//! * `engine_wall/N` — the real [`ShardedEngine`] end to end (routing,
-//!   channels, worker threads, COMBINE, detection), wall clock. On a
-//!   multi-core machine this tracks the model; on one core it shows the
-//!   sharding overhead instead.
+//! * `engine_wall/N` — the real [`ShardedEngine`] end to end
+//!   (`push_slice` routing, channels, batched workers, recycle pool,
+//!   COMBINE, detection), wall clock. On a multi-core machine this tracks
+//!   the model; on one core it shows the sharding overhead instead.
 //!
 //! Run with `SCD_BENCH_JSON=BENCH_ingest.json cargo bench --bench
-//! ingest_scaling` to get the machine-readable report.
+//! ingest_scaling` to get the machine-readable report. Set
+//! `SCD_BENCH_SMOKE=1` for the CI regression guard: a ~5× smaller stream
+//! and minimal sample counts — fast enough for every PR, still sharp
+//! enough to catch "8 workers slower than 1" class regressions.
 
 use scd_bench::microbench::{BenchmarkId, Criterion, Throughput};
 use scd_bench::{criterion_group, criterion_main};
 use scd_core::{DetectorConfig, EngineConfig, KeyStrategy, ShardedEngine};
 use scd_forecast::ModelSpec;
 use scd_hash::SplitMix64;
-use scd_sketch::{KarySketch, SketchConfig};
+use scd_sketch::{BatchScratch, KarySketch, SketchConfig};
 use scd_traffic::{partition_updates, ShardPolicy};
 use std::time::{Duration, Instant};
 
 // Per-update work must dominate the per-interval epilogue for sharding to
 // pay off: 1M updates vs a 5x8192-cell sketch keeps the COMBINE (which
 // walks every cell of every shard's sketch) a few percent of the fold.
-const N_UPDATES: usize = 1_000_000;
+const N_UPDATES_FULL: usize = 1_000_000;
+const N_UPDATES_SMOKE: usize = 200_000;
 const N_KEYS: u64 = 4_096;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// The engine's default batch size (`EngineConfig::new`), mirrored in the
+/// modeled fold so the model measures what the workers actually run.
+const ENGINE_BATCH: usize = 512;
+
+fn smoke() -> bool {
+    std::env::var_os("SCD_BENCH_SMOKE").is_some()
+}
+
+fn n_updates() -> usize {
+    if smoke() {
+        N_UPDATES_SMOKE
+    } else {
+        N_UPDATES_FULL
+    }
+}
+
+// Smoke streams are ~5x smaller but keep a real sample count: medians of
+// 3 are one bad sample away from a false regression on a noisy runner.
+fn samples() -> usize {
+    if smoke() {
+        7
+    } else {
+        9
+    }
+}
 
 fn detector_config() -> DetectorConfig {
     DetectorConfig {
@@ -46,19 +79,21 @@ fn detector_config() -> DetectorConfig {
 /// dominates the per-interval detection epilogue.
 fn interval_updates() -> Vec<(u64, f64)> {
     let mut rng = SplitMix64::new(0x1267E5);
-    (0..N_UPDATES).map(|_| (rng.next_below(N_KEYS), (rng.next_below(1_000) + 1) as f64)).collect()
+    (0..n_updates()).map(|_| (rng.next_below(N_KEYS), (rng.next_below(1_000) + 1) as f64)).collect()
 }
 
-/// Folds each shard's partition separately and returns the modeled
-/// parallel interval latency: `max(shard fold) + COMBINE`.
+/// Folds each shard's partition separately — in engine-sized batches
+/// through `update_batch`, exactly as a worker does — and returns the
+/// modeled parallel interval latency: `max(shard fold) + COMBINE`.
 fn critical_path(parts: &[Vec<(u64, f64)>], proto: &KarySketch) -> Duration {
     let mut sketches = Vec::with_capacity(parts.len());
+    let mut scratch = BatchScratch::new();
     let mut bottleneck = Duration::ZERO;
     for part in parts {
         let mut sketch = proto.zero_like();
         let start = Instant::now();
-        for &(key, value) in part {
-            sketch.update(key, value);
+        for chunk in part.chunks(ENGINE_BATCH) {
+            sketch.update_batch(chunk, &mut scratch);
         }
         bottleneck = bottleneck.max(start.elapsed());
         sketches.push(sketch);
@@ -69,12 +104,50 @@ fn critical_path(parts: &[Vec<(u64, f64)>], proto: &KarySketch) -> Duration {
     bottleneck + start.elapsed()
 }
 
+/// The fold kernel head-to-head: per-update UPDATE vs the batched
+/// hash-then-scatter at the engine's batch size and a larger block.
+fn bench_update_kernel(c: &mut Criterion) {
+    let updates = interval_updates();
+    let proto = KarySketch::new(detector_config().sketch);
+
+    let mut group = c.benchmark_group("update_kernel");
+    group.sample_size(samples()).throughput(Throughput::Elements(updates.len() as u64));
+    group.bench_with_input(BenchmarkId::new("scalar", 1), &updates, |b, updates| {
+        let mut sketch = proto.zero_like();
+        b.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                for &(key, value) in updates {
+                    sketch.update(key, value);
+                }
+            }
+            start.elapsed()
+        })
+    });
+    for block in [ENGINE_BATCH, 4096] {
+        group.bench_with_input(BenchmarkId::new("batched", block), &updates, |b, updates| {
+            let mut sketch = proto.zero_like();
+            let mut scratch = BatchScratch::new();
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    for chunk in updates.chunks(block) {
+                        sketch.update_batch(chunk, &mut scratch);
+                    }
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_ingest_scaling(c: &mut Criterion) {
     let updates = interval_updates();
     let proto = KarySketch::new(detector_config().sketch);
 
     let mut group = c.benchmark_group("ingest_scaling");
-    group.sample_size(9).throughput(Throughput::Elements(N_UPDATES as u64));
+    group.sample_size(samples()).throughput(Throughput::Elements(updates.len() as u64));
     for shards in SHARD_COUNTS {
         let parts = partition_updates(&updates, shards, ShardPolicy::ByKeyHash);
         group.bench_with_input(BenchmarkId::new("critical_path", shards), &parts, |b, parts| {
@@ -108,5 +181,5 @@ fn bench_ingest_scaling(c: &mut Criterion) {
     println!("\nmodeled 4-shard speedup over 1 shard: {speedup:.2}x (critical path)");
 }
 
-criterion_group!(benches, bench_ingest_scaling);
+criterion_group!(benches, bench_update_kernel, bench_ingest_scaling);
 criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! scd detect   --trace trace.bin --interval 300 --model ewma:0.5
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--strategy twopass|next|sampled:R|reversible] [--top N]
+//!              [--shards N]
 //! scd sketch   --trace trace.bin --interval 60 --at 7 --out s.sketch
 //!              [--h 5] [--k 32768] [--sketch-seed N]
 //! scd combine  --out sum.sketch A.sketch B.sketch ... [--query IP]
@@ -72,7 +73,7 @@ fn usage() -> ExitCode {
          \u{20}          [--paper] [--quiet]\n\
          detect    --trace FILE --interval S --model SPEC [--h 5] [--k 32768]\n\
          \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
-         \u{20}          [--strategy twopass|next|sampled:R|reversible]\n\
+         \u{20}          [--strategy twopass|next|sampled:R|reversible] [--shards N]\n\
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
          combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
          stream    --trace FILE --interval S --model SPEC [--policy block|drop|sample:R]\n\
@@ -260,6 +261,7 @@ fn detect(flags: &Flags) -> CliResult {
     let threshold: f64 = flags.get("threshold", 0.05)?;
     let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
     let top: usize = flags.get("top", 10)?;
+    let shards: usize = flags.get("shards", 1)?;
     let strategy = flags.raw("strategy").unwrap_or("twopass");
 
     let records = read_trace(&path)?;
@@ -298,12 +300,28 @@ fn detect(flags: &Flags) -> CliResult {
         }
         other => return Err(FlagError(format!("unknown strategy '{other}'")).into()),
     };
-    let mut det = SketchChangeDetector::new(DetectorConfig {
+    let detector = DetectorConfig {
         sketch: SketchConfig { h, k, seed: sketch_seed },
         model,
         threshold,
         key_strategy,
-    });
+    };
+    if shards > 1 {
+        // Sharded ingest through the bulk path; linearity makes the
+        // reports bit-identical to the single-threaded detector below.
+        let mut engine = ShardedEngine::new(EngineConfig::new(detector, shards))?;
+        for items in &intervals {
+            engine.push_slice(items)?;
+            let report = engine.end_interval()?;
+            print_alarms(
+                report.interval,
+                report.alarms.iter().map(|a| (a.key, a.estimated_error)),
+                top,
+            );
+        }
+        return Ok(());
+    }
+    let mut det = SketchChangeDetector::new(detector);
     for items in &intervals {
         let report = det.process_interval(items);
         print_alarms(
@@ -535,7 +553,10 @@ fn archive(flags: &Flags) -> CliResult {
         intervals.len()
     );
     for items in &intervals {
-        let report = engine.process_interval(items)?;
+        // Bulk-route the whole interval, then cut it: the hot path stays
+        // inside push_slice (batched hashing, recycled buffers).
+        engine.push_slice(items)?;
+        let report = engine.end_interval()?;
         print_alarms(
             report.interval,
             report.alarms.iter().map(|a| (a.key, a.estimated_error)),

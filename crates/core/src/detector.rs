@@ -1,7 +1,7 @@
 //! The sketch-based change detector (paper §2.2, §3.3).
 
 use scd_forecast::{Forecaster, ModelSpec, ModelState, StateError};
-use scd_hash::{HashRows, SplitMix64};
+use scd_hash::{HashRows, MixBuildHasher, SplitMix64};
 use scd_sketch::{KarySketch, SketchConfig};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -430,9 +430,12 @@ fn model_sketches(state: &ModelState<KarySketch>) -> Vec<&KarySketch> {
     }
 }
 
-/// Deduplicates keys preserving first-seen order.
+/// Deduplicates keys preserving first-seen order. Runs once per interval
+/// over the whole key log, so the set uses the cheap [`MixBuildHasher`]
+/// instead of SipHash — the keys come from the process's own ingest
+/// path, not an adversary.
 fn dedup_keys(keys: impl Iterator<Item = u64>) -> Vec<u64> {
-    let mut seen = HashSet::new();
+    let mut seen: HashSet<u64, MixBuildHasher> = HashSet::with_hasher(MixBuildHasher);
     keys.filter(|k| seen.insert(*k)).collect()
 }
 

@@ -19,12 +19,26 @@
 //! * Workers are long-lived `std::thread`s fed update batches over the
 //!   bounded channels of [`crate::channel`] — one queue per shard, so a
 //!   slow shard back-pressures only its own feeder, and batching keeps
-//!   the channel's mutex off the per-update hot path.
-//! * Keys are partitioned by a SplitMix64-style bit mix of the key, not
-//!   `key % N` — sequential IP keys would otherwise stripe unevenly.
-//! * The main thread keeps the arrival-order key log (the §3.3 two-pass
-//!   replay list); workers only ever see `(key, value)` pairs, so the
-//!   merge point is the *only* synchronization per interval.
+//!   the channel's mutex off the per-update hot path. Workers fold each
+//!   batch with `KarySketch::update_batch` (hash the block row-major,
+//!   then scatter one `K`-sized row at a time) and return the spent
+//!   `Vec` on a recycle channel, so steady-state ingest allocates
+//!   nothing per batch.
+//! * Keys are partitioned by the SplitMix64 finalizer
+//!   ([`scd_hash::mix64`]) — not `key % N`, which stripes sequential IP
+//!   keys — followed by Lemire multiply-shift range reduction
+//!   ([`scd_hash::range_reduce`]): no division anywhere on the per-update
+//!   path. `scd_traffic::shard::shard_of_key` mirrors this exact mix so
+//!   externally pre-partitioned traces land as the engine would route
+//!   them.
+//! * The main thread keeps the key log for error reconstruction; workers
+//!   only ever see `(key, value)` pairs, so the merge point is the
+//!   *only* synchronization per interval. The log's shape is gated by
+//!   the key strategy: `TwoPass` keeps the §3.3 arrival-order replay
+//!   list, while `Sampled`/`NextInterval` — whose detection pass dedups
+//!   before querying — keep only first-seen-order *distinct* keys
+//!   (bounded by the key population, not the record count, and
+//!   bit-identical because deduplication is idempotent).
 //! * When an [`ArchiveConfig`] is supplied, every interval's forecast
 //!   error sketch `Se(t)` — handed back by
 //!   [`SketchChangeDetector::process_observed_archiving`] — is pushed
@@ -34,9 +48,11 @@
 //!   so archive interval indices always equal detector intervals.
 
 use crate::channel::{bounded, Receiver, Sender};
-use crate::detector::{DetectorConfig, IntervalReport, SketchChangeDetector};
+use crate::detector::{DetectorConfig, IntervalReport, KeyStrategy, SketchChangeDetector};
 use scd_archive::{ArchiveConfig, ArchiveError, SketchArchive};
-use scd_sketch::KarySketch;
+use scd_hash::{mix64, range_reduce, MixBuildHasher};
+use scd_sketch::{BatchScratch, KarySketch};
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -126,15 +142,63 @@ struct Worker {
 }
 
 /// Mixes the key so that structured key spaces (sequential IPs, aligned
-/// prefixes) still spread evenly across shards. Any deterministic
-/// partition is *correct* (linearity); balance is purely a throughput
-/// concern.
+/// prefixes) still spread evenly across shards, then range-reduces with
+/// Lemire's multiply-shift — the `%` it replaces was the only integer
+/// division on the per-update path. Any deterministic partition is
+/// *correct* (linearity); balance is purely a throughput concern.
+/// `scd_traffic::shard::shard_of_key` must stay in lockstep with this.
 #[inline]
 fn shard_of(key: u64, shards: usize) -> usize {
-    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ((z ^ (z >> 31)) % shards as u64) as usize
+    range_reduce(mix64(key), shards)
+}
+
+/// Key log for the detection pass, gated by [`KeyStrategy`].
+///
+/// `TwoPass` replays the interval's key stream as it arrived (§3.3), so
+/// it needs the full arrival-order list. `Sampled` and `NextInterval`
+/// dedup before querying — their reports are a pure function of the
+/// *distinct keys in first-seen order* — so logging anything more is
+/// wasted memory and a wasted end-of-interval take: a repeated key costs
+/// one hash-set probe instead of growing the log.
+enum KeyLog {
+    /// Arrival-order replay list (grows with the record count).
+    Full(Vec<u64>),
+    /// First-seen-order distinct keys (grows with the key population).
+    Distinct { seen: HashSet<u64, MixBuildHasher>, order: Vec<u64> },
+}
+
+impl KeyLog {
+    fn for_strategy(strategy: &KeyStrategy) -> KeyLog {
+        match strategy {
+            KeyStrategy::TwoPass => KeyLog::Full(Vec::new()),
+            KeyStrategy::Sampled { .. } | KeyStrategy::NextInterval => {
+                KeyLog::Distinct { seen: HashSet::with_hasher(MixBuildHasher), order: Vec::new() }
+            }
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, key: u64) {
+        match self {
+            KeyLog::Full(log) => log.push(key),
+            KeyLog::Distinct { seen, order } => {
+                if seen.insert(key) {
+                    order.push(key);
+                }
+            }
+        }
+    }
+
+    /// Takes the interval's key list and resets the log.
+    fn take(&mut self) -> Vec<u64> {
+        match self {
+            KeyLog::Full(log) => std::mem::take(log),
+            KeyLog::Distinct { seen, order } => {
+                seen.clear();
+                std::mem::take(order)
+            }
+        }
+    }
 }
 
 /// The sharded parallel ingest engine: feed updates with
@@ -149,8 +213,10 @@ pub struct ShardedEngine {
     workers: Vec<Worker>,
     /// Per-shard batch under construction.
     pending: Vec<Vec<(u64, f64)>>,
-    /// Arrival-order key log for two-pass error reconstruction.
-    keys: Vec<u64>,
+    /// Spent batch `Vec`s coming back from workers for reuse.
+    recycle: Receiver<Vec<(u64, f64)>>,
+    /// Key log for error reconstruction, shaped by the key strategy.
+    keys: KeyLog,
     records_total: u64,
 }
 
@@ -182,21 +248,30 @@ impl ShardedEngine {
             None => None,
         };
         let detector = SketchChangeDetector::new(config.detector.clone());
+        // Recycle pool: big enough to hold every batch that can be in
+        // flight at once (per shard: the queue plus the one the worker is
+        // folding), so a worker's `try_send` only ever drops a Vec in
+        // degenerate races, never in steady state.
+        let (recycle_tx, recycle_rx) =
+            bounded::<Vec<(u64, f64)>>(config.shards * (config.queue_capacity + 1));
         let mut workers = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let (tx, rx) = bounded::<WorkerMsg>(config.queue_capacity);
             let (result_tx, result_rx) = bounded::<KarySketch>(1);
             let rows = Arc::clone(detector.rows());
+            let recycle = recycle_tx.clone();
             let thread = std::thread::Builder::new()
                 .name(format!("scd-shard-{shard}"))
                 .spawn(move || {
                     let mut sketch = KarySketch::with_rows(rows);
+                    let mut scratch = BatchScratch::new();
                     loop {
                         match rx.recv() {
-                            Ok(WorkerMsg::Batch(batch)) => {
-                                for (key, value) in batch {
-                                    sketch.update(key, value);
-                                }
+                            Ok(WorkerMsg::Batch(mut batch)) => {
+                                sketch.update_batch(&batch, &mut scratch);
+                                batch.clear();
+                                // Pool full (or engine gone): drop the Vec.
+                                let _ = recycle.try_send(batch);
                             }
                             Ok(WorkerMsg::Flush) => {
                                 let fresh = sketch.zero_like();
@@ -213,6 +288,10 @@ impl ShardedEngine {
                 .expect("spawn shard worker");
             workers.push(Worker { tx: Some(tx), results: result_rx, thread: Some(thread) });
         }
+        // The engine holds only the Receiver; worker clones keep the pool
+        // alive, and it drains with them on shutdown.
+        drop(recycle_tx);
+        let keys = KeyLog::for_strategy(&config.detector.key_strategy);
         Ok(ShardedEngine {
             shards: config.shards,
             batch: config.batch,
@@ -220,7 +299,8 @@ impl ShardedEngine {
             archive,
             workers,
             pending: (0..config.shards).map(|_| Vec::new()).collect(),
-            keys: Vec::new(),
+            recycle: recycle_rx,
+            keys,
             records_total: 0,
         })
     }
@@ -257,19 +337,74 @@ impl ShardedEngine {
         tx.send(msg).map_err(|_| EngineError::WorkerLost { shard })
     }
 
+    /// A batch `Vec` to build into: recycled from a worker when one is
+    /// waiting, freshly allocated otherwise (start-up and after drops).
+    fn fresh_batch(&self) -> Vec<(u64, f64)> {
+        match self.recycle.try_recv() {
+            // Cleared by the worker; len 0, capacity already ≈ batch.
+            Some(spent) => spent,
+            None => Vec::with_capacity(self.batch),
+        }
+    }
+
+    /// Ships `pending[shard]` to its worker, replacing it with a recycled
+    /// (or fresh) buffer.
+    fn flush_shard(&mut self, shard: usize) -> Result<(), EngineError> {
+        let replacement = self.fresh_batch();
+        let batch = std::mem::replace(&mut self.pending[shard], replacement);
+        self.send(shard, WorkerMsg::Batch(batch))
+    }
+
     /// Routes one update to its shard. Blocks (backpressure) if that
     /// shard's queue is full — the engine never silently drops.
     ///
     /// # Errors
     /// [`EngineError::WorkerLost`] if the shard's worker has died.
+    #[inline]
     pub fn push(&mut self, key: u64, value: f64) -> Result<(), EngineError> {
-        self.keys.push(key);
+        self.keys.record(key);
         self.records_total += 1;
         let shard = shard_of(key, self.shards);
         self.pending[shard].push((key, value));
         if self.pending[shard].len() >= self.batch {
-            let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.batch));
-            self.send(shard, WorkerMsg::Batch(batch))?;
+            self.flush_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Routes a whole slice of updates — the bulk form of
+    /// [`push`](Self::push), and the API the CLI and trace replay feed.
+    /// Equivalent to pushing each item in order (same batches, same key
+    /// log, bit-identical reports), but the loop stays inside one call:
+    /// no per-update function boundary, and the single-shard case
+    /// degenerates to `extend_from_slice` memcpys with no routing at all.
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerLost`] if a shard's worker has died.
+    pub fn push_slice(&mut self, items: &[(u64, f64)]) -> Result<(), EngineError> {
+        self.records_total += items.len() as u64;
+        for &(key, _) in items {
+            self.keys.record(key);
+        }
+        if self.shards == 1 {
+            let mut rest = items;
+            while !rest.is_empty() {
+                let room = self.batch - self.pending[0].len();
+                let (head, tail) = rest.split_at(room.min(rest.len()));
+                self.pending[0].extend_from_slice(head);
+                rest = tail;
+                if self.pending[0].len() >= self.batch {
+                    self.flush_shard(0)?;
+                }
+            }
+            return Ok(());
+        }
+        for &(key, value) in items {
+            let shard = shard_of(key, self.shards);
+            self.pending[shard].push((key, value));
+            if self.pending[shard].len() >= self.batch {
+                self.flush_shard(shard)?;
+            }
         }
         Ok(())
     }
@@ -285,8 +420,7 @@ impl ShardedEngine {
     pub fn end_interval(&mut self) -> Result<IntervalReport, EngineError> {
         for shard in 0..self.shards {
             if !self.pending[shard].is_empty() {
-                let batch = std::mem::take(&mut self.pending[shard]);
-                self.send(shard, WorkerMsg::Batch(batch))?;
+                self.flush_shard(shard)?;
             }
             self.send(shard, WorkerMsg::Flush)?;
         }
@@ -302,7 +436,7 @@ impl ShardedEngine {
         let observed = shard_sketches[0]
             .combine(&terms)
             .expect("shard sketches share one hash family by construction");
-        let keys = std::mem::take(&mut self.keys);
+        let keys = self.keys.take();
         let (report, archived) = self.detector.process_observed_archiving(&observed, keys);
         if let (Some(archive), Some((t, error))) = (self.archive.as_mut(), archived) {
             // Back-fill warm-up (and NextInterval-lag) gaps with zero
@@ -331,9 +465,7 @@ impl ShardedEngine {
         &mut self,
         items: &[(u64, f64)],
     ) -> Result<IntervalReport, EngineError> {
-        for &(key, value) in items {
-            self.push(key, value)?;
-        }
+        self.push_slice(items)?;
         self.end_interval()
     }
 }
@@ -404,6 +536,66 @@ mod tests {
                     n > expect / 2 && n < expect * 2,
                     "shard {shard}/{shards}: {n} keys (expected ≈{expect})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_routing_spreads_sequential_ip_streams() {
+        // Lemire range reduction maps the TOP bits of the hash to the
+        // shard: structured key spaces must still spread after the mix.
+        // Model a /16 scan (sequential IPv4 hosts) and a stride-aligned
+        // /24 sweep — both adversarial for `key % N` and for any routing
+        // that reads low bits directly.
+        let scan: Vec<u64> = (0..8_000u64).map(|i| 0x0A00_0000 + i).collect();
+        let sweep: Vec<u64> = (0..8_000u64).map(|i| 0xC0A8_0000 + (i << 8)).collect();
+        for keys in [&scan, &sweep] {
+            for shards in [3usize, 4, 7, 8] {
+                let mut counts = vec![0u64; shards];
+                for &key in keys {
+                    counts[shard_of(key, shards)] += 1;
+                }
+                let expect = keys.len() as u64 / shards as u64;
+                for (shard, &n) in counts.iter().enumerate() {
+                    assert!(
+                        n > expect / 2 && n < expect * 2,
+                        "shard {shard}/{shards}: {n} keys (expected ≈{expect})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_slice_matches_per_update_push() {
+        // Same stream through push_slice (in uneven chunks) and through
+        // per-update push must produce identical reports — the bulk path
+        // is a pure restructuring, for every key strategy.
+        for strategy in [
+            KeyStrategy::TwoPass,
+            KeyStrategy::NextInterval,
+            KeyStrategy::Sampled { rate: 0.5, seed: 11 },
+        ] {
+            for shards in [1usize, 4] {
+                let mut cfg = config(shards);
+                cfg.detector.key_strategy = strategy;
+                cfg.batch = 64; // force mid-slice flushes
+                let mut bulk = ShardedEngine::new(cfg.clone()).unwrap();
+                let mut scalar = ShardedEngine::new(cfg).unwrap();
+                for t in 0..6u64 {
+                    let items: Vec<(u64, f64)> =
+                        (0..500u64).map(|i| (i % 170, ((i * 31 + t * 13) % 400) as f64)).collect();
+                    for chunk in items.chunks(93) {
+                        bulk.push_slice(chunk).unwrap();
+                    }
+                    for &(key, value) in &items {
+                        scalar.push(key, value).unwrap();
+                    }
+                    let a = bulk.end_interval().unwrap();
+                    let b = scalar.end_interval().unwrap();
+                    assert_eq!(a, b, "{strategy:?} shards={shards} interval {t}");
+                }
+                assert_eq!(bulk.records_total(), scalar.records_total());
             }
         }
     }

@@ -62,7 +62,7 @@ pub mod tabulation;
 pub use crc32::{crc32, Crc32};
 pub use poly::Poly4;
 pub use rows::HashRows;
-pub use splitmix::SplitMix64;
+pub use splitmix::{mix64, range_reduce, MixBuildHasher, SplitMix64};
 pub use tabulation::Tab4;
 
 /// A seeded 4-universal hash function over `u64` keys.
@@ -107,6 +107,22 @@ impl Hasher4 {
     pub fn bucket(&self, key: u64, k: usize) -> usize {
         debug_assert!(k.is_power_of_two(), "K must be a power of two, got {k}");
         (self.hash64(key) & (k as u64 - 1)) as usize
+    }
+
+    /// Buckets a whole block of keys in one pass: `out[i] = bucket(keys[i],
+    /// k)`. One tight loop over this function's tabulation tables — the
+    /// tables stay resident in cache across the block instead of being
+    /// re-fetched per sketch row per key, which is what makes batched
+    /// sketch updates fast.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    #[inline]
+    pub fn bucket_batch(&self, keys: &[u64], k: usize, out: &mut [usize]) {
+        assert_eq!(out.len(), keys.len(), "output slice must match key count");
+        for (slot, &key) in out.iter_mut().zip(keys) {
+            *slot = self.bucket(key, k);
+        }
     }
 }
 

@@ -73,6 +73,28 @@ impl HashRows {
             *slot = hasher.bucket(key, self.k);
         }
     }
+
+    /// Buckets a block of keys for **all** `H` rows, row-major:
+    /// `out[row * keys.len() + i]` is the bucket of `keys[i]` in `row`.
+    ///
+    /// This is the batched form of [`buckets`](Self::buckets), restructured
+    /// key-innermost: each row's ~2 MiB of tabulation tables is walked in
+    /// one pass over the whole block, instead of being evicted and
+    /// re-fetched `H − 1` rows later for every single key. The sketch
+    /// layer's `update_batch` builds on exactly this layout — row-major
+    /// bucket blocks feed row-major register scatters.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.h() * keys.len()`.
+    pub fn buckets_batch(&self, keys: &[u64], out: &mut [usize]) {
+        assert_eq!(out.len(), self.h() * keys.len(), "output must be H x keys.len()");
+        if keys.is_empty() {
+            return;
+        }
+        for (hasher, row_out) in self.hashers.iter().zip(out.chunks_exact_mut(keys.len())) {
+            hasher.bucket_batch(keys, self.k, row_out);
+        }
+    }
 }
 
 impl std::fmt::Debug for HashRows {
@@ -124,6 +146,35 @@ mod tests {
             assert_eq!(b, rows.bucket(row, 42));
             assert!(b < 64);
         }
+    }
+
+    #[test]
+    fn buckets_batch_matches_per_key_buckets() {
+        let rows = HashRows::new(5, 512, 33);
+        // Mix the 32-bit (tabulation) and 64-bit (polynomial) sub-domains.
+        let keys: Vec<u64> =
+            (0..300u64).map(|i| if i % 3 == 0 { i << 40 | i } else { i * 2654435761 }).collect();
+        let mut out = vec![usize::MAX; 5 * keys.len()];
+        rows.buckets_batch(&keys, &mut out);
+        for row in 0..5 {
+            for (i, &key) in keys.iter().enumerate() {
+                assert_eq!(out[row * keys.len() + i], rows.bucket(row, key), "row {row} key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_batch_empty_block_is_noop() {
+        let rows = HashRows::new(3, 64, 1);
+        rows.buckets_batch(&[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "H x keys.len()")]
+    fn buckets_batch_rejects_misshapen_output() {
+        let rows = HashRows::new(3, 64, 1);
+        let mut out = [0usize; 5];
+        rows.buckets_batch(&[1, 2], &mut out);
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Reusable scratch space for batched sketch updates.
+//!
+//! The per-update `update(key, value)` loop is bound by cache behaviour,
+//! not arithmetic: for every arrival it touches `H` sets of ~2 MiB
+//! tabulation tables *and* `H` sketch rows, so at `H = 5` the working set
+//! thrashes between six unrelated memory regions per update. The batched
+//! path splits the work into two cache-friendly phases over a block of
+//! updates:
+//!
+//! 1. **Hash phase** — `HashRows::buckets_batch` computes every bucket
+//!    row-major into the scratch's bucket table: each row's tabulation
+//!    tables are walked once for the whole block.
+//! 2. **Scatter phase** — each sketch row's `K` registers are updated in
+//!    one pass using that row's bucket block: one `8·K`-byte region stays
+//!    hot (256 KiB at the paper's `K = 32768` — L2-resident) instead of
+//!    `H` of them competing.
+//!
+//! Per-cell accumulation order is *identical* to the serial loop (arrivals
+//! are applied in stream order within every row), so the resulting table
+//! is **bit-identical** to per-update `update` calls — not merely close —
+//! which `tests/properties.rs` asserts for all sketch shapes. The scratch
+//! is plain reusable memory: hold one per worker thread and feed it to
+//! every `update_batch` call to keep the hot path allocation-free.
+
+/// Scratch buffers for `update_batch`: the block's keys (contiguous, as
+/// the hash layer wants them) and the row-major `H × block` bucket table.
+/// Create once, reuse for every batch; buffers grow to the largest batch
+/// seen and stay there.
+#[derive(Debug, Default, Clone)]
+pub struct BatchScratch {
+    pub(crate) keys: Vec<u64>,
+    pub(crate) buckets: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers are sized lazily by the first batch.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// Heap bytes currently held (capacity, not length) — scratch memory
+    /// is part of a worker's steady-state footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.buckets.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Fills `keys` and resizes `buckets` for a block of `items` over `h`
+    /// rows, returning `(keys, buckets)` ready for
+    /// `HashRows::buckets_batch`.
+    pub(crate) fn prepare(&mut self, items: &[(u64, f64)], h: usize) -> (&[u64], &mut [usize]) {
+        self.keys.clear();
+        self.keys.extend(items.iter().map(|&(key, _)| key));
+        self.buckets.clear();
+        self.buckets.resize(h * items.len(), 0);
+        (&self.keys, &mut self.buckets)
+    }
+}

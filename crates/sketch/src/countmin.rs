@@ -12,6 +12,7 @@
 //! signed, which Count-Min fundamentally cannot represent — one of the
 //! reasons the paper designs the k-ary sketch instead.
 
+use crate::batch::BatchScratch;
 use crate::error::SketchError;
 use scd_hash::HashRows;
 use std::sync::Arc;
@@ -53,6 +54,29 @@ impl CountMinSketch {
         for row in 0..self.h() {
             let bucket = self.rows.bucket(row, key);
             self.table[row * k + bucket] += value;
+        }
+    }
+
+    /// Batched [`update`](Self::update): hash the whole block row-major,
+    /// then scatter one `K`-sized counter row at a time. Bit-identical to
+    /// the per-update loop (see [`crate::batch`]); same non-negativity
+    /// requirement.
+    pub fn update_batch(&mut self, items: &[(u64, f64)], scratch: &mut BatchScratch) {
+        debug_assert!(
+            items.iter().all(|&(_, v)| v >= 0.0),
+            "Count-Min requires non-negative updates"
+        );
+        let h = self.h();
+        let k = self.k();
+        let (keys, buckets) = scratch.prepare(items, h);
+        self.rows.buckets_batch(keys, buckets);
+        let n = items.len();
+        for row in 0..h {
+            let row_cells = &mut self.table[row * k..(row + 1) * k];
+            let row_buckets = &buckets[row * n..(row + 1) * n];
+            for (&bucket, &(_, value)) in row_buckets.iter().zip(items) {
+                row_cells[bucket] += value;
+            }
         }
     }
 

@@ -15,6 +15,7 @@
 //! updates, so it *could* summarize forecast errors; it is retained as the
 //! honest baseline for both accuracy and speed comparisons.
 
+use crate::batch::BatchScratch;
 use crate::error::SketchError;
 use crate::median::median_inplace;
 use scd_hash::{HashRows, Hasher4, SplitMix64};
@@ -69,6 +70,28 @@ impl CountSketch {
             let bucket = self.rows.bucket(row, key);
             let s = self.sign(row, key);
             self.table[row * k + bucket] += s * value;
+        }
+    }
+
+    /// Batched [`update`](Self::update). Buckets are precomputed row-major;
+    /// the sign hash is evaluated inline during each row's scatter (the
+    /// sign hasher's tables then stay cache-hot for the whole block, same
+    /// argument as the bucket hashes). Bit-identical to the per-update
+    /// loop (see [`crate::batch`]).
+    pub fn update_batch(&mut self, items: &[(u64, f64)], scratch: &mut BatchScratch) {
+        let h = self.h();
+        let k = self.k();
+        let (keys, buckets) = scratch.prepare(items, h);
+        self.rows.buckets_batch(keys, buckets);
+        let n = items.len();
+        for row in 0..h {
+            let sign_hash = &self.signs[row];
+            let row_cells = &mut self.table[row * k..(row + 1) * k];
+            let row_buckets = &buckets[row * n..(row + 1) * n];
+            for (&bucket, &(key, value)) in row_buckets.iter().zip(items) {
+                let s = if sign_hash.hash64(key) & 1 == 0 { 1.0 } else { -1.0 };
+                row_cells[bucket] += s * value;
+            }
         }
     }
 

@@ -20,6 +20,7 @@
 //! then *exact per cell* up to floating-point rounding, a fact the
 //! forecasting layer's property tests rely on.
 
+use crate::batch::BatchScratch;
 use crate::error::SketchError;
 use crate::median::median_inplace;
 use scd_hash::HashRows;
@@ -114,6 +115,30 @@ impl KarySketch {
         for row in 0..self.h() {
             let bucket = self.rows.bucket(row, key);
             self.table[row * k + bucket] += value;
+        }
+    }
+
+    /// **UPDATE** over a whole block of arrivals: bit-identical to calling
+    /// [`update`](Self::update) for each item in order, but restructured
+    /// for cache locality — all buckets are hashed first
+    /// ([`HashRows::buckets_batch`], one pass per row over the tabulation
+    /// tables), then each `K`-sized register row is scattered into in one
+    /// pass. Within every cell, values still accumulate in item order, so
+    /// the floating-point result is exactly the serial one (see
+    /// [`crate::batch`]). `scratch` is reused across calls; keep one per
+    /// ingest thread.
+    pub fn update_batch(&mut self, items: &[(u64, f64)], scratch: &mut BatchScratch) {
+        let h = self.h();
+        let k = self.k();
+        let (keys, buckets) = scratch.prepare(items, h);
+        self.rows.buckets_batch(keys, buckets);
+        let n = items.len();
+        for row in 0..h {
+            let row_cells = &mut self.table[row * k..(row + 1) * k];
+            let row_buckets = &buckets[row * n..(row + 1) * n];
+            for (&bucket, &(_, value)) in row_buckets.iter().zip(items) {
+                row_cells[bucket] += value;
+            }
         }
     }
 

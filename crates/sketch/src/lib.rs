@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod countmin;
 pub mod countsketch;
 pub mod deltoid;
@@ -59,6 +60,7 @@ pub mod linear;
 pub mod median;
 pub mod wire;
 
+pub use batch::BatchScratch;
 pub use countmin::CountMinSketch;
 pub use countsketch::CountSketch;
 pub use deltoid::{Deltoid, DeltoidConfig};

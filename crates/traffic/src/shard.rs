@@ -31,16 +31,15 @@ pub enum ShardPolicy {
     RoundRobin,
 }
 
-/// The engine's key-to-shard mix: a SplitMix64-style finalizer so
-/// structured key spaces (sequential IPs, aligned prefixes) spread
-/// evenly. Exposed so external partitioners agree with in-process
-/// routing.
+/// The engine's key-to-shard mix: the SplitMix64 finalizer
+/// ([`scd_hash::mix64`]) so structured key spaces (sequential IPs,
+/// aligned prefixes) spread evenly, followed by Lemire multiply-shift
+/// range reduction ([`scd_hash::range_reduce`]) — no division. Exposed
+/// so external partitioners agree with in-process routing; must stay in
+/// lockstep with `scd-core`'s `shard_of`.
 #[inline]
 pub fn shard_of_key(key: u64, shards: usize) -> usize {
-    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    ((z ^ (z >> 31)) % shards as u64) as usize
+    scd_hash::range_reduce(scd_hash::mix64(key), shards)
 }
 
 /// Splits an update stream into `shards` order-preserving sub-streams.
