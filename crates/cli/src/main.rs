@@ -8,7 +8,7 @@
 //! scd detect   --trace trace.bin --interval 300 --model ewma:0.5
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--strategy twopass|next|sampled:R|reversible] [--top N]
-//!              [--shards N]
+//!              [--shards N] [--pipeline]
 //! scd sketch   --trace trace.bin --interval 60 --at 7 --out s.sketch
 //!              [--h 5] [--k 32768] [--sketch-seed N]
 //! scd combine  --out sum.sketch A.sketch B.sketch ... [--query IP]
@@ -74,6 +74,7 @@ fn usage() -> ExitCode {
          detect    --trace FILE --interval S --model SPEC [--h 5] [--k 32768]\n\
          \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
          \u{20}          [--strategy twopass|next|sampled:R|reversible] [--shards N]\n\
+         \u{20}          [--pipeline]\n\
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
          combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
          stream    --trace FILE --interval S --model SPEC [--policy block|drop|sample:R]\n\
@@ -262,6 +263,7 @@ fn detect(flags: &Flags) -> CliResult {
     let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
     let top: usize = flags.get("top", 10)?;
     let shards: usize = flags.get("shards", 1)?;
+    let pipeline = flags.has("pipeline");
     let strategy = flags.raw("strategy").unwrap_or("twopass");
 
     let records = read_trace(&path)?;
@@ -306,18 +308,31 @@ fn detect(flags: &Flags) -> CliResult {
         threshold,
         key_strategy,
     };
-    if shards > 1 {
+    if shards > 1 || pipeline {
         // Sharded ingest through the bulk path; linearity makes the
         // reports bit-identical to the single-threaded detector below.
-        let mut engine = ShardedEngine::new(EngineConfig::new(detector, shards))?;
-        for items in &intervals {
-            engine.push_slice(items)?;
-            let report = engine.end_interval()?;
+        // With --pipeline, detection runs on its own thread, overlapped
+        // with the next interval's ingest — same reports, same bits.
+        let mut config = EngineConfig::new(detector, shards);
+        if pipeline {
+            config = config.with_pipeline();
+        }
+        let mut engine = ShardedEngine::new(config)?;
+        let emit = |report: scd_core::IntervalReport| {
             print_alarms(
                 report.interval,
                 report.alarms.iter().map(|a| (a.key, a.estimated_error)),
                 top,
             );
+        };
+        for items in &intervals {
+            engine.push_slice(items)?;
+            if let Some(report) = engine.end_interval_overlapped()? {
+                emit(report);
+            }
+        }
+        if let Some(report) = engine.drain()? {
+            emit(report);
         }
         return Ok(());
     }

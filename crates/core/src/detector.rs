@@ -2,7 +2,7 @@
 
 use scd_forecast::{Forecaster, ModelSpec, ModelState, StateError};
 use scd_hash::{HashRows, MixBuildHasher, SplitMix64};
-use scd_sketch::{KarySketch, SketchConfig};
+use scd_sketch::{EstimateScratch, KarySketch, SketchConfig};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -113,6 +113,20 @@ pub struct SketchChangeDetector {
     pending_error: Option<(usize, KarySketch)>,
     sampler: SplitMix64,
     intervals_processed: usize,
+    // --- Recycled turnover workspace. None of this is detector *state*:
+    // it is never checkpointed, and a freshly restored detector rebuilds
+    // it lazily with identical results. ---
+    /// Persistent buffer `forecast_into` fills each interval.
+    forecast_buf: Option<KarySketch>,
+    /// Spare error-sketch buffer rotated through the turnover (under
+    /// `NextInterval` it alternates with the pending slot).
+    error_spare: Option<KarySketch>,
+    /// Scratch for the fused error/F2 sweep and batched key scoring.
+    scratch: EstimateScratch,
+    /// Persistent dedup set, cleared (not freed) every interval.
+    seen: HashSet<u64, MixBuildHasher>,
+    /// Reused output buffer for `estimate_batch`.
+    estimates: Vec<f64>,
 }
 
 impl std::fmt::Debug for SketchChangeDetector {
@@ -152,6 +166,11 @@ impl SketchChangeDetector {
             pending_error: None,
             sampler: SplitMix64::new(sampler_seed),
             intervals_processed: 0,
+            forecast_buf: None,
+            error_spare: None,
+            scratch: EstimateScratch::new(),
+            seen: HashSet::with_hasher(MixBuildHasher),
+            estimates: Vec::new(),
         }
     }
 
@@ -194,7 +213,9 @@ impl SketchChangeDetector {
     /// Panics if `observed` was built over a different hash family than
     /// this detector's configuration — their cells would not be comparable.
     pub fn process_observed(&mut self, observed: &KarySketch, keys: Vec<u64>) -> IntervalReport {
-        self.process_observed_archiving(observed, keys).0
+        // Not wanting the error sketch back lets the turnover recycle its
+        // buffer: the steady-state path performs zero heap allocations.
+        self.turnover(observed, keys, false).0
     }
 
     /// Like [`process_observed`](Self::process_observed), but additionally
@@ -215,6 +236,24 @@ impl SketchChangeDetector {
         observed: &KarySketch,
         keys: Vec<u64>,
     ) -> (IntervalReport, Option<(usize, KarySketch)>) {
+        self.turnover(observed, keys, true)
+    }
+
+    /// The interval turnover: forecast, fused error/F2 sweep, key scan.
+    ///
+    /// Runs entirely on recycled buffers — the persistent forecast
+    /// workspace, a rotating error-sketch slot, the estimate scratch, and
+    /// the persistent dedup set — so with `want_error = false` a warm
+    /// steady-state turnover performs **zero heap allocations** beyond the
+    /// report's own output vectors. With `want_error = true` the error
+    /// sketch is handed to the caller (the archiving path) and its buffer
+    /// is replaced on a later interval.
+    fn turnover(
+        &mut self,
+        observed: &KarySketch,
+        mut keys: Vec<u64>,
+        want_error: bool,
+    ) -> (IntervalReport, Option<(usize, KarySketch)>) {
         assert_eq!(
             observed.rows().identity(),
             (self.config.sketch.h, self.config.sketch.k, self.config.sketch.seed),
@@ -222,30 +261,46 @@ impl SketchChangeDetector {
         );
         let t = self.intervals_processed;
 
-        // Forecasting module: Sf(t), Se(t) = So(t) − Sf(t); advances model.
-        let stepped = self.model.step(observed);
+        // Forecasting module: Sf(t) into the recycled forecast buffer, then
+        // the fused sweep computing Se(t) = So(t) − Sf(t) and
+        // ESTIMATEF2(Se(t)) in one pass; advances the model.
+        let mut fbuf = self
+            .forecast_buf
+            .take()
+            .unwrap_or_else(|| KarySketch::with_rows(Arc::clone(&self.rows)));
+        let stepped = if self.model.forecast_into(&mut fbuf) {
+            let mut error = self
+                .error_spare
+                .take()
+                .unwrap_or_else(|| KarySketch::with_rows(Arc::clone(&self.rows)));
+            let f2 = error
+                .sub_into_estimate_f2(observed, &fbuf, &mut self.scratch)
+                .expect("family asserted above");
+            Some((error, f2))
+        } else {
+            None
+        };
+        self.model.observe(observed);
+        self.forecast_buf = Some(fbuf);
         self.intervals_processed += 1;
 
         match self.config.key_strategy {
-            KeyStrategy::TwoPass => match stepped {
+            KeyStrategy::TwoPass | KeyStrategy::Sampled { .. } => match stepped {
                 None => (IntervalReport { interval: t, ..Default::default() }, None),
-                Some((_forecast, error)) => {
-                    let keys = dedup_keys(keys.into_iter());
-                    let report = self.detect(t, &error, keys);
-                    (report, Some((t, error)))
-                }
-            },
-            KeyStrategy::Sampled { rate, .. } => match stepped {
-                None => (IntervalReport { interval: t, ..Default::default() }, None),
-                Some((_forecast, error)) => {
-                    let threshold = (rate * u64::MAX as f64) as u64;
-                    let sampler = &mut self.sampler;
-                    let keys: Vec<u64> = dedup_keys(keys.into_iter())
-                        .into_iter()
-                        .filter(|_| sampler.next_u64() <= threshold)
-                        .collect();
-                    let report = self.detect(t, &error, keys);
-                    (report, Some((t, error)))
+                Some((error, f2)) => {
+                    self.dedup_in_place(&mut keys);
+                    if let KeyStrategy::Sampled { rate, .. } = self.config.key_strategy {
+                        let threshold = (rate * u64::MAX as f64) as u64;
+                        let sampler = &mut self.sampler;
+                        keys.retain(|_| sampler.next_u64() <= threshold);
+                    }
+                    let report = self.detect(t, &error, &keys, f2);
+                    if want_error {
+                        (report, Some((t, error)))
+                    } else {
+                        self.error_spare = Some(error);
+                        (report, None)
+                    }
                 }
             },
             KeyStrategy::NextInterval => {
@@ -256,12 +311,20 @@ impl SketchChangeDetector {
                         None,
                     ),
                     Some((prev_t, error)) => {
-                        let keys = dedup_keys(keys.into_iter());
-                        let report = self.detect(prev_t, &error, keys);
-                        (report, Some((prev_t, error)))
+                        self.dedup_in_place(&mut keys);
+                        // F2 is a pure function of the sketch, so computing
+                        // it at query time (not build time) changes nothing.
+                        let f2 = error.estimate_f2();
+                        let report = self.detect(prev_t, &error, &keys, f2);
+                        if want_error {
+                            (report, Some((prev_t, error)))
+                        } else {
+                            self.error_spare = Some(error);
+                            (report, None)
+                        }
                     }
                 };
-                if let Some((_forecast, error)) = stepped {
+                if let Some((error, _f2)) = stepped {
                     self.pending_error = Some((t, error));
                 }
                 (report, queried)
@@ -269,13 +332,26 @@ impl SketchChangeDetector {
         }
     }
 
-    /// Change-detection module: threshold selection + key scan.
-    fn detect(&self, interval: usize, error_sketch: &KarySketch, keys: Vec<u64>) -> IntervalReport {
-        let f2 = error_sketch.estimate_f2();
+    /// Deduplicates `keys` in place, preserving first-seen order, using the
+    /// persistent set (cleared, never freed — no steady-state allocation).
+    fn dedup_in_place(&mut self, keys: &mut Vec<u64>) {
+        self.seen.clear();
+        let seen = &mut self.seen;
+        keys.retain(|k| seen.insert(*k));
+    }
+
+    /// Change-detection module: threshold selection + batched key scan.
+    fn detect(
+        &mut self,
+        interval: usize,
+        error_sketch: &KarySketch,
+        keys: &[u64],
+        f2: f64,
+    ) -> IntervalReport {
         let alarm_threshold = self.config.threshold * f2.max(0.0).sqrt();
-        let estimator = error_sketch.estimator();
+        error_sketch.estimate_batch(keys, &mut self.scratch, &mut self.estimates);
         let mut errors: Vec<(u64, f64)> =
-            keys.into_iter().map(|k| (k, estimator.estimate(k))).collect();
+            keys.iter().copied().zip(self.estimates.iter().copied()).collect();
         errors.sort_by(|a, b| {
             b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors").then_with(|| a.0.cmp(&b.0))
         });
@@ -361,6 +437,11 @@ impl SketchChangeDetector {
             pending_error: snapshot.pending_error.map(|(t, s)| (t as usize, s)),
             sampler: SplitMix64::new(snapshot.sampler_state),
             intervals_processed: snapshot.intervals_processed as usize,
+            forecast_buf: None,
+            error_spare: None,
+            scratch: EstimateScratch::new(),
+            seen: HashSet::with_hasher(MixBuildHasher),
+            estimates: Vec::new(),
         })
     }
 }
@@ -428,15 +509,6 @@ fn model_sketches(state: &ModelState<KarySketch>) -> Vec<&KarySketch> {
             v
         }
     }
-}
-
-/// Deduplicates keys preserving first-seen order. Runs once per interval
-/// over the whole key log, so the set uses the cheap [`MixBuildHasher`]
-/// instead of SipHash — the keys come from the process's own ingest
-/// path, not an adversary.
-fn dedup_keys(keys: impl Iterator<Item = u64>) -> Vec<u64> {
-    let mut seen: HashSet<u64, MixBuildHasher> = HashSet::with_hasher(MixBuildHasher);
-    keys.filter(|k| seen.insert(*k)).collect()
 }
 
 #[cfg(test)]

@@ -48,7 +48,9 @@
 //!   so archive interval indices always equal detector intervals.
 
 use crate::channel::{bounded, Receiver, Sender};
-use crate::detector::{DetectorConfig, IntervalReport, KeyStrategy, SketchChangeDetector};
+use crate::detector::{
+    DetectorConfig, DetectorSnapshot, IntervalReport, KeyStrategy, SketchChangeDetector,
+};
 use scd_archive::{ArchiveConfig, ArchiveError, SketchArchive};
 use scd_hash::{mix64, range_reduce, MixBuildHasher};
 use scd_sketch::{BatchScratch, KarySketch};
@@ -78,18 +80,38 @@ pub struct EngineConfig {
     /// When set, archive every interval's error sketch for historical
     /// change queries.
     pub archive: Option<ArchiveConfig>,
+    /// When true, detection runs on a dedicated thread so shard workers
+    /// ingest interval `t + 1` while forecast/threshold/key-scoring runs
+    /// for interval `t`. Reports are bit-identical to the sequential
+    /// engine's; [`ShardedEngine::end_interval_overlapped`] delivers them
+    /// with a one-interval lag.
+    pub pipeline: bool,
 }
 
 impl EngineConfig {
     /// A config with the default batching parameters (512-update
-    /// batches, 8 batches in flight per shard) and no archive.
+    /// batches, 8 batches in flight per shard), no archive, and
+    /// sequential (non-pipelined) detection.
     pub fn new(detector: DetectorConfig, shards: usize) -> Self {
-        EngineConfig { shards, batch: 512, queue_capacity: 8, detector, archive: None }
+        EngineConfig {
+            shards,
+            batch: 512,
+            queue_capacity: 8,
+            detector,
+            archive: None,
+            pipeline: false,
+        }
     }
 
     /// Enables the multi-resolution error-sketch archive.
     pub fn with_archive(mut self, archive: ArchiveConfig) -> Self {
         self.archive = Some(archive);
+        self
+    }
+
+    /// Runs detection on a dedicated thread, overlapped with ingest.
+    pub fn with_pipeline(mut self) -> Self {
+        self.pipeline = true;
         self
     }
 }
@@ -105,6 +127,9 @@ pub enum EngineError {
         /// Index of the dead shard.
         shard: usize,
     },
+    /// The pipelined detect thread died (panicked); in-flight intervals
+    /// and their reports are lost.
+    DetectorLost,
     /// The archive rejected a push or was misconfigured.
     Archive(ArchiveError),
 }
@@ -114,6 +139,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::BadConfig(why) => write!(f, "invalid engine config: {why}"),
             EngineError::WorkerLost { shard } => write!(f, "shard {shard} worker died"),
+            EngineError::DetectorLost => write!(f, "pipelined detect thread died"),
             EngineError::Archive(e) => write!(f, "{e}"),
         }
     }
@@ -201,15 +227,160 @@ impl KeyLog {
     }
 }
 
+/// Messages for the pipelined detect thread. Processed strictly in send
+/// order, which is what makes mid-pipeline snapshots well-defined: a
+/// `Snapshot` request reflects every interval handed off before it, even
+/// ones still being processed when the request was sent.
+enum DetectMsg {
+    /// A closed interval: the per-shard sketches (in shard order) and the
+    /// interval's key log.
+    Interval { sketches: Vec<KarySketch>, keys: Vec<u64> },
+    /// Checkpoint request: reply with the detector's snapshot.
+    Snapshot(Sender<DetectorSnapshot>),
+    /// Hand the archive back (end of run). Subsequent intervals are no
+    /// longer archived.
+    TakeArchive(Sender<Option<SketchArchive<KarySketch>>>),
+}
+
+/// Where detection runs: inline on the caller's thread (sequential, the
+/// default) or on a dedicated thread overlapped with ingest.
+enum DetectBackend {
+    Inline {
+        /// Boxed: the detector carries its recycled forecast/error/scratch
+        /// workspaces inline, dwarfing the `Pipelined` variant otherwise.
+        detector: Box<SketchChangeDetector>,
+        archive: Option<SketchArchive<KarySketch>>,
+        /// Recycled merge destination — the "observed" sketch. `None`
+        /// only before the first interval.
+        merged: Option<KarySketch>,
+        /// Reused container for the per-interval shard sketches.
+        shard_bufs: Vec<KarySketch>,
+        /// Return paths handing cleared shard sketches back to workers.
+        spare_txs: Vec<Sender<KarySketch>>,
+    },
+    Pipelined {
+        /// `Option` so `Drop` can hang up before joining.
+        detect_tx: Option<Sender<DetectMsg>>,
+        report_rx: Receiver<Result<IntervalReport, EngineError>>,
+        /// Emptied shard-sketch containers coming back for reuse.
+        vec_return: Receiver<Vec<KarySketch>>,
+        /// Intervals handed off whose reports have not been received.
+        in_flight: usize,
+        thread: Option<JoinHandle<()>>,
+    },
+}
+
+/// Merges per-shard sketches in fixed shard order. f64 addition is not
+/// associative in general, so a deterministic order keeps reruns (and
+/// the sequential-vs-pipelined comparison) reproducible — both backends
+/// call this exact routine, which is what makes their reports
+/// bit-identical.
+fn merge_shards(merged: &mut KarySketch, shard_sketches: &[KarySketch]) {
+    merged
+        .assign_from(&shard_sketches[0])
+        .expect("shard sketches share one hash family by construction");
+    for sketch in &shard_sketches[1..] {
+        merged
+            .add_scaled(sketch, 1.0)
+            .expect("shard sketches share one hash family by construction");
+    }
+}
+
+/// Clears the spent shard sketches and hands each back to its worker's
+/// spare queue (dropped, not blocked on, if the queue is full).
+fn recycle_shards(shard_sketches: &mut Vec<KarySketch>, spare_txs: &[Sender<KarySketch>]) {
+    for (shard, mut sketch) in shard_sketches.drain(..).enumerate() {
+        sketch.clear();
+        let _ = spare_txs[shard].try_send(sketch);
+    }
+}
+
+/// Pushes an interval's error sketch into the archive, back-filling
+/// warm-up (and NextInterval-lag) gaps with zero sketches so archive
+/// intervals track detector intervals.
+fn archive_error(
+    archive: &mut SketchArchive<KarySketch>,
+    report: &IntervalReport,
+    archived: Option<(usize, KarySketch)>,
+) -> Result<(), ArchiveError> {
+    if let Some((t, error)) = archived {
+        let zero = error.zero_like();
+        while archive.next_interval() < t as u64 {
+            archive.push(zero.clone(), &[])?;
+        }
+        let notable: Vec<(u64, f64)> = report
+            .errors
+            .iter()
+            .take(NOTABLE_KEYS_OFFERED)
+            .map(|&(key, err)| (key, err.abs()))
+            .collect();
+        archive.push(error, &notable)?;
+    }
+    Ok(())
+}
+
+/// Runs detection for one merged interval, archiving the error sketch
+/// when an archive is configured. Shared by both backends.
+fn detect_interval(
+    detector: &mut SketchChangeDetector,
+    archive: Option<&mut SketchArchive<KarySketch>>,
+    observed: &KarySketch,
+    keys: Vec<u64>,
+) -> Result<IntervalReport, EngineError> {
+    match archive {
+        Some(archive) => {
+            let (report, archived) = detector.process_observed_archiving(observed, keys);
+            archive_error(archive, &report, archived)?;
+            Ok(report)
+        }
+        // No archive: the recycling (non-archiving) turnover path.
+        None => Ok(detector.process_observed(observed, keys)),
+    }
+}
+
+/// The pipelined detect thread: owns the detector (and archive), merges
+/// shard sketches into a recycled buffer, runs the turnover, returns
+/// cleared sketches to the workers, and ships one report per interval.
+fn detect_loop(
+    mut detector: SketchChangeDetector,
+    mut archive: Option<SketchArchive<KarySketch>>,
+    spare_txs: Vec<Sender<KarySketch>>,
+    detect_rx: Receiver<DetectMsg>,
+    report_tx: Sender<Result<IntervalReport, EngineError>>,
+    vec_return: Sender<Vec<KarySketch>>,
+) {
+    let mut merged = KarySketch::with_rows(Arc::clone(detector.rows()));
+    while let Ok(msg) = detect_rx.recv() {
+        match msg {
+            DetectMsg::Interval { mut sketches, keys } => {
+                merge_shards(&mut merged, &sketches);
+                recycle_shards(&mut sketches, &spare_txs);
+                let _ = vec_return.try_send(sketches);
+                let result = detect_interval(&mut detector, archive.as_mut(), &merged, keys);
+                if report_tx.send(result).is_err() {
+                    break; // engine gone
+                }
+            }
+            DetectMsg::Snapshot(reply) => {
+                let _ = reply.send(detector.snapshot());
+            }
+            DetectMsg::TakeArchive(reply) => {
+                let _ = reply.send(archive.take());
+            }
+        }
+    }
+}
+
 /// The sharded parallel ingest engine: feed updates with
 /// [`push`](Self::push), close each interval with
-/// [`end_interval`](Self::end_interval), read reports identical to the
+/// [`end_interval`](Self::end_interval) (or, in pipeline mode,
+/// [`end_interval_overlapped`](Self::end_interval_overlapped) +
+/// [`drain`](Self::drain)), read reports identical to the
 /// single-threaded detector's.
 pub struct ShardedEngine {
     shards: usize,
     batch: usize,
-    detector: SketchChangeDetector,
-    archive: Option<SketchArchive<KarySketch>>,
+    detect: DetectBackend,
     workers: Vec<Worker>,
     /// Per-shard batch under construction.
     pending: Vec<Vec<(u64, f64)>>,
@@ -222,10 +393,17 @@ pub struct ShardedEngine {
 
 impl std::fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedEngine")
-            .field("shards", &self.shards)
-            .field("intervals_processed", &self.detector.intervals_processed())
-            .finish()
+        let mut d = f.debug_struct("ShardedEngine");
+        d.field("shards", &self.shards).field("records_total", &self.records_total);
+        match &self.detect {
+            DetectBackend::Inline { detector, .. } => {
+                d.field("intervals_processed", &detector.intervals_processed());
+            }
+            DetectBackend::Pipelined { in_flight, .. } => {
+                d.field("pipeline", &true).field("in_flight", in_flight);
+            }
+        }
+        d.finish()
     }
 }
 
@@ -255,9 +433,15 @@ impl ShardedEngine {
         let (recycle_tx, recycle_rx) =
             bounded::<Vec<(u64, f64)>>(config.shards * (config.queue_capacity + 1));
         let mut workers = Vec::with_capacity(config.shards);
+        let mut spare_txs = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let (tx, rx) = bounded::<WorkerMsg>(config.queue_capacity);
             let (result_tx, result_rx) = bounded::<KarySketch>(1);
+            // Cleared sketches coming back from the merge point; capacity
+            // 2 covers the double buffer (one accumulating, one in the
+            // detect path).
+            let (spare_tx, spare_rx) = bounded::<KarySketch>(2);
+            spare_txs.push(spare_tx);
             let rows = Arc::clone(detector.rows());
             let recycle = recycle_tx.clone();
             let thread = std::thread::Builder::new()
@@ -274,7 +458,13 @@ impl ShardedEngine {
                                 let _ = recycle.try_send(batch);
                             }
                             Ok(WorkerMsg::Flush) => {
-                                let fresh = sketch.zero_like();
+                                // Start the next interval on a recycled
+                                // (already cleared) sketch when one has
+                                // come back from the merge point.
+                                let fresh = match spare_rx.try_recv() {
+                                    Some(spare) => spare,
+                                    None => sketch.zero_like(),
+                                };
                                 let full = std::mem::replace(&mut sketch, fresh);
                                 if result_tx.send(full).is_err() {
                                     break;
@@ -292,11 +482,42 @@ impl ShardedEngine {
         // alive, and it drains with them on shutdown.
         drop(recycle_tx);
         let keys = KeyLog::for_strategy(&config.detector.key_strategy);
+        let detect = if config.pipeline {
+            // Depth-1 interval queue: ingest can run at most one interval
+            // ahead of detection (the double buffer), and a full queue
+            // back-pressures the handoff instead of growing memory.
+            let (detect_tx, detect_rx) = bounded::<DetectMsg>(1);
+            // Reports outstanding never exceed intervals in flight
+            // (queue + processing + handoff), so the detect thread never
+            // blocks here during shutdown.
+            let (report_tx, report_rx) = bounded::<Result<IntervalReport, EngineError>>(4);
+            let (vec_tx, vec_rx) = bounded::<Vec<KarySketch>>(2);
+            let thread = std::thread::Builder::new()
+                .name("scd-detect".into())
+                .spawn(move || {
+                    detect_loop(detector, archive, spare_txs, detect_rx, report_tx, vec_tx);
+                })
+                .expect("spawn detect thread");
+            DetectBackend::Pipelined {
+                detect_tx: Some(detect_tx),
+                report_rx,
+                vec_return: vec_rx,
+                in_flight: 0,
+                thread: Some(thread),
+            }
+        } else {
+            DetectBackend::Inline {
+                detector: Box::new(detector),
+                archive,
+                merged: None,
+                shard_bufs: Vec::with_capacity(config.shards),
+                spare_txs,
+            }
+        };
         Ok(ShardedEngine {
             shards: config.shards,
             batch: config.batch,
-            detector,
-            archive,
+            detect,
             workers,
             pending: (0..config.shards).map(|_| Vec::new()).collect(),
             recycle: recycle_rx,
@@ -310,21 +531,68 @@ impl ShardedEngine {
         self.shards
     }
 
-    /// The detection pipeline fed by the merged sketches.
-    pub fn detector(&self) -> &SketchChangeDetector {
-        &self.detector
+    /// Whether detection runs on its own thread, overlapped with ingest.
+    pub fn is_pipelined(&self) -> bool {
+        matches!(self.detect, DetectBackend::Pipelined { .. })
     }
 
-    /// The error-sketch archive, if configured.
+    /// The detection pipeline fed by the merged sketches. `None` in
+    /// pipeline mode, where the detector lives on the detect thread —
+    /// use [`detector_snapshot`](Self::detector_snapshot) there.
+    pub fn detector(&self) -> Option<&SketchChangeDetector> {
+        match &self.detect {
+            DetectBackend::Inline { detector, .. } => Some(detector),
+            DetectBackend::Pipelined { .. } => None,
+        }
+    }
+
+    /// A checkpointable snapshot of the detector, in either mode. In
+    /// pipeline mode this round-trips through the detect thread's
+    /// message queue, so it reflects every interval handed off so far —
+    /// including one still in flight — making mid-pipeline checkpoints
+    /// well-defined.
+    ///
+    /// # Errors
+    /// [`EngineError::DetectorLost`] if the detect thread has died.
+    pub fn detector_snapshot(&mut self) -> Result<DetectorSnapshot, EngineError> {
+        match &mut self.detect {
+            DetectBackend::Inline { detector, .. } => Ok(detector.snapshot()),
+            DetectBackend::Pipelined { detect_tx, .. } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                detect_tx
+                    .as_ref()
+                    .expect("sender live until drop")
+                    .send(DetectMsg::Snapshot(reply_tx))
+                    .map_err(|_| EngineError::DetectorLost)?;
+                reply_rx.recv().map_err(|_| EngineError::DetectorLost)
+            }
+        }
+    }
+
+    /// The error-sketch archive, if configured. `None` in pipeline mode
+    /// (the archive lives on the detect thread — use
+    /// [`take_archive`](Self::take_archive) after draining).
     pub fn archive(&self) -> Option<&SketchArchive<KarySketch>> {
-        self.archive.as_ref()
+        match &self.detect {
+            DetectBackend::Inline { archive, .. } => archive.as_ref(),
+            DetectBackend::Pipelined { .. } => None,
+        }
     }
 
     /// Takes ownership of the archive (e.g. to persist it via
     /// `scd_archive::wire::write_atomic` after a run). Subsequent
-    /// intervals are no longer archived.
+    /// intervals are no longer archived. In pipeline mode this waits for
+    /// every interval already handed off (call
+    /// [`drain`](Self::drain) first to collect their reports).
     pub fn take_archive(&mut self) -> Option<SketchArchive<KarySketch>> {
-        self.archive.take()
+        match &mut self.detect {
+            DetectBackend::Inline { archive, .. } => archive.take(),
+            DetectBackend::Pipelined { detect_tx, .. } => {
+                let (reply_tx, reply_rx) = bounded(1);
+                detect_tx.as_ref()?.send(DetectMsg::TakeArchive(reply_tx)).ok()?;
+                reply_rx.recv().ok().flatten()
+            }
+        }
     }
 
     /// Total updates pushed over the engine's lifetime.
@@ -409,51 +677,156 @@ impl ShardedEngine {
         Ok(())
     }
 
-    /// Closes the interval: flushes every shard, COMBINEs the per-shard
-    /// sketches in shard order, and runs the detection pipeline on the
-    /// merged observed sketch — then archives the resulting error sketch
-    /// when an archive is configured.
-    ///
-    /// # Errors
-    /// [`EngineError::WorkerLost`] if any worker died mid-interval;
-    /// [`EngineError::Archive`] if the archive rejects the error sketch.
-    pub fn end_interval(&mut self) -> Result<IntervalReport, EngineError> {
+    /// Flushes every shard's pending batch and requests the interval
+    /// sketches.
+    fn flush_all(&mut self) -> Result<(), EngineError> {
         for shard in 0..self.shards {
             if !self.pending[shard].is_empty() {
                 self.flush_shard(shard)?;
             }
             self.send(shard, WorkerMsg::Flush)?;
         }
-        let mut shard_sketches = Vec::with_capacity(self.shards);
+        Ok(())
+    }
+
+    /// Collects the per-shard interval sketches in shard order.
+    fn collect_shards(&self, out: &mut Vec<KarySketch>) -> Result<(), EngineError> {
+        out.clear();
         for (shard, worker) in self.workers.iter().enumerate() {
-            shard_sketches
-                .push(worker.results.recv().map_err(|_| EngineError::WorkerLost { shard })?);
+            out.push(worker.results.recv().map_err(|_| EngineError::WorkerLost { shard })?);
         }
-        // COMBINE in fixed shard order: f64 addition is not associative
-        // in general, so a deterministic merge order keeps reruns (and
-        // the single-vs-sharded comparison) reproducible.
-        let terms: Vec<(f64, &KarySketch)> = shard_sketches.iter().map(|s| (1.0, s)).collect();
-        let observed = shard_sketches[0]
-            .combine(&terms)
-            .expect("shard sketches share one hash family by construction");
+        Ok(())
+    }
+
+    /// Sequential-mode interval close: merge and detect on this thread,
+    /// reusing the merge buffer and returning cleared shard sketches to
+    /// the workers — steady state allocates nothing on the turnover path.
+    fn end_interval_inline(&mut self) -> Result<IntervalReport, EngineError> {
+        self.flush_all()?;
+        let mut bufs = match &mut self.detect {
+            DetectBackend::Inline { shard_bufs, .. } => std::mem::take(shard_bufs),
+            DetectBackend::Pipelined { .. } => unreachable!("inline close on pipelined backend"),
+        };
+        self.collect_shards(&mut bufs)?;
         let keys = self.keys.take();
-        let (report, archived) = self.detector.process_observed_archiving(&observed, keys);
-        if let (Some(archive), Some((t, error))) = (self.archive.as_mut(), archived) {
-            // Back-fill warm-up (and NextInterval-lag) gaps with zero
-            // sketches so archive intervals track detector intervals.
-            let zero = error.zero_like();
-            while archive.next_interval() < t as u64 {
-                archive.push(zero.clone(), &[])?;
+        let DetectBackend::Inline { detector, archive, merged, shard_bufs, spare_txs } =
+            &mut self.detect
+        else {
+            unreachable!("inline close on pipelined backend")
+        };
+        let observed =
+            merged.get_or_insert_with(|| KarySketch::with_rows(Arc::clone(detector.rows())));
+        merge_shards(observed, &bufs);
+        recycle_shards(&mut bufs, spare_txs);
+        *shard_bufs = bufs;
+        detect_interval(detector, archive.as_mut(), observed, keys)
+    }
+
+    /// Pipeline-mode handoff: flush the shards, ship the interval's
+    /// sketches and key log to the detect thread, and return immediately
+    /// so ingest of the next interval overlaps detection of this one.
+    fn ship_interval(&mut self) -> Result<(), EngineError> {
+        self.flush_all()?;
+        let mut bufs = match &mut self.detect {
+            DetectBackend::Pipelined { vec_return, .. } => {
+                vec_return.try_recv().unwrap_or_default()
             }
-            let notable: Vec<(u64, f64)> = report
-                .errors
-                .iter()
-                .take(NOTABLE_KEYS_OFFERED)
-                .map(|&(key, err)| (key, err.abs()))
-                .collect();
-            archive.push(error, &notable)?;
+            DetectBackend::Inline { .. } => unreachable!("handoff on inline backend"),
+        };
+        self.collect_shards(&mut bufs)?;
+        let keys = self.keys.take();
+        let DetectBackend::Pipelined { detect_tx, in_flight, .. } = &mut self.detect else {
+            unreachable!("handoff on inline backend")
+        };
+        detect_tx
+            .as_ref()
+            .expect("sender live until drop")
+            .send(DetectMsg::Interval { sketches: bufs, keys })
+            .map_err(|_| EngineError::DetectorLost)?;
+        *in_flight += 1;
+        Ok(())
+    }
+
+    /// Receives one outstanding report from the detect thread (blocking).
+    fn recv_report(&mut self) -> Result<IntervalReport, EngineError> {
+        let DetectBackend::Pipelined { report_rx, in_flight, .. } = &mut self.detect else {
+            unreachable!("no reports outstanding on inline backend")
+        };
+        let report = report_rx.recv().map_err(|_| EngineError::DetectorLost)?;
+        *in_flight -= 1;
+        report
+    }
+
+    /// Closes the interval: flushes every shard, merges the per-shard
+    /// sketches in shard order, and runs the detection pipeline on the
+    /// merged observed sketch — then archives the resulting error sketch
+    /// when an archive is configured.
+    ///
+    /// In pipeline mode this waits for the interval's own report (no
+    /// overlap); use
+    /// [`end_interval_overlapped`](Self::end_interval_overlapped) to keep
+    /// ingest and detection concurrent. When mixing the two styles, call
+    /// [`drain`](Self::drain) before this method — a report still pending
+    /// from an earlier overlapped close is otherwise discarded here.
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerLost`] if any worker died mid-interval;
+    /// [`EngineError::DetectorLost`] if the detect thread died;
+    /// [`EngineError::Archive`] if the archive rejects the error sketch.
+    pub fn end_interval(&mut self) -> Result<IntervalReport, EngineError> {
+        match &self.detect {
+            DetectBackend::Inline { .. } => self.end_interval_inline(),
+            DetectBackend::Pipelined { .. } => {
+                self.ship_interval()?;
+                let report = self.drain()?;
+                Ok(report.expect("interval just shipped yields a report"))
+            }
         }
-        Ok(report)
+    }
+
+    /// Closes the interval without waiting for its report: ships interval
+    /// `t` to the detect thread and returns interval `t − 1`'s report
+    /// (`None` on the first call, when nothing is finished yet). The
+    /// final interval's report is delivered by [`drain`](Self::drain).
+    ///
+    /// In sequential mode there is nothing to overlap with, so this
+    /// degenerates to [`end_interval`](Self::end_interval) with the
+    /// report wrapped in `Some` — no lag.
+    ///
+    /// # Errors
+    /// As [`end_interval`](Self::end_interval).
+    pub fn end_interval_overlapped(&mut self) -> Result<Option<IntervalReport>, EngineError> {
+        match &self.detect {
+            DetectBackend::Inline { .. } => self.end_interval_inline().map(Some),
+            DetectBackend::Pipelined { .. } => {
+                self.ship_interval()?;
+                let outstanding = match &self.detect {
+                    DetectBackend::Pipelined { in_flight, .. } => *in_flight,
+                    DetectBackend::Inline { .. } => unreachable!(),
+                };
+                // Keep exactly one interval in flight: ship t, then wait
+                // for t − 1 (already overlapped with t's ingest).
+                if outstanding > 1 {
+                    self.recv_report().map(Some)
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Waits for the last in-flight interval and returns its report
+    /// (`None` when nothing is outstanding — always in sequential mode).
+    ///
+    /// # Errors
+    /// [`EngineError::DetectorLost`] if the detect thread died, plus any
+    /// detection/archive error from the drained interval.
+    pub fn drain(&mut self) -> Result<Option<IntervalReport>, EngineError> {
+        let mut last = None;
+        while matches!(&self.detect, DetectBackend::Pipelined { in_flight, .. } if *in_flight > 0) {
+            last = Some(self.recv_report()?);
+        }
+        Ok(last)
     }
 
     /// Convenience: push a whole interval's updates and close it — the
@@ -479,6 +852,15 @@ impl Drop for ShardedEngine {
         }
         for worker in &mut self.workers {
             if let Some(thread) = worker.thread.take() {
+                let _ = thread.join();
+            }
+        }
+        // Then the detect thread: dropping its sender ends its receive
+        // loop. Its report queue can absorb every in-flight interval, so
+        // it never blocks on the way out.
+        if let DetectBackend::Pipelined { detect_tx, thread, .. } = &mut self.detect {
+            detect_tx.take();
+            if let Some(thread) = thread.take() {
                 let _ = thread.join();
             }
         }

@@ -172,13 +172,26 @@ pub struct Arima<S> {
     /// Forecast errors `e`, newest last; holds up to `q` entries.
     e_hist: VecDeque<S>,
     observed_count: usize,
+    /// Workspace for the differenced lag `Z_{t−j}` when `d = 1`; lazily
+    /// created once, then recycled every interval. Not model state.
+    diff_scratch: Option<S>,
+    /// Workspace holding the forecast during `observe` so the error can be
+    /// formed without allocating. Not model state.
+    fbuf: Option<S>,
 }
 
 impl<S: Summary> Arima<S> {
     /// Creates the forecaster from a validated spec.
     pub fn new(spec: ArimaSpec) -> Self {
         spec.validate().expect("invalid ArimaSpec");
-        Arima { spec, x_hist: VecDeque::new(), e_hist: VecDeque::new(), observed_count: 0 }
+        Arima {
+            spec,
+            x_hist: VecDeque::new(),
+            e_hist: VecDeque::new(),
+            observed_count: 0,
+            diff_scratch: None,
+            fbuf: None,
+        }
     }
 
     /// The model specification.
@@ -216,6 +229,8 @@ impl<S: Summary> Arima<S> {
             x_hist: x_hist.into(),
             e_hist: e_hist.into(),
             observed_count: observed_count as usize,
+            diff_scratch: None,
+            fbuf: None,
         })
     }
 
@@ -274,22 +289,36 @@ impl<S: Summary> Forecaster<S> for Arima<S> {
     fn observe(&mut self, observed: &S) {
         // Record the forecast error first (zero during warm-up: the
         // standard conditional initialization e_t = 0 for t before the
-        // first forecast).
-        let e = match self.forecast() {
-            Some(f) => S::sub(observed, &f),
-            None => observed.zero_like(),
-        };
+        // first forecast). The error lands in a buffer recycled from the
+        // evicted end of the ring, via a persistent forecast workspace —
+        // steady state performs no heap allocation.
         if self.spec.q() > 0 {
-            if self.e_hist.len() == self.spec.q() {
-                self.e_hist.pop_front();
+            let mut f = match self.fbuf.take() {
+                Some(f) => f,
+                None => observed.zero_like(),
+            };
+            let warmed = self.forecast_into(&mut f);
+            let mut e = if self.e_hist.len() == self.spec.q() {
+                self.e_hist.pop_front().expect("q is positive")
+            } else {
+                observed.zero_like()
+            };
+            if warmed {
+                e.sub_into(observed, &f);
+            } else {
+                e.set_zero();
             }
             self.e_hist.push_back(e);
+            self.fbuf = Some(f);
         }
         let keep = (self.spec.p() + self.spec.d).max(self.spec.d + 1).max(1);
         if self.x_hist.len() == keep {
-            self.x_hist.pop_front();
+            let mut recycled = self.x_hist.pop_front().expect("retention is at least 1");
+            recycled.assign(observed);
+            self.x_hist.push_back(recycled);
+        } else {
+            self.x_hist.push_back(observed.clone());
         }
-        self.x_hist.push_back(observed.clone());
         self.observed_count += 1;
     }
 
@@ -307,6 +336,43 @@ impl<S: Summary> Forecaster<S> for Arima<S> {
             e_hist: self.e_hist.iter().cloned().collect(),
             observed_count: self.observed_count as u64,
         }
+    }
+
+    fn forecast_into(&mut self, out: &mut S) -> bool {
+        if self.observed_count < self.needed_history() {
+            return false;
+        }
+        let p = self.spec.p();
+        let d = self.spec.d;
+        let n = self.x_hist.len();
+        if n < p + d {
+            return false;
+        }
+        // Replays forecast()'s floating-point sequence exactly: zero, AR
+        // terms newest-first over the differenced lags, MA terms over the
+        // error history newest-first, then (d = 1) the integration step.
+        if d == 1 && p > 0 && self.diff_scratch.is_none() {
+            self.diff_scratch = Some(self.x_hist[0].zero_like());
+        }
+        out.set_zero();
+        for j in 1..=p {
+            let idx = n - j;
+            let ar_j = self.spec.ar.as_slice()[j - 1];
+            if d == 0 {
+                out.add_scaled(&self.x_hist[idx], ar_j);
+            } else {
+                let scratch = self.diff_scratch.as_mut().expect("created above");
+                scratch.sub_into(&self.x_hist[idx], &self.x_hist[idx - 1]);
+                out.add_scaled(scratch, ar_j);
+            }
+        }
+        for (i, e) in self.e_hist.iter().rev().enumerate().take(self.spec.q()) {
+            out.add_scaled(e, self.spec.ma.as_slice()[i]);
+        }
+        if d == 1 {
+            out.add_scaled(self.x_hist.back().expect("history checked"), 1.0);
+        }
+        true
     }
 }
 

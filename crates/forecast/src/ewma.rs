@@ -56,9 +56,9 @@ impl<S: Summary> Forecaster<S> for Ewma<S> {
             // Sf(2) = So(1): the first observation seeds the forecast.
             None => observed.clone(),
             Some(mut prev) => {
-                // α·So(t−1) + (1−α)·Sf(t−1), formed in place on `prev`.
-                prev.scale(1.0 - self.alpha);
-                prev.add_scaled(observed, self.alpha);
+                // α·So(t−1) + (1−α)·Sf(t−1), fused in place on `prev` —
+                // bit-identical to scale + add_scaled, zero allocations.
+                prev.axpy_assign(1.0 - self.alpha, observed, self.alpha);
                 prev
             }
         });
@@ -74,6 +74,16 @@ impl<S: Summary> Forecaster<S> for Ewma<S> {
 
     fn snapshot_state(&self) -> ModelState<S> {
         ModelState::Ewma { forecast: self.forecast.clone() }
+    }
+
+    fn forecast_into(&mut self, out: &mut S) -> bool {
+        match &self.forecast {
+            Some(f) => {
+                out.assign(f);
+                true
+            }
+            None => false,
+        }
     }
 }
 

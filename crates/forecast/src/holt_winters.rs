@@ -80,19 +80,22 @@ impl<S: Summary> Forecaster<S> for NonSeasonalHoltWinters<S> {
     fn observe(&mut self, observed: &S) {
         match (&mut self.state, &self.first) {
             (Some(state), _) => {
-                // Ss(t) = α·So(t−1) + (1−α)·Sf(t−1)
-                let mut level = state.forecast.clone();
-                level.scale(1.0 - self.alpha);
-                level.add_scaled(observed, self.alpha);
-                // St(t) = β·(Ss(t) − Ss(t−1)) + (1−β)·St(t−1)
-                let mut trend = state.trend.clone();
+                // Steady state runs entirely in place on the three state
+                // slots (no clones), replaying the exact floating-point
+                // sequence of the allocating recursion.
+                let HwState { level, trend, forecast } = state;
+                // Ss(t) = α·So(t−1) + (1−α)·Sf(t−1): the forecast slot holds
+                // Sf(t−1) and becomes the new level.
+                forecast.axpy_assign(1.0 - self.alpha, observed, self.alpha);
+                // St(t) = β·(Ss(t) − Ss(t−1)) + (1−β)·St(t−1): `forecast`
+                // now holds Ss(t), `level` still holds Ss(t−1).
                 trend.scale(1.0 - self.beta);
-                trend.add_scaled(&level, self.beta);
-                trend.add_scaled(&state.level, -self.beta);
-                // Sf(t) = Ss(t) + St(t)
-                let mut forecast = level.clone();
-                forecast.add_scaled(&trend, 1.0);
-                *state = HwState { level, trend, forecast };
+                trend.add_scaled(forecast, self.beta);
+                trend.add_scaled(level, -self.beta);
+                // Rotate: level slot takes Ss(t); forecast slot becomes
+                // Sf(t) = Ss(t) + St(t).
+                level.assign(forecast);
+                forecast.add_scaled(trend, 1.0);
             }
             (None, Some(first)) => {
                 // Second observation: seed level and trend per the paper —
@@ -141,6 +144,16 @@ impl<S: Summary> Forecaster<S> for NonSeasonalHoltWinters<S> {
                 trend: s.trend.clone(),
                 forecast: s.forecast.clone(),
             }),
+        }
+    }
+
+    fn forecast_into(&mut self, out: &mut S) -> bool {
+        match &self.state {
+            Some(st) => {
+                out.assign(&st.forecast);
+                true
+            }
+            None => false,
         }
     }
 }

@@ -95,6 +95,44 @@ pub trait Forecaster<S: Summary> {
         self.observe(observed);
         out
     }
+
+    /// Writes `Sf(t)` into `out`, returning whether a forecast was produced
+    /// (`false` during warm-up, in which case `out` is left untouched).
+    ///
+    /// The default routes through [`forecast`](Forecaster::forecast) and so
+    /// allocates; the models in this crate override it to fill the caller's
+    /// recycled buffer directly. **Bit-identity contract**: the value
+    /// written must equal `forecast()`'s bit for bit — overrides replay the
+    /// same floating-point operations in the same order.
+    ///
+    /// Takes `&mut self` only so implementations can lazily grow internal
+    /// scratch buffers (ARIMA's differenced-lag workspace); the model's
+    /// forecasting state is *not* advanced — call
+    /// [`observe`](Forecaster::observe) for that.
+    fn forecast_into(&mut self, out: &mut S) -> bool {
+        match self.forecast() {
+            Some(f) => {
+                out.assign(&f);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Buffer-recycling variant of [`step`](Forecaster::step): writes
+    /// `Sf(t)` and `Se(t) = So(t) − Sf(t)` into caller-owned buffers and
+    /// advances the model. Returns `false` — both buffers untouched —
+    /// during warm-up. With a model whose `forecast_into`/`observe` are
+    /// allocation-free, a steady-state turnover performs zero heap
+    /// allocations.
+    fn step_into(&mut self, observed: &S, forecast_out: &mut S, error_out: &mut S) -> bool {
+        let warmed = self.forecast_into(forecast_out);
+        if warmed {
+            error_out.sub_into(observed, forecast_out);
+        }
+        self.observe(observed);
+        warmed
+    }
 }
 
 #[cfg(test)]

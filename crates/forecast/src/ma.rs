@@ -70,9 +70,14 @@ impl<S: Summary> Forecaster<S> for MovingAverage<S> {
 
     fn observe(&mut self, observed: &S) {
         if self.history.len() == self.window {
-            self.history.pop_front();
+            // Recycle the evicted summary's buffer instead of cloning:
+            // once the window is full, observing allocates nothing.
+            let mut recycled = self.history.pop_front().expect("window is at least 1");
+            recycled.assign(observed);
+            self.history.push_back(recycled);
+        } else {
+            self.history.push_back(observed.clone());
         }
-        self.history.push_back(observed.clone());
     }
 
     fn warm_up(&self) -> usize {
@@ -85,6 +90,18 @@ impl<S: Summary> Forecaster<S> for MovingAverage<S> {
 
     fn snapshot_state(&self) -> ModelState<S> {
         ModelState::Ma { history: self.history.iter().cloned().collect() }
+    }
+
+    fn forecast_into(&mut self, out: &mut S) -> bool {
+        if self.history.is_empty() {
+            return false;
+        }
+        let w = self.history.len() as f64;
+        out.set_zero();
+        for s in &self.history {
+            out.add_scaled(s, 1.0 / w);
+        }
+        true
     }
 }
 

@@ -35,6 +35,9 @@ pub struct SeasonalHoltWinters<S> {
     /// Observations of the first (incomplete) cycle, for initialization.
     init_buffer: Vec<S>,
     state: Option<SeasonState<S>>,
+    /// Workspace holding the previous level during the in-place recursion;
+    /// lazily created once, then recycled every interval. Not model state.
+    tmp: Option<S>,
 }
 
 #[derive(Debug, Clone)]
@@ -66,6 +69,7 @@ impl<S: Summary> SeasonalHoltWinters<S> {
             period,
             init_buffer: Vec::with_capacity(period),
             state: None,
+            tmp: None,
         }
     }
 
@@ -162,29 +166,29 @@ impl<S: Summary> Forecaster<S> for SeasonalHoltWinters<S> {
                 }
             }
             Some(state) => {
-                let phase = state.phase;
-                let old_level = state.level.clone();
+                // Steady state runs in place on the state slots plus one
+                // persistent workspace (the previous level), replaying the
+                // exact floating-point sequence of the allocating recursion.
+                let tmp = self.tmp.get_or_insert_with(|| observed.zero_like());
+                let SeasonState { level, trend, season, phase } = state;
+                let ph = *phase;
+                tmp.assign(level);
                 // level' = α(x − season_old) + (1−α)(level + trend)
-                let mut level = state.level.clone();
-                level.add_scaled(&state.trend, 1.0);
+                level.add_scaled(trend, 1.0);
                 level.scale(1.0 - self.alpha);
                 level.add_scaled(observed, self.alpha);
-                level.add_scaled(&state.season[phase], -self.alpha);
-                // trend' = β(level' − level) + (1−β)trend
-                let mut trend = state.trend.clone();
+                level.add_scaled(&season[ph], -self.alpha);
+                // trend' = β(level' − level) + (1−β)trend; `tmp` holds the
+                // previous level.
                 trend.scale(1.0 - self.beta);
-                trend.add_scaled(&level, self.beta);
-                trend.add_scaled(&old_level, -self.beta);
+                trend.add_scaled(level, self.beta);
+                trend.add_scaled(tmp, -self.beta);
                 // season' = γ(x − level') + (1−γ)season_old
-                let mut season = state.season[phase].clone();
-                season.scale(1.0 - self.gamma);
-                season.add_scaled(observed, self.gamma);
-                season.add_scaled(&level, -self.gamma);
-
-                state.level = level;
-                state.trend = trend;
-                state.season[phase] = season;
-                state.phase = (phase + 1) % self.period;
+                let slot = &mut season[ph];
+                slot.scale(1.0 - self.gamma);
+                slot.add_scaled(observed, self.gamma);
+                slot.add_scaled(level, -self.gamma);
+                *phase = (ph + 1) % self.period;
             }
         }
     }
@@ -206,6 +210,18 @@ impl<S: Summary> Forecaster<S> for SeasonalHoltWinters<S> {
                 season: s.season.clone(),
                 phase: s.phase,
             }),
+        }
+    }
+
+    fn forecast_into(&mut self, out: &mut S) -> bool {
+        match &self.state {
+            Some(state) => {
+                out.assign(&state.level);
+                out.add_scaled(&state.trend, 1.0);
+                out.add_scaled(&state.season[state.phase], 1.0);
+                true
+            }
+            None => false,
         }
     }
 }

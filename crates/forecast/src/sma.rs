@@ -91,9 +91,14 @@ impl<S: Summary> Forecaster<S> for SShapedMovingAverage<S> {
 
     fn observe(&mut self, observed: &S) {
         if self.history.len() == self.window {
-            self.history.pop_front();
+            // Recycle the evicted summary's buffer instead of cloning:
+            // once the window is full, observing allocates nothing.
+            let mut recycled = self.history.pop_front().expect("window is at least 1");
+            recycled.assign(observed);
+            self.history.push_back(recycled);
+        } else {
+            self.history.push_back(observed.clone());
         }
-        self.history.push_back(observed.clone());
     }
 
     fn warm_up(&self) -> usize {
@@ -106,6 +111,22 @@ impl<S: Summary> Forecaster<S> for SShapedMovingAverage<S> {
 
     fn snapshot_state(&self) -> ModelState<S> {
         ModelState::Sma { history: self.history.iter().cloned().collect() }
+    }
+
+    fn forecast_into(&mut self, out: &mut S) -> bool {
+        if self.history.is_empty() {
+            return false;
+        }
+        let w = self.history.len();
+        let mut total_weight = 0.0;
+        out.set_zero();
+        for (age, s) in self.history.iter().rev().enumerate() {
+            let weight = sma_weight(age, w);
+            out.add_scaled(s, weight);
+            total_weight += weight;
+        }
+        out.scale(1.0 / total_weight);
+        true
     }
 }
 

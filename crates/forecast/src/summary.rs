@@ -37,6 +37,36 @@ pub trait Summary: Clone {
         out
     }
 
+    /// In-place assignment `self ← src`. The default clones; sketch
+    /// implementations overwrite their existing table instead, so a
+    /// preallocated buffer can be recycled without touching the heap.
+    fn assign(&mut self, src: &Self) {
+        *self = src.clone();
+    }
+
+    /// In-place reset to the additive zero (same shape, zero registers).
+    fn set_zero(&mut self) {
+        *self = self.zero_like();
+    }
+
+    /// Fused in-place `self ← a·self + b·x`. **Bit-identity contract**:
+    /// implementations must perform, per element, exactly the operations
+    /// of [`scale`](Summary::scale)`(a)` followed by
+    /// [`add_scaled`](Summary::add_scaled)`(x, b)` in that order — which
+    /// is what the default does — so models rewritten on this kernel
+    /// reproduce the two-pass results bit for bit.
+    fn axpy_assign(&mut self, a: f64, x: &Self, b: f64) {
+        self.scale(a);
+        self.add_scaled(x, b);
+    }
+
+    /// In-place difference `self ← a − b`, with the same bit-identity
+    /// contract as [`Summary::sub`] (per element: `a + (−1)·b`).
+    fn sub_into(&mut self, a: &Self, b: &Self) {
+        self.assign(a);
+        self.add_scaled(b, -1.0);
+    }
+
     /// Convenience: weighted sum `Σ c_i · x_i`.
     ///
     /// # Panics
@@ -76,6 +106,25 @@ impl Summary for KarySketch {
 
     fn add_scaled(&mut self, other: &Self, c: f64) {
         KarySketch::add_scaled(self, other, c)
+            .expect("forecaster fed sketches from different hash families");
+    }
+
+    fn assign(&mut self, src: &Self) {
+        KarySketch::assign_from(self, src)
+            .expect("forecaster fed sketches from different hash families");
+    }
+
+    fn set_zero(&mut self) {
+        KarySketch::clear(self);
+    }
+
+    fn axpy_assign(&mut self, a: f64, x: &Self, b: f64) {
+        KarySketch::axpy_assign(self, a, x, b)
+            .expect("forecaster fed sketches from different hash families");
+    }
+
+    fn sub_into(&mut self, a: &Self, b: &Self) {
+        KarySketch::sub_into(self, a, b)
             .expect("forecaster fed sketches from different hash families");
     }
 }

@@ -49,10 +49,49 @@ impl BatchScratch {
     /// rows, returning `(keys, buckets)` ready for
     /// `HashRows::buckets_batch`.
     pub(crate) fn prepare(&mut self, items: &[(u64, f64)], h: usize) -> (&[u64], &mut [usize]) {
+        self.prepare_mapped(items, h, |key| key)
+    }
+
+    /// Like [`prepare`](Self::prepare) but passes every key through `map`
+    /// first — the deltoid's batch path masks keys to the configured width
+    /// *before* hashing, exactly as its serial `update` does.
+    pub(crate) fn prepare_mapped(
+        &mut self,
+        items: &[(u64, f64)],
+        h: usize,
+        map: impl Fn(u64) -> u64,
+    ) -> (&[u64], &mut [usize]) {
         self.keys.clear();
-        self.keys.extend(items.iter().map(|&(key, _)| key));
+        self.keys.extend(items.iter().map(|&(key, _)| map(key)));
         self.buckets.clear();
         self.buckets.resize(h * items.len(), 0);
         (&self.keys, &mut self.buckets)
+    }
+}
+
+/// Scratch buffers for `KarySketch::estimate_batch` and the fused
+/// `sub_into_estimate_f2` sweep: the row-major `H × keys` bucket table,
+/// the gathered register values in the same layout, and the `H`-sized
+/// per-row workspace the median network scrambles. Create once, reuse
+/// every interval; buffers grow to the largest candidate set seen and
+/// stay there, so the steady-state detection pass allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct EstimateScratch {
+    pub(crate) buckets: Vec<usize>,
+    pub(crate) values: Vec<f64>,
+    pub(crate) per_row: Vec<f64>,
+}
+
+impl EstimateScratch {
+    /// An empty scratch; buffers are sized lazily by the first batch.
+    pub fn new() -> Self {
+        EstimateScratch::default()
+    }
+
+    /// Heap bytes currently held (capacity, not length) — scratch memory
+    /// is part of the detector's steady-state footprint.
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<usize>()
+            + (self.values.capacity() + self.per_row.capacity()) * std::mem::size_of::<f64>()
     }
 }

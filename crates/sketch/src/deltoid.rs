@@ -29,6 +29,7 @@
 //! update work — exactly the "increased update and estimation costs" the
 //! paper warns about; `benches/sketch_ops.rs` quantifies it.
 
+use crate::batch::BatchScratch;
 use crate::error::SketchError;
 use crate::median::median_inplace;
 use scd_hash::HashRows;
@@ -141,6 +142,47 @@ impl Deltoid {
                 bits &= bits - 1;
             }
         }
+    }
+
+    /// UPDATE over a whole block of arrivals: bit-identical to calling
+    /// [`update`](Self::update) for each item in order, but restructured
+    /// like `KarySketch::update_batch` — every bucket is hashed first
+    /// ([`HashRows::buckets_batch`], one pass per row over the tabulation
+    /// tables), then each row's counter groups are scattered into in one
+    /// pass. Keys are masked to the configured width *before* hashing,
+    /// exactly as the serial path does, and within every counter values
+    /// still accumulate in item order, so the table is bit-identical to
+    /// the serial one. `scratch` is reused across calls; keep one per
+    /// ingest thread.
+    pub fn update_batch(&mut self, items: &[(u64, f64)], scratch: &mut BatchScratch) {
+        let h = self.h();
+        let k = self.k();
+        let stride = self.stride();
+        let bits_mask = if self.key_bits == 64 { u64::MAX } else { (1u64 << self.key_bits) - 1 };
+        let (keys, buckets) = scratch.prepare_mapped(items, h, |key| key & bits_mask);
+        self.rows.buckets_batch(keys, buckets);
+        let n = items.len();
+        for row in 0..h {
+            let row_cells = &mut self.table[row * k * stride..(row + 1) * k * stride];
+            let row_buckets = &buckets[row * n..(row + 1) * n];
+            for ((&bucket, &key), &(_, value)) in row_buckets.iter().zip(keys).zip(items) {
+                let base = bucket * stride;
+                row_cells[base] += value;
+                let mut bits = key;
+                while bits != 0 {
+                    let j = bits.trailing_zeros() as usize;
+                    row_cells[base + 1 + j] += value;
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
+    /// Raw counter table (row-major `[row][bucket][counter]`, length
+    /// `H·K·(key_bits+1)`). Exposed read-only for diagnostics and the
+    /// bit-identity tests.
+    pub fn table(&self) -> &[f64] {
+        &self.table
     }
 
     /// Sum of bucket totals in row 0 (the stream total).

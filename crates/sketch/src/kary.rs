@@ -20,7 +20,7 @@
 //! then *exact per cell* up to floating-point rounding, a fact the
 //! forecasting layer's property tests rely on.
 
-use crate::batch::BatchScratch;
+use crate::batch::{BatchScratch, EstimateScratch};
 use crate::error::SketchError;
 use crate::median::median_inplace;
 use scd_hash::HashRows;
@@ -165,6 +165,58 @@ impl KarySketch {
         Estimator { sketch: self, sum: self.sum() }
     }
 
+    /// **ESTIMATE** over a whole block of keys: appends one estimate per
+    /// key to `out`, bit-identical to calling
+    /// [`Estimator::estimate`] for each key in order, but restructured for
+    /// cache locality and zero per-key allocation:
+    ///
+    /// 1. **Hash phase** — [`HashRows::buckets_batch`] computes every
+    ///    bucket row-major (one pass per row over the tabulation tables).
+    /// 2. **Gather phase** — each register row is read in one pass into
+    ///    the scratch's value table, so one `8·K`-byte region stays hot
+    ///    per row instead of `H` competing.
+    /// 3. **Median phase** — per key, the `H` gathered cells go through
+    ///    the paper's estimator formula into the scratch's reused per-row
+    ///    buffer and the median network.
+    ///
+    /// `sum(S)` is snapshotted once, as the paper prescribes. `out` is
+    /// cleared first; keep it (and `scratch`) across intervals and the
+    /// detection key scan allocates nothing in steady state.
+    pub fn estimate_batch(&self, keys: &[u64], scratch: &mut EstimateScratch, out: &mut Vec<f64>) {
+        out.clear();
+        let n = keys.len();
+        if n == 0 {
+            return;
+        }
+        let h = self.h();
+        let kk = self.k();
+        let kf = kk as f64;
+        scratch.buckets.clear();
+        scratch.buckets.resize(h * n, 0);
+        self.rows.buckets_batch(keys, &mut scratch.buckets);
+        scratch.values.clear();
+        scratch.values.resize(h * n, 0.0);
+        for row in 0..h {
+            let cells = &self.table[row * kk..(row + 1) * kk];
+            let row_buckets = &scratch.buckets[row * n..(row + 1) * n];
+            let vals = &mut scratch.values[row * n..(row + 1) * n];
+            for (v, &bucket) in vals.iter_mut().zip(row_buckets) {
+                *v = cells[bucket];
+            }
+        }
+        let sum = self.sum();
+        scratch.per_row.clear();
+        scratch.per_row.resize(h, 0.0);
+        out.reserve(n);
+        for i in 0..n {
+            for (row, per_row) in scratch.per_row.iter_mut().enumerate() {
+                let cell = scratch.values[row * n + i];
+                *per_row = (cell - sum / kf) / (1.0 - 1.0 / kf);
+            }
+            out.push(median_inplace(&mut scratch.per_row));
+        }
+    }
+
     /// **ESTIMATEF2(S)** — unbiased estimate of the second moment
     /// `F2 = Σ_a v_a²`.
     pub fn estimate_f2(&self) -> f64 {
@@ -229,6 +281,160 @@ impl KarySketch {
         for cell in &mut self.table {
             *cell *= c;
         }
+    }
+
+    /// In-place assignment `self ← src`: overwrites the register table
+    /// without allocating (the recycled-buffer analogue of `clone`).
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if the hash families differ.
+    pub fn assign_from(&mut self, src: &KarySketch) -> Result<(), SketchError> {
+        self.check_family(src)?;
+        self.table.copy_from_slice(&src.table);
+        Ok(())
+    }
+
+    /// In-place `self ← c · src` in one sweep — bit-identical to
+    /// [`assign_from`](Self::assign_from) followed by
+    /// [`scale`](Self::scale) (each cell performs the same single
+    /// multiplication).
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if the hash families differ.
+    pub fn scale_assign(&mut self, src: &KarySketch, c: f64) -> Result<(), SketchError> {
+        self.check_family(src)?;
+        for (dst, s) in self.table.iter_mut().zip(&src.table) {
+            *dst = s * c;
+        }
+        Ok(())
+    }
+
+    /// Fused in-place `self ← a·self + b·x` in one sweep.
+    ///
+    /// Per cell this performs `(y·a) + (b·x)` — exactly the three rounded
+    /// operations, in the same order, that [`scale`](Self::scale)`(a)`
+    /// followed by [`add_scaled`](Self::add_scaled)`(x, b)` performs (Rust
+    /// never contracts to a fused multiply-add), so the result is
+    /// **bit-identical** to the two-pass form while touching the table
+    /// once.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if the hash families differ.
+    pub fn axpy_assign(&mut self, a: f64, x: &KarySketch, b: f64) -> Result<(), SketchError> {
+        self.check_family(x)?;
+        for (dst, src) in self.table.iter_mut().zip(&x.table) {
+            let scaled = *dst * a;
+            *dst = scaled + b * src;
+        }
+        Ok(())
+    }
+
+    /// **COMBINE** into a caller-recycled table: `self ← Σ_i c_i · S_i` in
+    /// a single sweep over the output (every cell accumulates its terms in
+    /// term order starting from zero — the same floating-point sequence as
+    /// the allocating [`combine`](Self::combine), so the result is
+    /// bit-identical).
+    ///
+    /// `self`'s previous contents are overwritten; `self` may not appear
+    /// among the terms.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] on any identity mismatch and
+    /// [`SketchError::EmptyCombination`] for an empty term list.
+    pub fn combine_into(&mut self, terms: &[(f64, &KarySketch)]) -> Result<(), SketchError> {
+        if terms.is_empty() {
+            return Err(SketchError::EmptyCombination);
+        }
+        for &(_, s) in terms {
+            self.check_family(s)?;
+        }
+        for (i, dst) in self.table.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for &(c, s) in terms {
+                acc += c * s.table[i];
+            }
+            *dst = acc;
+        }
+        Ok(())
+    }
+
+    /// In-place difference `self ← a − b`. Bit-identical to cloning `a`
+    /// and calling [`add_scaled`](Self::add_scaled)`(b, -1.0)`: IEEE-754
+    /// defines `x − y` as `x + (−y)` and `(−1)·y` as the exact negation
+    /// of `y`, so the error sketch `Se = So − Sf` built this way matches
+    /// the allocating path bit for bit.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if any hash family differs.
+    pub fn sub_into(&mut self, a: &KarySketch, b: &KarySketch) -> Result<(), SketchError> {
+        self.check_family(a)?;
+        self.check_family(b)?;
+        for ((dst, av), bv) in self.table.iter_mut().zip(&a.table).zip(&b.table) {
+            *dst = av - bv;
+        }
+        Ok(())
+    }
+
+    /// Fused `sub_into` + **ESTIMATEF2**: writes `a − b` into `self` and
+    /// returns `ESTIMATEF2(self)` from the same sweep — one pass over the
+    /// table instead of two (difference, then squared-sum). The row-0
+    /// total, each row's squared sum, and the per-row moment formula all
+    /// accumulate in exactly the order [`sum`](Self::sum) and
+    /// [`estimate_f2`](Self::estimate_f2) use, so the returned F2 is
+    /// bit-identical to calling them on the materialized difference.
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if any hash family differs.
+    pub fn sub_into_estimate_f2(
+        &mut self,
+        a: &KarySketch,
+        b: &KarySketch,
+        scratch: &mut EstimateScratch,
+    ) -> Result<f64, SketchError> {
+        self.check_family(a)?;
+        self.check_family(b)?;
+        let h = self.h();
+        let k = self.k();
+        let kf = k as f64;
+        scratch.per_row.clear();
+        let mut sum = 0.0;
+        for row in 0..h {
+            let dst = &mut self.table[row * k..(row + 1) * k];
+            let av = &a.table[row * k..(row + 1) * k];
+            let bv = &b.table[row * k..(row + 1) * k];
+            let mut sq = 0.0;
+            if row == 0 {
+                for ((d, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                    let v = x - y;
+                    *d = v;
+                    sum += v;
+                    sq += v * v;
+                }
+            } else {
+                for ((d, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                    let v = x - y;
+                    *d = v;
+                    sq += v * v;
+                }
+            }
+            scratch.per_row.push(sq);
+        }
+        for per_row in &mut scratch.per_row {
+            *per_row = (kf / (kf - 1.0)) * *per_row - (sum * sum) / (kf - 1.0);
+        }
+        Ok(median_inplace(&mut scratch.per_row))
+    }
+
+    /// Shared identity check for the in-place kernels.
+    #[inline]
+    fn check_family(&self, other: &KarySketch) -> Result<(), SketchError> {
+        if self.rows.identity() != other.rows.identity() {
+            return Err(SketchError::IncompatibleSketches {
+                left: self.rows.identity(),
+                right: other.rows.identity(),
+            });
+        }
+        Ok(())
     }
 
     /// Resets every register to zero, keeping the hash family.

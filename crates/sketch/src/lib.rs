@@ -60,7 +60,7 @@ pub mod linear;
 pub mod median;
 pub mod wire;
 
-pub use batch::BatchScratch;
+pub use batch::{BatchScratch, EstimateScratch};
 pub use countmin::CountMinSketch;
 pub use countsketch::CountSketch;
 pub use deltoid::{Deltoid, DeltoidConfig};

@@ -10,7 +10,9 @@
 //! path). The engine's bit-identical-reports guarantee rests on this.
 
 use scd_hash::SplitMix64;
-use scd_sketch::{BatchScratch, CountMinSketch, CountSketch, KarySketch, SketchConfig};
+use scd_sketch::{
+    BatchScratch, CountMinSketch, CountSketch, Deltoid, DeltoidConfig, KarySketch, SketchConfig,
+};
 
 const PAPER_H: [usize; 4] = [1, 5, 9, 25];
 
@@ -124,6 +126,46 @@ fn countsketch_update_batch_is_bit_identical() {
         }
         assert!(serial.estimate_f2() == batched.estimate_f2(), "H={h} F2");
     }
+}
+
+#[test]
+fn deltoid_update_batch_is_bit_identical() {
+    let mut rng = SplitMix64::new(0xDE17);
+    for &h in &PAPER_H {
+        for &key_bits in &[32u32, 48, 64] {
+            let cfg = DeltoidConfig { h, k: 64, key_bits, seed: 0xD0 ^ h as u64 };
+            let items = stream(&mut rng, 200, true);
+
+            let mut serial = Deltoid::new(cfg);
+            for &(key, v) in &items {
+                serial.update(key, v);
+            }
+
+            let mut batched = Deltoid::new(cfg);
+            let mut scratch = BatchScratch::new();
+            for batch in random_batches(&mut rng, &items) {
+                batched.update_batch(batch, &mut scratch);
+            }
+
+            assert_eq!(serial.table(), batched.table(), "H={h} key_bits={key_bits}");
+        }
+    }
+}
+
+#[test]
+fn deltoid_batch_masks_keys_before_hashing() {
+    // Keys wider than `key_bits` must land in the bucket of their masked
+    // value — the batch path has to mask before hashing, like `update`.
+    let cfg = DeltoidConfig { h: 5, k: 64, key_bits: 16, seed: 9 };
+    let wide = [(0xABCD_1234_0042u64, 3.5), (0x42u64 | (1 << 63), -1.25)];
+
+    let mut serial = Deltoid::new(cfg);
+    for &(key, v) in &wide {
+        serial.update(key, v);
+    }
+    let mut batched = Deltoid::new(cfg);
+    batched.update_batch(&wide, &mut BatchScratch::new());
+    assert_eq!(serial.table(), batched.table());
 }
 
 #[test]
