@@ -169,6 +169,9 @@ pub struct SketchArchive<L> {
     config: ArchiveConfig,
     epochs: VecDeque<Epoch<L>>,
     next_interval: u64,
+    /// Epoch merges performed since construction (compaction work done —
+    /// the telemetry layer reads this once per interval).
+    merges: u64,
 }
 
 impl<L: LinearSketch> SketchArchive<L> {
@@ -178,7 +181,7 @@ impl<L: LinearSketch> SketchArchive<L> {
     /// [`ArchiveError::BadConfig`] if `config` cannot sustain compaction.
     pub fn new(config: ArchiveConfig) -> Result<Self, ArchiveError> {
         config.validate()?;
-        Ok(SketchArchive { config, epochs: VecDeque::new(), next_interval: 0 })
+        Ok(SketchArchive { config, epochs: VecDeque::new(), next_interval: 0, merges: 0 })
     }
 
     /// Rebuilds an archive from decoded parts, re-validating every
@@ -221,7 +224,7 @@ impl<L: LinearSketch> SketchArchive<L> {
                 )));
             }
         }
-        let mut archive = SketchArchive { config, epochs: epochs.into(), next_interval };
+        let mut archive = SketchArchive { config, epochs: epochs.into(), next_interval, merges: 0 };
         archive.compact();
         Ok(archive)
     }
@@ -239,6 +242,13 @@ impl<L: LinearSketch> SketchArchive<L> {
     /// Number of retained epochs (≤ `max_sketches` after every push).
     pub fn sketch_count(&self) -> usize {
         self.epochs.len()
+    }
+
+    /// Total epoch merges performed by compaction since this archive was
+    /// constructed (resets to 0 on a wire-format reload — it counts work
+    /// done by *this* instance, not the archive's lifetime).
+    pub fn merges_total(&self) -> u64 {
+        self.merges
     }
 
     /// `[first, one-past-last)` interval range covered, or `None` while
@@ -335,6 +345,7 @@ impl<L: LinearSketch> SketchArchive<L> {
             left.notable.iter().chain(right.notable.iter()).copied(),
             self.config.keys_per_epoch,
         );
+        self.merges += 1;
         true
     }
 

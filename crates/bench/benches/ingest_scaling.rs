@@ -18,6 +18,13 @@
 //!   COMBINE, detection), wall clock. On a multi-core machine this tracks
 //!   the model; on one core it shows the sharding overhead instead.
 //!
+//! A fourth view rides along in the machine-readable report: a
+//! telemetry-attached engine run whose per-stage latency histograms
+//! (ingest batches, close barrier, COMBINE, detect, archive) are dumped
+//! to a sibling `*_stages.json` — the same stage breakdown a production
+//! `--metrics` run snapshots each interval, so bench reports and live
+//! telemetry speak the same vocabulary.
+//!
 //! Run with `SCD_BENCH_JSON=BENCH_ingest.json cargo bench --bench
 //! ingest_scaling` to get the machine-readable report. Set
 //! `SCD_BENCH_SMOKE=1` for the CI regression guard: a ~5× smaller stream
@@ -181,5 +188,69 @@ fn bench_ingest_scaling(c: &mut Criterion) {
     println!("\nmodeled 4-shard speedup over 1 shard: {speedup:.2}x (critical path)");
 }
 
-criterion_group!(benches, bench_update_kernel, bench_ingest_scaling);
+/// Where an interval's time goes: a telemetry-attached 4-shard engine
+/// runs a few intervals and the per-stage histograms are reported —
+/// printed, and written to a sibling `*_stages.json` when
+/// `SCD_BENCH_JSON` is set (the harness schema only carries flat
+/// timings, not histograms).
+fn stage_breakdown(_c: &mut Criterion) {
+    use scd_core::PipelineMetrics;
+
+    let updates = interval_updates();
+    let registry = scd_obs::Registry::new();
+    let metrics = PipelineMetrics::register(&registry);
+    let mut engine = ShardedEngine::new(
+        EngineConfig::new(detector_config(), 4).with_metrics(std::sync::Arc::clone(&metrics)),
+    )
+    .expect("valid config");
+    let intervals = if smoke() { 4 } else { 16 };
+    for _ in 0..intervals {
+        std::hint::black_box(engine.process_interval(&updates).expect("engine alive"));
+    }
+
+    let stages: [(&str, &scd_obs::Histogram); 5] = [
+        ("ingest_batch", &metrics.engine.ingest_batch_ns),
+        ("barrier", &metrics.engine.barrier_ns),
+        ("combine", &metrics.engine.combine_ns),
+        ("detect", &metrics.engine.detect_ns),
+        ("archive", &metrics.engine.archive_ns),
+    ];
+    println!("\nstage_breakdown (4 shards, {intervals} intervals, ns)");
+    let mut lines: Vec<String> = Vec::new();
+    for (name, h) in stages {
+        println!(
+            "  {name:<12} count {:>6}  p50 {:>12}  p99 {:>12}  max {:>12}",
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max()
+        );
+        lines.push(format!(
+            "    {{\"stage\": \"{name}\", \"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}}}",
+            h.count(),
+            h.sum(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max()
+        ));
+    }
+
+    if let Some(path) = std::env::var_os("SCD_BENCH_JSON") {
+        let path = std::path::PathBuf::from(path);
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("BENCH_ingest");
+        let stage_path = path.with_file_name(format!("{stem}_stages.json"));
+        let body = format!(
+            "{{\n  \"harness\": \"scd-bench ingest stage breakdown\",\n  \"shards\": 4,\n  \
+             \"intervals\": {intervals},\n  \"results\": [\n{}\n  ]\n}}\n",
+            lines.join(",\n")
+        );
+        match std::fs::write(&stage_path, body) {
+            Ok(()) => println!("\nwrote stage breakdown to {}", stage_path.display()),
+            Err(e) => eprintln!("ingest_scaling: cannot write {}: {e}", stage_path.display()),
+        }
+    }
+}
+
+criterion_group!(benches, bench_update_kernel, bench_ingest_scaling, stage_breakdown);
 criterion_main!(benches);

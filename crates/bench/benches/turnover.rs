@@ -5,22 +5,28 @@
 //!
 //! Two groups:
 //!
-//! * `turnover/*` — per-interval latency of the two paths on identical
+//! * `turnover/*` — per-interval latency of the paths on identical
 //!   inputs (same model, same observed sketches, same candidate keys).
-//!   Both are bit-identical in output; the fused path just reuses every
+//!   All are bit-identical in output; the fused path just reuses every
 //!   buffer (forecast destination, error sketch, estimate scratch) and
-//!   batches the per-key scan.
+//!   batches the per-key scan. `fused_telemetry` is the fused path with
+//!   the full per-interval telemetry the engine records around its
+//!   detect stage — span timing, counters, gauges, *and* a JSONL
+//!   snapshot render into a recycled buffer — pinning the observability
+//!   layer's ≤5% overhead contract where it can be watched.
 //! * allocations per interval — counted by a wrapping global allocator
-//!   over a fixed steady-state window, per model. The fused path must be
-//!   **zero** for every model once warm; the cloning path shows what each
-//!   turnover used to pay. Counts are printed and, when `SCD_BENCH_JSON`
-//!   is set, written to a sibling `*_allocs.json` file (the harness's
-//!   JSON schema only carries timings).
+//!   over a fixed steady-state window, per model, for the fused path
+//!   both bare and with telemetry attached. Both must be **zero** for
+//!   every model once warm; the cloning path shows what each turnover
+//!   used to pay. Counts are printed and, when `SCD_BENCH_JSON` is set,
+//!   written to a sibling `*_allocs.json` file (the harness's JSON
+//!   schema only carries timings).
 //!
 //! Run with `SCD_BENCH_JSON=BENCH_turnover.json cargo bench --bench
 //! turnover`; `SCD_BENCH_SMOKE=1` shrinks the sketch and sample counts
-//! for the CI gate, which asserts fused ≥ 2× faster than cloning and
-//! exactly zero fused steady-state allocations.
+//! for the CI gate, which asserts fused ≥ 2× faster than cloning,
+//! telemetry-on fused still ≥ 2× faster than cloning, and exactly zero
+//! fused steady-state allocations with or without telemetry.
 
 use scd_bench::microbench::Criterion;
 use scd_bench::{criterion_group, criterion_main};
@@ -203,6 +209,63 @@ fn fused_turnover(
     f2
 }
 
+/// The per-interval telemetry the engine hangs on its detect stage,
+/// rebuilt at bench scope: the same registry/metric structures, the same
+/// recording calls, plus the JSONL snapshot a `--metrics` run renders
+/// each interval. Everything here is fixed-size and recycled, so the
+/// instrumented turnover must stay at zero steady-state allocations.
+struct TelemetryState {
+    registry: scd_obs::Registry,
+    detect_ns: std::sync::Arc<scd_obs::Histogram>,
+    intervals: std::sync::Arc<scd_obs::Counter>,
+    keys_scanned: std::sync::Arc<scd_obs::Counter>,
+    error_f2: std::sync::Arc<scd_obs::Gauge>,
+    line: String,
+    interval: u64,
+}
+
+impl TelemetryState {
+    fn new() -> Self {
+        let registry = scd_obs::Registry::new();
+        let detect_ns = registry.histogram("scd_engine_detect_ns", "detect turnover (ns)");
+        let intervals = registry.counter("scd_detector_intervals_total", "intervals scanned");
+        let keys_scanned = registry.counter("scd_detector_keys_scanned_total", "keys scored");
+        let error_f2 = registry.gauge("scd_detector_error_f2", "latest error F2");
+        TelemetryState {
+            registry,
+            detect_ns,
+            intervals,
+            keys_scanned,
+            error_f2,
+            line: String::new(),
+            interval: 0,
+        }
+    }
+}
+
+/// The fused turnover with the engine's detect-stage telemetry around
+/// it: a span on the stage histogram, the detector counters and gauges,
+/// and one JSONL snapshot into the recycled line buffer.
+fn fused_telemetry_turnover(
+    model: &mut Model,
+    observed: &KarySketch,
+    key_log: &[u64],
+    st: &mut FusedState,
+    tel: &mut TelemetryState,
+) -> f64 {
+    let span = tel.detect_ns.span();
+    let f2 = fused_turnover(model, observed, key_log, st);
+    drop(span);
+    tel.intervals.inc();
+    tel.keys_scanned.add(st.keys.len() as u64);
+    tel.error_f2.set(f2);
+    tel.line.clear();
+    tel.registry.render_jsonl(tel.interval, &mut tel.line);
+    std::hint::black_box(tel.line.len());
+    tel.interval += 1;
+    f2
+}
+
 fn bench_turnover_latency(c: &mut Criterion) {
     let (ring, keys) = observed_ring();
     let mut group = c.benchmark_group("turnover");
@@ -231,6 +294,28 @@ fn bench_turnover_latency(c: &mut Criterion) {
             let start = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(fused_turnover(&mut model, &ring[t % RING], &keys, &mut st));
+                t += 1;
+            }
+            start.elapsed()
+        })
+    });
+
+    group.bench_function("fused_telemetry", |b| {
+        let mut model: Model = ModelSpec::Ewma { alpha: 0.5 }.build();
+        warm(&mut model, &ring);
+        let mut st = FusedState::new();
+        let mut tel = TelemetryState::new();
+        let mut t = 0usize;
+        b.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(fused_telemetry_turnover(
+                    &mut model,
+                    &ring[t % RING],
+                    &keys,
+                    &mut st,
+                    &mut tel,
+                ));
                 t += 1;
             }
             start.elapsed()
@@ -282,6 +367,34 @@ fn measure_allocations() {
             "    {{\"path\": \"fused\", \"model\": \"{name}\", \"allocs_per_interval\": {fused}}}"
         ));
         assert_eq!(fused, 0, "fused turnover allocated on the {name} steady state");
+    }
+
+    // Telemetry attached: same zero-allocation invariant — the metric
+    // structures are fixed-size atomics and the snapshot renders into a
+    // recycled buffer, so watching the pipeline must cost no heap.
+    for (name, spec) in all_models() {
+        let mut model: Model = spec.build();
+        warm(&mut model, &ring);
+        let mut st = FusedState::new();
+        let mut tel = TelemetryState::new();
+        for t in 0..RING {
+            fused_telemetry_turnover(&mut model, &ring[t % RING], &keys, &mut st, &mut tel);
+        }
+        let telemetry = count_allocs(|t| {
+            std::hint::black_box(fused_telemetry_turnover(
+                &mut model,
+                &ring[t % RING],
+                &keys,
+                &mut st,
+                &mut tel,
+            ));
+        });
+        println!("  {:<22} {telemetry:>10} allocs/interval", format!("fused_telemetry/{name}"));
+        lines.push(format!(
+            "    {{\"path\": \"fused_telemetry\", \"model\": \"{name}\", \
+             \"allocs_per_interval\": {telemetry}}}"
+        ));
+        assert_eq!(telemetry, 0, "telemetry added allocations on the {name} steady state");
     }
 
     // The harness's JSON schema only carries timings; allocation counts go

@@ -8,13 +8,16 @@
 //! scd detect   --trace trace.bin --interval 300 --model ewma:0.5
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--strategy twopass|next|sampled:R|reversible] [--top N]
-//!              [--shards N] [--pipeline]
+//!              [--shards N] [--pipeline] [--metrics FILE]
+//!              [--metrics-listen ADDR]
 //! scd sketch   --trace trace.bin --interval 60 --at 7 --out s.sketch
 //!              [--h 5] [--k 32768] [--sketch-seed N]
 //! scd combine  --out sum.sketch A.sketch B.sketch ... [--query IP]
 //! scd stream   --trace trace.bin --interval 60 --model ewma:0.5
 //!              [--policy block|drop|sample:R] [--capacity N]
 //!              [--checkpoint FILE] [--every N] [--h 5] [--k 32768]
+//!              [--metrics FILE] [--metrics-listen ADDR]
+//! scd metrics  --from metrics.jsonl | --addr HOST:PORT
 //! scd archive  --trace trace.bin --interval 60 --model ewma:0.5 --out hist.scda
 //!              [--shards 4] [--budget 64] [--full-res 8] [--keys 64]
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
@@ -53,7 +56,9 @@ use scd_core::{
     LifecycleEvent, OverloadPolicy, RestartPolicy, ReversibleChangeDetector, ReversibleConfig,
     ShardedEngine, SketchChangeDetector, StreamingConfig, SupervisorConfig,
 };
+use scd_core::{IntervalReport, PipelineMetrics};
 use scd_forecast::{ModelKind, ModelSpec};
+use scd_obs::{MetricsListener, Registry};
 use scd_sketch::{DeltoidConfig, SketchConfig};
 use scd_traffic::record::format_ipv4;
 use scd_traffic::{
@@ -62,6 +67,7 @@ use scd_traffic::{
 };
 use std::fs::File;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -74,11 +80,13 @@ fn usage() -> ExitCode {
          detect    --trace FILE --interval S --model SPEC [--h 5] [--k 32768]\n\
          \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
          \u{20}          [--strategy twopass|next|sampled:R|reversible] [--shards N]\n\
-         \u{20}          [--pipeline]\n\
+         \u{20}          [--pipeline] [--metrics FILE] [--metrics-listen ADDR]\n\
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
          combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
          stream    --trace FILE --interval S --model SPEC [--policy block|drop|sample:R]\n\
          \u{20}          [--capacity N] [--checkpoint FILE] [--every N] [--h 5] [--k 32768]\n\
+         \u{20}          [--metrics FILE] [--metrics-listen ADDR]\n\
+         metrics   --from metrics.jsonl | --addr HOST:PORT\n\
          archive   --trace FILE --interval S --model SPEC --out FILE [--shards 4]\n\
          \u{20}          [--budget 64] [--full-res 8] [--keys 64] [--h 5] [--k 32768]\n\
          \u{20}          [--threshold 0.05] [--sketch-seed N]\n\
@@ -105,6 +113,7 @@ fn main() -> ExitCode {
         "stream" => stream(&flags),
         "archive" => archive(&flags),
         "query" => query(&flags),
+        "metrics" => metrics(&flags),
         _ => return usage(),
     };
     match result {
@@ -122,6 +131,83 @@ fn read_trace(path: &str) -> Result<Vec<FlowRecord>, Box<dyn std::error::Error>>
     let file = File::open(path)?;
     let records = if path.ends_with(".csv") { io::read_csv(file)? } else { io::read_binary(file)? };
     Ok(records)
+}
+
+/// Live telemetry for a `detect`/`stream` run: one registry feeding an
+/// optional JSON-lines snapshot file (`--metrics FILE`, one line per
+/// closed interval) and an optional Prometheus scrape endpoint
+/// (`--metrics-listen ADDR`).
+struct Telemetry {
+    registry: Arc<Registry>,
+    pipeline: Arc<PipelineMetrics>,
+    snapshots: Option<std::io::BufWriter<File>>,
+    line: String,
+    listener: Option<MetricsListener>,
+}
+
+impl Telemetry {
+    /// Builds from the `--metrics` / `--metrics-listen` flags; `None`
+    /// when neither is present.
+    fn from_flags(flags: &Flags) -> Result<Option<Telemetry>, Box<dyn std::error::Error>> {
+        let path = flags.raw("metrics");
+        let listen = flags.raw("metrics-listen");
+        if path.is_none() && listen.is_none() {
+            return Ok(None);
+        }
+        let registry = Arc::new(Registry::new());
+        let pipeline = PipelineMetrics::register(&registry);
+        let snapshots = match path {
+            Some(p) => Some(std::io::BufWriter::new(File::create(p)?)),
+            None => None,
+        };
+        let listener = match listen {
+            Some(addr) => {
+                let l = MetricsListener::bind(addr, Arc::clone(&registry))?;
+                eprintln!("serving metrics on http://{}/metrics", l.local_addr());
+                Some(l)
+            }
+            None => None,
+        };
+        Ok(Some(Telemetry { registry, pipeline, snapshots, line: String::new(), listener }))
+    }
+
+    /// Appends one snapshot line stamped with `interval`.
+    fn snapshot(&mut self, interval: u64) -> std::io::Result<()> {
+        if let Some(w) = &mut self.snapshots {
+            use std::io::Write as _;
+            self.line.clear();
+            self.registry.render_jsonl(interval, &mut self.line);
+            self.line.push('\n');
+            w.write_all(self.line.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the snapshot file and stops the scrape endpoint.
+    fn finish(mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        if let Some(mut w) = self.snapshots.take() {
+            w.flush()?;
+        }
+        if let Some(l) = self.listener.take() {
+            l.stop();
+        }
+        Ok(())
+    }
+}
+
+/// Prints one report's alarms and, when telemetry is on, stamps a
+/// snapshot line for the interval it closes.
+fn emit_report(
+    report: &IntervalReport,
+    top: usize,
+    telemetry: &mut Option<Telemetry>,
+) -> CliResult {
+    print_alarms(report.interval, report.alarms.iter().map(|a| (a.key, a.estimated_error)), top);
+    if let Some(t) = telemetry.as_mut() {
+        t.snapshot(report.interval as u64)?;
+    }
+    Ok(())
 }
 
 fn generate(flags: &Flags) -> CliResult {
@@ -274,7 +360,14 @@ fn detect(flags: &Flags) -> CliResult {
         model.describe()
     );
 
+    let mut telemetry = Telemetry::from_flags(flags)?;
     if strategy == "reversible" {
+        if telemetry.is_some() {
+            return Err(FlagError(
+                "--metrics / --metrics-listen are not supported with --strategy reversible".into(),
+            )
+            .into());
+        }
         let mut det = ReversibleChangeDetector::new(ReversibleConfig {
             deltoid: DeltoidConfig { h, k, key_bits: 32, seed: sketch_seed },
             model,
@@ -317,33 +410,36 @@ fn detect(flags: &Flags) -> CliResult {
         if pipeline {
             config = config.with_pipeline();
         }
+        if let Some(t) = &telemetry {
+            config = config.with_metrics(Arc::clone(&t.pipeline));
+        }
         let mut engine = ShardedEngine::new(config)?;
-        let emit = |report: scd_core::IntervalReport| {
-            print_alarms(
-                report.interval,
-                report.alarms.iter().map(|a| (a.key, a.estimated_error)),
-                top,
-            );
-        };
         for items in &intervals {
             engine.push_slice(items)?;
             if let Some(report) = engine.end_interval_overlapped()? {
-                emit(report);
+                emit_report(&report, top, &mut telemetry)?;
             }
         }
         if let Some(report) = engine.drain()? {
-            emit(report);
+            emit_report(&report, top, &mut telemetry)?;
+        }
+        if let Some(t) = telemetry {
+            t.finish()?;
         }
         return Ok(());
     }
     let mut det = SketchChangeDetector::new(detector);
+    if let Some(t) = &telemetry {
+        // Single-threaded run: no engine stages to time, but the detector
+        // counters/gauges (and the JSONL/scrape surfaces) still work.
+        det.set_metrics(Arc::clone(&t.pipeline.detector));
+    }
     for items in &intervals {
         let report = det.process_interval(items);
-        print_alarms(
-            report.interval,
-            report.alarms.iter().map(|a| (a.key, a.estimated_error)),
-            top,
-        );
+        emit_report(&report, top, &mut telemetry)?;
+    }
+    if let Some(t) = telemetry {
+        t.finish()?;
     }
     Ok(())
 }
@@ -455,6 +551,7 @@ fn stream(flags: &Flags) -> CliResult {
     records.sort_by_key(|r| r.timestamp_ms);
     let n_records = records.len();
 
+    let mut telemetry = Telemetry::from_flags(flags)?;
     let handle = spawn_supervised(SupervisorConfig {
         stream: StreamingConfig {
             detector: DetectorConfig {
@@ -469,6 +566,7 @@ fn stream(flags: &Flags) -> CliResult {
             channel_capacity: capacity,
             overload,
             checkpoint,
+            metrics: telemetry.as_ref().map(|t| Arc::clone(&t.pipeline)),
         },
         restart: RestartPolicy::default(),
         fault: None,
@@ -484,6 +582,9 @@ fn stream(flags: &Flags) -> CliResult {
         // channel is also full (the detector blocks sending a report, the
         // producer blocks sending a record, and neither can proceed).
         while let Some(report) = handle.reports().try_recv() {
+            if let Some(t) = telemetry.as_mut() {
+                t.snapshot(report.interval as u64)?;
+            }
             reports.push(report);
         }
         while let Some(event) = handle.events().try_recv() {
@@ -492,6 +593,11 @@ fn stream(flags: &Flags) -> CliResult {
     }
     let (tail_reports, tail_events, processed) =
         handle.shutdown().map_err(|e| FlagError(format!("stream failed: {e}")))?;
+    if let Some(t) = telemetry.as_mut() {
+        for report in &tail_reports {
+            t.snapshot(report.interval as u64)?;
+        }
+    }
     reports.extend(tail_reports);
     events.extend(tail_events);
 
@@ -522,6 +628,47 @@ fn stream(flags: &Flags) -> CliResult {
             other => outln!("lifecycle: {other:?}"),
         }
     }
+    if let Some(t) = telemetry {
+        t.finish()?;
+    }
+    Ok(())
+}
+
+/// Dumps metrics in the Prometheus text exposition format: live from a
+/// running `--metrics-listen` responder (`--addr`), or converted from
+/// the last snapshot line of a `--metrics` JSON-lines file (`--from`).
+/// Either way the output is validated before it is printed, so a
+/// rendering bug fails loudly instead of feeding a scraper garbage.
+fn metrics(flags: &Flags) -> CliResult {
+    if let Some(addr) = flags.raw("addr") {
+        let body = scd_obs::fetch(addr)?;
+        scd_obs::validate_exposition(&body).map_err(FlagError)?;
+        outln!("{}", body.trim_end_matches('\n'));
+        return Ok(());
+    }
+    let path: String = flags.require("from")?;
+    let text = std::fs::read_to_string(&path)?;
+    let last = text
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| FlagError(format!("{path}: no snapshot lines")))?;
+    let fields = scd_obs::parse_flat_json(last).map_err(|e| FlagError(format!("{path}: {e}")))?;
+    // The flat snapshot has already collapsed histograms to summary
+    // fields, so every sample re-exports as `untyped` — the exposition
+    // type for values whose original type is unknown at dump time.
+    let mut out = String::new();
+    for (name, value) in &fields {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "# TYPE {name} untyped");
+        if value.is_nan() {
+            let _ = writeln!(out, "{name} NaN");
+        } else {
+            let _ = writeln!(out, "{name} {value}");
+        }
+    }
+    scd_obs::validate_exposition(&out).map_err(FlagError)?;
+    outln!("{}", out.trim_end_matches('\n'));
     Ok(())
 }
 

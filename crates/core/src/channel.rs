@@ -90,6 +90,19 @@ impl<T> Sender<T> {
         }
     }
 
+    /// Number of values currently queued (a racy snapshot — by the time
+    /// the caller looks, the receiver may have drained some). Used for
+    /// queue-depth telemetry, never for flow control.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock").queue.len()
+    }
+
+    /// True when nothing is queued right now (same snapshot caveat as
+    /// [`Sender::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Enqueues without blocking; reports a full queue instead of waiting.
     pub fn try_send(&self, value: T) -> Result<(), TrySendError> {
         let mut state = self.shared.state.lock().expect("channel lock");

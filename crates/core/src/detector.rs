@@ -1,5 +1,7 @@
 //! The sketch-based change detector (paper §2.2, §3.3).
 
+use crate::sampling::UpdateSampler;
+use crate::telemetry::DetectorMetrics;
 use scd_forecast::{Forecaster, ModelSpec, ModelState, StateError};
 use scd_hash::{HashRows, MixBuildHasher, SplitMix64};
 use scd_sketch::{EstimateScratch, KarySketch, SketchConfig};
@@ -96,6 +98,12 @@ pub struct IntervalReport {
     /// sorted by decreasing |error|. This is the raw material for the
     /// paper's top-N comparisons.
     pub errors: Vec<(u64, f64)>,
+    /// Scanned keys whose estimated error came back non-finite
+    /// (NaN/±inf). They are excluded from `errors` and can never alarm;
+    /// a nonzero count means the forecast model has been driven outside
+    /// its numeric envelope and deserves operator attention, not a
+    /// detector panic.
+    pub non_finite_errors: u64,
     /// Records shed during this interval by the streaming overload policy.
     /// Always zero for detectors fed directly via `process_interval`.
     pub drops: DropStats,
@@ -127,6 +135,11 @@ pub struct SketchChangeDetector {
     seen: HashSet<u64, MixBuildHasher>,
     /// Reused output buffer for `estimate_batch`.
     estimates: Vec<f64>,
+    /// Telemetry sink. Like the workspaces above, this is not detector
+    /// *state*: it is never checkpointed (a restored detector starts with
+    /// `None`; re-attach via [`SketchChangeDetector::set_metrics`]), and
+    /// recording never influences a report.
+    metrics: Option<Arc<DetectorMetrics>>,
 }
 
 impl std::fmt::Debug for SketchChangeDetector {
@@ -171,7 +184,17 @@ impl SketchChangeDetector {
             scratch: EstimateScratch::new(),
             seen: HashSet::with_hasher(MixBuildHasher),
             estimates: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a telemetry sink: per-interval alarm/scan counters and
+    /// the F2/threshold gauges. Deliberately a setter rather than a
+    /// [`DetectorConfig`] field — the config is compared against
+    /// checkpoints for equality, and observability must never invalidate
+    /// a checkpoint.
+    pub fn set_metrics(&mut self, metrics: Arc<DetectorMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The detector's configuration.
@@ -290,9 +313,11 @@ impl SketchChangeDetector {
                 Some((error, f2)) => {
                     self.dedup_in_place(&mut keys);
                     if let KeyStrategy::Sampled { rate, .. } = self.config.key_strategy {
-                        let threshold = (rate * u64::MAX as f64) as u64;
+                        // One shared Bernoulli predicate with the record
+                        // sampler — see `UpdateSampler::keep` for the
+                        // strict-< semantics this fixes.
                         let sampler = &mut self.sampler;
-                        keys.retain(|_| sampler.next_u64() <= threshold);
+                        keys.retain(|_| UpdateSampler::keep(rate, sampler));
                     }
                     let report = self.detect(t, &error, &keys, f2);
                     if want_error {
@@ -350,15 +375,29 @@ impl SketchChangeDetector {
     ) -> IntervalReport {
         let alarm_threshold = self.config.threshold * f2.max(0.0).sqrt();
         error_sketch.estimate_batch(keys, &mut self.scratch, &mut self.estimates);
-        let mut errors: Vec<(u64, f64)> =
-            keys.iter().copied().zip(self.estimates.iter().copied()).collect();
-        errors.sort_by(|a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors").then_with(|| a.0.cmp(&b.0))
-        });
+        // Non-finite estimates are filtered *before* the sort: they carry
+        // no magnitude information, and under `total_cmp` a NaN would
+        // outrank +inf and stall the take_while alarm scan below. A single
+        // poisoned cell must degrade one key's estimate, not panic the
+        // whole scan (under the supervisor that panic is a poison pill —
+        // the checkpoint restores the same state and the restart loop
+        // burns the entire budget re-dying on the same interval).
+        let mut non_finite_errors = 0u64;
+        let mut errors: Vec<(u64, f64)> = keys
+            .iter()
+            .copied()
+            .zip(self.estimates.iter().copied())
+            .filter(|&(_, e)| {
+                let finite = e.is_finite();
+                non_finite_errors += u64::from(!finite);
+                finite
+            })
+            .collect();
+        errors.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then_with(|| a.0.cmp(&b.0)));
         // |error| must meet the threshold *and* be nonzero: when an interval
         // is predicted perfectly, F2 = 0 makes TA = 0, and flows with zero
         // error must not alarm.
-        let alarms = errors
+        let alarms: Vec<Alarm> = errors
             .iter()
             .take_while(|(_, e)| e.abs() >= alarm_threshold && e.abs() > 0.0)
             .map(|&(key, estimated_error)| Alarm {
@@ -367,6 +406,14 @@ impl SketchChangeDetector {
                 threshold: alarm_threshold,
             })
             .collect();
+        if let Some(m) = &self.metrics {
+            m.intervals_total.inc();
+            m.keys_scanned_total.add(keys.len() as u64);
+            m.alarms_total.add(alarms.len() as u64);
+            m.non_finite_errors_total.add(non_finite_errors);
+            m.error_f2.set(f2);
+            m.alarm_threshold.set(alarm_threshold);
+        }
         IntervalReport {
             interval,
             warmed_up: true,
@@ -374,6 +421,7 @@ impl SketchChangeDetector {
             alarm_threshold,
             alarms,
             errors,
+            non_finite_errors,
             drops: DropStats::default(),
         }
     }
@@ -442,6 +490,7 @@ impl SketchChangeDetector {
             scratch: EstimateScratch::new(),
             seen: HashSet::with_hasher(MixBuildHasher),
             estimates: Vec::new(),
+            metrics: None,
         })
     }
 }
@@ -621,6 +670,78 @@ mod tests {
         let ra = a.process_interval(&items);
         let rb = b.process_interval(&items);
         assert_eq!(ra.errors, rb.errors);
+    }
+
+    #[test]
+    fn sampled_strategy_agrees_with_shared_sampler() {
+        // The detector's key retention must replay exactly the decisions of
+        // `UpdateSampler::keep` on the same (rate, seed): one draw per
+        // deduplicated key, in first-seen order. This pins the shared path
+        // — any drift back to an inline threshold reintroduces the bias.
+        let rate = 0.3;
+        let seed = 11;
+        let many: Vec<(u64, f64)> = (0..500u64).map(|k| (k, 100.0)).collect();
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::Sampled { rate, seed }));
+        det.process_interval(&many); // warm-up: no error sketch, no draws
+        let r = det.process_interval(&many);
+        let mut scanned: Vec<u64> = r.errors.iter().map(|&(k, _)| k).collect();
+        scanned.sort_unstable();
+        let mut rng = SplitMix64::new(seed);
+        let expected: Vec<u64> =
+            (0..500u64).filter(|_| crate::sampling::UpdateSampler::keep(rate, &mut rng)).collect();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn sampled_rate_zero_scans_nothing() {
+        // rate 0 must keep nothing — under the old `<=` comparison each key
+        // still survived with probability 2⁻⁶⁴.
+        let many: Vec<(u64, f64)> = (0..50u64).map(|k| (k, 100.0)).collect();
+        let mut det =
+            SketchChangeDetector::new(config(KeyStrategy::Sampled { rate: 0.0, seed: 5 }));
+        det.process_interval(&many);
+        let r = det.process_interval(&many);
+        assert!(r.warmed_up);
+        assert!(r.errors.is_empty(), "rate 0 scanned {:?}", r.errors);
+    }
+
+    #[test]
+    fn non_finite_errors_reported_not_panicked() {
+        // Feeding an infinite value poisons the affected cells: once the
+        // forecast also carries inf, the error cells become inf − inf = NaN.
+        // The scan must degrade gracefully — count the poisoned keys, keep
+        // alarming on the finite ones — not panic (under the supervisor a
+        // panic here is a poison pill: the checkpoint restores the same
+        // state and every restart dies on the same interval).
+        let mut det = SketchChangeDetector::new(config(KeyStrategy::TwoPass));
+        let poisoned = vec![(1u64, f64::INFINITY), (2, 5_000.0), (3, 800.0)];
+        det.process_interval(&poisoned);
+        let snap = det.snapshot();
+        let r = det.process_interval(&poisoned);
+        assert!(r.warmed_up);
+        assert!(r.non_finite_errors > 0, "expected poisoned keys: {r:?}");
+        assert!(r.errors.iter().all(|(_, e)| e.is_finite()));
+        assert!(r.alarms.iter().all(|a| a.estimated_error.is_finite()));
+
+        // The poison-pill scenario: a checkpoint taken *before* the fatal
+        // interval restores to the same state — reprocessing the same
+        // input must again yield a report, not a panic, or a supervised
+        // restart loop would burn its whole budget re-dying here.
+        let mut restored =
+            SketchChangeDetector::restore(det.config().clone(), snap).expect("restore");
+        let r2 = restored.process_interval(&poisoned);
+        // `error_f2` is NaN here, and NaN != NaN under PartialEq — compare
+        // the floats by bit pattern to assert bit-identical degradation.
+        assert_eq!(r.error_f2.to_bits(), r2.error_f2.to_bits());
+        assert_eq!(r.alarm_threshold.to_bits(), r2.alarm_threshold.to_bits());
+        assert_eq!(
+            (r.interval, &r.alarms, &r.errors, r.non_finite_errors),
+            (r2.interval, &r2.alarms, &r2.errors, r2.non_finite_errors),
+            "restored detector must reproduce the degraded report"
+        );
+        // And the detector remains usable on later (finite) intervals.
+        let r3 = restored.process_interval(&[(1, 100.0), (2, 5_000.0), (3, 800.0)]);
+        assert!(r3.warmed_up);
     }
 
     #[test]

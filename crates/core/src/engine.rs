@@ -51,8 +51,10 @@ use crate::channel::{bounded, Receiver, Sender};
 use crate::detector::{
     DetectorConfig, DetectorSnapshot, IntervalReport, KeyStrategy, SketchChangeDetector,
 };
+use crate::telemetry::{PipelineMetrics, ShardStats};
 use scd_archive::{ArchiveConfig, ArchiveError, SketchArchive};
 use scd_hash::{mix64, range_reduce, MixBuildHasher};
+use scd_obs::Stopwatch;
 use scd_sketch::{BatchScratch, KarySketch};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -86,6 +88,11 @@ pub struct EngineConfig {
     /// engine's; [`ShardedEngine::end_interval_overlapped`] delivers them
     /// with a one-interval lag.
     pub pipeline: bool,
+    /// When set, the engine records per-stage timings, queue depths and
+    /// throughput counters into these metrics (and hands the detector its
+    /// share). Telemetry never changes a report: ingestion and detection
+    /// are bit-identical with metrics on or off.
+    pub metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl EngineConfig {
@@ -100,6 +107,7 @@ impl EngineConfig {
             detector,
             archive: None,
             pipeline: false,
+            metrics: None,
         }
     }
 
@@ -112,6 +120,12 @@ impl EngineConfig {
     /// Runs detection on a dedicated thread, overlapped with ingest.
     pub fn with_pipeline(mut self) -> Self {
         self.pipeline = true;
+        self
+    }
+
+    /// Enables pipeline telemetry.
+    pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 }
@@ -164,6 +178,9 @@ struct Worker {
     /// worker's receive loop) before joining.
     tx: Option<Sender<WorkerMsg>>,
     results: Receiver<KarySketch>,
+    /// Per-interval shard statistics, shipped just before the sketch
+    /// (present only when telemetry is enabled).
+    stats: Option<Receiver<ShardStats>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -320,21 +337,45 @@ fn archive_error(
 }
 
 /// Runs detection for one merged interval, archiving the error sketch
-/// when an archive is configured. Shared by both backends.
+/// when an archive is configured. Shared by both backends. The detect
+/// and archive stages get separate timings; archive footprint gauges
+/// refresh after every push.
 fn detect_interval(
     detector: &mut SketchChangeDetector,
     archive: Option<&mut SketchArchive<KarySketch>>,
     observed: &KarySketch,
     keys: Vec<u64>,
+    metrics: Option<&PipelineMetrics>,
 ) -> Result<IntervalReport, EngineError> {
+    if let Some(m) = metrics {
+        m.engine.intervals_total.inc();
+    }
     match archive {
         Some(archive) => {
+            let sw = Stopwatch::start();
             let (report, archived) = detector.process_observed_archiving(observed, keys);
+            if let Some(m) = metrics {
+                m.engine.detect_ns.record(sw.elapsed_ns());
+            }
+            let sw = Stopwatch::start();
             archive_error(archive, &report, archived)?;
+            if let Some(m) = metrics {
+                m.engine.archive_ns.record(sw.elapsed_ns());
+                m.engine.archive_sketches.set(archive.sketch_count() as f64);
+                m.engine.archive_bytes.set(archive.memory_bytes() as f64);
+                m.engine.archive_merges.set(archive.merges_total() as f64);
+            }
             Ok(report)
         }
         // No archive: the recycling (non-archiving) turnover path.
-        None => Ok(detector.process_observed(observed, keys)),
+        None => {
+            let sw = Stopwatch::start();
+            let report = detector.process_observed(observed, keys);
+            if let Some(m) = metrics {
+                m.engine.detect_ns.record(sw.elapsed_ns());
+            }
+            Ok(report)
+        }
     }
 }
 
@@ -348,15 +389,26 @@ fn detect_loop(
     detect_rx: Receiver<DetectMsg>,
     report_tx: Sender<Result<IntervalReport, EngineError>>,
     vec_return: Sender<Vec<KarySketch>>,
+    metrics: Option<Arc<PipelineMetrics>>,
 ) {
     let mut merged = KarySketch::with_rows(Arc::clone(detector.rows()));
     while let Ok(msg) = detect_rx.recv() {
         match msg {
             DetectMsg::Interval { mut sketches, keys } => {
+                let sw = Stopwatch::start();
                 merge_shards(&mut merged, &sketches);
+                if let Some(m) = &metrics {
+                    m.engine.combine_ns.record(sw.elapsed_ns());
+                }
                 recycle_shards(&mut sketches, &spare_txs);
                 let _ = vec_return.try_send(sketches);
-                let result = detect_interval(&mut detector, archive.as_mut(), &merged, keys);
+                let result = detect_interval(
+                    &mut detector,
+                    archive.as_mut(),
+                    &merged,
+                    keys,
+                    metrics.as_deref(),
+                );
                 if report_tx.send(result).is_err() {
                     break; // engine gone
                 }
@@ -389,6 +441,8 @@ pub struct ShardedEngine {
     /// Key log for error reconstruction, shaped by the key strategy.
     keys: KeyLog,
     records_total: u64,
+    /// Telemetry sink; `None` keeps every metric branch off the hot path.
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -425,7 +479,10 @@ impl ShardedEngine {
             Some(cfg) => Some(SketchArchive::new(*cfg)?),
             None => None,
         };
-        let detector = SketchChangeDetector::new(config.detector.clone());
+        let mut detector = SketchChangeDetector::new(config.detector.clone());
+        if let Some(m) = &config.metrics {
+            detector.set_metrics(Arc::clone(&m.detector));
+        }
         // Recycle pool: big enough to hold every batch that can be in
         // flight at once (per shard: the queue plus the one the worker is
         // folding), so a worker's `try_send` only ever drops a Vec in
@@ -442,6 +499,17 @@ impl ShardedEngine {
             // detect path).
             let (spare_tx, spare_rx) = bounded::<KarySketch>(2);
             spare_txs.push(spare_tx);
+            // Shard statistics ride a side channel, shipped just before
+            // the sketch: the engine's blocking sketch recv at the barrier
+            // therefore guarantees the stats message is already queued.
+            // Capacity 2 covers the flush in progress plus the next one.
+            let (stats_tx, stats_rx) = match &config.metrics {
+                Some(_) => {
+                    let (tx, rx) = bounded::<ShardStats>(2);
+                    (Some(tx), Some(rx))
+                }
+                None => (None, None),
+            };
             let rows = Arc::clone(detector.rows());
             let recycle = recycle_tx.clone();
             let thread = std::thread::Builder::new()
@@ -449,15 +517,32 @@ impl ShardedEngine {
                 .spawn(move || {
                     let mut sketch = KarySketch::with_rows(rows);
                     let mut scratch = BatchScratch::new();
+                    // Private accumulator: no atomics, no sharing until
+                    // the interval flush.
+                    let mut stats = stats_tx.as_ref().map(|_| ShardStats::default());
                     loop {
                         match rx.recv() {
                             Ok(WorkerMsg::Batch(mut batch)) => {
-                                sketch.update_batch(&batch, &mut scratch);
+                                match stats.as_mut() {
+                                    Some(st) => {
+                                        let sw = Stopwatch::start();
+                                        sketch.update_batch(&batch, &mut scratch);
+                                        st.fold_ns.record(sw.elapsed_ns());
+                                        st.batches += 1;
+                                        st.records += batch.len() as u64;
+                                    }
+                                    None => sketch.update_batch(&batch, &mut scratch),
+                                }
                                 batch.clear();
                                 // Pool full (or engine gone): drop the Vec.
                                 let _ = recycle.try_send(batch);
                             }
                             Ok(WorkerMsg::Flush) => {
+                                if let (Some(st), Some(tx)) = (stats.as_mut(), stats_tx.as_ref()) {
+                                    // Dropped (never blocked on) only if
+                                    // the engine stopped consuming.
+                                    let _ = tx.try_send(std::mem::take(st));
+                                }
                                 // Start the next interval on a recycled
                                 // (already cleared) sketch when one has
                                 // come back from the merge point.
@@ -476,7 +561,12 @@ impl ShardedEngine {
                     }
                 })
                 .expect("spawn shard worker");
-            workers.push(Worker { tx: Some(tx), results: result_rx, thread: Some(thread) });
+            workers.push(Worker {
+                tx: Some(tx),
+                results: result_rx,
+                stats: stats_rx,
+                thread: Some(thread),
+            });
         }
         // The engine holds only the Receiver; worker clones keep the pool
         // alive, and it drains with them on shutdown.
@@ -492,10 +582,13 @@ impl ShardedEngine {
             // blocks here during shutdown.
             let (report_tx, report_rx) = bounded::<Result<IntervalReport, EngineError>>(4);
             let (vec_tx, vec_rx) = bounded::<Vec<KarySketch>>(2);
+            let metrics = config.metrics.clone();
             let thread = std::thread::Builder::new()
                 .name("scd-detect".into())
                 .spawn(move || {
-                    detect_loop(detector, archive, spare_txs, detect_rx, report_tx, vec_tx);
+                    detect_loop(
+                        detector, archive, spare_txs, detect_rx, report_tx, vec_tx, metrics,
+                    );
                 })
                 .expect("spawn detect thread");
             DetectBackend::Pipelined {
@@ -523,6 +616,7 @@ impl ShardedEngine {
             recycle: recycle_rx,
             keys,
             records_total: 0,
+            metrics: config.metrics,
         })
     }
 
@@ -610,8 +704,18 @@ impl ShardedEngine {
     fn fresh_batch(&self) -> Vec<(u64, f64)> {
         match self.recycle.try_recv() {
             // Cleared by the worker; len 0, capacity already ≈ batch.
-            Some(spent) => spent,
-            None => Vec::with_capacity(self.batch),
+            Some(spent) => {
+                if let Some(m) = &self.metrics {
+                    m.engine.recycle_hits_total.inc();
+                }
+                spent
+            }
+            None => {
+                if let Some(m) = &self.metrics {
+                    m.engine.recycle_misses_total.inc();
+                }
+                Vec::with_capacity(self.batch)
+            }
         }
     }
 
@@ -680,20 +784,38 @@ impl ShardedEngine {
     /// Flushes every shard's pending batch and requests the interval
     /// sketches.
     fn flush_all(&mut self) -> Result<(), EngineError> {
+        let mut deepest = 0usize;
         for shard in 0..self.shards {
             if !self.pending[shard].is_empty() {
                 self.flush_shard(shard)?;
             }
+            if self.metrics.is_some() {
+                // Sampled right before Flush lands: how far the slowest
+                // shard is lagging the interval boundary.
+                let tx = self.workers[shard].tx.as_ref().expect("sender live until drop");
+                deepest = deepest.max(tx.len());
+            }
             self.send(shard, WorkerMsg::Flush)?;
+        }
+        if let Some(m) = &self.metrics {
+            m.engine.queue_depth.set(deepest as f64);
         }
         Ok(())
     }
 
-    /// Collects the per-shard interval sketches in shard order.
+    /// Collects the per-shard interval sketches in shard order. This is
+    /// the COMBINE barrier, so it doubles as the telemetry aggregation
+    /// point: each worker shipped its [`ShardStats`] before its sketch,
+    /// so after the blocking sketch recv the stats are guaranteed queued.
     fn collect_shards(&self, out: &mut Vec<KarySketch>) -> Result<(), EngineError> {
         out.clear();
         for (shard, worker) in self.workers.iter().enumerate() {
             out.push(worker.results.recv().map_err(|_| EngineError::WorkerLost { shard })?);
+            if let (Some(stats_rx), Some(m)) = (&worker.stats, &self.metrics) {
+                if let Some(st) = stats_rx.try_recv() {
+                    st.merge_into(&m.engine);
+                }
+            }
         }
         Ok(())
     }
@@ -702,13 +824,18 @@ impl ShardedEngine {
     /// reusing the merge buffer and returning cleared shard sketches to
     /// the workers — steady state allocates nothing on the turnover path.
     fn end_interval_inline(&mut self) -> Result<IntervalReport, EngineError> {
+        let sw = Stopwatch::start();
         self.flush_all()?;
         let mut bufs = match &mut self.detect {
             DetectBackend::Inline { shard_bufs, .. } => std::mem::take(shard_bufs),
             DetectBackend::Pipelined { .. } => unreachable!("inline close on pipelined backend"),
         };
         self.collect_shards(&mut bufs)?;
+        if let Some(m) = &self.metrics {
+            m.engine.barrier_ns.record(sw.elapsed_ns());
+        }
         let keys = self.keys.take();
+        let metrics = self.metrics.clone();
         let DetectBackend::Inline { detector, archive, merged, shard_bufs, spare_txs } =
             &mut self.detect
         else {
@@ -716,16 +843,21 @@ impl ShardedEngine {
         };
         let observed =
             merged.get_or_insert_with(|| KarySketch::with_rows(Arc::clone(detector.rows())));
+        let sw = Stopwatch::start();
         merge_shards(observed, &bufs);
+        if let Some(m) = &metrics {
+            m.engine.combine_ns.record(sw.elapsed_ns());
+        }
         recycle_shards(&mut bufs, spare_txs);
         *shard_bufs = bufs;
-        detect_interval(detector, archive.as_mut(), observed, keys)
+        detect_interval(detector, archive.as_mut(), observed, keys, metrics.as_deref())
     }
 
     /// Pipeline-mode handoff: flush the shards, ship the interval's
     /// sketches and key log to the detect thread, and return immediately
     /// so ingest of the next interval overlaps detection of this one.
     fn ship_interval(&mut self) -> Result<(), EngineError> {
+        let sw = Stopwatch::start();
         self.flush_all()?;
         let mut bufs = match &mut self.detect {
             DetectBackend::Pipelined { vec_return, .. } => {
@@ -734,6 +866,9 @@ impl ShardedEngine {
             DetectBackend::Inline { .. } => unreachable!("handoff on inline backend"),
         };
         self.collect_shards(&mut bufs)?;
+        if let Some(m) = &self.metrics {
+            m.engine.barrier_ns.record(sw.elapsed_ns());
+        }
         let keys = self.keys.take();
         let DetectBackend::Pipelined { detect_tx, in_flight, .. } = &mut self.detect else {
             unreachable!("handoff on inline backend")

@@ -88,6 +88,7 @@ pub mod staggered;
 pub mod stream;
 pub mod streaming;
 pub mod supervisor;
+pub mod telemetry;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveDetector};
 pub use checkpoint::{Checkpoint, CheckpointError};
@@ -113,4 +114,7 @@ pub use streaming::{
 };
 pub use supervisor::{
     spawn_supervised, LifecycleEvent, RestartPolicy, SupervisedHandle, SupervisorConfig,
+};
+pub use telemetry::{
+    DetectorMetrics, EngineMetrics, PipelineMetrics, StreamMetrics, SupervisorMetrics,
 };

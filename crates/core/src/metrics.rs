@@ -12,11 +12,11 @@
 //!   sets via false-negative and false-positive ratios and alarm counts.
 
 /// Sorts (key, error) pairs by decreasing |error|, tie-breaking on key so
-/// orderings are deterministic across runs.
+/// orderings are deterministic across runs. `total_cmp` keeps the sort
+/// total even if a non-finite error slips in (NaN ranks above +inf)
+/// instead of panicking mid-evaluation.
 fn sort_by_magnitude(list: &mut [(u64, f64)]) {
-    list.sort_by(|a, b| {
-        b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors").then_with(|| a.0.cmp(&b.0))
-    });
+    list.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then_with(|| a.0.cmp(&b.0)));
 }
 
 /// Keys of the top `n` entries by |error|.

@@ -123,9 +123,7 @@ impl PerFlowDetector {
                 errors.push((key, e));
             }
         }
-        errors.sort_by(|a, b| {
-            b.1.abs().partial_cmp(&a.1.abs()).expect("finite errors").then_with(|| a.0.cmp(&b.0))
-        });
+        errors.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()).then_with(|| a.0.cmp(&b.0)));
         PerFlowReport { interval: t, warmed_up: any_warm, error_f2: f2, errors }
     }
 

@@ -17,7 +17,6 @@ use scd_hash::SplitMix64;
 #[derive(Debug, Clone)]
 pub struct UpdateSampler {
     rate: f64,
-    threshold: u64,
     rng: SplitMix64,
 }
 
@@ -28,11 +27,7 @@ impl UpdateSampler {
     /// Panics unless `0 < rate ≤ 1`.
     pub fn new(rate: f64, seed: u64) -> Self {
         assert!(rate > 0.0 && rate <= 1.0, "sampling rate must be in (0, 1], got {rate}");
-        UpdateSampler {
-            rate,
-            threshold: (rate * u64::MAX as f64) as u64,
-            rng: SplitMix64::new(seed),
-        }
+        UpdateSampler { rate, rng: SplitMix64::new(seed) }
     }
 
     /// The configured sampling rate.
@@ -40,10 +35,34 @@ impl UpdateSampler {
         self.rate
     }
 
+    /// One Bernoulli keep/shed decision at probability `rate`, consuming
+    /// one draw from `rng`. This is the **single** sampling predicate in
+    /// the crate — the sampler itself, the detector's
+    /// [`crate::detector::KeyStrategy::Sampled`] key scan and the
+    /// streaming `Sample` overload policy all route through it, so their
+    /// decisions agree for a shared `(rate, seed)`.
+    ///
+    /// Semantics: keep iff `next_u64() < ⌊rate · 2⁶⁴⌋`, i.e. keep
+    /// probability is exact to within 2⁻⁶⁴ across the whole range.
+    /// `rate = 0` keeps nothing and `rate ≥ 1` keeps everything (without
+    /// consuming a draw) — unlike the previous inline `<= threshold`
+    /// comparisons, which kept rate-ε keys with probability ≥ 2⁻⁶⁴ and,
+    /// because `u64::MAX as f64` rounds up to 2⁶⁴, saturated every rate
+    /// above 1 − 2⁻⁶⁴ into "always keep".
+    #[inline]
+    pub fn keep(rate: f64, rng: &mut SplitMix64) -> bool {
+        if rate >= 1.0 {
+            return true;
+        }
+        // 2⁶⁴ exactly; for rate < 1 the product stays below 2⁶⁴, so the
+        // cast is a plain floor, not a saturation.
+        rng.next_u64() < (rate * 18_446_744_073_709_551_616.0) as u64
+    }
+
     /// Samples one update: `Some((key, value / rate))` if kept.
     #[inline]
     pub fn sample(&mut self, key: u64, value: f64) -> Option<(u64, f64)> {
-        if self.rng.next_u64() <= self.threshold {
+        if Self::keep(self.rate, &mut self.rng) {
             Some((key, value / self.rate))
         } else {
             None
@@ -105,6 +124,36 @@ mod tests {
     #[should_panic(expected = "sampling rate")]
     fn zero_rate_rejected() {
         let _ = UpdateSampler::new(0.0, 0);
+    }
+
+    #[test]
+    fn keep_boundary_rates_are_exact() {
+        // rate 0 keeps nothing — the old `<= (0.0 * MAX) as u64` form kept
+        // every key whose draw was exactly 0 (probability 2⁻⁶⁴ each).
+        let mut rng = SplitMix64::new(42);
+        assert!((0..10_000).all(|_| !UpdateSampler::keep(0.0, &mut rng)));
+        // rate ≥ 1 keeps everything without consuming a draw.
+        let mut rng = SplitMix64::new(42);
+        let before = rng.state();
+        assert!((0..10_000).all(|_| UpdateSampler::keep(1.0, &mut rng)));
+        assert_eq!(rng.state(), before);
+        // A rate within 2⁻⁵³ of 1 is *not* saturated into "always keep":
+        // its threshold is strictly below 2⁶⁴, so some draw is shed.
+        let rate = 1.0 - f64::EPSILON;
+        let threshold = (rate * 18_446_744_073_709_551_616.0) as u64;
+        assert!(threshold < u64::MAX, "threshold must not saturate");
+    }
+
+    #[test]
+    fn sample_routes_through_shared_keep() {
+        // The sampler's own decisions replay exactly from the shared
+        // predicate with the same (rate, seed).
+        let mut s = UpdateSampler::new(0.3, 11);
+        let mut rng = SplitMix64::new(11);
+        for key in 0..2_000u64 {
+            let kept = s.sample(key, 1.0).is_some();
+            assert_eq!(kept, UpdateSampler::keep(0.3, &mut rng), "diverged at key {key}");
+        }
     }
 
     /// End-to-end: sampled detection still finds a large spike, losing only

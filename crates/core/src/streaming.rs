@@ -41,7 +41,9 @@
 use crate::channel::{bounded, Receiver, Sender, TrySendError};
 use crate::checkpoint::Checkpoint;
 use crate::detector::{DetectorConfig, DropStats, IntervalReport, SketchChangeDetector};
+use crate::sampling::UpdateSampler;
 use crate::supervisor::LifecycleEvent;
+use crate::telemetry::PipelineMetrics;
 use scd_hash::SplitMix64;
 use scd_traffic::{FaultPlan, FlowRecord, KeySpec, ValueSpec};
 use std::path::PathBuf;
@@ -98,6 +100,10 @@ pub struct StreamingConfig {
     pub overload: OverloadPolicy,
     /// Optional periodic checkpointing of the full detector state.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// When set, the streaming loop records throughput/overload counters,
+    /// detector stats, and (under supervision) lifecycle counters here.
+    /// Never checkpointed: a restored detector re-attaches the same sink.
+    pub metrics: Option<Arc<PipelineMetrics>>,
 }
 
 /// A record admitted into the detector queue, with its sampling weight.
@@ -171,9 +177,14 @@ impl RecordSender {
                 Err(TrySendError::Disconnected) => false,
             },
             OverloadPolicy::Sample { rate, .. } => {
+                // The same Bernoulli predicate as the record sampler and
+                // the detector's Sampled key scan — see
+                // `UpdateSampler::keep` for the strict-< semantics (the
+                // inline comparison this replaces admitted with a 2⁻⁶⁴
+                // bias and saturated rates within 2⁻⁵³ of 1).
                 let admit = {
                     let mut rng = self.counters.sampler.lock().expect("sampler lock");
-                    (rng.next_u64() as f64) < rate * (u64::MAX as f64)
+                    UpdateSampler::keep(rate, &mut rng)
                 };
                 if admit {
                     self.counters.sampled_in.fetch_add(1, Ordering::Relaxed);
@@ -318,6 +329,9 @@ pub(crate) fn run_loop(
     let interval_ms = ctx.config.interval_ms;
     while let Ok(msg) = records.recv() {
         binner.processed += 1;
+        if let Some(m) = &ctx.config.metrics {
+            m.stream.records_total.inc();
+        }
         if let Some(fault) = &ctx.fault {
             fault.before_record(binner.processed);
         }
@@ -328,6 +342,9 @@ pub(crate) fn run_loop(
             // skipped over (models advance through silence).
             let mut report = detector.process_interval(&binner.current);
             report.drops = ctx.counters.drain();
+            if let Some(m) = &ctx.config.metrics {
+                m.record_drops(&report.drops);
+            }
             binner.current.clear();
             if reports.send(report).is_err() {
                 return LoopEnd::ReportsGone;
@@ -351,6 +368,9 @@ pub(crate) fn run_loop(
     // dropped (leaving nothing to process), the counts must surface in a
     // report so `processed + lost == sent` accounting holds.
     let drops = ctx.counters.drain();
+    if let Some(m) = &ctx.config.metrics {
+        m.record_drops(&drops);
+    }
     if !binner.current.is_empty() {
         let mut report = detector.process_interval(&binner.current);
         report.drops = drops;
@@ -391,11 +411,17 @@ fn maybe_checkpoint(detector: &SketchChangeDetector, binner: &mut BinnerState, c
         // channel may lose events, never stall detection.
         Ok(()) => {
             binner.last_checkpoint = done;
+            if let Some(m) = &ctx.config.metrics {
+                m.supervisor.checkpoints_total.inc();
+            }
             if let Some(events) = &ctx.events {
                 let _ = events.try_send(LifecycleEvent::CheckpointWritten { intervals: done });
             }
         }
         Err(e) => {
+            if let Some(m) = &ctx.config.metrics {
+                m.supervisor.degraded_total.inc();
+            }
             if let Some(events) = &ctx.events {
                 let _ = events.try_send(LifecycleEvent::Degraded {
                     reason: format!("checkpoint write failed: {e}"),
@@ -437,6 +463,9 @@ pub fn spawn(config: StreamingConfig) -> StreamingHandle {
     let (sender, record_rx, counters) = make_front_end(&config);
     let (report_tx, report_rx) = bounded::<IntervalReport>(64);
     let mut detector = SketchChangeDetector::new(config.detector.clone());
+    if let Some(m) = &config.metrics {
+        detector.set_metrics(Arc::clone(&m.detector));
+    }
     let ctx = LoopContext { config, counters, events: None, fault: None };
 
     let thread = std::thread::Builder::new()
@@ -472,6 +501,7 @@ mod tests {
             channel_capacity: 256,
             overload: OverloadPolicy::Block,
             checkpoint: None,
+            metrics: None,
         }
     }
 

@@ -39,6 +39,7 @@ use crate::streaming::{
 };
 use scd_traffic::FaultPlan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -96,7 +97,14 @@ impl Default for RestartPolicy {
 }
 
 impl RestartPolicy {
-    fn backoff(&self, attempt: u32) -> Duration {
+    /// The sleep before restart attempt `attempt` (1-based):
+    /// `base · 2^(attempt−1)`, with the exponent clamped at 20 (so the
+    /// factor never overflows a shift even for absurd attempt counts) and
+    /// the product capped at [`backoff_cap_ms`](RestartPolicy::backoff_cap_ms).
+    /// Attempt 0 never happens in the restart loop; it maps to the same
+    /// sleep as attempt 1. Public so operators can print the schedule a
+    /// policy implies before deploying it.
+    pub fn backoff(&self, attempt: u32) -> Duration {
         let factor = 1u64 << attempt.saturating_sub(1).min(20);
         Duration::from_millis(self.backoff_base_ms.saturating_mul(factor).min(self.backoff_cap_ms))
     }
@@ -195,10 +203,16 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
                 Ok(Some(resumed)) => resumed,
                 Ok(None) => fresh_state(&ctx),
                 Err(reason) => {
+                    if let Some(m) = &ctx.config.metrics {
+                        m.supervisor.degraded_total.inc();
+                    }
                     emit(&event_tx, LifecycleEvent::Degraded { reason });
                     fresh_state(&ctx)
                 }
             };
+            if let Some(m) = &ctx.config.metrics {
+                m.supervisor.started_total.inc();
+            }
             emit(&event_tx, LifecycleEvent::Started);
             let mut attempts = 0u32;
             loop {
@@ -210,10 +224,17 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
                     Err(payload) => {
                         attempts += 1;
                         if attempts > restart.max_restarts {
+                            if let Some(m) = &ctx.config.metrics {
+                                m.supervisor.gave_up_total.inc();
+                            }
                             emit(&event_tx, LifecycleEvent::GaveUp { attempts: attempts - 1 });
                             break;
                         }
-                        std::thread::sleep(restart.backoff(attempts));
+                        let backoff = restart.backoff(attempts);
+                        if let Some(m) = &ctx.config.metrics {
+                            m.supervisor.backoff_ms_total.add(backoff.as_millis() as u64);
+                        }
+                        std::thread::sleep(backoff);
                         let panic = panic_message(payload.as_ref());
                         // Rebuild state: from the last checkpoint when one
                         // is readable, from scratch otherwise. The
@@ -228,9 +249,15 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
                                 (detector, binner) = fresh_state(&ctx);
                             }
                             Err(reason) => {
+                                if let Some(m) = &ctx.config.metrics {
+                                    m.supervisor.degraded_total.inc();
+                                }
                                 emit(&event_tx, LifecycleEvent::Degraded { reason });
                                 (detector, binner) = fresh_state(&ctx);
                             }
+                        }
+                        if let Some(m) = &ctx.config.metrics {
+                            m.supervisor.restarts_total.inc();
                         }
                         emit(
                             &event_tx,
@@ -251,7 +278,13 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
 }
 
 fn fresh_state(ctx: &LoopContext) -> (SketchChangeDetector, BinnerState) {
-    (SketchChangeDetector::new(ctx.config.detector.clone()), BinnerState::fresh())
+    let mut detector = SketchChangeDetector::new(ctx.config.detector.clone());
+    // The metric sink is not detector state and is never checkpointed, so
+    // every rebuild — fresh or restored — re-attaches the same sink.
+    if let Some(m) = &ctx.config.metrics {
+        detector.set_metrics(Arc::clone(&m.detector));
+    }
+    (detector, BinnerState::fresh())
 }
 
 /// Loads the last checkpoint, if checkpointing is configured and a file
@@ -269,9 +302,63 @@ fn recover(ctx: &LoopContext) -> Result<Option<(SketchChangeDetector, BinnerStat
     if ck.config != ctx.config.detector {
         return Err("checkpoint is for a different detector config, restarting fresh".into());
     }
-    let detector = ck
+    let mut detector = ck
         .restore_detector()
         .map_err(|e| format!("checkpoint restore failed, restarting fresh: {e}"))?;
+    if let Some(m) = &ctx.config.metrics {
+        detector.set_metrics(Arc::clone(&m.detector));
+    }
     let binner = BinnerState::from_checkpoint(&ck);
     Ok(Some((detector, binner)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_doubles_from_base() {
+        let p = RestartPolicy { max_restarts: 3, backoff_base_ms: 10, backoff_cap_ms: 1_000 };
+        // Attempt 0 cannot occur in the restart loop (attempts is
+        // incremented before the first backoff), but the saturating_sub
+        // maps it onto attempt 1's sleep rather than shifting by −1.
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn backoff_caps_at_configured_ceiling() {
+        let p = RestartPolicy { max_restarts: 10, backoff_base_ms: 10, backoff_cap_ms: 1_000 };
+        // 10 · 2⁶ = 640 < 1000 < 10 · 2⁷ = 1280: the cap lands between
+        // attempts 7 and 8 and holds from there on.
+        assert_eq!(p.backoff(7), Duration::from_millis(640));
+        assert_eq!(p.backoff(8), Duration::from_millis(1_000));
+        assert_eq!(p.backoff(100), Duration::from_millis(1_000));
+    }
+
+    #[test]
+    fn backoff_shift_clamps_at_twenty_doublings() {
+        // With the cap out of the way, the exponent itself clamps at 20:
+        // attempts beyond 21 all sleep base · 2²⁰. Without the clamp,
+        // attempt 65 would shift by 64 — undefined behavior on u64.
+        let p =
+            RestartPolicy { max_restarts: u32::MAX, backoff_base_ms: 1, backoff_cap_ms: u64::MAX };
+        assert_eq!(p.backoff(21), Duration::from_millis(1 << 20));
+        assert_eq!(p.backoff(22), Duration::from_millis(1 << 20));
+        assert_eq!(p.backoff(u32::MAX), Duration::from_millis(1 << 20));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // base near u64::MAX with an uncapped policy: the multiply
+        // saturates, then the cap (also u64::MAX) passes it through.
+        let p = RestartPolicy {
+            max_restarts: 5,
+            backoff_base_ms: u64::MAX / 2,
+            backoff_cap_ms: u64::MAX,
+        };
+        assert_eq!(p.backoff(3), Duration::from_millis(u64::MAX));
+    }
 }

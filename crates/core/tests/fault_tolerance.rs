@@ -61,6 +61,7 @@ fn streaming_config(checkpoint: Option<CheckpointPolicy>) -> StreamingConfig {
         channel_capacity: 256,
         overload: OverloadPolicy::Block,
         checkpoint,
+        metrics: None,
     }
 }
 
@@ -238,12 +239,20 @@ fn corrupt_checkpoint_degrades_instead_of_crashing() {
 }
 
 /// Exhausting the restart budget produces `GaveUp` and stops cleanly;
-/// producers see `send` fail instead of hanging.
+/// producers see `send` fail instead of hanging. With telemetry attached,
+/// the lifecycle counters narrate the same story: one start, two absorbed
+/// restarts, one exhausted budget, and backoff sleep covering at least
+/// the policy's schedule for those attempts.
 #[test]
 fn restart_budget_exhaustion_gives_up_cleanly() {
+    let registry = scd_obs::Registry::new();
+    let metrics = scd_core::PipelineMetrics::register(&registry);
+    let mut stream = streaming_config(None);
+    stream.metrics = Some(std::sync::Arc::clone(&metrics));
+    let restart = RestartPolicy { max_restarts: 2, backoff_base_ms: 1, backoff_cap_ms: 5 };
     let handle = spawn_supervised(SupervisorConfig {
-        stream: streaming_config(None),
-        restart: RestartPolicy { max_restarts: 2, backoff_base_ms: 1, backoff_cap_ms: 5 },
+        stream,
+        restart,
         fault: Some(
             FaultPlan::panic_at(1, "first").and_panic_at(1, "second").and_panic_at(1, "third"),
         ),
@@ -262,6 +271,13 @@ fn restart_budget_exhaustion_gives_up_cleanly() {
         events.contains(&LifecycleEvent::GaveUp { attempts: 2 }),
         "expected GaveUp after 2 absorbed restarts: {events:?}"
     );
+    assert_eq!(metrics.supervisor.started_total.get(), 1);
+    assert_eq!(metrics.supervisor.restarts_total.get(), 2);
+    assert_eq!(metrics.supervisor.gave_up_total.get(), 1);
+    // The budget check precedes the sleep, so only the two absorbed
+    // attempts slept: backoff(1) + backoff(2).
+    let expected_ms: u64 = (1..=2).map(|a| restart.backoff(a).as_millis() as u64).sum();
+    assert_eq!(metrics.supervisor.backoff_ms_total.get(), expected_ms);
 }
 
 /// Supervision is transparent when nothing goes wrong: a supervised run

@@ -1,0 +1,198 @@
+//! Optional Prometheus scrape endpoint: a single-threaded std
+//! [`TcpListener`] that answers every HTTP request with the registry's
+//! current text exposition.
+//!
+//! This is deliberately not a web server. One thread, one connection at
+//! a time, no keep-alive, no routing — a scraper connects, we read and
+//! discard its request head, write one `200 OK` with the rendered
+//! metrics, and close. That is exactly the protocol subset a Prometheus
+//! scrape (or `curl`, or `scd metrics --addr`) needs, and it keeps the
+//! responder off the pipeline's threads entirely: rendering reads the
+//! shared atomics, so serving never blocks ingestion or detection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// A running metrics responder; dropping it (or calling
+/// [`stop`](MetricsListener::stop)) shuts the thread down.
+#[derive(Debug)]
+pub struct MetricsListener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsListener {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and serves `registry`'s Prometheus exposition on a dedicated
+    /// thread until stopped.
+    ///
+    /// # Errors
+    /// The bind error, verbatim (address in use, permission, bad syntax).
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> std::io::Result<MetricsListener> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Poll for the stop flag between accepts instead of blocking
+        // forever: stop() must not need a wake-up connection to land.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("scd-metrics-listen".into())
+            .spawn(move || {
+                let mut body = String::new();
+                let mut head = String::new();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = respond(stream, &registry, &mut body, &mut head);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn metrics listener");
+        Ok(MetricsListener { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (useful when binding port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the responder and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection: drain the request head, answer with the
+/// current exposition. Render buffers are reused across connections.
+fn respond(
+    mut stream: TcpStream,
+    registry: &Registry,
+    body: &mut String,
+    head: &mut String,
+) -> std::io::Result<()> {
+    // The accept loop runs the listener nonblocking; the accepted stream
+    // inherits that on some platforms, and reads must wait for the
+    // request bytes either way.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    drain_request_head(&mut stream)?;
+    body.clear();
+    registry.render_prometheus(body);
+    head.clear();
+    use std::fmt::Write as _;
+    let _ = write!(
+        head,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the blank line ending the HTTP request head (or EOF, or
+/// a hard cap — a scraper's GET is a few hundred bytes, so anything
+/// pathological is cut off rather than buffered).
+fn drain_request_head(stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut buf = [0u8; 512];
+    let mut tail = [0u8; 4];
+    let mut read_total = 0usize;
+    while read_total < 16 * 1024 {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        read_total += n;
+        for &b in &buf[..n] {
+            tail.rotate_left(1);
+            tail[3] = b;
+            if &tail == b"\r\n\r\n" {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fetches the exposition body from a listener at `addr` — the client
+/// half `scd metrics --addr` uses, kept here so the request/response
+/// framing lives next to the responder it must match.
+///
+/// # Errors
+/// Connection or read errors, or a response without the expected
+/// `200 OK` status line.
+pub fn fetch(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::other("malformed HTTP response: no header terminator"));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains("200") {
+        return Err(std::io::Error::other(format!("unexpected status line: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::validate_exposition;
+
+    #[test]
+    fn serves_valid_exposition_over_tcp() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("scd_listen_test_total", "requests observed by the test");
+        c.add(3);
+        let listener =
+            MetricsListener::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind ephemeral");
+        let addr = listener.local_addr().to_string();
+
+        let body = fetch(&addr).expect("fetch metrics");
+        validate_exposition(&body).expect("valid exposition");
+        assert!(body.contains("scd_listen_test_total 3\n"), "body:\n{body}");
+
+        // Values are read live: a second scrape sees the new count.
+        c.add(4);
+        let body = fetch(&addr).expect("second fetch");
+        assert!(body.contains("scd_listen_test_total 7\n"), "body:\n{body}");
+        listener.stop();
+    }
+
+    #[test]
+    fn stop_joins_without_a_wakeup_connection() {
+        let registry = Arc::new(Registry::new());
+        let listener = MetricsListener::bind("127.0.0.1:0", registry).expect("bind");
+        listener.stop(); // must return promptly with no client ever connecting
+    }
+}

@@ -1,0 +1,368 @@
+//! Metric primitives: counters, gauges, log-bucketed histograms, spans.
+//!
+//! All shared types are fixed-size and record through relaxed atomics —
+//! safe to hit from any thread, never allocating, never locking. The
+//! relaxed ordering is deliberate: metrics are monotone statistics read
+//! at interval granularity, not synchronization edges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of histogram buckets: one per power of two of the recorded
+/// value, so bucket `i` holds values `v` with `2^(i-1) <= v < 2^i`
+/// (bucket 0 holds exactly zero, bucket 63 additionally absorbs the
+/// top of the range).
+pub const BUCKETS: usize = 64;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket index for a recorded value: `0` for zero, otherwise one past
+/// the position of the highest set bit, clamped into range.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, the value reported for
+/// quantiles that land in it.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Shared log₂-bucketed histogram of `u64` samples (typically
+/// nanoseconds). Fixed 64 buckets, atomic recording, ~2× worst-case
+/// quantile error by construction — plenty for latency dashboards.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts a [`Span`] that records its elapsed nanoseconds here when
+    /// dropped.
+    pub fn span(&self) -> Span<'_> {
+        Span { hist: self, start: Instant::now() }
+    }
+
+    /// Folds a worker-private [`LocalHistogram`] in (one atomic add per
+    /// non-empty bucket; the caller clears the local side).
+    pub fn merge_local(&self, local: &LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (i, &b) in local.buckets.iter().enumerate() {
+            if b != 0 {
+                self.buckets[i].fetch_add(b, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        self.max.fetch_max(local.max, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`
+    /// (`0` when empty). `quantile(0.5)` ≈ median, `quantile(0.99)` ≈
+    /// p99, both within the 2× bucket resolution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Per-bucket counts, cumulative from below, paired with each
+    /// bucket's inclusive upper bound — the shape Prometheus histogram
+    /// exposition wants. Invokes `f(upper, cumulative_count)` for every
+    /// non-empty prefix boundary.
+    pub(crate) fn for_each_cumulative(&self, mut f: impl FnMut(u64, u64)) {
+        let mut cumulative = 0u64;
+        for i in 0..BUCKETS {
+            let b = self.buckets[i].load(Ordering::Relaxed);
+            if b != 0 {
+                cumulative += b;
+                f(bucket_upper(i), cumulative);
+            }
+        }
+    }
+}
+
+/// Worker-private histogram with the same bucket layout as
+/// [`Histogram`] but no atomics: plain adds while ingesting, merged
+/// into the shared histogram once per interval via
+/// [`Histogram::merge_local`].
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// An empty local histogram.
+    pub const fn new() -> Self {
+        LocalHistogram { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample (no atomics).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded since the last [`clear`](Self::clear).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples recorded since the last [`clear`](Self::clear).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Resets to empty, keeping the storage.
+    pub fn clear(&mut self) {
+        self.buckets = [0; BUCKETS];
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+/// A started monotonic clock; read with
+/// [`elapsed_ns`](Stopwatch::elapsed_ns). Cheaper to pass around than a
+/// histogram reference when the destination is decided later.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds since [`start`](Stopwatch::start), saturating at
+    /// `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// RAII timing span: records elapsed nanoseconds into its histogram on
+/// drop. Obtained from [`Histogram::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set(f64::NEG_INFINITY);
+        assert_eq!(g.get(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_counts_sum_max() {
+        let h = Histogram::new();
+        for v in [0, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1104);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_resolution() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(10_000);
+        let p50 = h.quantile(0.5);
+        assert!((100..256).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((100..256).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 10_000); // clamped to observed max
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn local_merge_matches_direct_recording() {
+        let direct = Histogram::new();
+        let shared = Histogram::new();
+        let mut local = LocalHistogram::new();
+        for v in [5, 9, 0, 77, 12345, 1u64 << 63] {
+            direct.record(v);
+            local.record(v);
+        }
+        shared.merge_local(&local);
+        assert_eq!(shared.count(), direct.count());
+        assert_eq!(shared.sum(), direct.sum());
+        assert_eq!(shared.max(), direct.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(shared.quantile(q), direct.quantile(q));
+        }
+        local.clear();
+        assert_eq!(local.count(), 0);
+        shared.merge_local(&local); // empty merge is a no-op
+        assert_eq!(shared.count(), direct.count());
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _span = h.span();
+        }
+        assert_eq!(h.count(), 1);
+        let sw = Stopwatch::start();
+        assert!(sw.elapsed_ns() < 10_000_000_000);
+    }
+}

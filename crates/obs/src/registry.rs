@@ -1,0 +1,243 @@
+//! Named metric registry with JSON-lines and Prometheus rendering.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metric::{Counter, Gauge, Histogram};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A named set of metrics, registered once at startup and rendered at
+/// interval granularity.
+///
+/// Registration hands back `Arc` handles so recording sites keep a
+/// direct pointer to their metric — no name lookups on the hot path.
+/// Rendering walks the registry in registration order and appends into
+/// a caller-provided buffer, so steady-state rendering reuses one
+/// allocation.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// Checks the `[a-zA-Z_][a-zA-Z0-9_]*` Prometheus metric-name grammar.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&self, name: &'static str, help: &'static str, metric: Metric) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        assert!(entries.iter().all(|e| e.name != name), "duplicate metric name {name:?}");
+        entries.push(Entry { name, help, metric });
+    }
+
+    /// Registers a [`Counter`]. Panics on a duplicate or invalid name —
+    /// registration is a startup-time act.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.register(name, help, Metric::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Registers a [`Gauge`].
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.register(name, help, Metric::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Registers a [`Histogram`].
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new());
+        self.register(name, help, Metric::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Appends one flat JSON object (no trailing newline) describing the
+    /// current values: counters as integers, gauges as floats (`null`
+    /// when non-finite, which JSON cannot carry), histograms flattened
+    /// to `_count` / `_sum` / `_p50` / `_p99` / `_max`. The leading
+    /// `"interval"` key stamps which interval the snapshot closes.
+    pub fn render_jsonl(&self, interval: u64, out: &mut String) {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let _ = write!(out, "{{\"interval\":{interval}");
+        for e in entries.iter() {
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, ",\"{}\":{}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let v = g.get();
+                    if v.is_finite() {
+                        let _ = write!(out, ",\"{}\":{}", e.name, v);
+                    } else {
+                        let _ = write!(out, ",\"{}\":null", e.name);
+                    }
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(out, ",\"{}_count\":{}", e.name, h.count());
+                    let _ = write!(out, ",\"{}_sum\":{}", e.name, h.sum());
+                    let _ = write!(out, ",\"{}_p50\":{}", e.name, h.quantile(0.5));
+                    let _ = write!(out, ",\"{}_p99\":{}", e.name, h.quantile(0.99));
+                    let _ = write!(out, ",\"{}_max\":{}", e.name, h.max());
+                }
+            }
+        }
+        out.push('}');
+    }
+
+    /// Appends the Prometheus text exposition of the current values
+    /// (HELP/TYPE comments, cumulative `_bucket{le="..."}` lines for
+    /// histograms, `+Inf` terminator, `_sum` / `_count`).
+    pub fn render_prometheus(&self, out: &mut String) {
+        let entries = self.entries.lock().expect("registry poisoned");
+        for e in entries.iter() {
+            let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            match &e.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let v = g.get();
+                    if v.is_nan() {
+                        let _ = writeln!(out, "{} NaN", e.name);
+                    } else if v == f64::INFINITY {
+                        let _ = writeln!(out, "{} +Inf", e.name);
+                    } else if v == f64::NEG_INFINITY {
+                        let _ = writeln!(out, "{} -Inf", e.name);
+                    } else {
+                        let _ = writeln!(out, "{} {}", e.name, v);
+                    }
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    h.for_each_cumulative(|upper, cumulative| {
+                        let _ =
+                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", e.name, upper, cumulative);
+                    });
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", e.name, h.count());
+                    let _ = writeln!(out, "{}_sum {}", e.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().expect("registry poisoned");
+        f.debug_struct("Registry").field("metrics", &entries.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::{parse_flat_json, validate_exposition};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        let c = r.counter("scd_test_total", "a counter");
+        c.add(7);
+        let g = r.gauge("scd_test_gauge", "a gauge");
+        g.set(1.25);
+        let h = r.histogram("scd_test_ns", "a histogram");
+        h.record(100);
+        h.record(90_000);
+        r
+    }
+
+    #[test]
+    fn jsonl_snapshot_parses_and_carries_values() {
+        let r = sample_registry();
+        let mut line = String::new();
+        r.render_jsonl(3, &mut line);
+        let fields = parse_flat_json(&line).expect("snapshot parses");
+        let get = |k: &str| {
+            fields.iter().find(|(name, _)| name == k).unwrap_or_else(|| panic!("missing {k}")).1
+        };
+        assert_eq!(get("interval"), 3.0);
+        assert_eq!(get("scd_test_total"), 7.0);
+        assert_eq!(get("scd_test_gauge"), 1.25);
+        assert_eq!(get("scd_test_ns_count"), 2.0);
+        assert_eq!(get("scd_test_ns_sum"), 90_100.0);
+        assert_eq!(get("scd_test_ns_max"), 90_000.0);
+    }
+
+    #[test]
+    fn non_finite_gauge_renders_null_json_and_inf_prometheus() {
+        let r = Registry::new();
+        r.gauge("scd_inf", "an infinite gauge").set(f64::INFINITY);
+        let mut line = String::new();
+        r.render_jsonl(0, &mut line);
+        assert!(line.contains("\"scd_inf\":null"));
+        let fields = parse_flat_json(&line).expect("null still parses");
+        assert!(fields.iter().find(|(n, _)| n == "scd_inf").expect("present").1.is_nan());
+        let mut text = String::new();
+        r.render_prometheus(&mut text);
+        assert!(text.contains("scd_inf +Inf\n"));
+        validate_exposition(&text).expect("valid exposition");
+    }
+
+    #[test]
+    fn prometheus_dump_validates() {
+        let r = sample_registry();
+        let mut text = String::new();
+        r.render_prometheus(&mut text);
+        validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("# TYPE scd_test_ns histogram"));
+        assert!(text.contains("scd_test_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("scd_test_ns_count 2"));
+    }
+
+    #[test]
+    fn render_appends_without_reallocating_steady_state() {
+        let r = sample_registry();
+        let mut buf = String::new();
+        r.render_jsonl(0, &mut buf);
+        buf.clear();
+        let cap = buf.capacity();
+        r.render_jsonl(1, &mut buf);
+        assert_eq!(buf.capacity(), cap, "second render must reuse the buffer");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric name")]
+    fn duplicate_names_rejected() {
+        let r = Registry::new();
+        let _ = r.counter("scd_dup", "one");
+        let _ = r.gauge("scd_dup", "two");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_rejected() {
+        let r = Registry::new();
+        let _ = r.counter("scd dup", "spaces are not allowed");
+    }
+}

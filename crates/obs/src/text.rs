@@ -1,0 +1,265 @@
+//! Text formats: a flat-JSON parser for metric snapshots and a minimal
+//! Prometheus text-exposition validator. Both exist so tooling and CI
+//! smoke tests can round-trip the rendered output without external
+//! dependencies.
+
+/// Parses one flat JSON object of the shape [`crate::Registry::render_jsonl`]
+/// emits: string keys, numeric or `null` values, no nesting. Returns
+/// `(key, value)` pairs in document order; `null` maps to `NaN`.
+///
+/// # Errors
+/// A human-readable description of the first syntax violation, with its
+/// byte offset.
+pub fn parse_flat_json(line: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut p = Parser { bytes: line.trim().as_bytes(), pos: 0 };
+    let fields = p.object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, f64)>, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| format!("invalid UTF-8 in key at offset {start}"))?;
+                    self.pos += 1;
+                    return Ok(s.to_string());
+                }
+                b'\\' => {
+                    return Err(format!("escape sequences unsupported at offset {}", self.pos))
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(format!("unterminated string starting at offset {start}"))
+    }
+
+    fn value(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii range");
+        text.parse::<f64>().map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+}
+
+/// Validates Prometheus text exposition format, minimally but strictly
+/// enough to catch rendering bugs:
+///
+/// - comment lines must be `# HELP <name> <text>` or
+///   `# TYPE <name> counter|gauge|histogram|summary|untyped`;
+/// - sample lines must be `name{label="value",...} value [timestamp]`
+///   with a grammatical metric name and a parseable value
+///   (`NaN`/`+Inf`/`-Inf` allowed);
+/// - every sample's base name (modulo `_bucket`/`_sum`/`_count`
+///   suffixes) must have a preceding `# TYPE` declaration.
+///
+/// # Errors
+/// The first violation, prefixed with its 1-based line number.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut typed: Vec<String> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let rest = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !is_metric_name(name) {
+                        return Err(format!("line {lineno}: HELP for invalid name {name:?}"));
+                    }
+                }
+                "TYPE" => {
+                    if !is_metric_name(name) {
+                        return Err(format!("line {lineno}: TYPE for invalid name {name:?}"));
+                    }
+                    if !matches!(rest, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return Err(format!("line {lineno}: unknown metric type {rest:?}"));
+                    }
+                    typed.push(name.to_string());
+                }
+                _ => return Err(format!("line {lineno}: unknown comment keyword {keyword:?}")),
+            }
+            continue;
+        }
+        validate_sample(line, lineno, &typed)?;
+    }
+    Ok(())
+}
+
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn validate_sample(line: &str, lineno: usize, typed: &[String]) -> Result<(), String> {
+    // Split `name{labels}` from `value [timestamp]`.
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line[open..]
+                .find('}')
+                .map(|i| open + i)
+                .ok_or_else(|| format!("line {lineno}: unterminated label set"))?;
+            validate_labels(&line[open + 1..close], lineno)?;
+            (&line[..open], line[close + 1..].trim_start())
+        }
+        None => {
+            let space =
+                line.find(' ').ok_or_else(|| format!("line {lineno}: sample missing value"))?;
+            (&line[..space], line[space + 1..].trim_start())
+        }
+    };
+    if !is_metric_name(name_part) {
+        return Err(format!("line {lineno}: invalid metric name {name_part:?}"));
+    }
+    let base = name_part
+        .strip_suffix("_bucket")
+        .or_else(|| name_part.strip_suffix("_sum"))
+        .or_else(|| name_part.strip_suffix("_count"))
+        .unwrap_or(name_part);
+    if !typed.iter().any(|t| t == name_part || t == base) {
+        return Err(format!("line {lineno}: sample {name_part:?} has no TYPE declaration"));
+    }
+    let value = rest.split(' ').next().unwrap_or("");
+    let ok = matches!(value, "NaN" | "+Inf" | "-Inf") || value.parse::<f64>().is_ok();
+    if !ok {
+        return Err(format!("line {lineno}: unparseable sample value {value:?}"));
+    }
+    Ok(())
+}
+
+fn validate_labels(labels: &str, lineno: usize) -> Result<(), String> {
+    if labels.is_empty() {
+        return Ok(());
+    }
+    for pair in labels.split(',') {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: label {pair:?} missing '='"))?;
+        if !is_metric_name(key) {
+            return Err(format!("line {lineno}: invalid label name {key:?}"));
+        }
+        if !(value.len() >= 2 && value.starts_with('"') && value.ends_with('"')) {
+            return Err(format!("line {lineno}: label value {value:?} not quoted"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_object() {
+        let fields =
+            parse_flat_json(r#"{"interval":3,"a_total":12,"g":-1.5e2,"n":null}"#).expect("parses");
+        assert_eq!(fields[0], ("interval".into(), 3.0));
+        assert_eq!(fields[1], ("a_total".into(), 12.0));
+        assert_eq!(fields[2], ("g".into(), -150.0));
+        assert!(fields[3].1.is_nan());
+        assert!(parse_flat_json("{}").expect("empty object").is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse_flat_json(r#"{"a":1"#).is_err());
+        assert!(parse_flat_json(r#"{"a" 1}"#).is_err());
+        assert!(parse_flat_json(r#"{"a":1} extra"#).is_err());
+        assert!(parse_flat_json(r#"{"a":[1]}"#).is_err(), "nesting is out of scope");
+        assert!(parse_flat_json(r#"{"a\n":1}"#).is_err(), "escapes are out of scope");
+    }
+
+    #[test]
+    fn accepts_well_formed_exposition() {
+        let text = "# HELP scd_x total things\n# TYPE scd_x counter\nscd_x 3\n\
+                    # HELP scd_h lat\n# TYPE scd_h histogram\n\
+                    scd_h_bucket{le=\"255\"} 1\nscd_h_bucket{le=\"+Inf\"} 2\n\
+                    scd_h_sum 300\nscd_h_count 2\n";
+        validate_exposition(text).expect("valid");
+    }
+
+    #[test]
+    fn rejects_bad_exposition() {
+        assert!(validate_exposition("# NOPE x y\n").is_err());
+        assert!(validate_exposition("# TYPE scd_x flavor\n").is_err());
+        assert!(validate_exposition("# TYPE scd_x counter\nscd_x notanumber\n").is_err());
+        assert!(validate_exposition("scd_untyped 1\n").is_err());
+        assert!(validate_exposition("# TYPE scd_x counter\n1bad_name 2\n").is_err());
+        assert!(
+            validate_exposition("# TYPE scd_h histogram\nscd_h_bucket{le=255} 1\n").is_err(),
+            "unquoted label value"
+        );
+    }
+}

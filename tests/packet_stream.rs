@@ -23,6 +23,7 @@ fn frames_to_alarms_through_streaming_detector() {
         channel_capacity: 1024,
         overload: OverloadPolicy::Block,
         checkpoint: None,
+        metrics: None,
     });
 
     // Four event-time seconds of packets to two services; second 2 floods
