@@ -159,6 +159,16 @@ pub fn from_bytes(data: &[u8]) -> Result<SketchArchive<KarySketch>, ArchiveWireE
             config.max_sketches
         )));
     }
+    // `max_sketches` is itself a file-supplied field, so bound the count
+    // against the bytes actually present before sizing any allocation: an
+    // epoch cannot be smaller than start + len + n_notable + blob_len.
+    const MIN_EPOCH_BYTES: usize = 8 + 8 + 4 + 8;
+    if n_epochs > cur.remaining() / MIN_EPOCH_BYTES {
+        return Err(ArchiveWireError::Malformed(format!(
+            "{n_epochs} epochs cannot fit in {} remaining bytes",
+            cur.remaining()
+        )));
+    }
     let mut rows = None;
     let mut epochs = Vec::with_capacity(n_epochs);
     for _ in 0..n_epochs {
@@ -169,6 +179,14 @@ pub fn from_bytes(data: &[u8]) -> Result<SketchArchive<KarySketch>, ArchiveWireE
             return Err(ArchiveWireError::Malformed(format!(
                 "{n_notable} directory keys exceed keys_per_epoch {}",
                 config.keys_per_epoch
+            )));
+        }
+        // Same defense as the epoch count: `keys_per_epoch` came off the
+        // wire too, so cap the allocation by the 16 bytes each entry needs.
+        if n_notable > cur.remaining() / 16 {
+            return Err(ArchiveWireError::Malformed(format!(
+                "{n_notable} directory keys cannot fit in {} remaining bytes",
+                cur.remaining()
             )));
         }
         let mut notable = Vec::with_capacity(n_notable);
@@ -309,6 +327,74 @@ mod tests {
         for len in (0..bytes.len()).step_by(step) {
             assert!(from_bytes(&bytes[..len]).is_err(), "truncation to {len} went undetected");
         }
+    }
+
+    #[test]
+    fn corruption_injection_round_trip() {
+        // Same corruption model the network fault plans use: each seeded
+        // single-bit flip must be rejected with a typed error, and the
+        // pristine bytes must still decode afterwards.
+        let original = sample();
+        let clean = to_bytes(&original);
+        for seed in 0..200u64 {
+            let mut corruptor = scd_traffic::Corruptor::new(seed);
+            let mut bad = clean.clone();
+            let (pos, mask) = corruptor.flip_one_byte(&mut bad);
+            assert!(
+                from_bytes(&bad).is_err(),
+                "seed {seed}: flip at byte {pos} (mask {mask:#04x}) decoded successfully"
+            );
+        }
+        let back = from_bytes(&clean).expect("pristine bytes still decode");
+        assert_eq!(back.sketch_count(), original.sketch_count());
+    }
+
+    /// A syntactically framed archive (magic + valid CRC footer) whose
+    /// header fields are attacker-chosen.
+    fn framed(fields: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(fields);
+        let crc = crc32(&buf);
+        byteio::put_u32(&mut buf, crc);
+        buf
+    }
+
+    #[test]
+    fn hostile_epoch_count_is_bounded_by_remaining_bytes() {
+        // The file declares a huge budget AND a huge epoch count: both
+        // self-consistent, so only the remaining-bytes bound stands
+        // between the decoder and a multi-gigabyte allocation.
+        let mut fields = Vec::new();
+        byteio::put_u32(&mut fields, u32::MAX); // max_sketches
+        byteio::put_u32(&mut fields, 1); // full_resolution
+        byteio::put_u32(&mut fields, 4); // keys_per_epoch
+        byteio::put_u64(&mut fields, 0); // next_interval
+        byteio::put_u32(&mut fields, u32::MAX); // n_epochs, but no epoch bytes
+        assert!(matches!(
+            from_bytes(&framed(&fields)),
+            Err(ArchiveWireError::Malformed(msg)) if msg.contains("cannot fit")
+        ));
+    }
+
+    #[test]
+    fn hostile_notable_count_is_bounded_by_remaining_bytes() {
+        // One plausible epoch whose directory claims u32::MAX entries
+        // against a file-declared budget that happily allows it.
+        let mut fields = Vec::new();
+        byteio::put_u32(&mut fields, 1); // max_sketches
+        byteio::put_u32(&mut fields, 1); // full_resolution
+        byteio::put_u32(&mut fields, u32::MAX); // keys_per_epoch
+        byteio::put_u64(&mut fields, 0); // next_interval
+        byteio::put_u32(&mut fields, 1); // n_epochs
+        byteio::put_u64(&mut fields, 0); // epoch start
+        byteio::put_u64(&mut fields, 1); // epoch len
+        byteio::put_u32(&mut fields, u32::MAX); // n_notable, no entries
+        byteio::put_u64(&mut fields, 0); // blob_len (padding past the epoch floor)
+        assert!(matches!(
+            from_bytes(&framed(&fields)),
+            Err(ArchiveWireError::Malformed(msg)) if msg.contains("directory keys cannot fit")
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--strategy twopass|next|sampled:R|reversible] [--top N]
 //!              [--shards N] [--pipeline] [--metrics FILE]
-//!              [--metrics-listen ADDR]
+//!              [--metrics-listen ADDR] [--report-out FILE]
 //! scd sketch   --trace trace.bin --interval 60 --at 7 --out s.sketch
 //!              [--h 5] [--k 32768] [--sketch-seed N]
 //! scd combine  --out sum.sketch A.sketch B.sketch ... [--query IP]
@@ -18,6 +18,15 @@
 //!              [--checkpoint FILE] [--every N] [--h 5] [--k 32768]
 //!              [--metrics FILE] [--metrics-listen ADDR]
 //! scd metrics  --from metrics.jsonl | --addr HOST:PORT
+//! scd ingest-node --trace trace.bin --interval 60 --node 0 --nodes 3
+//!              --connect HOST:PORT [--h 5] [--k 32768] [--sketch-seed N]
+//!              [--shards 2] [--spool DIR] [--fault SPEC] [--retries N]
+//!              [--finish-timeout-secs 60]
+//! scd aggregate --listen ADDR --nodes 3 --model ewma:0.5
+//!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
+//!              [--report-out FILE] [--checkpoint FILE] [--every N]
+//!              [--grace-ms 500] [--node-timeout-ms 2000] [--timeout-secs 60]
+//!              [--top N] [--metrics FILE] [--metrics-listen ADDR]
 //! scd archive  --trace trace.bin --interval 60 --model ewma:0.5 --out hist.scda
 //!              [--shards 4] [--budget 64] [--full-res 8] [--keys 64]
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
@@ -81,12 +90,21 @@ fn usage() -> ExitCode {
          \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
          \u{20}          [--strategy twopass|next|sampled:R|reversible] [--shards N]\n\
          \u{20}          [--pipeline] [--metrics FILE] [--metrics-listen ADDR]\n\
+         \u{20}          [--report-out FILE]\n\
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
          combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
          stream    --trace FILE --interval S --model SPEC [--policy block|drop|sample:R]\n\
          \u{20}          [--capacity N] [--checkpoint FILE] [--every N] [--h 5] [--k 32768]\n\
          \u{20}          [--metrics FILE] [--metrics-listen ADDR]\n\
          metrics   --from metrics.jsonl | --addr HOST:PORT\n\
+         ingest-node --trace FILE --interval S --node I --nodes N --connect ADDR\n\
+         \u{20}          [--h 5] [--k 32768] [--sketch-seed N] [--shards 2] [--spool DIR]\n\
+         \u{20}          [--fault drop:3,dup:5,corrupt:7,trunc:9,delay:2:50] [--retries N]\n\
+         \u{20}          [--finish-timeout-secs 60]\n\
+         aggregate --listen ADDR --nodes N --model SPEC [--h 5] [--k 32768]\n\
+         \u{20}          [--threshold 0.05] [--sketch-seed N] [--report-out FILE]\n\
+         \u{20}          [--checkpoint FILE] [--every N] [--grace-ms 500]\n\
+         \u{20}          [--node-timeout-ms 2000] [--timeout-secs 60] [--top N]\n\
          archive   --trace FILE --interval S --model SPEC --out FILE [--shards 4]\n\
          \u{20}          [--budget 64] [--full-res 8] [--keys 64] [--h 5] [--k 32768]\n\
          \u{20}          [--threshold 0.05] [--sketch-seed N]\n\
@@ -114,6 +132,8 @@ fn main() -> ExitCode {
         "archive" => archive(&flags),
         "query" => query(&flags),
         "metrics" => metrics(&flags),
+        "ingest-node" => ingest_node(&flags),
+        "aggregate" => aggregate(&flags),
         _ => return usage(),
     };
     match result {
@@ -196,16 +216,45 @@ impl Telemetry {
     }
 }
 
+/// Optional canonical-report file (`--report-out FILE`): one
+/// [`IntervalReport::canonical_line`] per emitted interval. Two runs that
+/// produce bit-identical reports produce byte-identical files, which is
+/// what the distributed smoke test diffs against a single-box run.
+struct ReportSink(std::io::BufWriter<File>);
+
+impl ReportSink {
+    fn from_flags(flags: &Flags) -> Result<Option<ReportSink>, Box<dyn std::error::Error>> {
+        Ok(match flags.raw("report-out") {
+            Some(p) => Some(ReportSink(std::io::BufWriter::new(File::create(p)?))),
+            None => None,
+        })
+    }
+
+    fn write(&mut self, report: &IntervalReport) -> std::io::Result<()> {
+        use std::io::Write as _;
+        writeln!(self.0, "{}", report.canonical_line())
+    }
+
+    fn finish(mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        self.0.flush()
+    }
+}
+
 /// Prints one report's alarms and, when telemetry is on, stamps a
 /// snapshot line for the interval it closes.
 fn emit_report(
     report: &IntervalReport,
     top: usize,
     telemetry: &mut Option<Telemetry>,
+    sink: &mut Option<ReportSink>,
 ) -> CliResult {
     print_alarms(report.interval, report.alarms.iter().map(|a| (a.key, a.estimated_error)), top);
     if let Some(t) = telemetry.as_mut() {
         t.snapshot(report.interval as u64)?;
+    }
+    if let Some(s) = sink.as_mut() {
+        s.write(report)?;
     }
     Ok(())
 }
@@ -361,10 +410,13 @@ fn detect(flags: &Flags) -> CliResult {
     );
 
     let mut telemetry = Telemetry::from_flags(flags)?;
+    let mut sink = ReportSink::from_flags(flags)?;
     if strategy == "reversible" {
-        if telemetry.is_some() {
+        if telemetry.is_some() || sink.is_some() {
             return Err(FlagError(
-                "--metrics / --metrics-listen are not supported with --strategy reversible".into(),
+                "--metrics / --metrics-listen / --report-out are not supported \
+                 with --strategy reversible"
+                    .into(),
             )
             .into());
         }
@@ -417,14 +469,17 @@ fn detect(flags: &Flags) -> CliResult {
         for items in &intervals {
             engine.push_slice(items)?;
             if let Some(report) = engine.end_interval_overlapped()? {
-                emit_report(&report, top, &mut telemetry)?;
+                emit_report(&report, top, &mut telemetry, &mut sink)?;
             }
         }
         if let Some(report) = engine.drain()? {
-            emit_report(&report, top, &mut telemetry)?;
+            emit_report(&report, top, &mut telemetry, &mut sink)?;
         }
         if let Some(t) = telemetry {
             t.finish()?;
+        }
+        if let Some(s) = sink {
+            s.finish()?;
         }
         return Ok(());
     }
@@ -436,10 +491,13 @@ fn detect(flags: &Flags) -> CliResult {
     }
     for items in &intervals {
         let report = det.process_interval(items);
-        emit_report(&report, top, &mut telemetry)?;
+        emit_report(&report, top, &mut telemetry, &mut sink)?;
     }
     if let Some(t) = telemetry {
         t.finish()?;
+    }
+    if let Some(s) = sink {
+        s.finish()?;
     }
     Ok(())
 }
@@ -669,6 +727,154 @@ fn metrics(flags: &Flags) -> CliResult {
     }
     scd_obs::validate_exposition(&out).map_err(FlagError)?;
     outln!("{}", out.trim_end_matches('\n'));
+    Ok(())
+}
+
+/// One vantage point of the distributed plane: replays a trace through an
+/// [`scd_net::IngestNode`], which ingests this node's key shard (plus its
+/// ring buddy's, for parity), ships one CRC-guarded sketch frame per
+/// interval to the aggregator, and spools unacknowledged frames to disk
+/// so a flaky link never loses an interval. Every node replays the same
+/// trace; the shard routing inside the node keeps contributions disjoint.
+fn ingest_node(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let interval: u32 = flags.require("interval")?;
+    let node: u32 = flags.require("node")?;
+    let nodes: u32 = flags.require("nodes")?;
+    let addr: String = flags.require("connect")?;
+    let h: usize = flags.get("h", 5)?;
+    let k: usize = flags.get("k", 32_768)?;
+    let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
+    let shards: usize = flags.get("shards", 2)?;
+    let retries: u32 = flags.get("retries", 8)?;
+    let finish_timeout: u64 = flags.get("finish-timeout-secs", 60)?;
+    let spool_dir = match flags.raw("spool") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => std::env::temp_dir().join("scd-spool"),
+    };
+    let fault = match flags.raw("fault") {
+        Some(spec) => Some(scd_traffic::NetFaultPlan::parse(spec).map_err(FlagError)?),
+        None => None,
+    };
+
+    let telemetry = Telemetry::from_flags(flags)?;
+    let metrics = telemetry.as_ref().map(|t| scd_net::NetMetrics::register(&t.registry));
+    let records = read_trace(&path)?;
+    let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
+    let mut ingest = scd_net::IngestNode::new(scd_net::NodeConfig {
+        node,
+        nodes,
+        sketch: SketchConfig { h, k, seed: sketch_seed },
+        shards,
+        addr,
+        spool_dir,
+        retry: RestartPolicy { max_restarts: retries, ..RestartPolicy::default() },
+        fault,
+        metrics,
+    })?;
+    for items in &intervals {
+        ingest.push_slice(items)?;
+        ingest.end_interval()?;
+    }
+    let summary = ingest.finish(std::time::Duration::from_secs(finish_timeout))?;
+    outln!(
+        "node {node}/{nodes}: shipped {} intervals, {} unacknowledged",
+        summary.intervals_total,
+        summary.unacked.len()
+    );
+    if let Some(t) = telemetry {
+        t.finish()?;
+    }
+    if !summary.unacked.is_empty() {
+        return Err(FlagError(format!(
+            "intervals never acknowledged by the aggregator: {:?}",
+            summary.unacked
+        ))
+        .into());
+    }
+    Ok(())
+}
+
+/// The combine-and-detect point of the distributed plane: accepts frames
+/// from `--nodes` ingest nodes, COMBINEs each interval's sketches by
+/// linearity, and runs the one global detector over the merged stream —
+/// recovering a lost node's contribution from ring parity, or flagging
+/// the interval as partial when even parity cannot cover the loss.
+fn aggregate(flags: &Flags) -> CliResult {
+    let listen: String = flags.require("listen")?;
+    let nodes: u32 = flags.require("nodes")?;
+    let model = ModelSpec::parse(&flags.require::<String>("model")?)?;
+    let h: usize = flags.get("h", 5)?;
+    let k: usize = flags.get("k", 32_768)?;
+    let threshold: f64 = flags.get("threshold", 0.05)?;
+    let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
+    let top: usize = flags.get("top", 10)?;
+    let grace_ms: u64 = flags.get("grace-ms", 500)?;
+    let node_timeout_ms: u64 = flags.get("node-timeout-ms", 2000)?;
+    let timeout_secs: u64 = flags.get("timeout-secs", 60)?;
+    let checkpoint = flags.raw("checkpoint").map(|file| scd_net::CheckpointEvery {
+        path: file.into(),
+        every: flags.get("every", 10).unwrap_or(10),
+    });
+
+    let mut telemetry = Telemetry::from_flags(flags)?;
+    let mut sink = ReportSink::from_flags(flags)?;
+    let metrics = telemetry.as_ref().map(|t| scd_net::NetMetrics::register(&t.registry));
+    let config = scd_net::AggregatorConfig {
+        grace: std::time::Duration::from_millis(grace_ms),
+        node_deadline: std::time::Duration::from_millis(node_timeout_ms),
+        run_timeout: std::time::Duration::from_secs(timeout_secs),
+        checkpoint,
+        metrics,
+        ..scd_net::AggregatorConfig::new(
+            DetectorConfig {
+                sketch: SketchConfig { h, k, seed: sketch_seed },
+                model,
+                threshold,
+                key_strategy: KeyStrategy::TwoPass,
+            },
+            nodes,
+        )
+    };
+    let aggregator = scd_net::Aggregator::bind(config, &listen)?;
+    eprintln!("aggregating {nodes} nodes on {}", aggregator.local_addr()?);
+    let summary = aggregator.run()?;
+    for emitted in &summary.intervals {
+        print_alarms(
+            emitted.report.interval,
+            emitted.report.alarms.iter().map(|a| (a.key, a.estimated_error)),
+            top,
+        );
+        if !emitted.missing.is_empty() || !emitted.recovered.is_empty() {
+            outln!(
+                "  interval {}: PARTIAL missing nodes {:?}, recovered from parity {:?}",
+                emitted.interval,
+                emitted.missing,
+                emitted.recovered
+            );
+        }
+        if let Some(t) = telemetry.as_mut() {
+            t.snapshot(emitted.interval)?;
+        }
+        if let Some(s) = sink.as_mut() {
+            s.write(&emitted.report)?;
+        }
+    }
+    outln!(
+        "emitted {} intervals ({} resumed from checkpoint, {} detector restarts)",
+        summary.intervals.len(),
+        summary.resumed_from,
+        summary.detector_restarts
+    );
+    if let Some(t) = telemetry {
+        t.finish()?;
+    }
+    if let Some(s) = sink {
+        s.finish()?;
+    }
+    if summary.timed_out {
+        return Err(FlagError("run timed out before every node finished".into()).into());
+    }
     Ok(())
 }
 

@@ -566,6 +566,37 @@ mod tests {
     }
 
     #[test]
+    fn mid_write_crash_leaves_previous_checkpoint_intact() {
+        // Simulate a kill between tmp-write and rename: a good checkpoint
+        // is on disk, and the crash left behind a partial/garbage `.tmp`
+        // next to it. Recovery must read the previous checkpoint
+        // unharmed, and the next atomic write must still land.
+        let dir = std::env::temp_dir().join("scd-checkpoint-crash-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("det.ckpt");
+        let good = sample_checkpoint(ModelSpec::Ewma { alpha: 0.3 }, KeyStrategy::TwoPass);
+        good.write_atomic(&path).expect("write good checkpoint");
+
+        // The interrupted writer got partway into the next snapshot: its
+        // tmp file holds a truncated prefix of a real serialization.
+        let next = sample_checkpoint(ModelSpec::Ma { window: 5 }, KeyStrategy::TwoPass);
+        let torn = &next.to_bytes()[..200];
+        let tmp = dir.join("det.ckpt.tmp");
+        std::fs::write(&tmp, torn).expect("plant torn tmp file");
+
+        // load() goes to `path`, never the tmp: the good checkpoint wins.
+        let recovered = Checkpoint::load(&path).expect("recover previous checkpoint");
+        assert_eq!(recovered.config, good.config);
+        assert_eq!(recovered.processed, good.processed);
+
+        // A later write overwrites the stale tmp and replaces the file.
+        next.write_atomic(&path).expect("write after crash");
+        assert_eq!(Checkpoint::load(&path).expect("reload").config, next.config);
+        assert!(!tmp.exists(), "the rename must consume the tmp file");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn atomic_write_and_load() {
         let dir = std::env::temp_dir().join("scd-checkpoint-test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -109,6 +109,47 @@ pub struct IntervalReport {
     pub drops: DropStats,
 }
 
+impl IntervalReport {
+    /// A canonical one-line digest of the report, with every float
+    /// rendered by its exact bit pattern and the (potentially long)
+    /// alarm/error lists compressed to a length + CRC-32 over their
+    /// `(key, f64-bits)` pairs in report order. Equal reports produce
+    /// equal lines, and any difference in interval index, warm-up state,
+    /// `F2`, threshold, alarm set, error list, or drop accounting changes
+    /// the line — which is what lets two runs (e.g. single-node vs
+    /// distributed COMBINE) be diffed for bit-identity from the shell
+    /// without serializing whole reports.
+    pub fn canonical_line(&self) -> String {
+        let mut buf = Vec::with_capacity(self.alarms.len() * 24);
+        for a in &self.alarms {
+            buf.extend_from_slice(&a.key.to_le_bytes());
+            buf.extend_from_slice(&a.estimated_error.to_bits().to_le_bytes());
+            buf.extend_from_slice(&a.threshold.to_bits().to_le_bytes());
+        }
+        let alarms_crc = scd_hash::crc32(&buf);
+        buf.clear();
+        for &(key, err) in &self.errors {
+            buf.extend_from_slice(&key.to_le_bytes());
+            buf.extend_from_slice(&err.to_bits().to_le_bytes());
+        }
+        let errors_crc = scd_hash::crc32(&buf);
+        format!(
+            "interval={} warm={} f2={:016x} ta={:016x} alarms={}:{alarms_crc:08x} \
+             errors={}:{errors_crc:08x} nonfinite={} drops={}/{}/{}",
+            self.interval,
+            u8::from(self.warmed_up),
+            self.error_f2.to_bits(),
+            self.alarm_threshold.to_bits(),
+            self.alarms.len(),
+            self.errors.len(),
+            self.non_finite_errors,
+            self.drops.dropped,
+            self.drops.sampled_in,
+            self.drops.shed,
+        )
+    }
+}
+
 /// The full sketch-based change-detection pipeline.
 pub struct SketchChangeDetector {
     config: DetectorConfig,

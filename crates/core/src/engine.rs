@@ -976,6 +976,56 @@ impl ShardedEngine {
         self.push_slice(items)?;
         self.end_interval()
     }
+
+    /// Closes the interval **without running detection**: flushes every
+    /// shard, merges the per-shard sketches in shard order, and hands back
+    /// the merged observed sketch plus the interval's key log. This is
+    /// the ingest-node half of the distributed plane (`scd-net`): each
+    /// vantage point runs a `ShardedEngine` for parallel ingest but ships
+    /// its interval sketch to an aggregator that COMBINEs all nodes and
+    /// runs the one global detector. The embedded detector is not
+    /// advanced, so a harvested engine never emits reports of its own.
+    ///
+    /// Only sequential (non-pipelined) engines support harvesting — in
+    /// pipeline mode the interval state lives on the detect thread, which
+    /// exists precisely to run the detection this method skips.
+    ///
+    /// # Errors
+    /// [`EngineError::BadConfig`] on a pipelined engine;
+    /// [`EngineError::WorkerLost`] if a shard worker died mid-interval.
+    pub fn end_interval_sketch(&mut self) -> Result<(KarySketch, Vec<u64>), EngineError> {
+        if matches!(self.detect, DetectBackend::Pipelined { .. }) {
+            return Err(EngineError::BadConfig(
+                "end_interval_sketch requires a non-pipelined engine".into(),
+            ));
+        }
+        let sw = Stopwatch::start();
+        self.flush_all()?;
+        let mut bufs = match &mut self.detect {
+            DetectBackend::Inline { shard_bufs, .. } => std::mem::take(shard_bufs),
+            DetectBackend::Pipelined { .. } => unreachable!("checked above"),
+        };
+        self.collect_shards(&mut bufs)?;
+        if let Some(m) = &self.metrics {
+            m.engine.barrier_ns.record(sw.elapsed_ns());
+        }
+        let keys = self.keys.take();
+        let metrics = self.metrics.clone();
+        let DetectBackend::Inline { detector, shard_bufs, spare_txs, .. } = &mut self.detect else {
+            unreachable!("checked above")
+        };
+        // The caller keeps the merged sketch (it crosses the wire), so it
+        // cannot come from the recycled merge buffer.
+        let mut observed = KarySketch::with_rows(Arc::clone(detector.rows()));
+        let sw = Stopwatch::start();
+        merge_shards(&mut observed, &bufs);
+        if let Some(m) = &metrics {
+            m.engine.combine_ns.record(sw.elapsed_ns());
+        }
+        recycle_shards(&mut bufs, spare_txs);
+        *shard_bufs = bufs;
+        Ok((observed, keys))
+    }
 }
 
 impl Drop for ShardedEngine {
@@ -1128,6 +1178,35 @@ mod tests {
             let single = reference.process_interval(&items);
             assert_eq!(sharded, single, "interval {t}");
         }
+    }
+
+    #[test]
+    fn harvested_sketch_feeds_external_detector_identically() {
+        // Harvest-without-detect (the ingest-node path) must hand back
+        // exactly the sketch and key log the embedded detector would have
+        // consumed: feeding them to an external detector reproduces the
+        // in-engine reports bit for bit.
+        let mut engine = ShardedEngine::new(config(4)).unwrap();
+        let mut reference = ShardedEngine::new(config(4)).unwrap();
+        let mut external = SketchChangeDetector::new(config(1).detector);
+        for t in 0..6u64 {
+            let items: Vec<(u64, f64)> =
+                (0..300u64).map(|i| (i % 120, ((i * 17 + t * 5) % 300) as f64)).collect();
+            engine.push_slice(&items).unwrap();
+            let (sketch, keys) = engine.end_interval_sketch().unwrap();
+            let harvested = external.process_observed(&sketch, keys);
+            let direct = reference.process_interval(&items).unwrap();
+            assert_eq!(harvested, direct, "interval {t}");
+        }
+        // The embedded detector never advanced.
+        assert_eq!(engine.detector().unwrap().intervals_processed(), 0);
+    }
+
+    #[test]
+    fn harvest_rejects_pipelined_engines() {
+        let mut engine = ShardedEngine::new(config(2).with_pipeline()).unwrap();
+        engine.push(1, 1.0).unwrap();
+        assert!(matches!(engine.end_interval_sketch(), Err(EngineError::BadConfig(_))));
     }
 
     #[test]

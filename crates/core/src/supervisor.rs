@@ -108,6 +108,24 @@ impl RestartPolicy {
         let factor = 1u64 << attempt.saturating_sub(1).min(20);
         Duration::from_millis(self.backoff_base_ms.saturating_mul(factor).min(self.backoff_cap_ms))
     }
+
+    /// [`backoff`](RestartPolicy::backoff) plus deterministic jitter, so a
+    /// fleet of restarting components seeded differently does not
+    /// thunder back in lockstep. The jitter is a seed-and-attempt-derived
+    /// fraction in `[0, base/4)` added on top of the exponential sleep,
+    /// and the sum still respects
+    /// [`backoff_cap_ms`](RestartPolicy::backoff_cap_ms). Same `(attempt,
+    /// seed)` always yields the same sleep — schedules stay printable and
+    /// tests stay exact — while different seeds decorrelate.
+    pub fn backoff_jittered(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self.backoff(attempt).as_millis() as u64;
+        let mixed = scd_hash::mix64(seed ^ u64::from(attempt) ^ 0x9E37_79B9_7F4A_7C15);
+        // Multiply the top 32 bits of the hash (uniform in [0, 2³²)) by
+        // the jitter span and take the high word: an exact scaled draw in
+        // [0, base/4) without floats or modulo bias.
+        let jitter = ((base / 4).saturating_mul(mixed >> 32)) >> 32;
+        Duration::from_millis(base.saturating_add(jitter).min(self.backoff_cap_ms))
+    }
 }
 
 /// Configuration of a supervised streaming detector.
@@ -230,7 +248,8 @@ pub fn spawn_supervised(config: SupervisorConfig) -> SupervisedHandle {
                             emit(&event_tx, LifecycleEvent::GaveUp { attempts: attempts - 1 });
                             break;
                         }
-                        let backoff = restart.backoff(attempts);
+                        let backoff =
+                            restart.backoff_jittered(attempts, ctx.config.detector.sketch.seed);
                         if let Some(m) = &ctx.config.metrics {
                             m.supervisor.backoff_ms_total.add(backoff.as_millis() as u64);
                         }
@@ -348,6 +367,50 @@ mod tests {
         assert_eq!(p.backoff(21), Duration::from_millis(1 << 20));
         assert_eq!(p.backoff(22), Duration::from_millis(1 << 20));
         assert_eq!(p.backoff(u32::MAX), Duration::from_millis(1 << 20));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RestartPolicy { max_restarts: 10, backoff_base_ms: 40, backoff_cap_ms: 10_000 };
+        for attempt in 0..=10u32 {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let base = p.backoff(attempt).as_millis() as u64;
+                let jittered = p.backoff_jittered(attempt, seed).as_millis() as u64;
+                // Same inputs, same sleep: a printed schedule is the real one.
+                assert_eq!(p.backoff_jittered(attempt, seed), p.backoff_jittered(attempt, seed));
+                // Jitter only ever adds, and adds less than a quarter of
+                // the exponential base.
+                assert!(jittered >= base, "attempt {attempt} seed {seed}: {jittered} < {base}");
+                assert!(
+                    jittered < base + base / 4 + 1,
+                    "attempt {attempt} seed {seed}: {jittered} vs base {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_respects_cap() {
+        // The un-jittered schedule already sits on the cap from attempt 8;
+        // jitter must not push the sleep past it.
+        let p = RestartPolicy { max_restarts: 20, backoff_base_ms: 10, backoff_cap_ms: 1_000 };
+        for attempt in 8..40u32 {
+            for seed in [3u64, 0xDEAD_BEEF, u64::MAX / 3] {
+                assert!(p.backoff_jittered(attempt, seed) <= Duration::from_millis(1_000));
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_decorrelates_across_seeds() {
+        // Different seeds should not produce identical schedules: across
+        // ten attempts, at least one sleep must differ between two seeds.
+        let p = RestartPolicy { max_restarts: 10, backoff_base_ms: 100, backoff_cap_ms: 1 << 40 };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            (1..=10).map(|a| p.backoff_jittered(a, seed)).collect()
+        };
+        assert_ne!(schedule(1), schedule(2));
+        assert_ne!(schedule(2), schedule(3));
     }
 
     #[test]

@@ -1,0 +1,472 @@
+//! The ingest node: local sharded ingest + reliable frame shipping.
+//!
+//! Each node `i` in an `N`-node ring taps two key shards of the traffic
+//! it sees (modeling a mirrored port that carries more than the node's
+//! own responsibility):
+//!
+//! * its **data shard** `i` — the partition it is responsible for, and
+//! * its **buddy shard** `(i−1+N) mod N` — its ring predecessor's
+//!   partition, ingested only to build parity.
+//!
+//! Per interval the node ships `D_i` (data sketch + distinct keys) and
+//! the parity sketch `P_i = D_{i−1} + D_i` with the buddy shard's key
+//! list. Sketch cells are integer byte counts, so every cell of `P_i` is
+//! an exact `f64` sum and the aggregator can recover a lost node's data
+//! exactly: `D_{i−1} = P_i − D_i` cell for cell (IEEE-754 subtraction of
+//! exact integers below 2⁵³ is exact).
+//!
+//! Reliability is spool-then-send: the frame hits the on-disk
+//! [`SpoolDir`] before the first transmission attempt and is deleted only
+//! on the aggregator's `Ack`. Connection loss triggers reconnects under
+//! the jittered [`RestartPolicy`] backoff; every reconnect resends the
+//! whole spool (the aggregator dedups by `(node, interval)`).
+
+use crate::frame::{Frame, VERSION};
+use crate::metrics::NetMetrics;
+use crate::spool::SpoolDir;
+use crate::NetError;
+use scd_core::engine::{EngineConfig, ShardedEngine};
+use scd_core::supervisor::RestartPolicy;
+use scd_core::{DetectorConfig, KeyStrategy};
+use scd_forecast::ModelSpec;
+use scd_sketch::{wire, SketchConfig};
+use scd_traffic::{shard_of_key, Corruptor, NetFaultKind, NetFaultPlan};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one ingest node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's id in `0..nodes`.
+    pub node: u32,
+    /// Ring size.
+    pub nodes: u32,
+    /// Sketch family — must match the aggregator's exactly.
+    pub sketch: SketchConfig,
+    /// Shard-worker threads for the local ingest engines.
+    pub shards: usize,
+    /// Aggregator address (`host:port`).
+    pub addr: String,
+    /// Spool directory for unacknowledged interval frames.
+    pub spool_dir: PathBuf,
+    /// Reconnect budget and backoff schedule.
+    pub retry: RestartPolicy,
+    /// Test-only network fault injection, consulted once per interval
+    /// frame transmission. `None` in production.
+    pub fault: Option<NetFaultPlan>,
+    /// Optional metric sink.
+    pub metrics: Option<Arc<NetMetrics>>,
+}
+
+/// End-of-run accounting from [`IngestNode::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// Intervals this node closed and shipped.
+    pub intervals_total: u64,
+    /// Intervals still unacknowledged when the node gave up waiting.
+    pub unacked: Vec<u64>,
+}
+
+/// One ingest vantage point of the distributed plane.
+pub struct IngestNode {
+    config: NodeConfig,
+    data: ShardedEngine,
+    buddy: ShardedEngine,
+    buddy_id: u32,
+    spool: SpoolDir,
+    conn: Option<TcpStream>,
+    inbuf: Vec<u8>,
+    interval: u64,
+    frame_seq: u64,
+    connect_attempts: u32,
+}
+
+/// Read timeout on the node's socket: ack polling must never block an
+/// interval close for long.
+const ACK_POLL: Duration = Duration::from_millis(10);
+
+impl IngestNode {
+    /// Builds the node's local engines, opens its spool, and connects to
+    /// the aggregator (with retry/backoff). Frames already spooled by a
+    /// previous incarnation of this node id are resent on connect.
+    ///
+    /// # Errors
+    /// Invalid configuration, spool I/O failure, or the connect budget
+    /// running out.
+    pub fn new(config: NodeConfig) -> Result<IngestNode, NetError> {
+        if config.nodes == 0 || config.node >= config.nodes {
+            return Err(NetError::Config(format!(
+                "node id {} outside ring of {} nodes",
+                config.node, config.nodes
+            )));
+        }
+        // The engines' embedded detectors never run — `end_interval_sketch`
+        // harvests the merged sketch and key log instead. `NextInterval`
+        // picks the bounded first-seen-distinct key log.
+        let detector = DetectorConfig {
+            sketch: config.sketch,
+            model: ModelSpec::Ewma { alpha: 0.5 },
+            threshold: 0.05,
+            key_strategy: KeyStrategy::NextInterval,
+        };
+        let data = ShardedEngine::new(EngineConfig::new(detector.clone(), config.shards))?;
+        let buddy = ShardedEngine::new(EngineConfig::new(detector, config.shards))?;
+        let spool = SpoolDir::open(&config.spool_dir, config.node)?;
+        let buddy_id = (config.node + config.nodes - 1) % config.nodes;
+        let mut node = IngestNode {
+            config,
+            data,
+            buddy,
+            buddy_id,
+            spool,
+            conn: None,
+            inbuf: Vec::new(),
+            interval: 0,
+            frame_seq: 0,
+            connect_attempts: 0,
+        };
+        node.ensure_connected()?;
+        Ok(node)
+    }
+
+    /// The node's ring-predecessor id, whose shard it taps for parity.
+    pub fn buddy(&self) -> u32 {
+        self.buddy_id
+    }
+
+    /// Offers one update from the mirrored stream. The node keeps only
+    /// the updates landing in its data or buddy shard; everything else
+    /// is some other node's responsibility and is ignored.
+    ///
+    /// # Errors
+    /// [`NetError::Engine`] if a local shard worker died.
+    pub fn push(&mut self, key: u64, value: f64) -> Result<(), NetError> {
+        let shard = shard_of_key(key, self.config.nodes as usize) as u32;
+        if shard == self.config.node {
+            self.data.push(key, value)?;
+        } else if shard == self.buddy_id {
+            self.buddy.push(key, value)?;
+        }
+        Ok(())
+    }
+
+    /// Offers a whole slice of updates (see [`push`](Self::push)).
+    ///
+    /// # Errors
+    /// As [`push`](Self::push).
+    pub fn push_slice(&mut self, items: &[(u64, f64)]) -> Result<(), NetError> {
+        for &(key, value) in items {
+            self.push(key, value)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the current interval: harvests both engines, builds the
+    /// parity sketch, spools the frame, and attempts transmission.
+    /// Network failure is not an error here — the frame is durable in the
+    /// spool and will be resent; only local failures (engine, disk)
+    /// surface.
+    ///
+    /// # Errors
+    /// Engine harvest or spool I/O failures.
+    pub fn end_interval(&mut self) -> Result<(), NetError> {
+        let (data_sketch, data_keys) = self.data.end_interval_sketch()?;
+        let (buddy_sketch, buddy_keys) = self.buddy.end_interval_sketch()?;
+        // P_i = D_{i−1} + D_i: exact integer sums, so the aggregator's
+        // subtraction recovers the buddy's cells bit for bit.
+        let parity = data_sketch.combine(&[(1.0, &buddy_sketch), (1.0, &data_sketch)])?;
+        let frame = Frame::Interval {
+            node: self.config.node,
+            interval: self.interval,
+            data: wire::to_bytes(&data_sketch),
+            data_keys,
+            parity: wire::to_bytes(&parity),
+            parity_keys: buddy_keys,
+        };
+        let bytes = frame.encode();
+        self.spool.store(self.interval, &bytes)?;
+        // A reconnect resends the entire spool (current frame included);
+        // otherwise transmit the new frame directly. A failed connect
+        // leaves the frame spooled; the next interval retries.
+        if let Ok(false) = self.ensure_connected() {
+            self.send_interval_bytes(&bytes, false);
+        }
+        self.poll_acks();
+        self.resend_stale()?;
+        self.interval += 1;
+        if let Some(m) = &self.config.metrics {
+            m.sender.spool_pending.set(self.spool.pending().map_or(0.0, |p| p.len() as f64));
+        }
+        Ok(())
+    }
+
+    /// Announces end of stream and waits (up to `deadline`) for every
+    /// spooled interval to be acknowledged, reconnecting and resending as
+    /// needed.
+    ///
+    /// # Errors
+    /// Spool I/O failures. Running out of time is *not* an error: the
+    /// summary lists what remained unacknowledged.
+    pub fn finish(mut self, deadline: Duration) -> Result<NodeSummary, NetError> {
+        let start = Instant::now();
+        let bye = Frame::Bye { node: self.config.node, intervals_total: self.interval }.encode();
+        self.send_plain(&bye);
+        let mut last_resend = Instant::now();
+        loop {
+            self.poll_acks();
+            let pending = self.spool.pending()?;
+            if let Some(m) = &self.config.metrics {
+                m.sender.spool_pending.set(pending.len() as f64);
+            }
+            if pending.is_empty() {
+                self.send_plain(&bye); // repeat in case the first copy died with a connection
+                return Ok(NodeSummary { intervals_total: self.interval, unacked: vec![] });
+            }
+            if start.elapsed() >= deadline {
+                return Ok(NodeSummary { intervals_total: self.interval, unacked: pending });
+            }
+            match self.ensure_connected() {
+                Ok(true) => {
+                    self.send_plain(&bye);
+                    last_resend = Instant::now();
+                }
+                Ok(false) => {
+                    if last_resend.elapsed() >= Duration::from_millis(200) {
+                        self.resend_all()?;
+                        self.send_plain(&bye);
+                        if let Some(m) = &self.config.metrics {
+                            m.sender.heartbeats_total.inc();
+                        }
+                        last_resend = Instant::now();
+                    }
+                }
+                Err(_) => {
+                    // Connect budget exhausted; keep polling until the
+                    // deadline in case the aggregator comes back.
+                    std::thread::sleep(ACK_POLL);
+                }
+            }
+            std::thread::sleep(ACK_POLL);
+        }
+    }
+
+    /// Connects (or verifies the existing connection), sending `Hello`
+    /// and replaying the spool after any fresh connect. Returns whether a
+    /// fresh connect (and therefore a full spool resend) happened.
+    fn ensure_connected(&mut self) -> Result<bool, NetError> {
+        if self.conn.is_some() {
+            return Ok(false);
+        }
+        loop {
+            if self.connect_attempts > self.config.retry.max_restarts {
+                return Err(NetError::ConnectFailed { attempts: self.connect_attempts });
+            }
+            self.connect_attempts += 1;
+            match TcpStream::connect(&self.config.addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(ACK_POLL));
+                    self.conn = Some(stream);
+                    self.inbuf.clear();
+                    let hello = Frame::Hello {
+                        node: self.config.node,
+                        nodes: self.config.nodes,
+                        h: self.config.sketch.h as u64,
+                        k: self.config.sketch.k as u64,
+                        seed: self.config.sketch.seed,
+                        version: VERSION,
+                    }
+                    .encode();
+                    if !self.write_raw(&hello) {
+                        continue; // connection died immediately; retry
+                    }
+                    if let Some(m) = &self.config.metrics {
+                        m.sender.connects_total.inc();
+                    }
+                    // The handshake held: the aggregator is reachable, so
+                    // future disconnects deserve a full budget again.
+                    self.connect_attempts = 0;
+                    self.resend_all()?;
+                    return Ok(true);
+                }
+                Err(_) => {
+                    let backoff = self.config.retry.backoff_jittered(
+                        self.connect_attempts,
+                        self.config.sketch.seed ^ u64::from(self.config.node),
+                    );
+                    if let Some(m) = &self.config.metrics {
+                        m.sender.connect_failures_total.inc();
+                        m.sender.backoff_ms_total.add(backoff.as_millis() as u64);
+                    }
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+
+    /// Resends every spooled frame, oldest first.
+    fn resend_all(&mut self) -> Result<(), NetError> {
+        for interval in self.spool.pending()? {
+            if let Ok(bytes) = self.spool.load(interval) {
+                self.send_interval_bytes(&bytes, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Resends spooled frames older than the interval just shipped —
+    /// their ack has had a full interval to arrive, so the original
+    /// transmission is presumed lost (dropped frame, or a connection
+    /// death we have not noticed yet).
+    fn resend_stale(&mut self) -> Result<(), NetError> {
+        for interval in self.spool.pending()? {
+            if interval < self.interval {
+                if let Ok(bytes) = self.spool.load(interval) {
+                    self.send_interval_bytes(&bytes, true);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transmits one interval frame, consulting the fault plan.
+    fn send_interval_bytes(&mut self, bytes: &[u8], resend: bool) {
+        let action = self.config.fault.as_ref().and_then(|f| f.action_for(self.frame_seq));
+        self.frame_seq += 1;
+        match action {
+            Some(NetFaultKind::DropFrame) => return, // "sent" into the void
+            Some(NetFaultKind::DuplicateFrame) => {
+                self.write_raw(bytes);
+                self.write_raw(bytes);
+            }
+            Some(NetFaultKind::CorruptByte { seed }) => {
+                let mut dirty = bytes.to_vec();
+                Corruptor::new(seed).flip_one_byte(&mut dirty);
+                self.write_raw(&dirty);
+            }
+            Some(NetFaultKind::TruncateAndClose { keep }) => {
+                let keep = keep.min(bytes.len());
+                self.write_raw(&bytes[..keep]);
+                if let Some(conn) = self.conn.take() {
+                    let _ = conn.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            Some(NetFaultKind::Delay(pause)) => {
+                std::thread::sleep(pause);
+                self.write_raw(bytes);
+            }
+            None => {
+                self.write_raw(bytes);
+            }
+        }
+        if let Some(m) = &self.config.metrics {
+            if resend {
+                m.sender.frames_resent_total.inc();
+            } else {
+                m.sender.frames_sent_total.inc();
+            }
+        }
+    }
+
+    /// Transmits a non-interval frame (hello/bye), no fault injection.
+    fn send_plain(&mut self, bytes: &[u8]) {
+        if self.conn.is_none() && self.ensure_connected().is_err() {
+            return;
+        }
+        self.write_raw(bytes);
+    }
+
+    /// Writes bytes to the live connection; on failure the connection is
+    /// torn down (a later `ensure_connected` rebuilds and resends).
+    fn write_raw(&mut self, bytes: &[u8]) -> bool {
+        let Some(conn) = &mut self.conn else { return false };
+        match conn.write_all(bytes).and_then(|()| conn.flush()) {
+            Ok(()) => true,
+            Err(_) => {
+                self.conn = None;
+                false
+            }
+        }
+    }
+
+    /// Drains whatever ack frames have arrived, without blocking longer
+    /// than the socket's short read timeout. Partial frames stay buffered
+    /// across polls, so a slow aggregator never desynchronizes the stream.
+    fn poll_acks(&mut self) {
+        let mut dead = false;
+        if let Some(conn) = &mut self.conn {
+            let mut chunk = [0u8; 4096];
+            loop {
+                match conn.read(&mut chunk) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.conn = None;
+        }
+        // Parse complete frames out of the buffer.
+        loop {
+            if self.inbuf.len() < 13 {
+                return;
+            }
+            let len =
+                u32::from_le_bytes([self.inbuf[5], self.inbuf[6], self.inbuf[7], self.inbuf[8]]);
+            let total = 13 + len as usize;
+            if len > crate::frame::MAX_FRAME || &self.inbuf[..4] != crate::frame::MAGIC {
+                // Desynchronized or hostile: drop the connection and start
+                // over; the spool still holds everything unacknowledged.
+                self.conn = None;
+                self.inbuf.clear();
+                return;
+            }
+            if self.inbuf.len() < total {
+                return;
+            }
+            let frame: Vec<u8> = self.inbuf.drain(..total).collect();
+            match Frame::decode(&frame) {
+                Ok(Frame::Ack { interval }) => {
+                    let _ = self.spool.ack(interval);
+                    if let Some(m) = &self.config.metrics {
+                        m.sender.acks_total.inc();
+                    }
+                }
+                Ok(_) => {} // nothing else flows aggregator → node today
+                Err(_) => {
+                    self.conn = None;
+                    self.inbuf.clear();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for IngestNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestNode")
+            .field("node", &self.config.node)
+            .field("nodes", &self.config.nodes)
+            .field("interval", &self.interval)
+            .field("connected", &self.conn.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,211 @@
+//! Supervision of the aggregator's one global detector.
+//!
+//! The aggregator is the single point where detection happens for the
+//! whole plane, so a detector panic there must not take the plane down.
+//! [`SupervisedDetector`] wraps `SketchChangeDetector` the way the PR-1
+//! supervisor wraps the streaming loop: panics are caught, the detector
+//! is rebuilt from its last on-disk [`Checkpoint`] (or fresh), the
+//! intervals emitted since that checkpoint are silently replayed from an
+//! in-memory retention buffer, and the failed interval is retried — so a
+//! restart resumes *mid-stream* with no rewind visible to the report
+//! consumer.
+//!
+//! Startup consults the checkpoint too: an aggregator process restarted
+//! with the same config resumes at the checkpointed interval, and the
+//! nodes' spool-resend machinery refills anything later.
+
+use crate::NetError;
+use scd_core::checkpoint::Checkpoint;
+use scd_core::detector::{DetectorConfig, IntervalReport, SketchChangeDetector};
+use scd_core::supervisor::RestartPolicy;
+use scd_sketch::KarySketch;
+use scd_traffic::FaultPlan;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where and how often the supervised detector checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointEvery {
+    /// Checkpoint file path (written atomically: tmp + rename).
+    pub path: PathBuf,
+    /// Write a checkpoint every this many emitted intervals.
+    pub every: u64,
+}
+
+/// A panic-tolerant wrapper around the aggregator's global detector.
+pub struct SupervisedDetector {
+    detector: SketchChangeDetector,
+    config: DetectorConfig,
+    restart: RestartPolicy,
+    checkpoint: Option<CheckpointEvery>,
+    /// Intervals processed since the last durable checkpoint, retained
+    /// for silent replay after a restart. Without checkpointing this
+    /// holds the whole run — supervision then trades memory for the
+    /// ability to rebuild from interval zero.
+    retained: Vec<(KarySketch, Vec<u64>)>,
+    emitted: u64,
+    restarts: u32,
+    fault: Option<FaultPlan>,
+}
+
+impl SupervisedDetector {
+    /// Builds the detector, resuming from an existing usable checkpoint
+    /// when one is configured and present (a checkpoint for a different
+    /// config is ignored, not an error — mirrors the PR-1 supervisor).
+    ///
+    /// # Errors
+    /// Currently infallible in practice; the `Result` reserves the right
+    /// to fail on unusable configurations.
+    pub fn new(
+        config: DetectorConfig,
+        restart: RestartPolicy,
+        checkpoint: Option<CheckpointEvery>,
+        fault: Option<FaultPlan>,
+    ) -> Result<SupervisedDetector, NetError> {
+        let (detector, emitted) = match Self::recover(&config, checkpoint.as_ref()) {
+            Some((d, at)) => (d, at),
+            None => (SketchChangeDetector::new(config.clone()), 0),
+        };
+        Ok(SupervisedDetector {
+            detector,
+            config,
+            restart,
+            checkpoint,
+            retained: Vec::new(),
+            emitted,
+            restarts: 0,
+            fault,
+        })
+    }
+
+    fn recover(
+        config: &DetectorConfig,
+        checkpoint: Option<&CheckpointEvery>,
+    ) -> Option<(SketchChangeDetector, u64)> {
+        let ck = checkpoint?;
+        if !ck.path.exists() {
+            return None;
+        }
+        let loaded = Checkpoint::load(&ck.path).ok()?;
+        if loaded.config != *config {
+            return None;
+        }
+        let detector = loaded.restore_detector().ok()?;
+        Some((detector, loaded.processed))
+    }
+
+    /// Intervals successfully processed so far (the interval index the
+    /// next [`observe`](Self::observe) will carry).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Panics absorbed so far.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// The hash family the observed sketches must be built over.
+    pub fn rows(&self) -> &Arc<scd_hash::HashRows> {
+        self.detector.rows()
+    }
+
+    /// Runs one interval through the detector, absorbing panics by
+    /// restoring from the last checkpoint, replaying retained intervals,
+    /// and retrying — up to the restart budget.
+    ///
+    /// # Errors
+    /// [`NetError::DetectorGaveUp`] once the budget is spent.
+    pub fn observe(
+        &mut self,
+        observed: KarySketch,
+        keys: Vec<u64>,
+    ) -> Result<IntervalReport, NetError> {
+        loop {
+            let n = self.emitted;
+            let fault = self.fault.clone();
+            let detector = &mut self.detector;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(f) = &fault {
+                    f.before_record(n);
+                }
+                detector.process_observed(&observed, keys.clone())
+            }));
+            match outcome {
+                Ok(report) => {
+                    self.emitted += 1;
+                    self.retained.push((observed, keys));
+                    self.maybe_checkpoint();
+                    return Ok(report);
+                }
+                Err(_) => self.absorb_panic()?,
+            }
+        }
+    }
+
+    /// Books one panic against the budget, sleeps the jittered backoff,
+    /// and rebuilds the detector to the pre-panic position.
+    fn absorb_panic(&mut self) -> Result<(), NetError> {
+        self.restarts += 1;
+        if self.restarts > self.restart.max_restarts {
+            return Err(NetError::DetectorGaveUp { attempts: self.restarts - 1 });
+        }
+        std::thread::sleep(self.restart.backoff_jittered(self.restarts, self.config.sketch.seed));
+        // Restore from the checkpoint when usable, else from scratch,
+        // then silently replay the retained tail to the current position.
+        let (mut detector, base) = match Self::recover(&self.config, self.checkpoint.as_ref()) {
+            Some((d, at)) => (d, at),
+            None => (SketchChangeDetector::new(self.config.clone()), 0),
+        };
+        debug_assert_eq!(
+            base + self.retained.len() as u64,
+            self.emitted,
+            "retention buffer must bridge checkpoint to stream position"
+        );
+        let retained = &self.retained;
+        let replay = catch_unwind(AssertUnwindSafe(|| {
+            for (sketch, keys) in retained {
+                let _ = detector.process_observed(sketch, keys.clone());
+            }
+            detector
+        }));
+        match replay {
+            Ok(detector) => {
+                self.detector = detector;
+                Ok(())
+            }
+            // A panic during replay burns another restart and tries again
+            // (deterministic poison eventually exhausts the budget).
+            Err(_) => self.absorb_panic(),
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let Some(ck) = &self.checkpoint else { return };
+        if ck.every == 0 || self.emitted % ck.every != 0 {
+            return;
+        }
+        let snapshot = Checkpoint {
+            config: self.config.clone(),
+            snapshot: self.detector.snapshot(),
+            next_interval: Some(self.emitted),
+            processed: self.emitted,
+        };
+        if snapshot.write_atomic(&ck.path).is_ok() {
+            // Everything up to `emitted` is durable; the retention buffer
+            // restarts from here.
+            self.retained.clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for SupervisedDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedDetector")
+            .field("emitted", &self.emitted)
+            .field("restarts", &self.restarts)
+            .field("retained", &self.retained.len())
+            .finish()
+    }
+}

@@ -98,9 +98,13 @@ fn respond(
 ) -> std::io::Result<()> {
     // The accept loop runs the listener nonblocking; the accepted stream
     // inherits that on some platforms, and reads must wait for the
-    // request bytes either way.
+    // request bytes either way. Both directions get socket timeouts: the
+    // responder is single-threaded, so one stalled or half-open scraper
+    // must never wedge the accept loop — a client that won't send its
+    // request or won't drain the response is cut off, not waited on.
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
     drain_request_head(&mut stream)?;
     body.clear();
     registry.render_prometheus(body);
@@ -112,9 +116,36 @@ fn respond(
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    write_with_deadline(&mut stream, head.as_bytes(), deadline)?;
+    write_with_deadline(&mut stream, body.as_bytes(), deadline)?;
     stream.flush()
+}
+
+/// `write_all` under two bounds: the socket's `SO_SNDTIMEO` caps each
+/// individual write, and `deadline` caps the whole transfer — so a
+/// trickle-reading client cannot stretch a response out indefinitely by
+/// draining one buffer's worth every 499 ms. Short writes (a full socket
+/// buffer against a slow reader) are resumed from where they stopped.
+fn write_with_deadline(
+    stream: &mut TcpStream,
+    mut data: &[u8],
+    deadline: std::time::Instant,
+) -> std::io::Result<()> {
+    while !data.is_empty() {
+        if std::time::Instant::now() >= deadline {
+            return Err(std::io::ErrorKind::TimedOut.into());
+        }
+        match stream.write(data) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => data = &data[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // WouldBlock / TimedOut from SO_SNDTIMEO included: give up on
+            // this scraper and serve the next one.
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Reads until the blank line ending the HTTP request head (or EOF, or
@@ -194,5 +225,47 @@ mod tests {
         let registry = Arc::new(Registry::new());
         let listener = MetricsListener::bind("127.0.0.1:0", registry).expect("bind");
         listener.stop(); // must return promptly with no client ever connecting
+    }
+
+    #[test]
+    fn half_open_scraper_does_not_wedge_the_accept_loop() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("scd_listen_halfopen_total", "half-open test counter").add(1);
+        let listener = MetricsListener::bind("127.0.0.1:0", registry).expect("bind");
+        let addr = listener.local_addr().to_string();
+        // A client that connects and then sends nothing: the responder's
+        // read timeout must cut it loose...
+        let _mute = TcpStream::connect(&addr).expect("connect");
+        // ...so a real scrape right behind it still gets served. The
+        // fetch timeout is generous; without the read timeout on accepted
+        // sockets this would block until the test harness killed us.
+        let body = fetch(&addr).expect("scrape behind a half-open client");
+        assert!(body.contains("scd_listen_halfopen_total 1\n"), "body:\n{body}");
+        listener.stop();
+    }
+
+    #[test]
+    fn non_reading_scraper_does_not_wedge_the_accept_loop() {
+        let registry = Arc::new(Registry::new());
+        // Make the exposition far larger than any socket buffer, so
+        // writing it to a non-reading client MUST hit a short write.
+        for i in 0..4_000 {
+            let name: &'static str =
+                Box::leak(format!("scd_listen_flood_{i}_total").into_boxed_str());
+            registry.counter(name, "flood counter for the stalled-writer test").add(i);
+        }
+        let listener = MetricsListener::bind("127.0.0.1:0", Arc::clone(&registry)).expect("bind");
+        let addr = listener.local_addr().to_string();
+        // A scraper that sends a valid request and then never reads: the
+        // response cannot fit in the socket buffer, so an unbounded
+        // write_all would block the responder thread forever.
+        let mut stalled = TcpStream::connect(&addr).expect("connect");
+        write!(stalled, "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("send request");
+        // The responder must abandon the stalled client and serve this one.
+        let body = fetch(&addr).expect("scrape behind a non-reading client");
+        assert!(body.contains("scd_listen_flood_0_total 0\n"), "body:\n{body}");
+        drop(stalled);
+        listener.stop();
     }
 }

@@ -265,6 +265,40 @@ mod tests {
     }
 
     #[test]
+    fn corruption_injection_round_trip() {
+        // The same corruption model the network fault plans use: every
+        // injected single-bit flip must surface as a typed error, and the
+        // pristine bytes must still round-trip afterwards (decoding keeps
+        // no state that a failed attempt could poison).
+        let original = sample();
+        let clean = to_bytes(&original);
+        for seed in 0..200u64 {
+            let mut corruptor = scd_traffic::Corruptor::new(seed);
+            let mut bad = clean.clone();
+            let (pos, mask) = corruptor.flip_one_byte(&mut bad);
+            assert!(
+                from_bytes(&bad).is_err(),
+                "seed {seed}: flip at byte {pos} (mask {mask:#04x}) decoded successfully"
+            );
+        }
+        let back = from_bytes(&clean).expect("pristine bytes still decode");
+        assert_eq!(back.table(), original.table());
+        assert_eq!(back.rows().identity(), original.rows().identity());
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        // A small sketch keeps the exhaustive sweep cheap: every proper
+        // prefix must be rejected, none may panic.
+        let mut s = KarySketch::new(SketchConfig { h: 2, k: 32, seed: 9 });
+        s.update(1, 4.0);
+        let clean = to_bytes(&s);
+        for len in 0..clean.len() {
+            assert!(from_bytes(&clean[..len]).is_err(), "truncation to {len} went undetected");
+        }
+    }
+
+    #[test]
     fn with_rows_shares_family_and_rejects_mismatch() {
         let s = sample();
         let bytes = to_bytes(&s);

@@ -108,6 +108,152 @@ impl FaultPlan {
     }
 }
 
+/// What a network fault does to the frame it targets.
+///
+/// These model the failure modes of a real collector link that a
+/// CRC-guarded, ack/resend protocol must survive: lost frames, duplicated
+/// frames, bit-rot in flight, connections cut mid-frame, and stalls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetFaultKind {
+    /// The frame is silently discarded (never written to the socket).
+    DropFrame,
+    /// The frame is written twice back to back.
+    DuplicateFrame,
+    /// One byte of the frame is flipped before writing (the receiver's
+    /// CRC must catch it). The seed makes the flip position reproducible.
+    CorruptByte {
+        /// Seed for the deterministic byte/bit choice.
+        seed: u64,
+    },
+    /// Only a prefix of the frame is written, then the connection is
+    /// closed — the receiver sees a torn frame and an EOF.
+    TruncateAndClose {
+        /// Bytes of the frame to write before closing.
+        keep: usize,
+    },
+    /// The frame is written after this pause (exercises grace windows
+    /// and deadline tracking).
+    Delay(Duration),
+}
+
+/// One scheduled network fault.
+#[derive(Debug)]
+struct NetFault {
+    /// Fires on the first frame whose 1-based send index is ≥ `at`.
+    at: u64,
+    kind: NetFaultKind,
+    fired: AtomicBool,
+}
+
+/// A deterministic, shareable schedule of one-shot frame faults —
+/// [`FaultPlan`]'s counterpart for the wire. The sender consults
+/// [`action_for`](NetFaultPlan::action_for) once per frame write; each
+/// fault fires exactly once (resends after the induced reconnect are not
+/// re-killed by the same trigger). Clones share the fired flags.
+#[derive(Debug, Clone, Default)]
+pub struct NetFaultPlan {
+    faults: Arc<Vec<NetFault>>,
+}
+
+impl NetFaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        NetFaultPlan::default()
+    }
+
+    /// Adds a one-shot frame drop at the `at`-th frame (1-based).
+    pub fn and_drop_at(self, at: u64) -> Self {
+        self.push(at, NetFaultKind::DropFrame)
+    }
+
+    /// Adds a one-shot frame duplication.
+    pub fn and_duplicate_at(self, at: u64) -> Self {
+        self.push(at, NetFaultKind::DuplicateFrame)
+    }
+
+    /// Adds a one-shot single-byte corruption with a deterministic seed.
+    pub fn and_corrupt_at(self, at: u64, seed: u64) -> Self {
+        self.push(at, NetFaultKind::CorruptByte { seed })
+    }
+
+    /// Adds a one-shot truncate-and-close (write `keep` bytes, then cut).
+    pub fn and_truncate_at(self, at: u64, keep: usize) -> Self {
+        self.push(at, NetFaultKind::TruncateAndClose { keep })
+    }
+
+    /// Adds a one-shot delayed send.
+    pub fn and_delay_at(self, at: u64, pause: Duration) -> Self {
+        self.push(at, NetFaultKind::Delay(pause))
+    }
+
+    fn push(self, at: u64, kind: NetFaultKind) -> Self {
+        let mut faults: Vec<NetFault> = Arc::try_unwrap(self.faults).unwrap_or_else(|arc| {
+            arc.iter()
+                .map(|f| NetFault {
+                    at: f.at,
+                    kind: f.kind,
+                    fired: AtomicBool::new(f.fired.load(Ordering::Relaxed)),
+                })
+                .collect()
+        });
+        faults.push(NetFault { at, kind, fired: AtomicBool::new(false) });
+        NetFaultPlan { faults: Arc::new(faults) }
+    }
+
+    /// Parses a comma-separated schedule: `drop:N`, `dup:N`,
+    /// `corrupt:N[:SEED]`, `trunc:N[:KEEP]`, `delay:N:MS`. Frame indices
+    /// are 1-based. Example: `drop:3,corrupt:7,dup:11`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = NetFaultPlan::none();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            let parse_at = |s: &str| {
+                s.parse::<u64>().map_err(|_| format!("bad frame index in fault '{part}'"))
+            };
+            plan = match fields.as_slice() {
+                ["drop", at] => plan.and_drop_at(parse_at(at)?),
+                ["dup", at] => plan.and_duplicate_at(parse_at(at)?),
+                ["corrupt", at] => plan.and_corrupt_at(parse_at(at)?, 0xC0DE),
+                ["corrupt", at, seed] => {
+                    let seed = seed.parse().map_err(|_| format!("bad corrupt seed in '{part}'"))?;
+                    plan.and_corrupt_at(parse_at(at)?, seed)
+                }
+                ["trunc", at] => plan.and_truncate_at(parse_at(at)?, 5),
+                ["trunc", at, keep] => {
+                    let keep =
+                        keep.parse().map_err(|_| format!("bad truncate length in '{part}'"))?;
+                    plan.and_truncate_at(parse_at(at)?, keep)
+                }
+                ["delay", at, ms] => {
+                    let ms: u64 = ms.parse().map_err(|_| format!("bad delay in '{part}'"))?;
+                    plan.and_delay_at(parse_at(at)?, Duration::from_millis(ms))
+                }
+                _ => return Err(format!("unknown fault spec '{part}'")),
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Called by the sender before writing its `n`-th frame (1-based).
+    /// Returns the action for the first not-yet-fired fault whose
+    /// threshold has been reached, marking it fired — at most one fault
+    /// per frame (a second fault due at the same index fires on the next
+    /// frame).
+    pub fn action_for(&self, n: u64) -> Option<NetFaultKind> {
+        for fault in self.faults.iter() {
+            if n >= fault.at && !fault.fired.swap(true, Ordering::SeqCst) {
+                return Some(fault.kind);
+            }
+        }
+        None
+    }
+
+    /// True if every scheduled fault has fired.
+    pub fn exhausted(&self) -> bool {
+        self.faults.iter().all(|f| f.fired.load(Ordering::Relaxed))
+    }
+}
+
 /// Deterministic single-byte corrupter for persisted-format tests.
 #[derive(Debug)]
 pub struct Corruptor {
@@ -177,6 +323,42 @@ mod tests {
         let again = std::time::Instant::now();
         plan.before_record(2);
         assert!(again.elapsed() < Duration::from_millis(25));
+    }
+
+    #[test]
+    fn net_plan_fires_each_fault_once_in_schedule_order() {
+        let plan = NetFaultPlan::none().and_drop_at(2).and_corrupt_at(2, 7).and_duplicate_at(5);
+        assert_eq!(plan.action_for(1), None);
+        // Two faults due at frame 2: one per call, schedule order.
+        assert_eq!(plan.action_for(2), Some(NetFaultKind::DropFrame));
+        assert_eq!(plan.action_for(3), Some(NetFaultKind::CorruptByte { seed: 7 }));
+        assert_eq!(plan.action_for(4), None);
+        // Threshold semantics: index 6 still triggers the fault due at 5.
+        assert_eq!(plan.action_for(6), Some(NetFaultKind::DuplicateFrame));
+        assert!(plan.exhausted());
+        assert_eq!(plan.action_for(7), None);
+    }
+
+    #[test]
+    fn net_plan_clones_share_fired_state() {
+        let plan = NetFaultPlan::none().and_drop_at(1);
+        let clone = plan.clone();
+        assert_eq!(plan.action_for(1), Some(NetFaultKind::DropFrame));
+        assert_eq!(clone.action_for(1), None);
+        assert!(clone.exhausted());
+    }
+
+    #[test]
+    fn net_plan_parses_specs() {
+        let plan = NetFaultPlan::parse("drop:3,dup:7,corrupt:9:42,trunc:11:6,delay:13:25").unwrap();
+        assert_eq!(plan.action_for(3), Some(NetFaultKind::DropFrame));
+        assert_eq!(plan.action_for(7), Some(NetFaultKind::DuplicateFrame));
+        assert_eq!(plan.action_for(9), Some(NetFaultKind::CorruptByte { seed: 42 }));
+        assert_eq!(plan.action_for(11), Some(NetFaultKind::TruncateAndClose { keep: 6 }));
+        assert_eq!(plan.action_for(13), Some(NetFaultKind::Delay(Duration::from_millis(25))));
+        assert!(NetFaultPlan::parse("explode:1").is_err());
+        assert!(NetFaultPlan::parse("drop:x").is_err());
+        assert!(NetFaultPlan::parse("").unwrap().exhausted());
     }
 
     #[test]
