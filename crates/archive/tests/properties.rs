@@ -154,3 +154,118 @@ fn queries_reject_bad_windows_with_typed_errors() {
         Err(ArchiveError::OutOfRange { coverage: Some((0, 32)), .. })
     ));
 }
+
+/// Pushes intervals one at a time until the archive performs its next
+/// buddy merge, returning the interval count at which it happened.
+fn push_until_next_merge(archive: &mut SketchArchive<KarySketch>, mut t: u64) -> u64 {
+    let before = archive.merges_total();
+    loop {
+        let mut s = proto().zero_like();
+        let mut notable: Vec<(u64, f64)> = Vec::new();
+        for (key, v) in interval_updates(t) {
+            s.update(key, v);
+            notable.push((key, v));
+        }
+        archive.push(s, &notable).unwrap();
+        t += 1;
+        if archive.merges_total() > before {
+            return t;
+        }
+    }
+}
+
+/// A range query that straddles a *just-merged* buddy pair answers
+/// exactly what direct ingest of the snapped-outward window would: the
+/// merge coarsens coverage granularity but never perturbs a register
+/// bit (integer volumes make every cell an exact sum).
+#[test]
+fn range_straddling_a_just_merged_pair_is_exact() {
+    let config = ArchiveConfig { max_sketches: 8, full_resolution: 3, keys_per_epoch: 8 };
+    let mut archive = SketchArchive::new(config).unwrap();
+    let mut pushed = push_until_next_merge(&mut archive, 0);
+    // Do it twice more so merged epochs sit in the middle of coverage,
+    // not at its very edge.
+    pushed = push_until_next_merge(&mut archive, pushed);
+    pushed = push_until_next_merge(&mut archive, pushed);
+    // Find a merged epoch (len ≥ 2) with a neighbor on each side.
+    let merged = archive
+        .epochs()
+        .find(|e| e.len() >= 2)
+        .map(|e| (e.start(), e.end()))
+        .expect("a merge just happened, so a wide epoch exists");
+    let (mstart, mend) = merged;
+    // Ask for a window that splits the merged pair down the middle: it
+    // must snap outward to whole epochs on both sides.
+    let mid = mstart + 1;
+    let range = archive.range_sketch(mid, mend + 1).unwrap();
+    let (lo, hi) = range.covered;
+    assert!(lo <= mstart && hi >= mend, "covered [{lo}, {hi}) does not swallow the merged pair");
+    assert!(lo >= archive.coverage().unwrap().0);
+    let mut direct = proto().zero_like();
+    for t in lo..hi {
+        for (key, v) in interval_updates(t) {
+            direct.update(key, v);
+        }
+    }
+    assert_eq!(range.sketch.table(), direct.table(), "merged-boundary range diverged");
+    let _ = pushed;
+}
+
+/// `key_history` across a just-merged pair reports the pair as ONE point
+/// whose width, total and mean reflect the merged epoch — and the total
+/// equals the estimate from direct ingest of those intervals bit for
+/// bit.
+#[test]
+fn key_history_across_a_just_merged_pair_collapses_to_one_point() {
+    let config = ArchiveConfig { max_sketches: 8, full_resolution: 3, keys_per_epoch: 8 };
+    let mut archive = SketchArchive::new(config).unwrap();
+    let mut t = push_until_next_merge(&mut archive, 0);
+    t = push_until_next_merge(&mut archive, t);
+    let (mstart, mend, mlen) = archive
+        .epochs()
+        .find(|e| e.len() >= 2)
+        .map(|e| (e.start(), e.end(), e.len()))
+        .expect("merged epoch exists");
+    let key = 7u64; // one of the 32 steady keys
+                    // Straddle the pair: one interval inside it, extending past its end.
+    let history = archive.key_history(key, mstart + 1, mend + 1).unwrap();
+    let first = &history[0];
+    assert_eq!(first.start, mstart, "first point must snap to the merged epoch start");
+    assert_eq!(first.len, mlen, "merged pair must surface as one point of its full width");
+    // Every later point starts at the previous point's end: merge
+    // boundaries leave no gaps and no overlaps.
+    for pair in history.windows(2) {
+        assert_eq!(pair[0].start + pair[0].len, pair[1].start);
+    }
+    // The merged point's total is the estimate of the summed sketch,
+    // which (integer volumes) equals direct ingest of the pair exactly.
+    let mut direct = proto().zero_like();
+    for i in mstart..mend {
+        for (k, v) in interval_updates(i) {
+            direct.update(k, v);
+        }
+    }
+    assert_eq!(first.total.to_bits(), direct.estimate(key).to_bits());
+    assert_eq!(first.mean.to_bits(), (first.total / mlen as f64).to_bits());
+    let _ = t;
+}
+
+/// The merge that evicts resolution keeps the notable-key directory:
+/// candidates pooled over a window straddling the merged pair still
+/// surface the keys filed before the merge.
+#[test]
+fn directory_survives_buddy_merges() {
+    let config = ArchiveConfig { max_sketches: 8, full_resolution: 3, keys_per_epoch: 64 };
+    let mut archive = SketchArchive::new(config).unwrap();
+    let t = push_until_next_merge(&mut archive, 0);
+    let (mstart, mend) = archive
+        .epochs()
+        .find(|e| e.len() >= 2)
+        .map(|e| (e.start(), e.end()))
+        .expect("merged epoch exists");
+    let candidates = archive.candidate_keys(mstart, mend).unwrap();
+    for key in 0..32u64 {
+        assert!(candidates.contains(&key), "steady key {key} lost from merged directory");
+    }
+    let _ = t;
+}

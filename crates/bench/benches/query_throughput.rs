@@ -1,0 +1,221 @@
+//! Serving-plane query throughput: how many answers per second the
+//! `scd-serve` TCP front end sustains, per query type, under concurrent
+//! clients — and what attaching the plane costs the ingest path.
+//!
+//! Two measurements:
+//!
+//! * `query/*` — a warmed [`ServingPlane`] (engine replayed to steady
+//!   state, then frozen) behind a [`QueryServer`]; `CLIENTS` threads
+//!   each hammer ONE query type over its own TCP connection for a fixed
+//!   wall-clock window. Reported as aggregate queries/sec. `estimate`
+//!   hits the slim-sketch live path; the other three walk the replica
+//!   archive's dyadic epochs.
+//! * `ingest delta` — the same trace replayed through the pipelined
+//!   engine twice: bare, and with the serving plane attached plus
+//!   `CLIENTS` mixed-query clients live throughout. The delta is the
+//!   snapshot + query tax on ingest throughput — the number that tells
+//!   you whether reads ever block writes.
+//!
+//! Run with `SCD_BENCH_JSON=BENCH_query.json cargo bench --bench
+//! query_throughput` for the machine-readable report. `SCD_BENCH_SMOKE=1`
+//! shrinks the measurement windows for the per-PR CI gate.
+
+use scd_archive::ArchiveConfig;
+use scd_bench::microbench::Criterion;
+use scd_bench::{criterion_group, criterion_main};
+use scd_core::{DetectorConfig, EngineConfig, IntervalObserver, KeyStrategy, ShardedEngine};
+use scd_forecast::ModelSpec;
+use scd_hash::SplitMix64;
+use scd_serve::{QueryClient, QueryServer, Request, Response, ServingPlane};
+use scd_sketch::SketchConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 2;
+const INTERVALS: u64 = 32;
+const N_KEYS: u64 = 2_048;
+
+fn smoke() -> bool {
+    std::env::var_os("SCD_BENCH_SMOKE").is_some()
+}
+
+/// Per-query-type measurement window.
+fn window() -> Duration {
+    if smoke() {
+        Duration::from_millis(250)
+    } else {
+        Duration::from_millis(1_500)
+    }
+}
+
+fn updates_per_interval() -> usize {
+    if smoke() {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn detector_config() -> DetectorConfig {
+    DetectorConfig {
+        sketch: SketchConfig { h: 5, k: 1 << 13, seed: 0x5CD },
+        model: ModelSpec::Ewma { alpha: 0.5 },
+        threshold: 0.05,
+        key_strategy: KeyStrategy::TwoPass,
+    }
+}
+
+fn archive_config() -> ArchiveConfig {
+    ArchiveConfig { max_sketches: 24, full_resolution: 8, keys_per_epoch: 64 }
+}
+
+fn interval_updates(t: u64) -> Vec<(u64, f64)> {
+    let mut rng = SplitMix64::new(0x9E_BEEF ^ t);
+    (0..updates_per_interval())
+        .map(|_| (rng.next_below(N_KEYS), (rng.next_below(1_000) + 1) as f64))
+        .collect()
+}
+
+/// Replays the trace through a pipelined engine; when `plane` is given it
+/// rides along as the interval observer. Returns ingest updates/sec.
+fn replay(plane: Option<Arc<ServingPlane>>) -> f64 {
+    let mut config = EngineConfig::new(detector_config(), 2).with_pipeline();
+    if let Some(p) = plane {
+        config = config.with_observer(p as Arc<dyn IntervalObserver>);
+    }
+    let mut engine = ShardedEngine::new(config).expect("valid config");
+    let total = INTERVALS as usize * updates_per_interval();
+    let start = Instant::now();
+    for t in 0..INTERVALS {
+        engine.push_slice(&interval_updates(t)).expect("engine alive");
+        engine.end_interval_overlapped().expect("engine alive");
+    }
+    engine.drain().expect("engine alive");
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The four query shapes, one representative request each. Windows sit
+/// inside the warmed archive's coverage.
+fn request_for(kind: &str, rng: &mut SplitMix64) -> Request {
+    let key = rng.next_below(N_KEYS);
+    match kind {
+        "estimate" => Request::Estimate { key, from: 0, to: 0 },
+        "changed_keys" => Request::ChangedKeys { from: 8, to: 24, threshold: 0.05 },
+        "key_history" => Request::KeyHistory { key, from: 0, to: INTERVALS },
+        "range_sketch" => Request::RangeSketch { from: 8, to: 24 },
+        other => unreachable!("unknown query kind {other}"),
+    }
+}
+
+/// `CLIENTS` threads hammer one query type against `addr` for the
+/// measurement window; returns aggregate queries/sec.
+fn measure_qps(addr: &str, kind: &'static str) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                let mut client = QueryClient::connect(&addr).expect("connect");
+                let mut rng = SplitMix64::new(0xC11E27 ^ w as u64);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let resp = client.ask(&request_for(kind, &mut rng)).expect("query");
+                    assert!(
+                        !matches!(resp, Response::Error { .. } | Response::NoData { .. }),
+                        "warmed plane must answer {kind}"
+                    );
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    std::thread::sleep(window());
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|w| w.join().expect("client thread")).sum();
+    total as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_query_throughput(_c: &mut Criterion) {
+    // Warm a serving plane to steady state, then freeze it behind a
+    // server: the query numbers measure the read path alone.
+    let plane = ServingPlane::new(archive_config()).expect("valid config");
+    replay(Some(Arc::clone(&plane)));
+    let mut server =
+        QueryServer::bind("127.0.0.1:0", Arc::clone(&plane), None).expect("bind server");
+    let addr = server.addr().to_string();
+
+    println!("\nquery_throughput ({CLIENTS} clients, {:?} window per type)", window());
+    let kinds: [&'static str; 4] = ["estimate", "changed_keys", "key_history", "range_sketch"];
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for kind in kinds {
+        let qps = measure_qps(&addr, kind);
+        println!("  {kind:<14} {qps:>12.0} queries/s");
+        results.push((kind, qps));
+    }
+    server.shutdown();
+
+    // Ingest tax: replay bare, then with serving + live mixed clients.
+    let baseline = replay(None);
+    let plane = ServingPlane::new(archive_config()).expect("valid config");
+    let mut server =
+        QueryServer::bind("127.0.0.1:0", Arc::clone(&plane), None).expect("bind server");
+    let addr = server.addr().to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = QueryClient::connect(&addr).expect("connect");
+                let mut rng = SplitMix64::new(0x7A57E ^ w as u64);
+                let kinds = ["estimate", "changed_keys", "key_history", "range_sketch"];
+                while !stop.load(Ordering::Relaxed) {
+                    let kind = kinds[(rng.next_below(4)) as usize];
+                    // Early intervals legitimately answer NoData/OutOfRange;
+                    // the tax measurement only needs the load.
+                    let _ = client.ask(&request_for(kind, &mut rng)).expect("query");
+                }
+            })
+        })
+        .collect();
+    let serving = replay(Some(Arc::clone(&plane)));
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    server.shutdown();
+
+    let delta_pct = (baseline - serving) / baseline * 100.0;
+    println!(
+        "  ingest: bare {baseline:>12.0} updates/s   serving+queries {serving:>12.0} updates/s   \
+         delta {delta_pct:+.1}%"
+    );
+
+    if let Some(path) = std::env::var_os("SCD_BENCH_JSON") {
+        let lines: Vec<String> = results
+            .iter()
+            .map(|(kind, qps)| {
+                format!("    {{\"query\": \"{kind}\", \"clients\": {CLIENTS}, \"qps\": {qps:.1}}}")
+            })
+            .collect();
+        let body = format!(
+            "{{\n  \"harness\": \"scd-bench query throughput\",\n  \"clients\": {CLIENTS},\n  \
+             \"window_ms\": {},\n  \"results\": [\n{}\n  ],\n  \"ingest\": {{\"baseline_updates_per_s\": \
+             {baseline:.0}, \"serving_updates_per_s\": {serving:.0}, \"delta_pct\": {delta_pct:.2}}}\n}}\n",
+            window().as_millis(),
+            lines.join(",\n")
+        );
+        let path = std::path::PathBuf::from(path);
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("\nwrote query throughput report to {}", path.display()),
+            Err(e) => eprintln!("query_throughput: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

@@ -31,7 +31,16 @@
 //!              [--shards 4] [--budget 64] [--full-res 8] [--keys 64]
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //! scd query    --archive hist.scda --from T1 --to T2
-//!              [--threshold 0.05] [--key IP] [--top N]
+//!              [--threshold 0.05] [--key IP] [--estimate IP] [--top N]
+//! scd serve    --trace trace.bin --interval 60 --model ewma:0.5 --listen ADDR
+//!              [--shards N] [--pipeline] [--budget 64] [--full-res 8] [--keys 64]
+//!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
+//!              [--pace-ms N] [--linger-secs N] [--out hist.scda]
+//!              [--metrics FILE] [--metrics-listen ADDR]
+//! scd ask      --addr HOST:PORT (--estimate IP [--from T1 --to T2]
+//!              | --changed --from T1 --to T2 [--threshold 0.05]
+//!              | --history IP --from T1 --to T2
+//!              | --range --from T1 --to T2) [--top N] [--wait-secs N]
 //! ```
 //!
 //! Traces are the binary/CSV formats of `scd-traffic::io` (format chosen by
@@ -109,7 +118,15 @@ fn usage() -> ExitCode {
          \u{20}          [--budget 64] [--full-res 8] [--keys 64] [--h 5] [--k 32768]\n\
          \u{20}          [--threshold 0.05] [--sketch-seed N]\n\
          query     --archive FILE --from T1 --to T2 [--threshold 0.05]\n\
-         \u{20}          [--key IP] [--top N]\n\n\
+         \u{20}          [--key IP] [--estimate IP] [--top N]\n\
+         serve     --trace FILE --interval S --model SPEC --listen ADDR [--shards N]\n\
+         \u{20}          [--pipeline] [--budget 64] [--full-res 8] [--keys 64] [--h 5]\n\
+         \u{20}          [--k 32768] [--threshold 0.05] [--sketch-seed N] [--pace-ms N]\n\
+         \u{20}          [--linger-secs N] [--out FILE] [--metrics FILE] [--metrics-listen ADDR]\n\
+         ask       --addr HOST:PORT (--estimate IP [--from T1 --to T2] |\n\
+         \u{20}          --changed --from T1 --to T2 [--threshold 0.05] |\n\
+         \u{20}          --history IP --from T1 --to T2 | --range --from T1 --to T2)\n\
+         \u{20}          [--top N] [--wait-secs N]\n\n\
          model SPEC syntax: ma:5 | ewma:0.5 | nshw:0.6:0.2 | arima0:0.7,-0.1/0.3 | shw:a:b:g:m"
     );
     ExitCode::from(2)
@@ -131,6 +148,8 @@ fn main() -> ExitCode {
         "stream" => stream(&flags),
         "archive" => archive(&flags),
         "query" => query(&flags),
+        "serve" => serve(&flags),
+        "ask" => ask(&flags),
         "metrics" => metrics(&flags),
         "ingest-node" => ingest_node(&flags),
         "aggregate" => aggregate(&flags),
@@ -942,9 +961,29 @@ fn archive(flags: &Flags) -> CliResult {
     Ok(())
 }
 
+/// One key-history line, shared verbatim between offline `scd query` and
+/// online `scd ask` so the two outputs diff cleanly.
+fn print_history_point(start: u64, len: u64, total: f64, mean: f64) {
+    outln!(
+        "  intervals [{:>5}, {:>5})  width {:>4}  total {:+14.0}  mean {:+12.0}/interval",
+        start,
+        start + len,
+        len,
+        total,
+        mean
+    );
+}
+
+/// One changed-key line, shared verbatim between `scd query` and
+/// `scd ask`.
+fn print_change(key: u64, magnitude: f64) {
+    outln!("  CHANGE {:<16} net error {:+.0} bytes", format_ipv4(key as u32), magnitude);
+}
+
 /// Answers historical questions from an archive written by `scd archive`:
-/// top changed keys over a past window, or (with `--key`) one key's
-/// forecast-error history at the archive's decayed resolution.
+/// top changed keys over a past window, one key's forecast-error history
+/// at the archive's decayed resolution (`--key`), or a point estimate of
+/// one key's accumulated error over the window (`--estimate`).
 fn query(flags: &Flags) -> CliResult {
     let path: String = flags.require("archive")?;
     let from: u64 = flags.require("from")?;
@@ -953,20 +992,31 @@ fn query(flags: &Flags) -> CliResult {
     let top: usize = flags.get("top", 10)?;
 
     let archive = scd_archive::wire::load(std::path::Path::new(&path))?;
-    let (lo, hi) = archive.coverage().unwrap_or((0, 0));
+    // An archive with no epochs (the detector never warmed up before the
+    // dump) has nothing to answer from; that's a fact about the data, not
+    // an error.
+    let Some((lo, hi)) = archive.coverage() else {
+        outln!("no data: archive holds no epochs (model never warmed up)");
+        return Ok(());
+    };
+    if let Some(q) = flags.raw("estimate") {
+        let key = parse_ip_or_key(q)?;
+        let range = archive.range_sketch(from, to)?;
+        outln!(
+            "estimate over [{}, {}) (asked [{from}, {to}); {} epochs):",
+            range.covered.0,
+            range.covered.1,
+            range.epochs_used
+        );
+        outln!("  ESTIMATE {q} = {}", range.sketch.estimate(key));
+        return Ok(());
+    }
     if let Some(q) = flags.raw("key") {
         let key = parse_ip_or_key(q)?;
         let history = archive.key_history(key, from, to)?;
         outln!("history of {q} over [{from}, {to}) (archive covers [{lo}, {hi})):");
         for p in &history {
-            outln!(
-                "  intervals [{:>5}, {:>5})  width {:>4}  total {:+14.0}  mean {:+12.0}/interval",
-                p.start,
-                p.start + p.len,
-                p.len,
-                p.total,
-                p.mean
-            );
+            print_history_point(p.start, p.len, p.total, p.mean);
         }
         return Ok(());
     }
@@ -982,7 +1032,207 @@ fn query(flags: &Flags) -> CliResult {
         outln!("  none above threshold");
     }
     for c in report.changes.iter().take(top) {
-        outln!("  CHANGE {:<16} net error {:+.0} bytes", format_ipv4(c.key as u32), c.magnitude);
+        print_change(c.key, c.magnitude);
+    }
+    Ok(())
+}
+
+/// Replays a trace through the sharded engine with the serving plane
+/// attached: every interval close publishes a snapshot (slim sketch +
+/// replica archive) that a [`scd_serve::QueryServer`] answers live and
+/// historical queries from, concurrently with ingest. `--pace-ms` slows
+/// replay to leave a query window per interval; `--linger-secs` keeps
+/// serving after the trace ends; `--out` additionally dumps the engine's
+/// own archive so offline `scd query` can cross-check served answers.
+fn serve(flags: &Flags) -> CliResult {
+    let path: String = flags.require("trace")?;
+    let interval: u32 = flags.require("interval")?;
+    let model = ModelSpec::parse(&flags.require::<String>("model")?)?;
+    let listen: String = flags.require("listen")?;
+    let shards: usize = flags.get("shards", 1)?;
+    let pipeline = flags.has("pipeline");
+    let h: usize = flags.get("h", 5)?;
+    let k: usize = flags.get("k", 32_768)?;
+    let threshold: f64 = flags.get("threshold", 0.05)?;
+    let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
+    let budget: usize = flags.get("budget", 64)?;
+    let full_resolution: usize = flags.get("full-res", 8)?;
+    let keys_per_epoch: usize = flags.get("keys", 64)?;
+    let top: usize = flags.get("top", 10)?;
+    let pace_ms: u64 = flags.get("pace-ms", 0)?;
+    let linger_secs: u64 = flags.get("linger-secs", 0)?;
+    let out = flags.raw("out");
+
+    let records = read_trace(&path)?;
+    let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
+    let archive_cfg = ArchiveConfig { max_sketches: budget, full_resolution, keys_per_epoch };
+
+    let mut telemetry = Telemetry::from_flags(flags)?;
+    let serve_metrics = telemetry.as_ref().map(|t| scd_serve::ServeMetrics::register(&t.registry));
+    let plane = scd_serve::ServingPlane::with_metrics(archive_cfg, serve_metrics.clone())?;
+
+    let mut config = EngineConfig::new(
+        DetectorConfig {
+            sketch: SketchConfig { h, k, seed: sketch_seed },
+            model,
+            threshold,
+            key_strategy: KeyStrategy::TwoPass,
+        },
+        shards,
+    )
+    .with_observer(Arc::clone(&plane) as Arc<dyn scd_core::IntervalObserver>);
+    if out.is_some() {
+        config = config.with_archive(archive_cfg);
+    }
+    if pipeline {
+        config = config.with_pipeline();
+    }
+    if let Some(t) = &telemetry {
+        config = config.with_metrics(Arc::clone(&t.pipeline));
+    }
+    let mut engine = ShardedEngine::new(config)?;
+
+    let server = scd_serve::QueryServer::bind(&listen, Arc::clone(&plane), serve_metrics)?;
+    eprintln!("serving queries on {}", server.addr());
+    outln!(
+        "serving {} intervals of {interval}s on {} ({} shards{})",
+        intervals.len(),
+        server.addr(),
+        shards,
+        if pipeline { ", pipelined" } else { "" }
+    );
+
+    for items in &intervals {
+        engine.push_slice(items)?;
+        if let Some(report) = engine.end_interval_overlapped()? {
+            emit_report(&report, top, &mut telemetry, &mut None)?;
+        }
+        if pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(pace_ms));
+        }
+    }
+    if let Some(report) = engine.drain()? {
+        emit_report(&report, top, &mut telemetry, &mut None)?;
+    }
+    if linger_secs > 0 {
+        eprintln!("replay done; serving for {linger_secs}s more");
+        std::thread::sleep(std::time::Duration::from_secs(linger_secs));
+    }
+    if let Some(out) = out {
+        let archive = engine.take_archive().expect("engine built with an archive");
+        scd_archive::wire::write_atomic(&archive, std::path::Path::new(out))?;
+        outln!("archive dumped to {out}");
+    }
+    drop(server);
+    if let Some(t) = telemetry {
+        t.finish()?;
+    }
+    Ok(())
+}
+
+/// Asks a running `scd serve` one question over the `SCDQ` protocol and
+/// prints the answer in the same body-line formats as offline
+/// `scd query`, so the two can be diffed.
+fn ask(flags: &Flags) -> CliResult {
+    use scd_serve::{QueryClient, Request, Response};
+    let addr: String = flags.require("addr")?;
+    let top: usize = flags.get("top", 10)?;
+    let wait_secs: u64 = flags.get("wait-secs", 0)?;
+
+    let request = if let Some(q) = flags.raw("estimate") {
+        let key = parse_ip_or_key(q)?;
+        let from: u64 = flags.get("from", 0)?;
+        let to: u64 = flags.get("to", 0)?;
+        Request::Estimate { key, from, to }
+    } else if flags.has("changed") {
+        Request::ChangedKeys {
+            from: flags.require("from")?,
+            to: flags.require("to")?,
+            threshold: flags.get("threshold", 0.05)?,
+        }
+    } else if let Some(q) = flags.raw("history") {
+        Request::KeyHistory {
+            key: parse_ip_or_key(q)?,
+            from: flags.require("from")?,
+            to: flags.require("to")?,
+        }
+    } else if flags.has("range") {
+        Request::RangeSketch { from: flags.require("from")?, to: flags.require("to")? }
+    } else {
+        return Err(FlagError(
+            "ask needs one of --estimate KEY | --changed | --history KEY | --range".into(),
+        )
+        .into());
+    };
+
+    // Optionally wait for the server to come up (the CI smoke job starts
+    // `scd serve` in the background and races it).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(wait_secs);
+    let mut client = loop {
+        match QueryClient::connect(&addr) {
+            Ok(c) => break c,
+            Err(e) if std::time::Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    match client.ask(&request)? {
+        Response::NoData { reason } => outln!("no data: {reason}"),
+        Response::Error { message } => {
+            return Err(FlagError(format!("server answered: {message}")).into())
+        }
+        Response::Estimate { as_of, live, value, error_bound } => {
+            let q = flags.raw("estimate").expect("estimate request came from --estimate");
+            if live {
+                outln!(
+                    "live estimate as of interval {as_of} (slim-sketch bound {error_bound:.3e}):"
+                );
+            } else {
+                outln!("estimate as of interval {as_of}:");
+            }
+            outln!("  ESTIMATE {q} = {value}");
+        }
+        Response::ChangedKeys {
+            as_of,
+            requested,
+            covered,
+            epochs_used,
+            alarm_threshold,
+            changes,
+            ..
+        } => {
+            outln!(
+                "changed keys in [{}, {}) (asked [{}, {}); {} epochs, T_A = {:.0}; as of interval {as_of}):",
+                covered.0,
+                covered.1,
+                requested.0,
+                requested.1,
+                epochs_used,
+                alarm_threshold
+            );
+            if changes.is_empty() {
+                outln!("  none above threshold");
+            }
+            for &(key, magnitude) in changes.iter().take(top) {
+                print_change(key, magnitude);
+            }
+        }
+        Response::KeyHistory { as_of, covered, points } => {
+            outln!("history over [{}, {}) as of interval {as_of}:", covered.0, covered.1);
+            for &(start, len, total, mean) in &points {
+                print_history_point(start, len, total, mean);
+            }
+        }
+        Response::RangeSketch { as_of, covered, epochs_used, sum, error_f2 } => {
+            outln!(
+                "range [{}, {}) as of interval {as_of}: {} epochs, sum {sum:.0}, F2 {error_f2:.3e}",
+                covered.0,
+                covered.1,
+                epochs_used
+            );
+        }
     }
     Ok(())
 }

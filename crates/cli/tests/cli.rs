@@ -272,3 +272,39 @@ fn stream_with_many_intervals_does_not_deadlock() {
     std::fs::remove_file(&trace).ok();
     std::fs::remove_file(&out_path).ok();
 }
+
+/// An archive dumped before the model ever warmed up holds zero epochs.
+/// Querying it must produce a clean "no data" answer (exit 0), not an
+/// out-of-range error: nothing about the request was wrong, the archive
+/// just has nothing to say.
+#[test]
+fn query_on_empty_archive_says_no_data() {
+    let trace = temp_trace("empty-archive");
+    let trace_s = trace.to_str().unwrap();
+    // Segment the whole trace into ONE detection interval: every model
+    // spends it warming up, no error sketch is ever produced, and the
+    // archive is dumped with zero epochs.
+    let (_, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "0.1", "--interval", "60"])
+        .args(["--out", trace_s, "--seed", "3"]));
+    assert!(ok, "generate failed: {stderr}");
+
+    let hist = trace.with_extension("scda");
+    let hist_s = hist.to_str().unwrap();
+    let (stdout, stderr, ok) = run(scd()
+        .args(["archive", "--trace", trace_s, "--interval", "3600", "--model", "ewma:0.5"])
+        .args(["--out", hist_s, "--shards", "2", "--k", "1024"]));
+    assert!(ok, "archive failed: {stderr}");
+    assert!(stdout.contains("0 epochs"), "expected empty archive: {stdout}");
+
+    // All three query shapes answer "no data" with a success exit.
+    for extra in [&["--threshold", "0.4"][..], &["--key", "9"][..], &["--estimate", "9"][..]] {
+        let (stdout, stderr, ok) =
+            run(scd().args(["query", "--archive", hist_s, "--from", "0", "--to", "6"]).args(extra));
+        assert!(ok, "query {extra:?} errored on empty archive: {stderr}");
+        assert!(stdout.contains("no data"), "query {extra:?}: {stdout}");
+    }
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&hist).ok();
+}

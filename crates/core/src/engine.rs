@@ -65,6 +65,35 @@ use std::thread::JoinHandle;
 /// `keys_per_epoch`).
 const NOTABLE_KEYS_OFFERED: usize = 256;
 
+/// The notable-key directory entries the engine offers an archive for one
+/// interval: the report's top error keys (already sorted by the detector),
+/// truncated to the engine-internal offer cap (256), with errors folded to
+/// magnitude.
+/// Exposed so out-of-engine archive replicas (e.g. a serving plane fed by
+/// an [`IntervalObserver`]) file exactly the entries the engine would.
+pub fn notable_keys(report: &IntervalReport) -> Vec<(u64, f64)> {
+    report.errors.iter().take(NOTABLE_KEYS_OFFERED).map(|&(key, err)| (key, err.abs())).collect()
+}
+
+/// Observer of interval boundaries on a [`ShardedEngine`].
+///
+/// Called synchronously on the thread that ran detection — the caller's
+/// thread in sequential mode, the detect thread in pipeline mode — once
+/// per closed interval, *after* the detector produced the report and
+/// *before* the engine's own archive consumes the error sketch.
+/// Implementations must therefore be cheap-or-offloaded: a slow observer
+/// stalls the turnover (in pipeline mode, the whole detect stage).
+///
+/// `error` is the interval's forecast-error sketch `Se(t)` labeled with
+/// the detector interval `t` it covers; `None` while the model is warming
+/// up (no error sketch exists yet). Observing never mutates detection:
+/// reports are bit-identical with an observer attached or not.
+pub trait IntervalObserver: Send + Sync + std::fmt::Debug {
+    /// One interval closed with `report`; `error` is `(t, Se(t))` when an
+    /// error sketch exists for a (possibly lagged) interval `t`.
+    fn interval_closed(&self, report: &IntervalReport, error: Option<(usize, &KarySketch)>);
+}
+
 /// Configuration for a [`ShardedEngine`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -93,6 +122,11 @@ pub struct EngineConfig {
     /// share). Telemetry never changes a report: ingestion and detection
     /// are bit-identical with metrics on or off.
     pub metrics: Option<Arc<PipelineMetrics>>,
+    /// When set, the observer is invoked at every interval close with the
+    /// report and the interval's error sketch — the hook a serving plane
+    /// uses to publish read-optimized snapshots. Observing never changes
+    /// a report.
+    pub observer: Option<Arc<dyn IntervalObserver>>,
 }
 
 impl EngineConfig {
@@ -108,6 +142,7 @@ impl EngineConfig {
             archive: None,
             pipeline: false,
             metrics: None,
+            observer: None,
         }
     }
 
@@ -126,6 +161,13 @@ impl EngineConfig {
     /// Enables pipeline telemetry.
     pub fn with_metrics(mut self, metrics: Arc<PipelineMetrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches an interval observer (e.g. a serving plane's snapshot
+    /// publisher).
+    pub fn with_observer(mut self, observer: Arc<dyn IntervalObserver>) -> Self {
+        self.observer = Some(observer);
         self
     }
 }
@@ -325,12 +367,7 @@ fn archive_error(
         while archive.next_interval() < t as u64 {
             archive.push(zero.clone(), &[])?;
         }
-        let notable: Vec<(u64, f64)> = report
-            .errors
-            .iter()
-            .take(NOTABLE_KEYS_OFFERED)
-            .map(|&(key, err)| (key, err.abs()))
-            .collect();
+        let notable = notable_keys(report);
         archive.push(error, &notable)?;
     }
     Ok(())
@@ -343,6 +380,7 @@ fn archive_error(
 fn detect_interval(
     detector: &mut SketchChangeDetector,
     archive: Option<&mut SketchArchive<KarySketch>>,
+    observer: Option<&dyn IntervalObserver>,
     observed: &KarySketch,
     keys: Vec<u64>,
     metrics: Option<&PipelineMetrics>,
@@ -350,13 +388,21 @@ fn detect_interval(
     if let Some(m) = metrics {
         m.engine.intervals_total.inc();
     }
-    match archive {
-        Some(archive) => {
-            let sw = Stopwatch::start();
-            let (report, archived) = detector.process_observed_archiving(observed, keys);
-            if let Some(m) = metrics {
-                m.engine.detect_ns.record(sw.elapsed_ns());
-            }
+    if archive.is_some() || observer.is_some() {
+        // The error sketch is wanted — by the archive, the observer, or
+        // both. Both entry points run the same turnover, so the report is
+        // bit-identical to the plain path's.
+        let sw = Stopwatch::start();
+        let (report, archived) = detector.process_observed_archiving(observed, keys);
+        if let Some(m) = metrics {
+            m.engine.detect_ns.record(sw.elapsed_ns());
+        }
+        // Observer first: it borrows the error sketch the archive is about
+        // to consume.
+        if let Some(observer) = observer {
+            observer.interval_closed(&report, archived.as_ref().map(|&(t, ref e)| (t, e)));
+        }
+        if let Some(archive) = archive {
             let sw = Stopwatch::start();
             archive_error(archive, &report, archived)?;
             if let Some(m) = metrics {
@@ -365,32 +411,40 @@ fn detect_interval(
                 m.engine.archive_bytes.set(archive.memory_bytes() as f64);
                 m.engine.archive_merges.set(archive.merges_total() as f64);
             }
-            Ok(report)
         }
-        // No archive: the recycling (non-archiving) turnover path.
-        None => {
-            let sw = Stopwatch::start();
-            let report = detector.process_observed(observed, keys);
-            if let Some(m) = metrics {
-                m.engine.detect_ns.record(sw.elapsed_ns());
-            }
-            Ok(report)
+        Ok(report)
+    } else {
+        // No archive, no observer: the recycling (non-archiving) turnover
+        // path.
+        let sw = Stopwatch::start();
+        let report = detector.process_observed(observed, keys);
+        if let Some(m) = metrics {
+            m.engine.detect_ns.record(sw.elapsed_ns());
         }
+        Ok(report)
     }
+}
+
+/// Everything the pipelined detect thread owns: the detector plus its
+/// optional attachments (archive, observer, telemetry).
+struct DetectSide {
+    detector: SketchChangeDetector,
+    archive: Option<SketchArchive<KarySketch>>,
+    observer: Option<Arc<dyn IntervalObserver>>,
+    metrics: Option<Arc<PipelineMetrics>>,
 }
 
 /// The pipelined detect thread: owns the detector (and archive), merges
 /// shard sketches into a recycled buffer, runs the turnover, returns
 /// cleared sketches to the workers, and ships one report per interval.
 fn detect_loop(
-    mut detector: SketchChangeDetector,
-    mut archive: Option<SketchArchive<KarySketch>>,
+    side: DetectSide,
     spare_txs: Vec<Sender<KarySketch>>,
     detect_rx: Receiver<DetectMsg>,
     report_tx: Sender<Result<IntervalReport, EngineError>>,
     vec_return: Sender<Vec<KarySketch>>,
-    metrics: Option<Arc<PipelineMetrics>>,
 ) {
+    let DetectSide { mut detector, mut archive, observer, metrics } = side;
     let mut merged = KarySketch::with_rows(Arc::clone(detector.rows()));
     while let Ok(msg) = detect_rx.recv() {
         match msg {
@@ -405,6 +459,7 @@ fn detect_loop(
                 let result = detect_interval(
                     &mut detector,
                     archive.as_mut(),
+                    observer.as_deref(),
                     &merged,
                     keys,
                     metrics.as_deref(),
@@ -443,6 +498,10 @@ pub struct ShardedEngine {
     records_total: u64,
     /// Telemetry sink; `None` keeps every metric branch off the hot path.
     metrics: Option<Arc<PipelineMetrics>>,
+    /// Interval-close observer, invoked on the detecting thread. Held
+    /// here for the inline backend; the pipelined backend's copy lives on
+    /// the detect thread.
+    observer: Option<Arc<dyn IntervalObserver>>,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -583,11 +642,16 @@ impl ShardedEngine {
             let (report_tx, report_rx) = bounded::<Result<IntervalReport, EngineError>>(4);
             let (vec_tx, vec_rx) = bounded::<Vec<KarySketch>>(2);
             let metrics = config.metrics.clone();
+            let observer = config.observer.clone();
             let thread = std::thread::Builder::new()
                 .name("scd-detect".into())
                 .spawn(move || {
                     detect_loop(
-                        detector, archive, spare_txs, detect_rx, report_tx, vec_tx, metrics,
+                        DetectSide { detector, archive, observer, metrics },
+                        spare_txs,
+                        detect_rx,
+                        report_tx,
+                        vec_tx,
                     );
                 })
                 .expect("spawn detect thread");
@@ -617,6 +681,7 @@ impl ShardedEngine {
             keys,
             records_total: 0,
             metrics: config.metrics,
+            observer: config.observer,
         })
     }
 
@@ -836,6 +901,7 @@ impl ShardedEngine {
         }
         let keys = self.keys.take();
         let metrics = self.metrics.clone();
+        let observer = self.observer.clone();
         let DetectBackend::Inline { detector, archive, merged, shard_bufs, spare_txs } =
             &mut self.detect
         else {
@@ -850,7 +916,14 @@ impl ShardedEngine {
         }
         recycle_shards(&mut bufs, spare_txs);
         *shard_bufs = bufs;
-        detect_interval(detector, archive.as_mut(), observed, keys, metrics.as_deref())
+        detect_interval(
+            detector,
+            archive.as_mut(),
+            observer.as_deref(),
+            observed,
+            keys,
+            metrics.as_deref(),
+        )
     }
 
     /// Pipeline-mode handoff: flush the shards, ship the interval's

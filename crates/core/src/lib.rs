@@ -96,7 +96,7 @@ pub use detector::{
     Alarm, DetectorConfig, DetectorSnapshot, DropStats, IntervalReport, KeyStrategy, RestoreError,
     SketchChangeDetector,
 };
-pub use engine::{EngineConfig, EngineError, ShardedEngine};
+pub use engine::{notable_keys, EngineConfig, EngineError, IntervalObserver, ShardedEngine};
 pub use gridsearch::{search_model, GridSearchConfig, GridSearchResult};
 pub use hierarchy::{HierarchicalDetector, HierarchyConfig, LocalizedAlarm};
 pub use metrics::{

@@ -1,0 +1,45 @@
+//! A minimal blocking client for the `SCDQ` query protocol — one
+//! request, one response, over a persistent connection. Used by
+//! `scd ask`, the CI smoke job, and the soak/bench harnesses.
+
+use crate::proto::{ProtoError, Request, Response};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long one `ask` may wait for its response before the connection is
+/// considered dead.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A connected query client. Queries are idempotent reads: on any error,
+/// drop the client, reconnect, and retry.
+#[derive(Debug)]
+pub struct QueryClient {
+    stream: TcpStream,
+}
+
+impl QueryClient {
+    /// Connects to a [`QueryServer`](crate::QueryServer) at `addr`
+    /// (e.g. `"127.0.0.1:7171"`).
+    ///
+    /// # Errors
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: &str) -> std::io::Result<QueryClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+        stream.set_write_timeout(Some(RESPONSE_TIMEOUT))?;
+        Ok(QueryClient { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    /// Any [`ProtoError`]: transport failure, response timeout (`Io`),
+    /// corruption, or a server that closed mid-exchange (`Closed`).
+    pub fn ask(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        use std::io::Write;
+        self.stream.write_all(&req.encode())?;
+        self.stream.flush()?;
+        Response::read_from(&mut self.stream)
+    }
+}

@@ -1,0 +1,472 @@
+//! The query listener: a multi-client TCP front end over the
+//! [`ServingPlane`]'s snapshots, plus the pure [`answer`] function it
+//! (and the tests) evaluate queries with.
+//!
+//! Connection handling follows the `scd-obs` metrics listener:
+//! non-blocking accept polled against a stop flag, then blocking
+//! per-connection I/O under read/write deadlines so one stalled client
+//! can neither hang shutdown nor wedge its handler thread forever. Each
+//! connection pins the *current* view per request — a client issuing
+//! many queries sees the pipeline advance between them, but every single
+//! answer is interval-consistent (one atomic view, one `as_of`).
+
+use crate::metrics::ServeMetrics;
+use crate::proto::{ProtoError, Request, Response};
+use crate::view::{ServingPlane, ServingView};
+use scd_archive::ArchiveError;
+use scd_obs::Stopwatch;
+use scd_sketch::{PointEstimate, SecondMoment};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-connection socket read timeout: an idle-but-open client is fine
+/// (the read just times out and retries until `stop`), a mid-frame stall
+/// longer than this tears the connection down.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Per-response write budget; a client not draining its socket for this
+/// long loses the connection.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Concurrent-connection cap; accepts beyond it are dropped immediately
+/// (the client sees a clean close at a frame boundary and may retry).
+const MAX_CONNECTIONS: usize = 64;
+
+/// Evaluates one query against one frozen [`ServingView`] — pure, no
+/// I/O, shared by the TCP handler, the CLI's offline path, and the
+/// tests.
+///
+/// Archive outcomes map onto responses as: an empty window (`to ≤ from`
+/// historically, or any historical query before the archive holds its
+/// first epoch) is [`Response::NoData`] — a fact about the data, not a
+/// failure; a window outside a *non-empty* archive's coverage, or a
+/// sketch-level fault, is [`Response::Error`].
+pub fn answer(view: &ServingView, req: &Request) -> Response {
+    let Some(as_of) = view.interval else {
+        return Response::NoData { reason: "no interval has closed yet".into() };
+    };
+    match *req {
+        Request::Estimate { key, from, to } if from == to => match &view.slim {
+            Some(slim) => Response::Estimate {
+                as_of,
+                live: true,
+                value: slim.estimate(key),
+                error_bound: slim.error_bound(),
+            },
+            None => {
+                Response::NoData { reason: "model is still warming up: no error sketch yet".into() }
+            }
+        },
+        Request::Estimate { key, from, to } => match view.archive.range_sketch(from, to) {
+            Ok(range) => Response::Estimate {
+                as_of,
+                live: false,
+                value: range.sketch.estimate(key),
+                error_bound: 0.0,
+            },
+            Err(e) => archive_miss(e),
+        },
+        Request::ChangedKeys { from, to, threshold } => {
+            match view.archive.changed_keys(from, to, threshold, &[]) {
+                Ok(report) => Response::ChangedKeys {
+                    as_of,
+                    requested: report.requested,
+                    covered: report.covered,
+                    epochs_used: report.epochs_used as u64,
+                    error_f2: report.error_f2,
+                    alarm_threshold: report.alarm_threshold,
+                    changes: report.changes.into_iter().map(|c| (c.key, c.magnitude)).collect(),
+                },
+                Err(e) => archive_miss(e),
+            }
+        }
+        Request::KeyHistory { key, from, to } => match view.archive.key_history(key, from, to) {
+            Ok(points) => Response::KeyHistory {
+                as_of,
+                covered: points
+                    .first()
+                    .zip(points.last())
+                    .map_or((0, 0), |(a, b)| (a.start, b.start + b.len)),
+                points: points.into_iter().map(|p| (p.start, p.len, p.total, p.mean)).collect(),
+            },
+            Err(e) => archive_miss(e),
+        },
+        Request::RangeSketch { from, to } => match view.archive.range_sketch(from, to) {
+            Ok(range) => Response::RangeSketch {
+                as_of,
+                covered: range.covered,
+                epochs_used: range.epochs_used as u64,
+                sum: range.sketch.get().sum(),
+                error_f2: range.sketch.estimate_f2(),
+            },
+            Err(e) => archive_miss(e),
+        },
+    }
+}
+
+/// Maps an archive query failure onto the wire: "nothing there" answers
+/// become [`Response::NoData`], real faults become [`Response::Error`].
+fn archive_miss(e: ArchiveError) -> Response {
+    match e {
+        ArchiveError::EmptyRange { .. } => Response::NoData { reason: e.to_string() },
+        ArchiveError::OutOfRange { coverage: None, .. } => {
+            Response::NoData { reason: "archive holds no epochs yet (model warming up)".into() }
+        }
+        other => Response::Error { message: other.to_string() },
+    }
+}
+
+/// A TCP query server bound to a local address, answering [`Request`]s
+/// against the [`ServingPlane`]'s current view until stopped or dropped.
+#[derive(Debug)]
+pub struct QueryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — see
+    /// [`addr`](Self::addr)) and starts the accept loop.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: &str,
+        plane: Arc<ServingPlane>,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> std::io::Result<QueryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("scd-serve-accept".into())
+            .spawn(move || accept_loop(listener, plane, metrics, accept_stop))
+            .expect("spawn accept thread");
+        Ok(QueryServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (with the real port when bound ephemerally).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the accept loop to stop and waits for it to exit. Open
+    /// connections drain on their own threads; their handlers observe
+    /// the stop flag at the next read timeout.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    plane: Arc<ServingPlane>,
+    metrics: Option<Arc<ServeMetrics>>,
+    stop: Arc<AtomicBool>,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if live.load(Ordering::Acquire) >= MAX_CONNECTIONS {
+                    if let Some(m) = &metrics {
+                        m.connections_refused.inc();
+                    }
+                    drop(stream);
+                    continue;
+                }
+                if let Some(m) = &metrics {
+                    m.connections_total.inc();
+                }
+                live.fetch_add(1, Ordering::AcqRel);
+                let plane = Arc::clone(&plane);
+                let metrics = metrics.clone();
+                let stop = Arc::clone(&stop);
+                let conn_live = Arc::clone(&live);
+                let spawned =
+                    std::thread::Builder::new().name("scd-serve-conn".into()).spawn(move || {
+                        let _ = serve_connection(stream, &plane, metrics.as_deref(), &stop);
+                        conn_live.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    live.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// One connection's request/response loop. Returns on clean close, any
+/// protocol error (the connection is torn down — queries are idempotent
+/// and the client reconnects), or server stop.
+fn serve_connection(
+    stream: TcpStream,
+    plane: &ServingPlane,
+    metrics: Option<&ServeMetrics>,
+    stop: &AtomicBool,
+) -> Result<(), ProtoError> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let req = match Request::read_from(&mut reader) {
+            Ok(req) => req,
+            Err(ProtoError::Closed) => return Ok(()),
+            // An idle client between requests: the read timed out at a
+            // frame boundary. Check the stop flag and wait again.
+            Err(ProtoError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let sw = Stopwatch::start();
+        let view = plane.view();
+        let resp = answer(&view, &req);
+        if let Some(m) = metrics {
+            m.queries_total.inc();
+            match resp {
+                Response::Error { .. } => m.query_errors.inc(),
+                Response::NoData { .. } => m.query_nodata.inc(),
+                _ => {}
+            }
+            m.answer_ns.record(sw.elapsed_ns());
+        }
+        writer.write_all(&resp.encode())?;
+        writer.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slim::SlimSketch;
+    use scd_archive::ArchiveConfig;
+    use scd_core::{IntervalObserver, IntervalReport};
+    use scd_sketch::{KarySketch, SketchConfig};
+
+    fn plane_with_two_intervals() -> Arc<ServingPlane> {
+        let plane = ServingPlane::new(ArchiveConfig {
+            max_sketches: 8,
+            full_resolution: 4,
+            keys_per_epoch: 16,
+        })
+        .unwrap();
+        for t in 0..2usize {
+            let mut err = KarySketch::new(SketchConfig { h: 3, k: 256, seed: 5 });
+            for key in 0..30u64 {
+                err.update(key, ((key + 1) * (t as u64 + 1)) as f64);
+            }
+            let report = IntervalReport {
+                interval: t,
+                warmed_up: true,
+                errors: vec![(2, 5.0)],
+                ..Default::default()
+            };
+            plane.interval_closed(&report, Some((t, &err)));
+        }
+        plane
+    }
+
+    /// Pre-first-interval views answer every query kind with NoData.
+    #[test]
+    fn empty_view_answers_nodata_everywhere() {
+        let plane = ServingPlane::new(ArchiveConfig {
+            max_sketches: 8,
+            full_resolution: 4,
+            keys_per_epoch: 16,
+        })
+        .unwrap();
+        let view = plane.view();
+        let reqs = [
+            Request::Estimate { key: 1, from: 0, to: 0 },
+            Request::Estimate { key: 1, from: 0, to: 4 },
+            Request::ChangedKeys { from: 0, to: 4, threshold: 0.05 },
+            Request::KeyHistory { key: 1, from: 0, to: 4 },
+            Request::RangeSketch { from: 0, to: 4 },
+        ];
+        for req in reqs {
+            assert!(
+                matches!(answer(&view, &req), Response::NoData { .. }),
+                "expected NoData for {req:?}"
+            );
+        }
+    }
+
+    /// A warmed-up view answers live estimates from the slim sketch and
+    /// historical estimates from the archive, both tagged with as_of.
+    #[test]
+    fn live_and_historical_estimates() {
+        let plane = plane_with_two_intervals();
+        let view = plane.view();
+        let slim = view.slim.as_ref().unwrap();
+        match answer(&view, &Request::Estimate { key: 7, from: 0, to: 0 }) {
+            Response::Estimate { as_of, live, value, error_bound } => {
+                assert_eq!(as_of, 1);
+                assert!(live);
+                assert_eq!(value.to_bits(), slim.estimate(7).to_bits());
+                assert!(error_bound >= 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match answer(&view, &Request::Estimate { key: 7, from: 0, to: 2 }) {
+            Response::Estimate { as_of, live, value, error_bound } => {
+                assert_eq!(as_of, 1);
+                assert!(!live);
+                let expect = view.archive.range_sketch(0, 2).unwrap().sketch.estimate(7);
+                assert_eq!(value.to_bits(), expect.to_bits());
+                assert_eq!(error_bound, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Empty windows and not-yet-covered windows answer NoData; windows
+    /// outside a non-empty archive answer Error.
+    #[test]
+    fn window_misses_map_to_nodata_or_error() {
+        let plane = plane_with_two_intervals();
+        let view = plane.view();
+        assert!(matches!(
+            answer(&view, &Request::RangeSketch { from: 4, to: 2 }),
+            Response::NoData { .. }
+        ));
+        assert!(matches!(
+            answer(&view, &Request::RangeSketch { from: 10, to: 20 }),
+            Response::Error { .. }
+        ));
+    }
+
+    /// End-to-end over a real socket: bind, connect, ask all four kinds,
+    /// answers equal the pure `answer` on the same view.
+    #[test]
+    fn serves_all_query_kinds_over_tcp() {
+        let plane = plane_with_two_intervals();
+        let mut server = QueryServer::bind("127.0.0.1:0", Arc::clone(&plane), None).unwrap();
+        let view = plane.view();
+        let mut client = crate::client::QueryClient::connect(&server.addr().to_string()).unwrap();
+        let reqs = [
+            Request::Estimate { key: 3, from: 0, to: 0 },
+            Request::Estimate { key: 3, from: 0, to: 2 },
+            Request::ChangedKeys { from: 0, to: 2, threshold: 0.05 },
+            Request::KeyHistory { key: 3, from: 0, to: 2 },
+            Request::RangeSketch { from: 0, to: 2 },
+        ];
+        for req in reqs {
+            let served = client.ask(&req).unwrap();
+            assert_eq!(served, answer(&view, &req), "mismatch for {req:?}");
+        }
+        server.shutdown();
+    }
+
+    /// Protocol corruption tears down only the offending connection; the
+    /// server keeps serving new ones.
+    #[test]
+    fn corrupt_frame_drops_connection_but_not_server() {
+        let plane = plane_with_two_intervals();
+        let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&plane), None).unwrap();
+        let addr = server.addr().to_string();
+        {
+            let mut bad = TcpStream::connect(&addr).unwrap();
+            bad.write_all(b"GARBAGE NOT A FRAME").unwrap();
+            bad.flush().unwrap();
+            // The server rejects at the magic check and closes; reading
+            // eventually observes EOF.
+            let mut buf = [0u8; 16];
+            use std::io::Read;
+            bad.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            loop {
+                match bad.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        panic!("server did not close corrupted connection")
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        let mut client = crate::client::QueryClient::connect(&addr).unwrap();
+        let resp = client.ask(&Request::RangeSketch { from: 0, to: 2 }).unwrap();
+        assert!(matches!(resp, Response::RangeSketch { .. }));
+    }
+
+    /// Multiple concurrent clients each get consistent answers.
+    #[test]
+    fn concurrent_clients_get_consistent_answers() {
+        let plane = plane_with_two_intervals();
+        let server = QueryServer::bind("127.0.0.1:0", Arc::clone(&plane), None).unwrap();
+        let addr = server.addr().to_string();
+        let view = plane.view();
+        let expect = answer(&view, &Request::Estimate { key: 9, from: 0, to: 0 });
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                let expect = expect.clone();
+                std::thread::spawn(move || {
+                    let mut client = crate::client::QueryClient::connect(&addr).unwrap();
+                    for _ in 0..25 {
+                        let got =
+                            client.ask(&Request::Estimate { key: 9, from: 0, to: 0 }).unwrap();
+                        assert_eq!(got, expect);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// The slim sketch the server answers from matches a fresh projection
+    /// of the last error sketch (guards the handoff wiring end to end).
+    #[test]
+    fn served_live_estimates_match_fresh_projection() {
+        let plane = plane_with_two_intervals();
+        let view = plane.view();
+        let mut err = KarySketch::new(SketchConfig { h: 3, k: 256, seed: 5 });
+        for key in 0..30u64 {
+            err.update(key, ((key + 1) * 2) as f64);
+        }
+        let fresh = SlimSketch::from_fat(&err);
+        for key in 0..30u64 {
+            assert_eq!(
+                view.slim.as_ref().unwrap().estimate(key).to_bits(),
+                fresh.estimate(key).to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The read-optimized **slim sketch** — the "fat-free" second stage of an
+//! SF-sketch pair (Yang et al.).
+//!
+//! The engine's k-ary sketch is update-optimized: `f64` registers, no
+//! derived state, so UPDATE is `H` adds and COMBINE is exact. Point
+//! queries against it, however, pay an `O(K)` scan per fresh sketch —
+//! `ESTIMATE` needs the stream total `sum(S)`, which the paper computes
+//! "once before any ESTIMATE is called" — and drag `8·H·K` bytes through
+//! the cache. The slim sketch is the read-side companion:
+//!
+//! * **`f32` registers** — half the table bytes of the fat sketch, so far
+//!   more of it stays cache-resident under a query storm;
+//! * **the stream total precomputed** — maintained incrementally, so a
+//!   point query touches exactly `H` cells and never rescans a row;
+//! * **synced at interval boundaries** — [`SlimSketch::from_fat`] /
+//!   [`SlimSketch::sync`] rebuild it from the fat sketch at interval
+//!   close (the handoff the serving plane publishes), and
+//!   [`SlimSketch::update`] mirrors write-path updates in between for
+//!   intra-interval freshness.
+//!
+//! The price is `f64 → f32` rounding, and the bound is knowable:
+//! [`SlimSketch::error_bound`] returns a conservative per-estimate bound
+//! derived from the largest magnitude the table has held. For integer
+//! cells below 2²⁴ (packet/byte counts in one interval) the rounding is
+//! zero and slim estimates equal fat estimates **exactly** — the property
+//! tests below assert both regimes.
+
+use scd_hash::HashRows;
+use scd_sketch::{median_over_rows, KarySketch};
+use std::sync::Arc;
+
+/// Reused buffers for [`SlimSketch::estimate_batch`]; keep one per query
+/// thread and the batch path allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct SlimScratch {
+    buckets: Vec<usize>,
+    values: Vec<f64>,
+    per_row: Vec<f64>,
+}
+
+impl SlimScratch {
+    /// An empty scratch; buffers are sized lazily by the first batch.
+    pub fn new() -> Self {
+        SlimScratch::default()
+    }
+}
+
+/// A compact read-optimized projection of a [`KarySketch`]: `f32`
+/// registers plus the stream total and magnitude ceiling maintained
+/// incrementally. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SlimSketch {
+    rows: Arc<HashRows>,
+    /// Row-major `H × K` register table, `f32`.
+    table: Vec<f32>,
+    /// The stream total `Σ_a v_a`, carried in full `f64` precision — the
+    /// quantity the fat sketch recomputes by scanning row 0.
+    sum: f64,
+    /// Largest `|cell|` the table has held since the last
+    /// [`sync`](Self::sync) — the magnitude the rounding bound scales
+    /// with.
+    max_abs: f64,
+    /// `f64 → f32` roundings a cell may have absorbed since the last
+    /// sync: 1 for the sync itself plus one per incremental update.
+    roundings: u64,
+}
+
+impl SlimSketch {
+    /// Builds a slim sketch from a fat one (the interval-close path).
+    pub fn from_fat(fat: &KarySketch) -> SlimSketch {
+        let mut slim = SlimSketch {
+            rows: Arc::clone(fat.rows()),
+            table: vec![0.0; fat.table().len()],
+            sum: 0.0,
+            max_abs: 0.0,
+            roundings: 1,
+        };
+        slim.sync(fat);
+        slim
+    }
+
+    /// Re-projects `fat` into this slim sketch without reallocating —
+    /// the steady-state interval-boundary refresh.
+    ///
+    /// # Panics
+    /// Panics if `fat` belongs to a different hash family (the serving
+    /// plane always syncs against the one detector family).
+    pub fn sync(&mut self, fat: &KarySketch) {
+        assert_eq!(
+            self.rows.identity(),
+            fat.rows().identity(),
+            "slim sketch must sync against its own hash family"
+        );
+        let mut max_abs = 0.0f64;
+        for (dst, &src) in self.table.iter_mut().zip(fat.table()) {
+            *dst = src as f32;
+            max_abs = max_abs.max(src.abs());
+        }
+        self.sum = fat.sum();
+        self.max_abs = max_abs;
+        self.roundings = 1;
+    }
+
+    /// Number of hash rows `H`.
+    pub fn h(&self) -> usize {
+        self.rows.h()
+    }
+
+    /// Buckets per row `K`.
+    pub fn k(&self) -> usize {
+        self.rows.k()
+    }
+
+    /// The hash family shared with the fat sketch.
+    pub fn rows(&self) -> &Arc<HashRows> {
+        &self.rows
+    }
+
+    /// Heap bytes of the register table — half the fat sketch's.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The maintained stream total (no row scan).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mirrors one write-path `UPDATE` into the slim table — the
+    /// intra-interval freshness path when the serving plane tracks
+    /// updates between syncs. Arithmetic is performed in `f64` and
+    /// rounded once per cell, so integer streams below 2²⁴ stay exact.
+    #[inline]
+    pub fn update(&mut self, key: u64, value: f64) {
+        let k = self.k();
+        for row in 0..self.h() {
+            let bucket = self.rows.bucket(row, key);
+            let cell = &mut self.table[row * k + bucket];
+            let next = f64::from(*cell) + value;
+            *cell = next as f32;
+            self.max_abs = self.max_abs.max(next.abs());
+        }
+        self.sum += value;
+        self.roundings += 1;
+    }
+
+    /// **ESTIMATE** against the slim table: the paper's
+    /// `median_i (T[i][h_i(key)] − sum/K) / (1 − 1/K)` with the stream
+    /// total read from the maintained scalar — `H` cell loads, no row
+    /// scan. Per-row arithmetic is `f64`; the only precision lost is the
+    /// cells' storage rounding, bounded by
+    /// [`error_bound`](Self::error_bound).
+    pub fn estimate(&self, key: u64) -> f64 {
+        let k = self.k() as f64;
+        let kk = self.k();
+        median_over_rows(self.h(), |row| {
+            let cell = f64::from(self.table[row * kk + self.rows.bucket(row, key)]);
+            (cell - self.sum / k) / (1.0 - 1.0 / k)
+        })
+    }
+
+    /// **ESTIMATE** over a block of keys: appends one estimate per key to
+    /// `out`, equal to calling [`estimate`](Self::estimate) per key in
+    /// order (the batch-vs-scalar property test asserts exact `==`), but
+    /// restructured like the fat sketch's `estimate_batch` — hash phase,
+    /// per-row gather phase, then per-key median — so each `4·K`-byte
+    /// register row stays hot for the whole block. `out` is cleared
+    /// first.
+    pub fn estimate_batch(&self, keys: &[u64], scratch: &mut SlimScratch, out: &mut Vec<f64>) {
+        out.clear();
+        let n = keys.len();
+        if n == 0 {
+            return;
+        }
+        let h = self.h();
+        let kk = self.k();
+        let kf = kk as f64;
+        scratch.buckets.clear();
+        scratch.buckets.resize(h * n, 0);
+        self.rows.buckets_batch(keys, &mut scratch.buckets);
+        scratch.values.clear();
+        scratch.values.resize(h * n, 0.0);
+        for row in 0..h {
+            let cells = &self.table[row * kk..(row + 1) * kk];
+            let row_buckets = &scratch.buckets[row * n..(row + 1) * n];
+            let vals = &mut scratch.values[row * n..(row + 1) * n];
+            for (v, &bucket) in vals.iter_mut().zip(row_buckets) {
+                *v = f64::from(cells[bucket]);
+            }
+        }
+        scratch.per_row.clear();
+        scratch.per_row.resize(h, 0.0);
+        out.reserve(n);
+        for i in 0..n {
+            for (row, per_row) in scratch.per_row.iter_mut().enumerate() {
+                let cell = scratch.values[row * n + i];
+                *per_row = (cell - self.sum / kf) / (1.0 - 1.0 / kf);
+            }
+            out.push(scd_sketch::median::median_inplace(&mut scratch.per_row));
+        }
+    }
+
+    /// A conservative bound on `|slim.estimate(key) − fat.estimate(key)|`
+    /// for the fat sketch this slim one mirrors.
+    ///
+    /// Each cell stores at most `roundings` `f64 → f32`
+    /// conversions since the last sync, each off by at most half an ulp
+    /// at the table's magnitude ceiling: `max_abs · 2⁻²⁴`. The estimator
+    /// divides a cell difference by `(1 − 1/K)`, so per estimate:
+    ///
+    /// ```text
+    /// bound = roundings · max_abs · 2⁻²⁴ / (1 − 1/K)
+    /// ```
+    ///
+    /// The median across rows cannot exceed the worst row, so the bound
+    /// survives the reduction. For tables whose cells are integers below
+    /// 2²⁴ every conversion is exact and the true error is zero — the
+    /// bound is an upper envelope, not an estimate.
+    pub fn error_bound(&self) -> f64 {
+        let k = self.k() as f64;
+        (self.roundings as f64) * self.max_abs * 2f64.powi(-24) / (1.0 - 1.0 / k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_sketch::SketchConfig;
+
+    fn fat(seed: u64) -> KarySketch {
+        KarySketch::new(SketchConfig { h: 5, k: 1024, seed })
+    }
+
+    /// Integer update streams (counts below 2²⁴) round-trip `f32`
+    /// exactly, so slim estimates equal fat estimates bit for bit.
+    #[test]
+    fn integer_cells_estimate_exactly_equal_to_fat() {
+        let mut f = fat(7);
+        for key in 0..400u64 {
+            f.update(key, ((key * 37) % 5000 + 1) as f64);
+        }
+        let slim = SlimSketch::from_fat(&f);
+        let est = f.estimator();
+        for key in 0..400u64 {
+            let (a, b) = (slim.estimate(key), est.estimate(key));
+            assert_eq!(a.to_bits(), b.to_bits(), "key {key}: slim {a} vs fat {b}");
+        }
+        assert_eq!(slim.error_bound(), slim.error_bound().abs());
+    }
+
+    /// Fractional cells pick up `f32` rounding; the error must stay
+    /// within the advertised bound.
+    #[test]
+    fn fractional_cells_stay_within_error_bound() {
+        let mut f = fat(8);
+        for key in 0..400u64 {
+            f.update(key, (key as f64 + 0.1) * 1.000_000_7);
+        }
+        let slim = SlimSketch::from_fat(&f);
+        let bound = slim.error_bound();
+        assert!(bound > 0.0);
+        let est = f.estimator();
+        for key in 0..400u64 {
+            let err = (slim.estimate(key) - est.estimate(key)).abs();
+            assert!(err <= bound, "key {key}: error {err} exceeds bound {bound}");
+        }
+    }
+
+    /// Mirroring updates incrementally lands in the same state as
+    /// rebuilding from the fat sketch, for integer streams.
+    #[test]
+    fn incremental_update_matches_rebuild_on_integer_streams() {
+        let mut f = fat(9);
+        for key in 0..64u64 {
+            f.update(key, (key + 1) as f64);
+        }
+        let mut incremental = SlimSketch::from_fat(&f);
+        for key in 0..64u64 {
+            let v = ((key * 13) % 200 + 1) as f64;
+            f.update(key, v);
+            incremental.update(key, v);
+        }
+        let rebuilt = SlimSketch::from_fat(&f);
+        for key in 0..64u64 {
+            let (a, b) = (incremental.estimate(key), rebuilt.estimate(key));
+            assert_eq!(a.to_bits(), b.to_bits(), "key {key}: incremental {a} vs rebuilt {b}");
+        }
+        // The incremental bound is wider (one rounding per update) but
+        // still finite and monotone in the update count.
+        assert!(incremental.error_bound() >= rebuilt.error_bound());
+    }
+
+    /// `estimate_batch` is a pure restructuring of the scalar loop.
+    #[test]
+    fn batch_estimates_equal_scalar_estimates() {
+        let mut f = fat(10);
+        for key in 0..300u64 {
+            f.update(key * 3 + 1, ((key % 97) + 1) as f64 * 1.5);
+        }
+        let slim = SlimSketch::from_fat(&f);
+        let keys: Vec<u64> = (0..300u64).map(|k| k * 3 + 1).collect();
+        let mut scratch = SlimScratch::new();
+        let mut out = Vec::new();
+        slim.estimate_batch(&keys, &mut scratch, &mut out);
+        assert_eq!(out.len(), keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            let scalar = slim.estimate(key);
+            assert_eq!(
+                out[i].to_bits(),
+                scalar.to_bits(),
+                "key {key}: batch {} vs scalar {scalar}",
+                out[i]
+            );
+        }
+        // Reusing the scratch (second call) must not change anything.
+        let mut again = Vec::new();
+        slim.estimate_batch(&keys, &mut scratch, &mut again);
+        assert_eq!(out, again);
+        // Empty key set clears the output.
+        slim.estimate_batch(&[], &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// The maintained sum tracks the fat sketch's row-scan total.
+    #[test]
+    fn maintained_sum_matches_fat_scan() {
+        let mut f = fat(11);
+        let mut slim = SlimSketch::from_fat(&f);
+        for key in 0..100u64 {
+            let v = (key % 10 + 1) as f64;
+            f.update(key, v);
+            slim.update(key, v);
+        }
+        assert_eq!(slim.sum(), f.sum());
+        slim.sync(&f);
+        assert_eq!(slim.sum(), f.sum());
+        assert_eq!(slim.memory_bytes() * 2, f.memory_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "hash family")]
+    fn sync_rejects_foreign_family() {
+        let a = fat(1);
+        let b = fat(2);
+        let mut slim = SlimSketch::from_fat(&a);
+        slim.sync(&b);
+    }
+}

@@ -1,0 +1,289 @@
+//! The snapshot-handoff machinery: an [`IntervalObserver`] that turns
+//! every interval close into an immutable, atomically-swapped
+//! [`ServingView`] readers can query without ever blocking the writer.
+//!
+//! # Handoff semantics
+//!
+//! The engine invokes [`ServingPlane::interval_closed`] synchronously on
+//! the detecting thread, *before* the engine's own archive consumes the
+//! error sketch. The plane then:
+//!
+//! 1. advances its **replica archive** — a
+//!    `SketchArchive<SharedSketch<KarySketch>>` fed the exact push
+//!    sequence of the engine's archive (zero back-fill for warm-up and
+//!    NextInterval-lag gaps, then the error sketch with the same
+//!    [`notable_keys`] directory entries), so historical answers served
+//!    from a snapshot are **bit-identical** to offline `scd query`
+//!    against the engine's dumped archive;
+//! 2. rebuilds the **slim sketch** ([`SlimSketch::from_fat`]) — the
+//!    read-optimized SF-style projection live point queries hit;
+//! 3. publishes a new [`ServingView`] by swapping one `Arc` pointer.
+//!
+//! Because the replica's element type is copy-on-write
+//! ([`SharedSketch`]), step 3's archive clone is an `Arc` bump per epoch;
+//! register tables are deep-copied only when a later buddy merge mutates
+//! an epoch a published view still references. Readers clone the current
+//! `Arc<ServingView>` (one brief read lock, never held across a query)
+//! and then work entirely on immutable data: a reader mid-query keeps
+//! its whole interval-consistent world alive while newer views supersede
+//! it.
+
+use crate::metrics::ServeMetrics;
+use crate::shared::SharedSketch;
+use crate::slim::SlimSketch;
+use scd_archive::{ArchiveConfig, ArchiveError, SketchArchive};
+use scd_core::{notable_keys, IntervalObserver, IntervalReport};
+use scd_obs::Stopwatch;
+use scd_sketch::KarySketch;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One interval's immutable serving state: everything a query needs,
+/// frozen at an interval boundary. Cheap to clone (Arc bumps all the way
+/// down).
+#[derive(Debug, Clone)]
+pub struct ServingView {
+    /// Index of the last closed interval this view reflects; `None`
+    /// before the first interval closes.
+    pub interval: Option<u64>,
+    /// The last interval's detection report (alarms, F2 energy,
+    /// threshold). `None` before the first interval closes.
+    pub report: Option<IntervalReport>,
+    /// Read-optimized projection of the latest error sketch — the live
+    /// point-estimate path. `None` until the model warms up (no error
+    /// sketch exists yet).
+    pub slim: Option<Arc<SlimSketch>>,
+    /// Snapshot of the error-sketch history replica — the historical
+    /// query path (`range_sketch`, `key_history`, `changed_keys`).
+    pub archive: SketchArchive<SharedSketch<KarySketch>>,
+}
+
+/// Writer-side state: the replica archive the observer advances under a
+/// mutex held only on the detecting thread.
+#[derive(Debug)]
+struct Replica {
+    archive: SketchArchive<SharedSketch<KarySketch>>,
+}
+
+/// The serving plane: owns the replica archive, implements
+/// [`IntervalObserver`], and publishes [`ServingView`] snapshots. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct ServingPlane {
+    replica: Mutex<Replica>,
+    current: RwLock<Arc<ServingView>>,
+    metrics: Option<Arc<ServeMetrics>>,
+}
+
+impl ServingPlane {
+    /// Creates a plane whose replica archive uses `config` — pass the
+    /// same [`ArchiveConfig`] as the engine's archive, or served
+    /// historical answers will diverge from offline queries.
+    ///
+    /// # Errors
+    /// [`ArchiveError::BadConfig`] for an invalid archive shape.
+    pub fn new(config: ArchiveConfig) -> Result<Arc<ServingPlane>, ArchiveError> {
+        Self::with_metrics(config, None)
+    }
+
+    /// Like [`new`](Self::new), with serving telemetry attached.
+    ///
+    /// # Errors
+    /// [`ArchiveError::BadConfig`] for an invalid archive shape.
+    pub fn with_metrics(
+        config: ArchiveConfig,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> Result<Arc<ServingPlane>, ArchiveError> {
+        let archive = SketchArchive::new(config)?;
+        let empty =
+            ServingView { interval: None, report: None, slim: None, archive: archive.clone() };
+        Ok(Arc::new(ServingPlane {
+            replica: Mutex::new(Replica { archive }),
+            current: RwLock::new(Arc::new(empty)),
+            metrics,
+        }))
+    }
+
+    /// The current view: one read lock to clone the `Arc`, then the
+    /// caller works lock-free on immutable data.
+    pub fn view(&self) -> Arc<ServingView> {
+        Arc::clone(&self.current.read().expect("serving view lock poisoned"))
+    }
+
+    fn publish(&self, view: ServingView) {
+        let view = Arc::new(view);
+        *self.current.write().expect("serving view lock poisoned") = view;
+    }
+}
+
+impl IntervalObserver for ServingPlane {
+    fn interval_closed(&self, report: &IntervalReport, error: Option<(usize, &KarySketch)>) {
+        let sw = Stopwatch::start();
+        let mut replica = self.replica.lock().expect("serving replica lock poisoned");
+        let mut slim = self.view().slim.clone();
+        if let Some((t, err)) = error {
+            // Mirror the engine's `archive_error` push sequence exactly:
+            // zero back-fill up to t, then the error sketch with the same
+            // notable-key directory entries.
+            let zero = SharedSketch::new(err.zero_like());
+            while replica.archive.next_interval() < t as u64 {
+                replica
+                    .archive
+                    .push(zero.clone(), &[])
+                    .expect("replica push cannot fail after back-fill");
+            }
+            let notable = notable_keys(report);
+            replica
+                .archive
+                .push(SharedSketch::new(err.clone()), &notable)
+                .expect("replica push cannot fail after back-fill");
+            slim = Some(Arc::new(SlimSketch::from_fat(err)));
+        }
+        let view = ServingView {
+            interval: Some(report.interval as u64),
+            report: Some(report.clone()),
+            slim,
+            archive: replica.archive.clone(),
+        };
+        if let Some(m) = &self.metrics {
+            m.snapshots_total.inc();
+            m.view_interval.set(report.interval as f64);
+            m.view_epochs.set(view.archive.sketch_count() as f64);
+            let slim_bytes = view.slim.as_ref().map_or(0, |s| s.memory_bytes());
+            m.view_bytes.set((view.archive.memory_bytes() + slim_bytes) as f64);
+            m.snapshot_ns.record(sw.elapsed_ns());
+        }
+        drop(replica);
+        self.publish(view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scd_sketch::SketchConfig;
+
+    fn archive_cfg() -> ArchiveConfig {
+        ArchiveConfig { max_sketches: 8, full_resolution: 4, keys_per_epoch: 16 }
+    }
+
+    fn error_sketch(seed_shift: u64) -> KarySketch {
+        let mut s = KarySketch::new(SketchConfig { h: 3, k: 256, seed: 11 });
+        for key in 0..40u64 {
+            s.update(key, (key + 1 + seed_shift) as f64);
+        }
+        s
+    }
+
+    fn report_at(interval: usize) -> IntervalReport {
+        IntervalReport {
+            interval,
+            warmed_up: true,
+            errors: vec![(3, 9.0), (1, -4.0)],
+            ..IntervalReport::default()
+        }
+    }
+
+    /// Before any interval closes, the view is explicitly empty.
+    #[test]
+    fn initial_view_is_empty() {
+        let plane = ServingPlane::new(archive_cfg()).unwrap();
+        let view = plane.view();
+        assert!(view.interval.is_none());
+        assert!(view.report.is_none());
+        assert!(view.slim.is_none());
+        assert!(view.archive.coverage().is_none());
+    }
+
+    /// Warm-up intervals (no error sketch) publish the report but leave
+    /// slim sketch and archive untouched.
+    #[test]
+    fn warmup_interval_publishes_report_only() {
+        let plane = ServingPlane::new(archive_cfg()).unwrap();
+        plane.interval_closed(&IntervalReport { interval: 0, ..Default::default() }, None);
+        let view = plane.view();
+        assert_eq!(view.interval, Some(0));
+        assert!(view.report.is_some());
+        assert!(view.slim.is_none());
+        assert!(view.archive.coverage().is_none());
+    }
+
+    /// The replica mirrors the engine's push sequence: warm-up gaps are
+    /// zero-filled so archive intervals track detector intervals.
+    #[test]
+    fn replica_backfills_warmup_gap_and_tracks_intervals() {
+        let plane = ServingPlane::new(archive_cfg()).unwrap();
+        plane.interval_closed(&report_at(0), None);
+        let err = error_sketch(0);
+        plane.interval_closed(&report_at(1), Some((1, &err)));
+        let view = plane.view();
+        assert_eq!(view.interval, Some(1));
+        assert_eq!(view.archive.coverage(), Some((0, 2)));
+        // Epoch 0 is the zero back-fill; epoch 1 holds the error sketch.
+        let range = view.archive.range_sketch(1, 2).unwrap();
+        assert_eq!(range.sketch.get().table(), err.table());
+        let zero = view.archive.range_sketch(0, 1).unwrap();
+        assert!(zero.sketch.get().table().iter().all(|&c| c == 0.0));
+    }
+
+    /// Published views are immutable: a held snapshot still reads its
+    /// interval's state after later closes advance the replica.
+    #[test]
+    fn held_snapshot_survives_later_intervals() {
+        let plane = ServingPlane::new(archive_cfg()).unwrap();
+        let err1 = error_sketch(0);
+        plane.interval_closed(&report_at(0), Some((0, &err1)));
+        let old = plane.view();
+        let err2 = error_sketch(100);
+        plane.interval_closed(&report_at(1), Some((1, &err2)));
+        // The old view's world is frozen at interval 0.
+        assert_eq!(old.interval, Some(0));
+        assert_eq!(old.archive.coverage(), Some((0, 1)));
+        assert_eq!(old.slim.as_ref().unwrap().estimate(5).to_bits(), err1.estimate(5).to_bits());
+        // The new view sees both epochs and the fresh slim sketch.
+        let new = plane.view();
+        assert_eq!(new.archive.coverage(), Some((0, 2)));
+        assert_eq!(new.slim.as_ref().unwrap().estimate(5).to_bits(), err2.estimate(5).to_bits());
+    }
+
+    /// The slim sketch carries forward across an interval that produced
+    /// no error sketch (e.g. a NextInterval lag gap).
+    #[test]
+    fn slim_carries_forward_through_gap() {
+        let plane = ServingPlane::new(archive_cfg()).unwrap();
+        let err = error_sketch(7);
+        plane.interval_closed(&report_at(0), Some((0, &err)));
+        plane.interval_closed(&report_at(1), None);
+        let view = plane.view();
+        assert_eq!(view.interval, Some(1));
+        assert!(view.slim.is_some());
+        assert_eq!(view.archive.coverage(), Some((0, 1)));
+    }
+
+    /// The replica's notable-key directory matches `notable_keys` on the
+    /// report, so candidate ranking matches the engine archive's.
+    #[test]
+    fn replica_files_notable_keys() {
+        let plane = ServingPlane::new(archive_cfg()).unwrap();
+        let report = report_at(0);
+        let err = error_sketch(0);
+        plane.interval_closed(&report, Some((0, &err)));
+        let view = plane.view();
+        let candidates = view.archive.candidate_keys(0, 1).unwrap();
+        assert_eq!(candidates, vec![3, 1]);
+    }
+
+    /// Serving metrics advance with each snapshot.
+    #[test]
+    fn metrics_track_snapshots() {
+        let registry = scd_obs::Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let plane = ServingPlane::with_metrics(archive_cfg(), Some(Arc::clone(&metrics))).unwrap();
+        let err = error_sketch(0);
+        plane.interval_closed(&report_at(0), Some((0, &err)));
+        plane.interval_closed(&report_at(1), Some((1, &err)));
+        let mut text = String::new();
+        registry.render_prometheus(&mut text);
+        assert!(text.contains("scd_serve_snapshots_total 2"));
+        assert!(text.contains("scd_serve_view_interval 1"));
+    }
+}

@@ -14,6 +14,7 @@
 
 use crate::batch::BatchScratch;
 use crate::error::SketchError;
+use crate::linear::min_over_rows;
 use scd_hash::HashRows;
 use std::sync::Arc;
 
@@ -84,9 +85,7 @@ impl CountMinSketch {
     /// non-negative streams); overestimates by colliding mass.
     pub fn estimate(&self, key: u64) -> f64 {
         let k = self.k();
-        (0..self.h())
-            .map(|row| self.table[row * k + self.rows.bucket(row, key)])
-            .fold(f64::INFINITY, f64::min)
+        min_over_rows(self.h(), |row| self.table[row * k + self.rows.bucket(row, key)])
     }
 
     /// Total stream mass (row 0 sum).

@@ -17,7 +17,7 @@
 
 use crate::batch::BatchScratch;
 use crate::error::SketchError;
-use crate::median::median_inplace;
+use crate::linear::median_over_rows;
 use scd_hash::{HashRows, Hasher4, SplitMix64};
 use std::sync::Arc;
 
@@ -99,20 +99,18 @@ impl CountSketch {
     /// variance ≤ `F2 / K` per row.
     pub fn estimate(&self, key: u64) -> f64 {
         let k = self.k();
-        let mut per_row: Vec<f64> = (0..self.h())
-            .map(|row| self.sign(row, key) * self.table[row * k + self.rows.bucket(row, key)])
-            .collect();
-        median_inplace(&mut per_row)
+        median_over_rows(self.h(), |row| {
+            self.sign(row, key) * self.table[row * k + self.rows.bucket(row, key)]
+        })
     }
 
     /// Second-moment estimate: `median_i Σ_j T[i][j]²` (the AMS estimator
     /// the count sketch rows embed).
     pub fn estimate_f2(&self) -> f64 {
         let k = self.k();
-        let mut per_row: Vec<f64> = (0..self.h())
-            .map(|row| self.table[row * k..(row + 1) * k].iter().map(|&x| x * x).sum())
-            .collect();
-        median_inplace(&mut per_row)
+        median_over_rows(self.h(), |row| {
+            self.table[row * k..(row + 1) * k].iter().map(|&x| x * x).sum()
+        })
     }
 
     /// The hash family backing this sketch (sign hashes are derived

@@ -31,7 +31,7 @@
 
 use crate::batch::BatchScratch;
 use crate::error::SketchError;
-use crate::median::median_inplace;
+use crate::linear::median_over_rows;
 use scd_hash::HashRows;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -197,14 +197,11 @@ impl Deltoid {
         let key = self.mask(key);
         let k = self.k() as f64;
         let sum = self.sum();
-        let mut per_row: Vec<f64> = (0..self.h())
-            .map(|row| {
-                let bucket = self.rows.bucket(row, key);
-                let t = self.table[self.bucket_base(row, bucket)];
-                (t - sum / k) / (1.0 - 1.0 / k)
-            })
-            .collect();
-        median_inplace(&mut per_row)
+        median_over_rows(self.h(), |row| {
+            let bucket = self.rows.bucket(row, key);
+            let t = self.table[self.bucket_base(row, bucket)];
+            (t - sum / k) / (1.0 - 1.0 / k)
+        })
     }
 
     /// Second-moment estimate from the bucket totals (same estimator as
@@ -213,18 +210,15 @@ impl Deltoid {
         let k = self.k() as f64;
         let sum = self.sum();
         let stride = self.stride();
-        let mut per_row: Vec<f64> = (0..self.h())
-            .map(|row| {
-                let sq: f64 = (0..self.k())
-                    .map(|b| {
-                        let t = self.table[(row * self.k() + b) * stride];
-                        t * t
-                    })
-                    .sum();
-                (k / (k - 1.0)) * sq - (sum * sum) / (k - 1.0)
-            })
-            .collect();
-        median_inplace(&mut per_row)
+        median_over_rows(self.h(), |row| {
+            let sq: f64 = (0..self.k())
+                .map(|b| {
+                    let t = self.table[(row * self.k() + b) * stride];
+                    t * t
+                })
+                .sum();
+            (k / (k - 1.0)) * sq - (sum * sum) / (k - 1.0)
+        })
     }
 
     /// In-place `self += c · other`.

@@ -22,6 +22,7 @@
 
 use crate::batch::{BatchScratch, EstimateScratch};
 use crate::error::SketchError;
+use crate::linear::median_over_rows;
 use crate::median::median_inplace;
 use scd_hash::HashRows;
 use std::sync::Arc;
@@ -222,14 +223,11 @@ impl KarySketch {
     pub fn estimate_f2(&self) -> f64 {
         let k = self.k() as f64;
         let sum = self.sum();
-        let mut per_row: Vec<f64> = (0..self.h())
-            .map(|row| {
-                let row_slice = &self.table[row * self.k()..(row + 1) * self.k()];
-                let sq: f64 = row_slice.iter().map(|&x| x * x).sum();
-                (k / (k - 1.0)) * sq - (sum * sum) / (k - 1.0)
-            })
-            .collect();
-        median_inplace(&mut per_row)
+        median_over_rows(self.h(), |row| {
+            let row_slice = &self.table[row * self.k()..(row + 1) * self.k()];
+            let sq: f64 = row_slice.iter().map(|&x| x * x).sum();
+            (k / (k - 1.0)) * sq - (sum * sum) / (k - 1.0)
+        })
     }
 
     /// The L2 norm `sqrt(max(F2est, 0))` — the paper's "total energy" for
@@ -481,13 +479,10 @@ impl Estimator<'_> {
     pub fn estimate(&self, key: u64) -> f64 {
         let k = self.sketch.k() as f64;
         let kk = self.sketch.k();
-        let mut per_row: Vec<f64> = (0..self.sketch.h())
-            .map(|row| {
-                let cell = self.sketch.table[row * kk + self.sketch.rows.bucket(row, key)];
-                (cell - self.sum / k) / (1.0 - 1.0 / k)
-            })
-            .collect();
-        median_inplace(&mut per_row)
+        median_over_rows(self.sketch.h(), |row| {
+            let cell = self.sketch.table[row * kk + self.sketch.rows.bucket(row, key)];
+            (cell - self.sum / k) / (1.0 - 1.0 / k)
+        })
     }
 
     /// The snapshotted stream total.

@@ -67,5 +67,5 @@ pub use deltoid::{Deltoid, DeltoidConfig};
 pub use error::SketchError;
 pub use heavyhitters::MisraGries;
 pub use kary::{Estimator, KarySketch, SketchConfig};
-pub use linear::{LinearSketch, SecondMoment};
+pub use linear::{median_over_rows, min_over_rows, LinearSketch, PointEstimate, SecondMoment};
 pub use wire::{from_bytes, to_bytes, WireError};

@@ -30,7 +30,39 @@ use crate::countmin::CountMinSketch;
 use crate::countsketch::CountSketch;
 use crate::deltoid::Deltoid;
 use crate::error::SketchError;
+use crate::heavyhitters::MisraGries;
 use crate::kary::KarySketch;
+use crate::median::median_inplace;
+
+/// Anything that can answer a point query: "how much mass did `key`
+/// accumulate?". This is the read surface query services are generic
+/// over — every [`LinearSketch`] provides it (as a supertrait), and so
+/// do summaries that are *not* linear, like [`MisraGries`], whose
+/// counters cannot be combined with arbitrary coefficients but answer
+/// exactly this question.
+pub trait PointEstimate {
+    /// Point estimate of the value accumulated for `key` (each
+    /// implementation's native estimator: median-unbiased, min, exact
+    /// lower bound, …).
+    fn estimate(&self, key: u64) -> f64;
+}
+
+/// Median across `h` per-row statistics — the reduction every
+/// median-estimator sketch (k-ary, count sketch, deltoid) shares. The
+/// rows are evaluated in order and reduced with the same median network
+/// as the historical per-sketch loops, so routing an estimator through
+/// this helper is bit-identical to its previous inline implementation.
+pub fn median_over_rows(h: usize, per_row: impl FnMut(usize) -> f64) -> f64 {
+    let mut values: Vec<f64> = (0..h).map(per_row).collect();
+    median_inplace(&mut values)
+}
+
+/// Minimum across `h` per-row statistics — the count-min reduction
+/// (never underestimates over non-negative streams). Empty row sets
+/// reduce to `+inf`, matching a zero-row sketch's "no information".
+pub fn min_over_rows(h: usize, per_row: impl FnMut(usize) -> f64) -> f64 {
+    (0..h).map(per_row).fold(f64::INFINITY, f64::min)
+}
 
 /// A constant-shape summary that combines entry-wise: the COMBINE surface
 /// of the paper's §3.1, abstracted over the concrete sketch.
@@ -40,7 +72,11 @@ use crate::kary::KarySketch;
 /// linearity: every register of `self` becomes `self + c·other`. This is
 /// what makes sharded merge *exact* (not approximate) and lets archives
 /// halve resolution by summation without re-reading any stream.
-pub trait LinearSketch: Clone {
+///
+/// The point estimator lives in the [`PointEstimate`] supertrait, so
+/// read-side code that never combines can bound on `PointEstimate`
+/// alone (and cover non-linear summaries like [`MisraGries`] too).
+pub trait LinearSketch: Clone + PointEstimate {
     /// A zeroed sketch of identical shape, hash family, and auxiliary
     /// state (sign hashes, key width, …) — combinable with `self`.
     fn zero_like(&self) -> Self;
@@ -54,10 +90,6 @@ pub trait LinearSketch: Clone {
 
     /// In-place `self *= c`.
     fn scale(&mut self, c: f64);
-
-    /// Point estimate of the value accumulated for `key` (each
-    /// implementation's native estimator: median-unbiased, min, …).
-    fn estimate(&self, key: u64) -> f64;
 
     /// Hash-family identity `(H, K, seed)`; equal identities are the
     /// precondition for combining.
@@ -92,6 +124,36 @@ pub trait SecondMoment {
     fn estimate_f2(&self) -> f64;
 }
 
+impl PointEstimate for KarySketch {
+    fn estimate(&self, key: u64) -> f64 {
+        KarySketch::estimate(self, key)
+    }
+}
+
+impl PointEstimate for CountSketch {
+    fn estimate(&self, key: u64) -> f64 {
+        CountSketch::estimate(self, key)
+    }
+}
+
+impl PointEstimate for CountMinSketch {
+    fn estimate(&self, key: u64) -> f64 {
+        CountMinSketch::estimate(self, key)
+    }
+}
+
+impl PointEstimate for Deltoid {
+    fn estimate(&self, key: u64) -> f64 {
+        Deltoid::estimate(self, key)
+    }
+}
+
+impl PointEstimate for MisraGries {
+    fn estimate(&self, key: u64) -> f64 {
+        MisraGries::estimate(self, key)
+    }
+}
+
 impl LinearSketch for KarySketch {
     fn zero_like(&self) -> Self {
         KarySketch::zero_like(self)
@@ -103,10 +165,6 @@ impl LinearSketch for KarySketch {
 
     fn scale(&mut self, c: f64) {
         KarySketch::scale(self, c);
-    }
-
-    fn estimate(&self, key: u64) -> f64 {
-        KarySketch::estimate(self, key)
     }
 
     fn identity(&self) -> (usize, usize, u64) {
@@ -137,10 +195,6 @@ impl LinearSketch for CountSketch {
         CountSketch::scale(self, c);
     }
 
-    fn estimate(&self, key: u64) -> f64 {
-        CountSketch::estimate(self, key)
-    }
-
     fn identity(&self) -> (usize, usize, u64) {
         self.rows().identity()
     }
@@ -169,10 +223,6 @@ impl LinearSketch for CountMinSketch {
         CountMinSketch::scale(self, c);
     }
 
-    fn estimate(&self, key: u64) -> f64 {
-        CountMinSketch::estimate(self, key)
-    }
-
     fn identity(&self) -> (usize, usize, u64) {
         self.rows().identity()
     }
@@ -193,10 +243,6 @@ impl LinearSketch for Deltoid {
 
     fn scale(&mut self, c: f64) {
         Deltoid::scale(self, c);
-    }
-
-    fn estimate(&self, key: u64) -> f64 {
-        Deltoid::estimate(self, key)
     }
 
     fn identity(&self) -> (usize, usize, u64) {

@@ -26,6 +26,9 @@
 //! | [`core`] | `scd-core` | the change-detection pipeline, per-flow reference, grid search, metrics, sharded ingest engine |
 //! | [`archive`] | `scd-archive` | multi-resolution sketch archive with historical change queries |
 //! | [`traffic`] | `scd-traffic` | synthetic netflow substrate, packet parsing, LPM routes, anomaly injection, trace sharding |
+//! | [`obs`] | `scd-obs` | pipeline observability: metric registry, snapshots, scrape endpoint |
+//! | [`net`] | `scd-net` | distributed ingest plane: CRC-guarded sketch frames, spooling, parity recovery |
+//! | [`serve`] | `scd-serve` | read-optimized serving plane: slim sketches, interval snapshots, TCP query service |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +63,9 @@ pub use scd_archive as archive;
 pub use scd_core as core;
 pub use scd_forecast as forecast;
 pub use scd_hash as hash;
+pub use scd_net as net;
+pub use scd_obs as obs;
+pub use scd_serve as serve;
 pub use scd_sketch as sketch;
 pub use scd_traffic as traffic;
 
@@ -71,6 +77,7 @@ pub mod prelude {
         ShardedEngine, SketchChangeDetector,
     };
     pub use scd_forecast::{ArimaSpec, Forecaster, ModelKind, ModelSpec, Summary};
+    pub use scd_serve::{QueryClient, QueryServer, Request, Response, ServingPlane, SlimSketch};
     pub use scd_sketch::{KarySketch, SketchConfig};
     pub use scd_traffic::{
         to_updates, AnomalyEvent, AnomalyInjector, AnomalyKind, FlowRecord, KeySpec, RouterProfile,
