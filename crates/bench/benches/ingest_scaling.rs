@@ -13,10 +13,13 @@
 //!   machine needs, measured one core at a time — so the scaling number
 //!   is honest even on a single-core CI box (where wall-clock threads
 //!   cannot speed anything up).
-//! * `engine_wall/N` — the real [`ShardedEngine`] end to end
-//!   (`push_slice` routing, channels, batched workers, recycle pool,
-//!   COMBINE, detection), wall clock. On a multi-core machine this tracks
-//!   the model; on one core it shows the sharding overhead instead.
+//! * `engine_wall/N` — the real [`ShardedEngine`] end to end, wall
+//!   clock, with the parallel source plane on: `push_slice_parallel`
+//!   routes with N producer threads into N shard workers (channels,
+//!   recycle pool, COMBINE, detection included). On a multi-core machine
+//!   this tracks the model; on one core it shows the sharding overhead
+//!   instead. The report's top-level context fields (`simd_variant`,
+//!   `cpus`, `smoke`) say which regime a given JSON was recorded in.
 //!
 //! A fourth view rides along in the machine-readable report: a
 //! telemetry-attached engine run whose per-stage latency histograms
@@ -111,9 +114,26 @@ fn critical_path(parts: &[Vec<(u64, f64)>], proto: &KarySketch) -> Duration {
     bottleneck + start.elapsed()
 }
 
+/// Stamps the machine context that makes cross-run comparisons of this
+/// report meaningful: which SIMD kernel variant the process dispatched
+/// to (avx2/scalar — AVX2-host numbers are not comparable to scalar-host
+/// numbers), how many CPUs the wall-clock series had to work with, and
+/// whether this was a smoke run.
+fn record_machine_context(c: &mut Criterion) {
+    c.context("simd_variant", scd_hash::simd::active().name());
+    c.context("cpus", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    c.context("smoke", if smoke() { "true" } else { "false" });
+    c.context("n_updates", n_updates());
+    // engine_wall/N drives ingest through push_slice_parallel with N
+    // producer threads (the parallel source plane); critical_path/N stays
+    // the single-core-honest model.
+    c.context("engine_wall_source", "push_slice_parallel(producers=shards)");
+}
+
 /// The fold kernel head-to-head: per-update UPDATE vs the batched
 /// hash-then-scatter at the engine's batch size and a larger block.
 fn bench_update_kernel(c: &mut Criterion) {
+    record_machine_context(c);
     let updates = interval_updates();
     let proto = KarySketch::new(detector_config().sketch);
 
@@ -168,7 +188,12 @@ fn bench_ingest_scaling(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let start = Instant::now();
                 for _ in 0..iters {
-                    std::hint::black_box(engine.process_interval(updates).expect("engine alive"));
+                    // Parallel source plane: route with `shards` producer
+                    // threads so the feed side scales with the fold side
+                    // (bit-identical to the sequential push_slice path).
+                    std::hint::black_box(
+                        engine.process_interval_parallel(updates, shards).expect("engine alive"),
+                    );
                 }
                 start.elapsed()
             })
@@ -203,7 +228,12 @@ fn stage_breakdown(_c: &mut Criterion) {
         EngineConfig::new(detector_config(), 4).with_metrics(std::sync::Arc::clone(&metrics)),
     )
     .expect("valid config");
-    let intervals = if smoke() { 4 } else { 16 };
+    // Per-interval stages (barrier, combine, detect) log one sample per
+    // interval, so the interval count IS the sample count for those
+    // histograms: 16 samples all landing in one log2 bucket made
+    // p50 == p99 == max look like a measurement bug. Run enough intervals
+    // that the percentiles can spread across buckets.
+    let intervals = if smoke() { 12 } else { 48 };
     for _ in 0..intervals {
         std::hint::black_box(engine.process_interval(&updates).expect("engine alive"));
     }
@@ -240,9 +270,16 @@ fn stage_breakdown(_c: &mut Criterion) {
         let path = std::path::PathBuf::from(path);
         let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("BENCH_ingest");
         let stage_path = path.with_file_name(format!("{stem}_stages.json"));
+        // Bucket resolution fields: quantiles come from a log2-bucketed
+        // histogram, so p50/p99 are bucket upper bounds with ~2x
+        // worst-case error, and per-interval stages have exactly
+        // `intervals` samples — identical p50/p99 means "within one
+        // power-of-two bucket", not "no variance".
         let body = format!(
             "{{\n  \"harness\": \"scd-bench ingest stage breakdown\",\n  \"shards\": 4,\n  \
-             \"intervals\": {intervals},\n  \"results\": [\n{}\n  ]\n}}\n",
+             \"intervals\": {intervals},\n  \"histogram_buckets\": \"log2\",\n  \
+             \"quantile_resolution\": \"bucket upper bound, <=2x\",\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
             lines.join(",\n")
         );
         match std::fs::write(&stage_path, body) {

@@ -60,6 +60,10 @@ const MIN_BATCH: Duration = Duration::from_millis(2);
 pub struct Criterion {
     json_path: Option<std::path::PathBuf>,
     records: Vec<JsonRecord>,
+    /// `(key, pre-rendered JSON value)` — top-level machine-context
+    /// fields, so trajectory comparisons across machines aren't
+    /// apples-to-oranges.
+    context: Vec<(String, String)>,
 }
 
 impl Default for Criterion {
@@ -69,6 +73,7 @@ impl Default for Criterion {
         Criterion {
             json_path: std::env::var_os("SCD_BENCH_JSON").map(Into::into),
             records: Vec::new(),
+            context: Vec::new(),
         }
     }
 }
@@ -81,9 +86,27 @@ impl Criterion {
         BenchmarkGroup { criterion: self, group, sample_size: 9, throughput: None }
     }
 
+    /// Records one top-level context field in the JSON report (e.g. the
+    /// dispatched SIMD kernel variant, CPU count, run mode). Numeric
+    /// values stay JSON numbers; everything else is emitted as a string.
+    /// Re-setting a key overwrites its previous value.
+    pub fn context(&mut self, key: &str, value: impl std::fmt::Display) {
+        let v = value.to_string();
+        let rendered =
+            if v.parse::<f64>().is_ok() { v } else { format!("\"{}\"", json_escape(&v)) };
+        if let Some(slot) = self.context.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = rendered;
+        } else {
+            self.context.push((key.to_string(), rendered));
+        }
+    }
+
     fn to_json(&self) -> String {
-        let mut out =
-            String::from("{\n  \"harness\": \"scd-bench microbench\",\n  \"results\": [\n");
+        let mut out = String::from("{\n  \"harness\": \"scd-bench microbench\",\n");
+        for (key, value) in &self.context {
+            out.push_str(&format!("  \"{}\": {value},\n", json_escape(key)));
+        }
+        out.push_str("  \"results\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"group\": \"{}\", \"bench\": \"{}\"",
@@ -364,7 +387,7 @@ mod tests {
 
     #[test]
     fn json_report_carries_params_and_rates() {
-        let mut c = Criterion { json_path: None, records: Vec::new() };
+        let mut c = Criterion { json_path: None, records: Vec::new(), context: Vec::new() };
         {
             let mut group = c.benchmark_group("ingest");
             group.sample_size(3).throughput(Throughput::Elements(1000));
@@ -379,6 +402,31 @@ mod tests {
         assert!(json.contains("\"param\": 4"), "{json}");
         assert!(json.contains("\"ns_per_op\": 100.000"), "{json}");
         assert!(json.contains("\"elems_per_sec\": 10000000000.0"), "{json}");
+        c.records.clear(); // nothing to write on drop
+    }
+
+    #[test]
+    fn json_report_carries_context_fields() {
+        let mut c = Criterion { json_path: None, records: Vec::new(), context: Vec::new() };
+        c.context("simd_variant", "avx2");
+        c.context("cpus", 8);
+        c.context("cpus", 4); // overwrite, not duplicate
+        {
+            let mut group = c.benchmark_group("ctx");
+            group.sample_size(3);
+            group.bench_with_input(BenchmarkId::new("one", 1), &(), |b, _| {
+                b.iter_custom(|iters| Duration::from_nanos(50 * iters))
+            });
+            group.finish();
+        }
+        let json = c.to_json();
+        assert!(json.contains("\"simd_variant\": \"avx2\""), "{json}");
+        assert!(json.contains("\"cpus\": 4"), "{json}");
+        assert!(!json.contains("\"cpus\": 8"), "{json}");
+        // Context fields precede the results array at top level.
+        let ctx_at = json.find("\"simd_variant\"").expect("context present");
+        let results_at = json.find("\"results\"").expect("results present");
+        assert!(ctx_at < results_at, "{json}");
         c.records.clear(); // nothing to write on drop
     }
 

@@ -8,13 +8,13 @@
 //! scd detect   --trace trace.bin --interval 300 --model ewma:0.5
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--strategy twopass|next|sampled:R|reversible] [--top N]
-//!              [--shards N] [--pipeline] [--metrics FILE]
-//!              [--metrics-listen ADDR] [--report-out FILE]
+//!              [--shards N] [--pipeline] [--source-threads N]
+//!              [--metrics FILE] [--metrics-listen ADDR] [--report-out FILE]
 //! scd sketch   --trace trace.bin --interval 60 --at 7 --out s.sketch
 //!              [--h 5] [--k 32768] [--sketch-seed N]
 //! scd combine  --out sum.sketch A.sketch B.sketch ... [--query IP]
 //! scd stream   --trace trace.bin --interval 60 --model ewma:0.5
-//!              [--policy block|drop|sample:R] [--capacity N]
+//!              [--policy block|drop|sample:R] [--capacity N] [--chunked]
 //!              [--checkpoint FILE] [--every N] [--h 5] [--k 32768]
 //!              [--metrics FILE] [--metrics-listen ADDR]
 //! scd metrics  --from metrics.jsonl | --addr HOST:PORT
@@ -72,7 +72,7 @@ use scd_core::gridsearch::{search_model, GridSearchConfig};
 use scd_core::{
     segment_records, spawn_supervised, CheckpointPolicy, DetectorConfig, EngineConfig, KeyStrategy,
     LifecycleEvent, OverloadPolicy, RestartPolicy, ReversibleChangeDetector, ReversibleConfig,
-    ShardedEngine, SketchChangeDetector, StreamingConfig, SupervisorConfig,
+    ShardedEngine, SketchChangeDetector, StreamSegmenter, StreamingConfig, SupervisorConfig,
 };
 use scd_core::{IntervalReport, PipelineMetrics};
 use scd_forecast::{ModelKind, ModelSpec};
@@ -80,8 +80,8 @@ use scd_obs::{MetricsListener, Registry};
 use scd_sketch::{DeltoidConfig, SketchConfig};
 use scd_traffic::record::format_ipv4;
 use scd_traffic::{
-    io, AnomalyEvent, AnomalyInjector, AnomalyKind, FlowRecord, KeySpec, RouterProfile,
-    TrafficGenerator, ValueSpec,
+    io, AnomalyEvent, AnomalyInjector, AnomalyKind, ChunkedTraceReader, FlowRecord, KeySpec,
+    RouterProfile, TrafficGenerator, ValueSpec,
 };
 use std::fs::File;
 use std::process::ExitCode;
@@ -98,13 +98,13 @@ fn usage() -> ExitCode {
          detect    --trace FILE --interval S --model SPEC [--h 5] [--k 32768]\n\
          \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
          \u{20}          [--strategy twopass|next|sampled:R|reversible] [--shards N]\n\
-         \u{20}          [--pipeline] [--metrics FILE] [--metrics-listen ADDR]\n\
-         \u{20}          [--report-out FILE]\n\
+         \u{20}          [--pipeline] [--source-threads N] [--metrics FILE]\n\
+         \u{20}          [--metrics-listen ADDR] [--report-out FILE]\n\
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
          combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
          stream    --trace FILE --interval S --model SPEC [--policy block|drop|sample:R]\n\
-         \u{20}          [--capacity N] [--checkpoint FILE] [--every N] [--h 5] [--k 32768]\n\
-         \u{20}          [--metrics FILE] [--metrics-listen ADDR]\n\
+         \u{20}          [--capacity N] [--chunked] [--checkpoint FILE] [--every N]\n\
+         \u{20}          [--h 5] [--k 32768] [--metrics FILE] [--metrics-listen ADDR]\n\
          metrics   --from metrics.jsonl | --addr HOST:PORT\n\
          ingest-node --trace FILE --interval S --node I --nodes N --connect ADDR\n\
          \u{20}          [--h 5] [--k 32768] [--sketch-seed N] [--shards 2] [--spool DIR]\n\
@@ -170,6 +170,43 @@ fn read_trace(path: &str) -> Result<Vec<FlowRecord>, Box<dyn std::error::Error>>
     let file = File::open(path)?;
     let records = if path.ends_with(".csv") { io::read_csv(file)? } else { io::read_binary(file)? };
     Ok(records)
+}
+
+/// Records decoded per `ChunkedTraceReader::next_chunk` call on the CLI's
+/// streaming paths — large enough to amortize the CRC/decode loop, small
+/// enough to keep the resident chunk buffer in cache.
+const READ_CHUNK_RECORDS: usize = 8192;
+
+/// One `(key, value)` update stream per interval, in trace order.
+type Intervals = Vec<Vec<(u64, f64)>>;
+
+/// Segments a trace into `(key, value)` intervals. Binary `SCDTRC` traces
+/// stream through `ChunkedTraceReader` + `StreamSegmenter` — fixed-size
+/// chunks straight into interval bins, no flat record vector — which is
+/// bit-identical to the materializing path (proven in
+/// `scd-core/tests/parallel_source.rs`). CSV traces fall back to the
+/// materializing reader.
+fn read_intervals(
+    path: &str,
+    interval: u32,
+    key: KeySpec,
+    value: ValueSpec,
+) -> Result<Intervals, Box<dyn std::error::Error>> {
+    if path.ends_with(".csv") {
+        let records = read_trace(path)?;
+        return Ok(segment_records(&records, interval, key, value));
+    }
+    let mut reader = ChunkedTraceReader::new(File::open(path)?)?;
+    let mut segmenter = StreamSegmenter::new(interval, key, value);
+    let mut chunk = Vec::with_capacity(READ_CHUNK_RECORDS);
+    loop {
+        chunk.clear();
+        if reader.next_chunk(READ_CHUNK_RECORDS, &mut chunk)? == 0 {
+            break;
+        }
+        segmenter.push(&chunk);
+    }
+    Ok(segmenter.finish())
 }
 
 /// Live telemetry for a `detect`/`stream` run: one registry feeding an
@@ -417,11 +454,11 @@ fn detect(flags: &Flags) -> CliResult {
     let sketch_seed: u64 = flags.get("sketch-seed", 0x5CD)?;
     let top: usize = flags.get("top", 10)?;
     let shards: usize = flags.get("shards", 1)?;
+    let source_threads: usize = flags.get("source-threads", 1)?;
     let pipeline = flags.has("pipeline");
     let strategy = flags.raw("strategy").unwrap_or("twopass");
 
-    let records = read_trace(&path)?;
-    let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
+    let intervals = read_intervals(&path, interval, KeySpec::DstIp, ValueSpec::Bytes)?;
     outln!(
         "detecting over {} intervals of {interval}s (model {}, H={h}, K={k}, T={threshold})",
         intervals.len(),
@@ -477,6 +514,8 @@ fn detect(flags: &Flags) -> CliResult {
         // reports bit-identical to the single-threaded detector below.
         // With --pipeline, detection runs on its own thread, overlapped
         // with the next interval's ingest — same reports, same bits.
+        // With --source-threads N > 1, routing fans out over N producer
+        // threads (push_slice_parallel), still bit-identical.
         let mut config = EngineConfig::new(detector, shards);
         if pipeline {
             config = config.with_pipeline();
@@ -486,7 +525,7 @@ fn detect(flags: &Flags) -> CliResult {
         }
         let mut engine = ShardedEngine::new(config)?;
         for items in &intervals {
-            engine.push_slice(items)?;
+            engine.push_slice_parallel(items, source_threads)?;
             if let Some(report) = engine.end_interval_overlapped()? {
                 emit_report(&report, top, &mut telemetry, &mut sink)?;
             }
@@ -624,9 +663,22 @@ fn stream(flags: &Flags) -> CliResult {
         every_intervals: flags.get("every", 10).unwrap_or(10),
     });
 
-    let mut records = read_trace(&path)?;
-    records.sort_by_key(|r| r.timestamp_ms);
-    let n_records = records.len();
+    // --chunked streams the binary trace through ChunkedTraceReader in
+    // fixed-size chunks (constant memory, no global sort). Generated
+    // traces are interval-ordered, which is all the streaming detector
+    // needs to close intervals correctly; arbitrary traces should use the
+    // default materialize-and-sort path.
+    let chunked = flags.has("chunked");
+    if chunked && path.ends_with(".csv") {
+        return Err(FlagError("--chunked requires a binary trace".into()).into());
+    }
+    let records = if chunked {
+        Vec::new()
+    } else {
+        let mut r = read_trace(&path)?;
+        r.sort_by_key(|r| r.timestamp_ms);
+        r
+    };
 
     let mut telemetry = Telemetry::from_flags(flags)?;
     let handle = spawn_supervised(SupervisorConfig {
@@ -650,22 +702,48 @@ fn stream(flags: &Flags) -> CliResult {
     });
     let mut reports = Vec::new();
     let mut events = Vec::new();
-    for record in records {
-        if !handle.send(record) {
-            break; // detector gave up; shutdown() reports why
-        }
+    let mut n_records = 0usize;
+    {
         // Drain as we go: the report channel is bounded, so collecting
         // only at shutdown would deadlock once it fills while the record
         // channel is also full (the detector blocks sending a report, the
         // producer blocks sending a record, and neither can proceed).
-        while let Some(report) = handle.reports().try_recv() {
-            if let Some(t) = telemetry.as_mut() {
-                t.snapshot(report.interval as u64)?;
+        let mut feed = |record: FlowRecord| -> Result<bool, Box<dyn std::error::Error>> {
+            n_records += 1;
+            if !handle.send(record) {
+                return Ok(false); // detector gave up; shutdown() reports why
             }
-            reports.push(report);
-        }
-        while let Some(event) = handle.events().try_recv() {
-            events.push(event);
+            while let Some(report) = handle.reports().try_recv() {
+                if let Some(t) = telemetry.as_mut() {
+                    t.snapshot(report.interval as u64)?;
+                }
+                reports.push(report);
+            }
+            while let Some(event) = handle.events().try_recv() {
+                events.push(event);
+            }
+            Ok(true)
+        };
+        if chunked {
+            let mut reader = ChunkedTraceReader::new(File::open(&path)?)?;
+            let mut chunk = Vec::with_capacity(READ_CHUNK_RECORDS);
+            'trace: loop {
+                chunk.clear();
+                if reader.next_chunk(READ_CHUNK_RECORDS, &mut chunk)? == 0 {
+                    break;
+                }
+                for &record in &chunk {
+                    if !feed(record)? {
+                        break 'trace;
+                    }
+                }
+            }
+        } else {
+            for record in records {
+                if !feed(record)? {
+                    break;
+                }
+            }
         }
     }
     let (tail_reports, tail_events, processed) =

@@ -284,6 +284,56 @@ impl KeyLog {
             }
         }
     }
+
+    /// An empty log of the same variant — what a parallel producer builds
+    /// for its chunk before the engine absorbs it.
+    fn fresh_like(&self) -> KeyLog {
+        match self {
+            KeyLog::Full(_) => KeyLog::Full(Vec::new()),
+            KeyLog::Distinct { .. } => {
+                KeyLog::Distinct { seen: HashSet::with_hasher(MixBuildHasher), order: Vec::new() }
+            }
+        }
+    }
+
+    /// Merges a producer-chunk log into this one. Chunks are contiguous
+    /// stream ranges absorbed in stream order, so `Full` concatenation
+    /// reproduces arrival order exactly, and replaying each chunk's
+    /// first-seen list through the global set reproduces global first-seen
+    /// order exactly (a key's first global occurrence lies in the earliest
+    /// chunk that contains it).
+    fn absorb(&mut self, other: KeyLog) {
+        match other {
+            KeyLog::Full(mut chunk) => match self {
+                KeyLog::Full(log) => log.append(&mut chunk),
+                KeyLog::Distinct { .. } => unreachable!("mixed key log variants"),
+            },
+            KeyLog::Distinct { order, .. } => {
+                assert!(matches!(self, KeyLog::Distinct { .. }), "mixed key log variants");
+                for key in order {
+                    self.record(key);
+                }
+            }
+        }
+    }
+}
+
+/// One producer's output for [`ShardedEngine::push_slice_parallel`]:
+/// per-shard update buffers plus the chunk's key log.
+type RoutedChunk = (Vec<Vec<(u64, f64)>>, KeyLog);
+
+/// Producer-side routing for [`ShardedEngine::push_slice_parallel`]: walks
+/// one contiguous chunk of the update stream, logging keys and
+/// partitioning updates into per-shard buffers. Pure function of the
+/// chunk — safe to run on any thread.
+fn route_chunk(chunk: &[(u64, f64)], shards: usize, mut log: KeyLog) -> RoutedChunk {
+    let mut bufs: Vec<Vec<(u64, f64)>> =
+        (0..shards).map(|_| Vec::with_capacity(chunk.len() / shards + 1)).collect();
+    for &(key, value) in chunk {
+        log.record(key);
+        bufs[shard_of(key, shards)].push((key, value));
+    }
+    (bufs, log)
 }
 
 /// Messages for the pipelined detect thread. Processed strictly in send
@@ -846,6 +896,63 @@ impl ShardedEngine {
         Ok(())
     }
 
+    /// Multi-producer bulk push: `producers` threads route contiguous
+    /// chunks of `items` into private per-shard buffers in parallel, then
+    /// the buffers are shipped through the existing worker channels in
+    /// producer order. This parallelizes the hash-and-route hop that
+    /// [`push_slice`](Self::push_slice) runs single-threaded — the side
+    /// `BENCH_ingest.json` showed eating all shard-scaling gains.
+    ///
+    /// Reports are **bit-identical** to `push_slice` for any `f64` values,
+    /// not merely for integer-valued cells: chunks are contiguous and
+    /// shipped in chunk order, so every shard worker folds exactly the
+    /// per-shard subsequence it would have seen from the sequential call,
+    /// and the key log is absorbed in the same stream order (see
+    /// `KeyLog::absorb`). Falls back to `push_slice` when the slice is
+    /// too small to amortize thread spawns.
+    ///
+    /// # Errors
+    /// [`EngineError::WorkerLost`] if a shard's worker has died.
+    pub fn push_slice_parallel(
+        &mut self,
+        items: &[(u64, f64)],
+        producers: usize,
+    ) -> Result<(), EngineError> {
+        let producers = producers.max(1);
+        if producers == 1 || items.len() < producers * self.batch.max(256) {
+            return self.push_slice(items);
+        }
+        // Anything still pending is earlier in the stream than `items`:
+        // flush it first so per-shard fold order stays the sequential one.
+        for shard in 0..self.shards {
+            if !self.pending[shard].is_empty() {
+                self.flush_shard(shard)?;
+            }
+        }
+        self.records_total += items.len() as u64;
+        let shards = self.shards;
+        let chunk = items.len().div_ceil(producers);
+        let routed: Vec<RoutedChunk> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| {
+                    let log = self.keys.fresh_like();
+                    scope.spawn(move || route_chunk(c, shards, log))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("producer thread panicked")).collect()
+        });
+        for (bufs, log) in routed {
+            self.keys.absorb(log);
+            for (shard, buf) in bufs.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    self.send(shard, WorkerMsg::Batch(buf))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Flushes every shard's pending batch and requests the interval
     /// sketches.
     fn flush_all(&mut self) -> Result<(), EngineError> {
@@ -1050,6 +1157,24 @@ impl ShardedEngine {
         self.end_interval()
     }
 
+    /// [`process_interval`](Self::process_interval) with the
+    /// multi-producer source plane: routes via
+    /// [`push_slice_parallel`](Self::push_slice_parallel), then closes the
+    /// interval. Bit-identical reports; the whole source side runs on
+    /// `producers` threads.
+    ///
+    /// # Errors
+    /// As [`push_slice_parallel`](Self::push_slice_parallel) and
+    /// [`end_interval`](Self::end_interval).
+    pub fn process_interval_parallel(
+        &mut self,
+        items: &[(u64, f64)],
+        producers: usize,
+    ) -> Result<IntervalReport, EngineError> {
+        self.push_slice_parallel(items, producers)?;
+        self.end_interval()
+    }
+
     /// Closes the interval **without running detection**: flushes every
     /// shard, merges the per-shard sketches in shard order, and hands back
     /// the merged observed sketch plus the interval's key log. This is
@@ -1238,6 +1363,83 @@ mod tests {
                 assert_eq!(bulk.records_total(), scalar.records_total());
             }
         }
+    }
+
+    #[test]
+    fn push_slice_parallel_matches_push_slice() {
+        // The multi-producer source plane is a pure restructuring: for
+        // every key strategy, shard count, and producer count — including
+        // fractional values, where bit-identity relies on per-shard fold
+        // order, not on integer-exact addition — reports must be
+        // identical to the sequential bulk path.
+        for strategy in [
+            KeyStrategy::TwoPass,
+            KeyStrategy::NextInterval,
+            KeyStrategy::Sampled { rate: 0.5, seed: 11 },
+        ] {
+            for shards in [1usize, 4] {
+                for producers in [2usize, 3, 8] {
+                    let mut cfg = config(shards);
+                    cfg.detector.key_strategy = strategy;
+                    cfg.batch = 64;
+                    let mut par = ShardedEngine::new(cfg.clone()).unwrap();
+                    let mut seq = ShardedEngine::new(cfg).unwrap();
+                    for t in 0..4u64 {
+                        let items: Vec<(u64, f64)> = (0..700u64)
+                            .map(|i| (i % 170, ((i * 31 + t * 13) % 400) as f64 + 0.25))
+                            .collect();
+                        // Mix a partial push first so the parallel path has
+                        // to preserve order across pending flushes.
+                        par.push_slice(&items[..37]).unwrap();
+                        par.push_slice_parallel(&items[37..], producers).unwrap();
+                        seq.push_slice(&items).unwrap();
+                        let a = par.end_interval().unwrap();
+                        let b = seq.end_interval().unwrap();
+                        assert_eq!(
+                            a, b,
+                            "{strategy:?} shards={shards} producers={producers} interval {t}"
+                        );
+                    }
+                    assert_eq!(par.records_total(), seq.records_total());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn process_interval_parallel_matches_pipelined_and_sequential() {
+        // Parallel source on/off × pipeline on/off: all four engines must
+        // emit the same reports.
+        let mut cfg = config(4);
+        cfg.batch = 64;
+        let mut seq = ShardedEngine::new(cfg.clone()).unwrap();
+        let mut par = ShardedEngine::new(cfg.clone()).unwrap();
+        let mut pipe = ShardedEngine::new(cfg.clone().with_pipeline()).unwrap();
+        let mut pipe_par = ShardedEngine::new(cfg.with_pipeline()).unwrap();
+        let mut reports: Vec<Vec<IntervalReport>> = vec![Vec::new(); 4];
+        for t in 0..6u64 {
+            let items: Vec<(u64, f64)> =
+                (0..900u64).map(|i| (i % 240, ((i * 7 + t * 29) % 500) as f64)).collect();
+            reports[0].push(seq.process_interval(&items).unwrap());
+            reports[1].push(par.process_interval_parallel(&items, 3).unwrap());
+            pipe.push_slice(&items).unwrap();
+            if let Some(r) = pipe.end_interval_overlapped().unwrap() {
+                reports[2].push(r);
+            }
+            pipe_par.push_slice_parallel(&items, 3).unwrap();
+            if let Some(r) = pipe_par.end_interval_overlapped().unwrap() {
+                reports[3].push(r);
+            }
+        }
+        while let Some(r) = pipe.drain().unwrap() {
+            reports[2].push(r);
+        }
+        while let Some(r) = pipe_par.drain().unwrap() {
+            reports[3].push(r);
+        }
+        assert_eq!(reports[0], reports[1], "parallel source changed sequential reports");
+        assert_eq!(reports[0], reports[2], "pipeline changed reports");
+        assert_eq!(reports[0], reports[3], "parallel source changed pipelined reports");
     }
 
     #[test]

@@ -107,7 +107,7 @@ pub use perflow::{PerFlowDetector, PerFlowReport};
 pub use reversible::{ReversibleChangeDetector, ReversibleConfig, ReversibleReport};
 pub use sampling::UpdateSampler;
 pub use staggered::{StaggeredAlarm, StaggeredDetector};
-pub use stream::segment_records;
+pub use stream::{segment_records, StreamSegmenter};
 pub use streaming::{
     spawn as spawn_streaming, CheckpointPolicy, OverloadPolicy, RecordSender, StreamFault,
     StreamingConfig, StreamingHandle,

@@ -34,6 +34,49 @@ pub fn segment_records(
     out
 }
 
+/// Streaming counterpart of [`segment_records`]: push record chunks as
+/// they decode — e.g. straight from `scd_traffic::ChunkedTraceReader` —
+/// and take the binned intervals at the end, without ever materializing
+/// the flat record stream. For any chunking of the same records,
+/// [`finish`](Self::finish) returns exactly what `segment_records` would
+/// (same bins, same within-bin order), so downstream reports are
+/// bit-identical.
+#[derive(Debug)]
+pub struct StreamSegmenter {
+    interval_ms: u64,
+    key: KeySpec,
+    value: ValueSpec,
+    bins: Vec<Vec<(u64, f64)>>,
+}
+
+impl StreamSegmenter {
+    /// Starts an empty segmentation.
+    ///
+    /// # Panics
+    /// Panics if `interval_secs` is zero.
+    pub fn new(interval_secs: u32, key: KeySpec, value: ValueSpec) -> Self {
+        assert!(interval_secs > 0, "interval length must be positive");
+        StreamSegmenter { interval_ms: interval_secs as u64 * 1000, key, value, bins: Vec::new() }
+    }
+
+    /// Bins one chunk of records (any order, any chunking).
+    pub fn push(&mut self, records: &[FlowRecord]) {
+        for r in records {
+            let idx = (r.timestamp_ms / self.interval_ms) as usize;
+            if idx >= self.bins.len() {
+                self.bins.resize_with(idx + 1, Vec::new);
+            }
+            self.bins[idx].push((self.key.key_of(r), self.value.value_of(r)));
+        }
+    }
+
+    /// The binned intervals, 0 through the last non-empty one (silent
+    /// intervals present but empty, as in [`segment_records`]).
+    pub fn finish(self) -> Vec<Vec<(u64, f64)>> {
+        self.bins
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +135,21 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         let _ = segment_records(&[], 0, KeySpec::DstIp, ValueSpec::Bytes);
+    }
+
+    #[test]
+    fn stream_segmenter_matches_segment_records_for_any_chunking() {
+        let records: Vec<FlowRecord> =
+            (0..137u64).map(|i| record((i * 7919) % 400_000, (i % 23) as u32, 100 + i)).collect();
+        let expect = segment_records(&records, 60, KeySpec::DstIp, ValueSpec::Bytes);
+        for chunk in [1usize, 5, 64, 137, 1000] {
+            let mut seg = StreamSegmenter::new(60, KeySpec::DstIp, ValueSpec::Bytes);
+            for c in records.chunks(chunk) {
+                seg.push(c);
+            }
+            assert_eq!(seg.finish(), expect, "chunk size {chunk}");
+        }
+        let empty = StreamSegmenter::new(300, KeySpec::DstIp, ValueSpec::Bytes);
+        assert!(empty.finish().is_empty());
     }
 }

@@ -49,19 +49,21 @@
 //! assert!(buckets.iter().all(|&b| b < 1024));
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // relaxed from `forbid` only for the vetted `simd` module
 #![warn(missing_docs)]
 
 pub mod byteio;
 pub mod crc32;
 pub mod poly;
 pub mod rows;
+pub mod simd;
 pub mod splitmix;
 pub mod tabulation;
 
 pub use crc32::{crc32, Crc32};
 pub use poly::Poly4;
 pub use rows::HashRows;
+pub use simd::Variant;
 pub use splitmix::{mix64, range_reduce, MixBuildHasher, SplitMix64};
 pub use tabulation::Tab4;
 
@@ -115,10 +117,45 @@ impl Hasher4 {
     /// re-fetched per sketch row per key, which is what makes batched
     /// sketch updates fast.
     ///
+    /// Dispatches to the AVX2 kernel when the process resolved
+    /// [`simd::active`] to [`Variant::Avx2`]; the result is bit-identical
+    /// to [`bucket_batch_scalar`](Self::bucket_batch_scalar) either way.
+    ///
     /// # Panics
     /// Panics if `out.len() != keys.len()`.
     #[inline]
     pub fn bucket_batch(&self, keys: &[u64], k: usize, out: &mut [usize]) {
+        self.bucket_batch_with(simd::active(), keys, k, out);
+    }
+
+    /// [`bucket_batch`](Self::bucket_batch) with an explicit kernel choice —
+    /// the hook the SIMD/scalar identity tests use to force both paths in
+    /// one process. [`Variant::Avx2`] silently falls back to scalar on hosts
+    /// without AVX2.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    pub fn bucket_batch_with(&self, variant: Variant, keys: &[u64], k: usize, out: &mut [usize]) {
+        assert_eq!(out.len(), keys.len(), "output slice must match key count");
+        #[cfg(target_arch = "x86_64")]
+        if variant == Variant::Avx2 && simd::avx2_supported() {
+            // SAFETY: AVX2 support was just verified at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                simd::hash_avx2::bucket_batch(self, keys, k, out)
+            };
+            return;
+        }
+        let _ = variant;
+        self.bucket_batch_scalar(keys, k, out);
+    }
+
+    /// The scalar reference implementation of [`bucket_batch`](Self::bucket_batch).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    #[inline]
+    pub fn bucket_batch_scalar(&self, keys: &[u64], k: usize, out: &mut [usize]) {
         assert_eq!(out.len(), keys.len(), "output slice must match key count");
         for (slot, &key) in out.iter_mut().zip(keys) {
             *slot = self.bucket(key, k);

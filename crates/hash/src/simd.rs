@@ -1,0 +1,158 @@
+//! Runtime SIMD dispatch for the workspace's hot kernels.
+//!
+//! The workspace stays std-only, so SIMD is explicit `core::arch` x86_64
+//! intrinsics behind runtime feature detection — no nightly `std::simd`,
+//! no new dependencies. One [`Variant`] is resolved per process (detected
+//! once, cached): AVX2 when the CPU reports it, scalar otherwise. The
+//! `SCD_SIMD` environment variable overrides detection (`SCD_SIMD=scalar`
+//! forces the fallback — this is how CI exercises the scalar paths on
+//! AVX2 runners; `SCD_SIMD=avx2` is honored only when the CPU can
+//! actually run it).
+//!
+//! **Exactness contract.** Every SIMD kernel in this workspace is
+//! *bit-identical* to its scalar reference: integer kernels (tabulation
+//! gathers, XORs, masks) are pure data movement; floating-point kernels
+//! perform exactly the scalar operation sequence per element — separate
+//! multiply and add instructions (never FMA, which Rust also never
+//! contracts to), same operand order, divisions kept as divisions.
+//! Reductions whose reassociation would change results (row sums, squared
+//! sums) stay scalar. Identity is enforced by exact `==` property tests
+//! in each crate, run against both variants.
+
+// The workspace otherwise denies unsafe code; intrinsics require it. All
+// unsafe in this module is behind runtime feature detection.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Which kernel implementation the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Portable reference implementation.
+    Scalar,
+    /// 256-bit AVX2 intrinsics (x86_64 only).
+    Avx2,
+}
+
+impl Variant {
+    /// Stable lowercase name, logged into bench JSON for machine context.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Scalar => "scalar",
+            Variant::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether this host can execute the AVX2 kernels.
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+static ACTIVE: OnceLock<Variant> = OnceLock::new();
+
+/// The variant this process dispatches to (detected once, then cached —
+/// consult `SCD_SIMD` before first use if you need to force a path).
+pub fn active() -> Variant {
+    *ACTIVE.get_or_init(|| match std::env::var("SCD_SIMD") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => Variant::Scalar,
+        Ok(v) if v.eq_ignore_ascii_case("avx2") && avx2_supported() => Variant::Avx2,
+        Ok(_) => {
+            if avx2_supported() {
+                Variant::Avx2
+            } else {
+                Variant::Scalar
+            }
+        }
+        Err(_) => {
+            if avx2_supported() {
+                Variant::Avx2
+            } else {
+                Variant::Scalar
+            }
+        }
+    })
+}
+
+/// AVX2 batch bucketing for [`crate::Hasher4`]: the hash phase of
+/// `update_batch`/`estimate_batch`. Groups of four tabulation-domain keys
+/// are hashed with three `vpgatherdq` table gathers + two XORs + one mask;
+/// any group containing a `Poly4`-domain key (> `u32::MAX`) falls back to
+/// the scalar path for that group. Bit-identical to the scalar loop —
+/// everything here is integer data movement.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod hash_avx2 {
+    use crate::Hasher4;
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn bucket_batch(hasher: &Hasher4, keys: &[u64], k: usize, out: &mut [usize]) {
+        let (t0, t1, t2) = hasher.tab.tables();
+        let char_mask = _mm_set1_epi32(0xFFFF);
+        let k_mask = _mm256_set1_epi64x(k as i64 - 1);
+        let mut i = 0;
+        while i + 4 <= keys.len() {
+            let g = [keys[i], keys[i + 1], keys[i + 2], keys[i + 3]];
+            if (g[0] | g[1] | g[2] | g[3]) > u32::MAX as u64 {
+                // Mixed-domain group: at least one Poly4 key.
+                for (slot, &key) in out[i..i + 4].iter_mut().zip(&g) {
+                    *slot = hasher.bucket(key, k);
+                }
+                i += 4;
+                continue;
+            }
+            let k32 = _mm_set_epi32(g[3] as i32, g[2] as i32, g[1] as i32, g[0] as i32);
+            let c0 = _mm_and_si128(k32, char_mask);
+            let c1 = _mm_srli_epi32::<16>(k32);
+            let d = _mm_add_epi32(c0, c1);
+            // Indices are in range by construction: c0, c1 < 2^16 and
+            // d <= 2*(2^16 - 1) < DERIVED_LEN.
+            let v0 = _mm256_i32gather_epi64::<8>(t0.as_ptr() as *const i64, c0);
+            let v1 = _mm256_i32gather_epi64::<8>(t1.as_ptr() as *const i64, c1);
+            let v2 = _mm256_i32gather_epi64::<8>(t2.as_ptr() as *const i64, d);
+            let hash = _mm256_xor_si256(_mm256_xor_si256(v0, v1), v2);
+            let bucket = _mm256_and_si256(hash, k_mask);
+            let mut lanes = [0u64; 4];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, bucket);
+            for (slot, &b) in out[i..i + 4].iter_mut().zip(&lanes) {
+                *slot = b as usize;
+            }
+            i += 4;
+        }
+        for (slot, &key) in out[i..].iter_mut().zip(&keys[i..]) {
+            *slot = hasher.bucket(key, k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_are_stable() {
+        assert_eq!(Variant::Scalar.name(), "scalar");
+        assert_eq!(Variant::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn active_is_consistent() {
+        // Whatever was resolved, it must be stable across calls and
+        // runnable on this host.
+        let v = active();
+        assert_eq!(v, active());
+        if v == Variant::Avx2 {
+            assert!(avx2_supported());
+        }
+    }
+}

@@ -69,6 +69,12 @@ impl Tab4 {
         (self.hash32(key) & (k as u64 - 1)) as usize
     }
 
+    /// The three lookup tables `(T0, T1, T2)`, for the crate's SIMD batch
+    /// kernel (which gathers from them directly).
+    pub(crate) fn tables(&self) -> (&[u64], &[u64], &[u64]) {
+        (&self.t0, &self.t1, &self.t2)
+    }
+
     /// Approximate heap footprint in bytes (for capacity planning).
     pub fn memory_bytes(&self) -> usize {
         (self.t0.len() + self.t1.len() + self.t2.len()) * std::mem::size_of::<u64>()

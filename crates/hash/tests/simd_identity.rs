@@ -1,0 +1,74 @@
+//! Exact `==` identity of the AVX2 batch-bucketing kernel against the
+//! scalar reference, with both variants forced directly (so the test is
+//! meaningful regardless of what `SCD_SIMD` or detection resolved for the
+//! process). On hosts without AVX2 the forced-AVX2 call falls back to
+//! scalar, and the test degrades to scalar == scalar.
+
+use scd_hash::{Hasher4, SplitMix64, Variant};
+
+/// Keys mixing the tabulation domain (<= u32::MAX) and the Poly4 domain,
+/// so the kernel's 4-key groups hit pure-tabulation, mixed, and
+/// pure-polynomial shapes.
+fn mixed_keys(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let r = rng.next_u64();
+            match r % 4 {
+                0 => r | (1 << 40),   // Poly4 domain
+                1 => r & 0xFFFF,      // small c0-only keys
+                _ => r & 0xFFFF_FFFF, // full tabulation domain
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn avx2_bucket_batch_matches_scalar_exactly() {
+    for seed in [1u64, 77, 0xDEAD] {
+        let hasher = Hasher4::new(seed);
+        // Odd/unaligned lengths around the 4-lane group size, plus bulk.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 31, 100, 1023] {
+            let keys = mixed_keys(seed ^ n as u64, n);
+            for k in [2usize, 1024, 65536] {
+                let mut scalar = vec![0usize; n];
+                let mut simd = vec![usize::MAX; n];
+                hasher.bucket_batch_with(Variant::Scalar, &keys, k, &mut scalar);
+                hasher.bucket_batch_with(Variant::Avx2, &keys, k, &mut simd);
+                assert_eq!(simd, scalar, "seed={seed} n={n} k={k}");
+                // And the default dispatch agrees with both.
+                let mut dispatched = vec![0usize; n];
+                hasher.bucket_batch(&keys, k, &mut dispatched);
+                assert_eq!(dispatched, scalar, "dispatch seed={seed} n={n} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_keys_agree_across_variants() {
+    let hasher = Hasher4::new(3);
+    // Extremes of both domains: largest derived character (c0 = c1 =
+    // 0xFFFF), zero, and the domain boundary itself.
+    let keys = [
+        0u64,
+        1,
+        0xFFFF,
+        0x1_0000,
+        u32::MAX as u64,     // tabulation's last key
+        u32::MAX as u64 + 1, // Poly4's first key
+        u64::MAX,
+        0xFFFF_FFFF,
+        42,
+    ];
+    for k in [2usize, 4096] {
+        let mut scalar = vec![0usize; keys.len()];
+        let mut simd = vec![0usize; keys.len()];
+        hasher.bucket_batch_with(Variant::Scalar, &keys, k, &mut scalar);
+        hasher.bucket_batch_with(Variant::Avx2, &keys, k, &mut simd);
+        assert_eq!(simd, scalar, "k={k}");
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(scalar[i], hasher.bucket(key, k), "per-key path k={k}");
+        }
+    }
+}

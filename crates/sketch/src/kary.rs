@@ -24,6 +24,7 @@ use crate::batch::{BatchScratch, EstimateScratch};
 use crate::error::SketchError;
 use crate::linear::median_over_rows;
 use crate::median::median_inplace;
+use crate::simd;
 use scd_hash::HashRows;
 use std::sync::Arc;
 
@@ -197,22 +198,24 @@ impl KarySketch {
         self.rows.buckets_batch(keys, &mut scratch.buckets);
         scratch.values.clear();
         scratch.values.resize(h * n, 0.0);
+        let variant = simd::active();
         for row in 0..h {
             let cells = &self.table[row * kk..(row + 1) * kk];
             let row_buckets = &scratch.buckets[row * n..(row + 1) * n];
             let vals = &mut scratch.values[row * n..(row + 1) * n];
-            for (v, &bucket) in vals.iter_mut().zip(row_buckets) {
-                *v = cells[bucket];
-            }
+            simd::gather(variant, vals, cells, row_buckets);
         }
+        // Apply the per-cell estimator transform to the whole gathered
+        // block up front (same subtract-and-divide per element as the
+        // per-key formula), so the median phase is pure data movement.
         let sum = self.sum();
+        simd::estimate_transform(variant, &mut scratch.values, sum, kf);
         scratch.per_row.clear();
         scratch.per_row.resize(h, 0.0);
         out.reserve(n);
         for i in 0..n {
             for (row, per_row) in scratch.per_row.iter_mut().enumerate() {
-                let cell = scratch.values[row * n + i];
-                *per_row = (cell - sum / kf) / (1.0 - 1.0 / kf);
+                *per_row = scratch.values[row * n + i];
             }
             out.push(median_inplace(&mut scratch.per_row));
         }
@@ -268,17 +271,13 @@ impl KarySketch {
                 right: other.rows.identity(),
             });
         }
-        for (dst, src) in self.table.iter_mut().zip(&other.table) {
-            *dst += c * src;
-        }
+        simd::add_scaled(simd::active(), &mut self.table, &other.table, c);
         Ok(())
     }
 
     /// In-place `self *= c`.
     pub fn scale(&mut self, c: f64) {
-        for cell in &mut self.table {
-            *cell *= c;
-        }
+        simd::scale(simd::active(), &mut self.table, c);
     }
 
     /// In-place assignment `self ← src`: overwrites the register table
@@ -301,9 +300,7 @@ impl KarySketch {
     /// [`SketchError::IncompatibleSketches`] if the hash families differ.
     pub fn scale_assign(&mut self, src: &KarySketch, c: f64) -> Result<(), SketchError> {
         self.check_family(src)?;
-        for (dst, s) in self.table.iter_mut().zip(&src.table) {
-            *dst = s * c;
-        }
+        simd::scale_assign(simd::active(), &mut self.table, &src.table, c);
         Ok(())
     }
 
@@ -320,10 +317,7 @@ impl KarySketch {
     /// [`SketchError::IncompatibleSketches`] if the hash families differ.
     pub fn axpy_assign(&mut self, a: f64, x: &KarySketch, b: f64) -> Result<(), SketchError> {
         self.check_family(x)?;
-        for (dst, src) in self.table.iter_mut().zip(&x.table) {
-            let scaled = *dst * a;
-            *dst = scaled + b * src;
-        }
+        simd::axpy(simd::active(), &mut self.table, a, &x.table, b);
         Ok(())
     }
 
@@ -346,12 +340,26 @@ impl KarySketch {
         for &(_, s) in terms {
             self.check_family(s)?;
         }
-        for (i, dst) in self.table.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for &(c, s) in terms {
-                acc += c * s.table[i];
+        match simd::active() {
+            simd::Variant::Scalar => {
+                for (i, dst) in self.table.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for &(c, s) in terms {
+                        acc += c * s.table[i];
+                    }
+                    *dst = acc;
+                }
             }
-            *dst = acc;
+            simd::Variant::Avx2 => {
+                // Same per-cell floating-point sequence as the scalar loop
+                // (start at 0.0, add c·cell in term order), restructured as
+                // one vectorized accumulation pass per term. Still
+                // allocation-free.
+                self.table.fill(0.0);
+                for &(c, s) in terms {
+                    simd::add_scaled(simd::Variant::Avx2, &mut self.table, &s.table, c);
+                }
+            }
         }
         Ok(())
     }
@@ -367,9 +375,7 @@ impl KarySketch {
     pub fn sub_into(&mut self, a: &KarySketch, b: &KarySketch) -> Result<(), SketchError> {
         self.check_family(a)?;
         self.check_family(b)?;
-        for ((dst, av), bv) in self.table.iter_mut().zip(&a.table).zip(&b.table) {
-            *dst = av - bv;
-        }
+        simd::sub(simd::active(), &mut self.table, &a.table, &b.table);
         Ok(())
     }
 
@@ -395,24 +401,46 @@ impl KarySketch {
         let k = self.k();
         let kf = k as f64;
         scratch.per_row.clear();
+        let variant = simd::active();
         let mut sum = 0.0;
         for row in 0..h {
             let dst = &mut self.table[row * k..(row + 1) * k];
             let av = &a.table[row * k..(row + 1) * k];
             let bv = &b.table[row * k..(row + 1) * k];
             let mut sq = 0.0;
-            if row == 0 {
-                for ((d, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
-                    let v = x - y;
-                    *d = v;
-                    sum += v;
-                    sq += v * v;
+            match variant {
+                simd::Variant::Scalar => {
+                    if row == 0 {
+                        for ((d, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                            let v = x - y;
+                            *d = v;
+                            sum += v;
+                            sq += v * v;
+                        }
+                    } else {
+                        for ((d, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
+                            let v = x - y;
+                            *d = v;
+                            sq += v * v;
+                        }
+                    }
                 }
-            } else {
-                for ((d, &x), &y) in dst.iter_mut().zip(av).zip(bv) {
-                    let v = x - y;
-                    *d = v;
-                    sq += v * v;
+                simd::Variant::Avx2 => {
+                    // Vectorize only the difference pass; the running sums
+                    // then accumulate over the stored row in the same
+                    // element order as the fused scalar loop, so the
+                    // reductions see identical operand sequences.
+                    simd::sub(variant, dst, av, bv);
+                    if row == 0 {
+                        for &v in dst.iter() {
+                            sum += v;
+                            sq += v * v;
+                        }
+                    } else {
+                        for &v in dst.iter() {
+                            sq += v * v;
+                        }
+                    }
                 }
             }
             scratch.per_row.push(sq);

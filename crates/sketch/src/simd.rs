@@ -1,0 +1,321 @@
+//! SIMD kernels for the sketch's elementwise `f64` sweeps, with runtime
+//! dispatch shared with `scd-hash` (see [`scd_hash::simd`]).
+//!
+//! **Exactness.** Every kernel here is *bit-identical* to the scalar loop
+//! it replaces, by construction:
+//!
+//! * Each element undergoes exactly the scalar operation sequence —
+//!   separate `vmulpd`/`vaddpd`/`vsubpd`/`vdivpd` instructions with the
+//!   scalar operand order, never FMA (Rust also never contracts `a*b + c`
+//!   to FMA, so scalar and vector lanes round identically).
+//! * Lanes are independent: vectorization reorders *which element is
+//!   processed when*, never *the operations applied to one element*, so
+//!   there is no floating-point reassociation.
+//! * Reductions whose accumulation order matters ([`KarySketch::sum`],
+//!   squared-sum rows in `ESTIMATEF2`) deliberately stay scalar in
+//!   `kary.rs`; this module only ships sweeps and gathers.
+//!
+//! Identity is enforced by exact `==` tests in `tests/simd_identity.rs`
+//! with both variants forced directly.
+//!
+//! [`KarySketch::sum`]: crate::KarySketch::sum
+
+// The crate otherwise denies unsafe code; intrinsics require it. All
+// unsafe here is behind runtime AVX2 detection.
+#![allow(unsafe_code)]
+
+pub use scd_hash::simd::{active, avx2_supported, Variant};
+
+/// Whether this call should take the AVX2 path (requested *and* runnable).
+#[inline]
+fn use_avx2(variant: Variant) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        variant == Variant::Avx2 && avx2_supported()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = variant;
+        false
+    }
+}
+
+/// Fused `dst[i] = (dst[i]·a) + b·src[i]` — the sweep behind
+/// [`KarySketch::axpy_assign`](crate::KarySketch::axpy_assign).
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn axpy(variant: Variant, dst: &mut [f64], a: f64, src: &[f64], b: f64) {
+    assert_eq!(dst.len(), src.len(), "slice lengths must match");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; lengths checked above.
+        unsafe { avx2::axpy(dst, a, src, b) };
+        return;
+    }
+    let _ = variant;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let scaled = *d * a;
+        *d = scaled + b * s;
+    }
+}
+
+/// `dst[i] = src[i]·c` — the sweep behind
+/// [`KarySketch::scale_assign`](crate::KarySketch::scale_assign).
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn scale_assign(variant: Variant, dst: &mut [f64], src: &[f64], c: f64) {
+    assert_eq!(dst.len(), src.len(), "slice lengths must match");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; lengths checked above.
+        unsafe { avx2::scale_assign(dst, src, c) };
+        return;
+    }
+    let _ = variant;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s * c;
+    }
+}
+
+/// `dst[i] += c·src[i]` — the sweep behind
+/// [`KarySketch::add_scaled`](crate::KarySketch::add_scaled) and each
+/// accumulation pass of the vectorized `COMBINE`.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn add_scaled(variant: Variant, dst: &mut [f64], src: &[f64], c: f64) {
+    assert_eq!(dst.len(), src.len(), "slice lengths must match");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; lengths checked above.
+        unsafe { avx2::add_scaled(dst, src, c) };
+        return;
+    }
+    let _ = variant;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += c * s;
+    }
+}
+
+/// `dst[i] *= c` — the sweep behind
+/// [`KarySketch::scale`](crate::KarySketch::scale).
+pub fn scale(variant: Variant, dst: &mut [f64], c: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime.
+        unsafe { avx2::scale(dst, c) };
+        return;
+    }
+    let _ = variant;
+    for d in dst.iter_mut() {
+        *d *= c;
+    }
+}
+
+/// `dst[i] = a[i] − b[i]` — the sweep behind
+/// [`KarySketch::sub_into`](crate::KarySketch::sub_into) and the
+/// difference pass of the fused `sub_into_estimate_f2`.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn sub(variant: Variant, dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(dst.len(), a.len(), "slice lengths must match");
+    assert_eq!(dst.len(), b.len(), "slice lengths must match");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; lengths checked above.
+        unsafe { avx2::sub(dst, a, b) };
+        return;
+    }
+    let _ = variant;
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x - y;
+    }
+}
+
+/// `out[i] = cells[buckets[i]]` — the gather phase of
+/// [`KarySketch::estimate_batch`](crate::KarySketch::estimate_batch)
+/// (pure data movement, exact by definition).
+///
+/// # Panics
+/// Panics if the lengths differ or any bucket is out of range.
+pub fn gather(variant: Variant, out: &mut [f64], cells: &[f64], buckets: &[usize]) {
+    assert_eq!(out.len(), buckets.len(), "slice lengths must match");
+    assert!(buckets.iter().all(|&b| b < cells.len()), "bucket out of range");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; every index was just
+        // bounds-checked against `cells`.
+        unsafe { avx2::gather(out, cells, buckets) };
+        return;
+    }
+    let _ = variant;
+    for (v, &bucket) in out.iter_mut().zip(buckets) {
+        *v = cells[bucket];
+    }
+}
+
+/// `vals[i] = (vals[i] − sum/kf) / (1 − 1/kf)` — the per-cell estimator
+/// transform of `ESTIMATE`, applied to a whole gathered block. The two
+/// derived constants are computed once; each element then performs the
+/// identical subtract-and-divide the scalar formula performs.
+pub fn estimate_transform(variant: Variant, vals: &mut [f64], sum: f64, kf: f64) {
+    let mean = sum / kf;
+    let denom = 1.0 - 1.0 / kf;
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime.
+        unsafe { avx2::estimate_transform(vals, mean, denom) };
+        return;
+    }
+    let _ = variant;
+    for v in vals.iter_mut() {
+        *v = (*v - mean) / denom;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #[allow(clippy::wildcard_imports)]
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// AVX2 must be supported; `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy(dst: &mut [f64], a: f64, src: &[f64], b: f64) {
+        let n = dst.len();
+        let av = _mm256_set1_pd(a);
+        let bv = _mm256_set1_pd(b);
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            let scaled = _mm256_mul_pd(d, av);
+            let r = _mm256_add_pd(scaled, _mm256_mul_pd(bv, s));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+        while i < n {
+            let scaled = dst[i] * a;
+            dst[i] = scaled + b * src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported; `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_assign(dst: &mut [f64], src: &[f64], c: f64) {
+        let n = dst.len();
+        let cv = _mm256_set1_pd(c);
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_mul_pd(s, cv));
+            i += 4;
+        }
+        while i < n {
+            dst[i] = src[i] * c;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported; `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_scaled(dst: &mut [f64], src: &[f64], c: f64) {
+        let n = dst.len();
+        let cv = _mm256_set1_pd(c);
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            let s = _mm256_loadu_pd(src.as_ptr().add(i));
+            let r = _mm256_add_pd(d, _mm256_mul_pd(cv, s));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+        while i < n {
+            dst[i] += c * src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale(dst: &mut [f64], c: f64) {
+        let n = dst.len();
+        let cv = _mm256_set1_pd(c);
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_mul_pd(d, cv));
+            i += 4;
+        }
+        while i < n {
+            dst[i] *= c;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported; all three slices must share one length.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sub(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = _mm256_loadu_pd(a.as_ptr().add(i));
+            let y = _mm256_loadu_pd(b.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_sub_pd(x, y));
+            i += 4;
+        }
+        while i < n {
+            dst[i] = a[i] - b[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported; `out.len() == buckets.len()` and every
+    /// bucket must be `< cells.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather(out: &mut [f64], cells: &[f64], buckets: &[usize]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            // usize is 64-bit on x86_64; indices fit in i64 (bounds-checked
+            // by the caller against a slice length).
+            let idx = _mm256_loadu_si256(buckets.as_ptr().add(i) as *const __m256i);
+            let v = _mm256_i64gather_pd::<8>(cells.as_ptr(), idx);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), v);
+            i += 4;
+        }
+        while i < n {
+            out[i] = cells[buckets[i]];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn estimate_transform(vals: &mut [f64], mean: f64, denom: f64) {
+        let n = vals.len();
+        let mv = _mm256_set1_pd(mean);
+        let dv = _mm256_set1_pd(denom);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(vals.as_ptr().add(i));
+            let r = _mm256_div_pd(_mm256_sub_pd(v, mv), dv);
+            _mm256_storeu_pd(vals.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+        while i < n {
+            vals[i] = (vals[i] - mean) / denom;
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Exact `==` identity of the AVX2 `f64` kernels against their scalar
+//! references, with both variants forced directly — independent of what
+//! `SCD_SIMD` or CPU detection resolved for this process. (The complement
+//! is CI's `SCD_SIMD=scalar` run of the whole suite, which drives every
+//! *dispatched* path through the scalar kernels on AVX2 runners.)
+//!
+//! Values are signed and fractional; lengths cover empty, sub-lane, odd,
+//! and the paper's sketch shapes H·K for H ∈ {1, 5, 9, 25}. On hosts
+//! without AVX2 the forced-AVX2 call falls back to scalar and the tests
+//! degrade to scalar == scalar.
+
+use scd_hash::SplitMix64;
+use scd_sketch::simd::{self, Variant};
+
+const PAPER_H: [usize; 4] = [1, 5, 9, 25];
+const K: usize = 128;
+
+/// Lengths exercising the 4-lane remainder handling plus full sketch
+/// tables for every paper H.
+fn lengths() -> Vec<usize> {
+    let mut ls = vec![0, 1, 2, 3, 4, 5, 7, 13, 100, 257];
+    ls.extend(PAPER_H.iter().map(|h| h * K));
+    ls
+}
+
+/// Signed fractional values (exact in f64, but with enough mantissa
+/// variety that any operand-order or rounding divergence would show).
+fn values(rng: &mut SplitMix64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let magnitude = (rng.next_below(1_000_000) as f64) / 128.0;
+            if rng.next_below(2) == 0 {
+                -magnitude
+            } else {
+                magnitude
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn axpy_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xA1);
+    for n in lengths() {
+        let base = values(&mut rng, n);
+        let src = values(&mut rng, n);
+        for &(a, b) in &[(0.75, 0.25), (-1.5, 2.0), (0.0, 1.0), (1.0, -0.125)] {
+            let mut scalar = base.clone();
+            let mut vector = base.clone();
+            simd::axpy(Variant::Scalar, &mut scalar, a, &src, b);
+            simd::axpy(Variant::Avx2, &mut vector, a, &src, b);
+            assert_eq!(scalar, vector, "n={n} a={a} b={b}");
+        }
+    }
+}
+
+#[test]
+fn scale_assign_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xA2);
+    for n in lengths() {
+        let src = values(&mut rng, n);
+        let mut scalar = vec![f64::NAN; n];
+        let mut vector = vec![0.0; n];
+        simd::scale_assign(Variant::Scalar, &mut scalar, &src, -0.375);
+        simd::scale_assign(Variant::Avx2, &mut vector, &src, -0.375);
+        assert_eq!(scalar, vector, "n={n}");
+    }
+}
+
+#[test]
+fn add_scaled_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xA3);
+    for n in lengths() {
+        let base = values(&mut rng, n);
+        let src = values(&mut rng, n);
+        for &c in &[1.0, -1.0, 0.25, -2.5, 0.0] {
+            let mut scalar = base.clone();
+            let mut vector = base.clone();
+            simd::add_scaled(Variant::Scalar, &mut scalar, &src, c);
+            simd::add_scaled(Variant::Avx2, &mut vector, &src, c);
+            assert_eq!(scalar, vector, "n={n} c={c}");
+        }
+    }
+}
+
+#[test]
+fn scale_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xA4);
+    for n in lengths() {
+        let base = values(&mut rng, n);
+        for &c in &[0.5, -3.25, 0.0] {
+            let mut scalar = base.clone();
+            let mut vector = base.clone();
+            simd::scale(Variant::Scalar, &mut scalar, c);
+            simd::scale(Variant::Avx2, &mut vector, c);
+            assert_eq!(scalar, vector, "n={n} c={c}");
+        }
+    }
+}
+
+#[test]
+fn sub_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xA5);
+    for n in lengths() {
+        let a = values(&mut rng, n);
+        let b = values(&mut rng, n);
+        let mut scalar = vec![f64::NAN; n];
+        let mut vector = vec![0.0; n];
+        simd::sub(Variant::Scalar, &mut scalar, &a, &b);
+        simd::sub(Variant::Avx2, &mut vector, &a, &b);
+        assert_eq!(scalar, vector, "n={n}");
+    }
+}
+
+#[test]
+fn gather_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xA6);
+    for &k in &[1usize, 64, 1024] {
+        let cells = values(&mut rng, k);
+        for n in lengths() {
+            let buckets: Vec<usize> = (0..n).map(|_| rng.next_below(k as u64) as usize).collect();
+            let mut scalar = vec![f64::NAN; n];
+            let mut vector = vec![0.0; n];
+            simd::gather(Variant::Scalar, &mut scalar, &cells, &buckets);
+            simd::gather(Variant::Avx2, &mut vector, &cells, &buckets);
+            assert_eq!(scalar, vector, "k={k} n={n}");
+        }
+    }
+}
+
+#[test]
+fn estimate_transform_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xA7);
+    for n in lengths() {
+        let base = values(&mut rng, n);
+        for &(sum, kf) in &[(12_345.625, 1024.0), (-7.5, 64.0), (0.0, 2.0)] {
+            let mut scalar = base.clone();
+            let mut vector = base.clone();
+            simd::estimate_transform(Variant::Scalar, &mut scalar, sum, kf);
+            simd::estimate_transform(Variant::Avx2, &mut vector, sum, kf);
+            assert_eq!(scalar, vector, "n={n} sum={sum} kf={kf}");
+            // And both match the inline per-element formula the scalar
+            // ESTIMATE path uses.
+            for (i, &v) in base.iter().enumerate() {
+                let expect = (v - sum / kf) / (1.0 - 1.0 / kf);
+                assert!(scalar[i] == expect, "n={n} i={i}");
+            }
+        }
+    }
+}
+
+/// The vectorized COMBINE restructuring (zero the table, then one
+/// `add_scaled` pass per term) performs the same per-cell accumulation
+/// sequence as the scalar term loop.
+#[test]
+fn combine_passes_match_scalar_term_loop() {
+    let mut rng = SplitMix64::new(0xA8);
+    for n in lengths() {
+        let tables: Vec<Vec<f64>> = (0..4).map(|_| values(&mut rng, n)).collect();
+        let coeffs = [1.0, -1.0, 0.25, -2.5];
+
+        let mut reference = vec![0.0; n];
+        for (i, slot) in reference.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (c, t) in coeffs.iter().zip(&tables) {
+                acc += c * t[i];
+            }
+            *slot = acc;
+        }
+
+        for variant in [Variant::Scalar, Variant::Avx2] {
+            let mut out = vec![f64::NAN; n];
+            out.fill(0.0);
+            for (c, t) in coeffs.iter().zip(&tables) {
+                simd::add_scaled(variant, &mut out, t, *c);
+            }
+            assert_eq!(out, reference, "n={n} {variant:?}");
+        }
+    }
+}

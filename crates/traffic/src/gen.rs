@@ -4,8 +4,12 @@
 //! destination hosts whose shares follow a Zipf law, modulated over time by
 //! a diurnal cycle and per-key multiplicative noise. Each interval is
 //! generated independently and deterministically from `(seed, interval)`,
-//! so traces can be produced out of order, in parallel, or streamed without
-//! storage.
+//! and every *record* within an interval is a pure function of
+//! `(seed, interval, index)` via counter-based RNG streams, so traces can
+//! be produced out of order, in parallel (see
+//! [`TrafficGenerator::par_interval_records`] and
+//! [`TrafficGenerator::interval_records_range`]), or streamed without
+//! storage — parallel output is bit-identical to sequential.
 //!
 //! Calibration targets the *shape* of the paper's dataset (§4.1): ten
 //! routers from 861 K to 60 M records over four hours. The three
@@ -188,35 +192,113 @@ impl TrafficGenerator {
         )
     }
 
-    /// Generates all flow records of interval `t` (timestamps within
-    /// `[t·L, (t+1)·L)` milliseconds, `L` the interval length).
-    pub fn interval_records(&mut self, t: usize) -> Vec<FlowRecord> {
+    /// Number of records in interval `t` — a Poisson draw from a dedicated
+    /// count stream, deterministic in `(seed, t)`.
+    pub fn interval_len(&self, t: usize) -> usize {
         let mut rng = Rng::new(self.config.seed.wrapping_add(0x5EED * t as u64 + 1));
         let lambda = self.config.records_per_interval() * self.diurnal_factor(t);
-        let n = rng.poisson(lambda) as usize;
+        rng.poisson(lambda) as usize
+    }
+
+    /// Per-interval salt for the counter-based record streams. Kept
+    /// separate from the count stream so record contents are not
+    /// correlated with the Poisson draw.
+    fn interval_salt(&self, t: usize) -> u64 {
+        SplitMix64::new(
+            self.config.seed
+                ^ 0xC0DE_5A17_u64.rotate_left(32)
+                ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+        .next_u64()
+    }
+
+    /// Synthesizes record `i` of interval `t` from its own counter-based
+    /// RNG stream (SplitMix64 seeded at golden-ratio stride `i` off the
+    /// interval salt). This is what makes the source plane parallel:
+    /// `record_at(t, i)` is a pure function of `(seed, t, i)`, so any
+    /// partition of `0..interval_len(t)` across producer threads
+    /// regenerates exactly the records the sequential path produces.
+    fn record_at(
+        &self,
+        salt: u64,
+        t: usize,
+        i: usize,
+        t0: u64,
+        interval_ms: u64,
+        mu: f64,
+    ) -> FlowRecord {
+        let mut rng = Rng::new(salt.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let rank = self.zipf.sample(&mut rng);
+        let key_factor = self.key_interval_factor(rank, t);
+        let bytes =
+            (rng.lognormal(mu, self.config.byte_sigma) * key_factor).round().max(40.0) as u64;
+        let packets = ((bytes as f64 / 700.0).ceil() as u32).max(1);
+        FlowRecord {
+            timestamp_ms: t0 + rng.below(interval_ms),
+            src_ip: 0x0100_0000 + (rng.next_u64() % 0xDF00_0000u64) as u32,
+            dst_ip: self.dst_ip_of_rank(rank),
+            src_port: 1024 + (rng.below(64_512)) as u16,
+            dst_port: *[80u16, 443, 53, 25, 8080, 22]
+                .get(rng.below(6) as usize)
+                .expect("index < 6"),
+            protocol: if rng.below(10) < 8 { 6 } else { 17 },
+            bytes,
+            packets,
+        }
+    }
+
+    /// Generates records `lo..hi` of interval `t` — exactly the slice
+    /// `interval_records(t)[lo..hi]`, without generating the rest. This is
+    /// the per-producer building block of the parallel source plane.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > interval_len(t)`.
+    pub fn interval_records_range(&self, t: usize, lo: usize, hi: usize) -> Vec<FlowRecord> {
+        assert!(lo <= hi, "range reversed: {lo} > {hi}");
+        let n = self.interval_len(t);
+        assert!(hi <= n, "range end {hi} past interval length {n}");
+        let salt = self.interval_salt(t);
         let interval_ms = self.config.interval_secs as u64 * 1000;
         let t0 = t as u64 * interval_ms;
         let mu = self.config.median_flow_bytes.ln();
+        (lo..hi).map(|i| self.record_at(salt, t, i, t0, interval_ms, mu)).collect()
+    }
 
+    /// Generates all flow records of interval `t` (timestamps within
+    /// `[t·L, (t+1)·L)` milliseconds, `L` the interval length).
+    pub fn interval_records(&mut self, t: usize) -> Vec<FlowRecord> {
+        let n = self.interval_len(t);
+        self.interval_records_range(t, 0, n)
+    }
+
+    /// Generates interval `t` with `threads` producer threads, each owning
+    /// a contiguous counter range of the interval's record stream. The
+    /// in-order concatenation of the per-producer ranges is *exactly* the
+    /// sequential `interval_records(t)` vector (not merely the same
+    /// multiset) because every record is a pure function of `(seed, t, i)`.
+    pub fn par_interval_records(&self, t: usize, threads: usize) -> Vec<FlowRecord> {
+        let n = self.interval_len(t);
+        let threads = threads.max(1).min(n.max(1));
+        if threads == 1 {
+            return self.interval_records_range(t, 0, n);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut parts: Vec<Vec<FlowRecord>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = (w * chunk).min(n);
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || self.interval_records_range(t, lo, hi))
+                })
+                .collect();
+            for handle in handles {
+                parts.push(handle.join().expect("producer thread panicked"));
+            }
+        });
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let rank = self.zipf.sample(&mut rng);
-            let key_factor = self.key_interval_factor(rank, t);
-            let bytes =
-                (rng.lognormal(mu, self.config.byte_sigma) * key_factor).round().max(40.0) as u64;
-            let packets = ((bytes as f64 / 700.0).ceil() as u32).max(1);
-            out.push(FlowRecord {
-                timestamp_ms: t0 + rng.below(interval_ms),
-                src_ip: 0x0100_0000 + (rng.next_u64() % 0xDF00_0000u64) as u32,
-                dst_ip: self.dst_ip_of_rank(rank),
-                src_port: 1024 + (rng.below(64_512)) as u16,
-                dst_port: *[80u16, 443, 53, 25, 8080, 22]
-                    .get(rng.below(6) as usize)
-                    .expect("index < 6"),
-                protocol: if rng.below(10) < 8 { 6 } else { 17 },
-                bytes,
-                packets,
-            });
+        for part in parts {
+            out.extend(part);
         }
         out
     }
@@ -224,6 +306,39 @@ impl TrafficGenerator {
     /// Generates a full trace of `intervals` consecutive intervals.
     pub fn trace(&mut self, intervals: usize) -> Vec<Vec<FlowRecord>> {
         (0..intervals).map(|t| self.interval_records(t)).collect()
+    }
+
+    /// Generates a full trace with `threads` producer threads, striding
+    /// intervals across threads (intervals were already independent).
+    /// Bit-identical to [`TrafficGenerator::trace`].
+    pub fn par_trace(&self, intervals: usize, threads: usize) -> Vec<Vec<FlowRecord>> {
+        let threads = threads.max(1).min(intervals.max(1));
+        if threads == 1 {
+            return (0..intervals)
+                .map(|t| self.interval_records_range(t, 0, self.interval_len(t)))
+                .collect();
+        }
+        let mut out: Vec<Vec<FlowRecord>> = vec![Vec::new(); intervals];
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Vec<FlowRecord>] = &mut out;
+            let mut handles = Vec::with_capacity(threads);
+            for w in 0..threads {
+                // Contiguous interval ranges, one per thread.
+                let lo = w * intervals / threads;
+                let hi = (w + 1) * intervals / threads;
+                let (mine, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                handles.push(scope.spawn(move || {
+                    for (slot, t) in mine.iter_mut().zip(lo..hi) {
+                        *slot = self.interval_records_range(t, 0, self.interval_len(t));
+                    }
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("producer thread panicked");
+            }
+        });
+        out
     }
 }
 
@@ -333,6 +448,69 @@ mod tests {
         let doubled = base.scaled(2.0);
         assert!((doubled.records_per_sec - 2.0 * base.records_per_sec).abs() < 1e-9);
         assert_eq!(doubled.n_flows, base.n_flows * 2);
+    }
+
+    #[test]
+    fn range_synthesis_matches_sequential_slices() {
+        let mut g = TrafficGenerator::new(small_config());
+        for t in [0usize, 3, 11] {
+            let full = g.interval_records(t);
+            let n = full.len();
+            assert_eq!(g.interval_len(t), n);
+            // Arbitrary sub-ranges are exactly the corresponding slices.
+            for (lo, hi) in [(0, n), (0, n / 2), (n / 2, n), (n / 3, 2 * n / 3), (n, n)] {
+                assert_eq!(g.interval_records_range(t, lo, hi), full[lo..hi], "range {lo}..{hi}");
+            }
+            // Any contiguous partition concatenates back to the full interval.
+            for parts in [2usize, 3, 7] {
+                let chunk = n.div_ceil(parts);
+                let merged: Vec<_> = (0..parts)
+                    .flat_map(|w| g.interval_records_range(t, w * chunk, ((w + 1) * chunk).min(n)))
+                    .collect();
+                assert_eq!(merged, full, "{parts}-way partition of interval {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_synthesis_is_bit_identical_to_sequential() {
+        let mut g = TrafficGenerator::new(small_config());
+        for t in [0usize, 5] {
+            let full = g.interval_records(t);
+            for threads in [1usize, 2, 3, 8, 64] {
+                assert_eq!(g.par_interval_records(t, threads), full, "{threads} threads");
+            }
+        }
+        let trace = g.trace(9);
+        for threads in [1usize, 2, 4, 16] {
+            assert_eq!(g.par_trace(9, threads), trace, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn merged_shard_partition_is_same_multiset_as_sequential() {
+        use crate::record::KeySpec;
+        use crate::shard::{partition_records, ShardPolicy};
+        let mut g = TrafficGenerator::new(small_config());
+        let full = g.interval_records(2);
+        // Producers synthesize disjoint counter ranges; partitioning each
+        // range by key hash and merging all shards must reproduce the
+        // sequential interval as a multiset.
+        let n = full.len();
+        let chunk = n.div_ceil(4);
+        let mut merged: Vec<FlowRecord> = Vec::new();
+        for w in 0..4 {
+            let part = g.interval_records_range(2, w * chunk, ((w + 1) * chunk).min(n));
+            for shard in partition_records(&part, 3, ShardPolicy::ByKeyHash, KeySpec::DstIp) {
+                merged.extend(shard);
+            }
+        }
+        let sort_key =
+            |r: &FlowRecord| (r.timestamp_ms, r.src_ip, r.dst_ip, r.src_port, r.bytes, r.packets);
+        let mut expect = full;
+        expect.sort_by_key(sort_key);
+        merged.sort_by_key(sort_key);
+        assert_eq!(merged, expect);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::record::FlowRecord;
 use scd_hash::byteio::{put_u16, put_u32, put_u64, put_u8, Cursor};
-use scd_hash::crc32;
+use scd_hash::{crc32, Crc32};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 /// Magic + format version for the legacy (unchecksummed) binary format.
@@ -115,21 +115,181 @@ pub fn from_binary(data: &[u8]) -> Result<Vec<FlowRecord>, TraceIoError> {
     let mut out = Vec::with_capacity(body.len() / RECORD_LEN);
     while cur.remaining() > 0 {
         // Field reads cannot fail: length is a whole number of records.
-        let read = |c: &mut Cursor<'_>| -> Result<FlowRecord, scd_hash::byteio::ShortInput> {
-            Ok(FlowRecord {
-                timestamp_ms: c.u64()?,
-                src_ip: c.u32()?,
-                dst_ip: c.u32()?,
-                src_port: c.u16()?,
-                dst_port: c.u16()?,
-                protocol: c.u8()?,
-                bytes: c.u64()?,
-                packets: c.u32()?,
-            })
-        };
-        out.push(read(&mut cur).map_err(|_| TraceIoError::Truncated)?);
+        out.push(decode_record(&mut cur).map_err(|_| TraceIoError::Truncated)?);
     }
     Ok(out)
+}
+
+/// Decodes one 31-byte record at the cursor.
+fn decode_record(c: &mut Cursor<'_>) -> Result<FlowRecord, scd_hash::byteio::ShortInput> {
+    Ok(FlowRecord {
+        timestamp_ms: c.u64()?,
+        src_ip: c.u32()?,
+        dst_ip: c.u32()?,
+        src_port: c.u16()?,
+        dst_port: c.u16()?,
+        protocol: c.u8()?,
+        bytes: c.u64()?,
+        packets: c.u32()?,
+    })
+}
+
+/// Incremental binary-trace reader: decodes `SCDTRC02`/`SCDTRC01` streams
+/// chunk-by-chunk so large traces can feed shard producers directly,
+/// without first materializing the whole `Vec<FlowRecord>` (and without
+/// the single-threaded full-file decode hop). The CRC-32 footer is
+/// verified *incrementally* — the checksum is folded over every payload
+/// byte as it streams past and compared against the stored footer at EOF,
+/// so a fully drained reader gives exactly the same integrity guarantee
+/// (and the same errors) as [`from_binary`].
+#[derive(Debug)]
+pub struct ChunkedTraceReader<R: Read> {
+    inner: R,
+    /// Bytes read but not yet decoded. For v02 the trailing 4 bytes are
+    /// withheld from decoding until EOF proves they are the footer.
+    pending: Vec<u8>,
+    crc: Crc32,
+    /// Whether the stream carries a CRC footer (v02).
+    checksummed: bool,
+    at_eof: bool,
+    footer_verified: bool,
+    records_read: usize,
+}
+
+/// Read granularity for [`ChunkedTraceReader`] fills.
+const CHUNK_READ_LEN: usize = 64 * 1024;
+
+impl<R: Read> ChunkedTraceReader<R> {
+    /// Opens a binary trace stream, consuming and validating the magic.
+    pub fn new(mut inner: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 8];
+        let mut filled = 0;
+        while filled < magic.len() {
+            match inner.read(&mut magic[filled..]) {
+                Ok(0) => return Err(TraceIoError::BadMagic),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let checksummed = match &magic {
+            m if m == MAGIC_V2 => true,
+            m if m == MAGIC_V1 => false,
+            _ => return Err(TraceIoError::BadMagic),
+        };
+        let mut crc = Crc32::new();
+        crc.update(&magic);
+        Ok(ChunkedTraceReader {
+            inner,
+            pending: Vec::with_capacity(CHUNK_READ_LEN + RECORD_LEN),
+            crc,
+            checksummed,
+            at_eof: false,
+            footer_verified: false,
+            records_read: 0,
+        })
+    }
+
+    /// Total records decoded so far.
+    pub fn records_read(&self) -> usize {
+        self.records_read
+    }
+
+    /// Appends up to `max_records` decoded records to `out`. Returns the
+    /// number appended; `0` means clean end-of-stream (footer verified for
+    /// v02). Errors mirror [`from_binary`]: a mid-record end is
+    /// [`TraceIoError::Truncated`], a footer mismatch is
+    /// [`TraceIoError::BadChecksum`].
+    pub fn next_chunk(
+        &mut self,
+        max_records: usize,
+        out: &mut Vec<FlowRecord>,
+    ) -> Result<usize, TraceIoError> {
+        let mut appended = 0;
+        let mut buf = [0u8; CHUNK_READ_LEN];
+        while appended < max_records {
+            // Decode whole records from the front of `pending`, keeping the
+            // possible footer in reserve until EOF.
+            let reserve = if self.checksummed && !self.at_eof { 4 } else { 0 };
+            let decodable = (self.pending.len().saturating_sub(reserve) / RECORD_LEN) * RECORD_LEN;
+            if decodable > 0 {
+                let take = decodable.min((max_records - appended).saturating_mul(RECORD_LEN));
+                self.crc.update(&self.pending[..take]);
+                let mut cur = Cursor::new(&self.pending[..take]);
+                while cur.remaining() > 0 {
+                    out.push(decode_record(&mut cur).map_err(|_| TraceIoError::Truncated)?);
+                    appended += 1;
+                    self.records_read += 1;
+                }
+                self.pending.drain(..take);
+                continue;
+            }
+            if self.at_eof {
+                self.verify_footer()?;
+                break;
+            }
+            match self.inner.read(&mut buf) {
+                Ok(0) => {
+                    self.at_eof = true;
+                    self.check_eof()?;
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Validates stream framing once the underlying reader hits EOF: the
+    /// leftover bytes must be a whole number of records plus, for v02, a
+    /// footer matching the incrementally computed CRC.
+    fn check_eof(&mut self) -> Result<(), TraceIoError> {
+        if self.checksummed {
+            if self.pending.len() < 4 {
+                return Err(TraceIoError::Truncated);
+            }
+            if (self.pending.len() - 4) % RECORD_LEN != 0 {
+                return Err(TraceIoError::Truncated);
+            }
+        } else if self.pending.len() % RECORD_LEN != 0 {
+            return Err(TraceIoError::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Once every record has been decoded, the v02 leftover must be the
+    /// 4-byte footer matching the CRC folded over magic + records.
+    fn verify_footer(&mut self) -> Result<(), TraceIoError> {
+        if self.footer_verified || !self.checksummed {
+            return Ok(());
+        }
+        if self.pending.len() != 4 {
+            return Err(TraceIoError::Truncated);
+        }
+        let stored = u32::from_le_bytes(self.pending[..].try_into().expect("length checked"));
+        let computed = self.crc.finalize();
+        if computed != stored {
+            return Err(TraceIoError::BadChecksum { computed, stored });
+        }
+        self.pending.clear();
+        self.footer_verified = true;
+        Ok(())
+    }
+
+    /// Drains the remaining stream, returning the total number of records
+    /// appended to `out`. Equivalent to calling [`Self::next_chunk`] until
+    /// it returns `0`.
+    pub fn read_to_end(&mut self, out: &mut Vec<FlowRecord>) -> Result<usize, TraceIoError> {
+        let mut total = 0;
+        loop {
+            let n = self.next_chunk(usize::MAX, out)?;
+            if n == 0 {
+                return Ok(total);
+            }
+            total += n;
+        }
+    }
 }
 
 /// Writes records as binary to any writer (file, socket, buffer).
@@ -276,6 +436,71 @@ mod tests {
             Err(TraceIoError::BadCsv { line }) => assert_eq!(line, 2),
             other => panic!("expected BadCsv, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn chunked_reader_matches_from_binary() {
+        let records = sample_records();
+        let bytes = to_binary(&records);
+        for chunk in [1usize, 7, 31, 1000] {
+            let mut reader = ChunkedTraceReader::new(&bytes[..]).unwrap();
+            let mut out = Vec::new();
+            loop {
+                if reader.next_chunk(chunk, &mut out).unwrap() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(out, records, "chunk size {chunk}");
+            assert_eq!(reader.records_read(), records.len());
+            // Reading past the end stays a clean EOF.
+            assert_eq!(reader.next_chunk(chunk, &mut out).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn chunked_reader_handles_empty_and_legacy_traces() {
+        let empty = to_binary(&[]);
+        let mut reader = ChunkedTraceReader::new(&empty[..]).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(reader.read_to_end(&mut out).unwrap(), 0);
+
+        let records = sample_records();
+        let v2 = to_binary(&records);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC_V1);
+        v1.extend_from_slice(&v2[8..v2.len() - 4]);
+        let mut reader = ChunkedTraceReader::new(&v1[..]).unwrap();
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn chunked_reader_rejects_corruption_like_from_binary() {
+        assert!(matches!(
+            ChunkedTraceReader::new(&b"not a trace"[..]),
+            Err(TraceIoError::BadMagic)
+        ));
+        let clean = to_binary(&sample_records());
+        let mut rng = scd_hash::SplitMix64::new(0x7AC4);
+        for _ in 0..100 {
+            let pos = rng.next_below(clean.len() as u64) as usize;
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << rng.next_below(8);
+            let run = ChunkedTraceReader::new(&bad[..]).and_then(|mut r| {
+                let mut out = Vec::new();
+                r.read_to_end(&mut out)
+            });
+            assert!(run.is_err(), "byte flip at {pos} decoded successfully");
+        }
+        // Truncation mid-record / mid-footer is detected at EOF.
+        let mut short = clean.clone();
+        short.truncate(clean.len() - 3);
+        let run = ChunkedTraceReader::new(&short[..]).and_then(|mut r| {
+            let mut out = Vec::new();
+            r.read_to_end(&mut out)
+        });
+        assert!(run.is_err());
     }
 
     #[test]

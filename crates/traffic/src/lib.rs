@@ -50,6 +50,7 @@ pub mod zipf;
 pub use anomaly::{AnomalyEvent, AnomalyInjector, AnomalyKind, GroundTruth};
 pub use fault::{Corruptor, FaultKind, FaultPlan, NetFaultKind, NetFaultPlan};
 pub use gen::{RouterProfile, TrafficConfig, TrafficGenerator};
+pub use io::{ChunkedTraceReader, TraceIoError};
 pub use packet::{parse_ethernet, parse_ipv4, PacketError, PacketSummary};
 pub use record::{to_updates, FlowRecord, KeySpec, ValueSpec};
 pub use rng::Rng;
