@@ -36,6 +36,7 @@
 //!              [--shards N] [--pipeline] [--budget 64] [--full-res 8] [--keys 64]
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--pace-ms N] [--linger-secs N] [--out hist.scda]
+//!              [--sync-rebuild] [--no-cache]
 //!              [--metrics FILE] [--metrics-listen ADDR]
 //! scd ask      --addr HOST:PORT (--estimate IP [--from T1 --to T2]
 //!              | --changed --from T1 --to T2 [--threshold 0.05]
@@ -122,7 +123,8 @@ fn usage() -> ExitCode {
          serve     --trace FILE --interval S --model SPEC --listen ADDR [--shards N]\n\
          \u{20}          [--pipeline] [--budget 64] [--full-res 8] [--keys 64] [--h 5]\n\
          \u{20}          [--k 32768] [--threshold 0.05] [--sketch-seed N] [--pace-ms N]\n\
-         \u{20}          [--linger-secs N] [--out FILE] [--metrics FILE] [--metrics-listen ADDR]\n\
+         \u{20}          [--linger-secs N] [--out FILE] [--sync-rebuild] [--no-cache]\n\
+         \u{20}          [--metrics FILE] [--metrics-listen ADDR]\n\
          ask       --addr HOST:PORT (--estimate IP [--from T1 --to T2] |\n\
          \u{20}          --changed --from T1 --to T2 [--threshold 0.05] |\n\
          \u{20}          --history IP --from T1 --to T2 | --range --from T1 --to T2)\n\
@@ -1140,6 +1142,15 @@ fn serve(flags: &Flags) -> CliResult {
     let pace_ms: u64 = flags.get("pace-ms", 0)?;
     let linger_secs: u64 = flags.get("linger-secs", 0)?;
     let out = flags.raw("out");
+    // Read-path knobs: background rebuild and the answer cache default
+    // on; --sync-rebuild / --no-cache turn them off (used by the soak
+    // and CI equivalence checks, and available for debugging).
+    let rebuild_mode = if flags.has("sync-rebuild") {
+        scd_serve::RebuildMode::Inline
+    } else {
+        scd_serve::RebuildMode::Background
+    };
+    let server_options = scd_serve::ServerOptions { cache: !flags.has("no-cache") };
 
     let records = read_trace(&path)?;
     let intervals = segment_records(&records, interval, KeySpec::DstIp, ValueSpec::Bytes);
@@ -1147,7 +1158,8 @@ fn serve(flags: &Flags) -> CliResult {
 
     let mut telemetry = Telemetry::from_flags(flags)?;
     let serve_metrics = telemetry.as_ref().map(|t| scd_serve::ServeMetrics::register(&t.registry));
-    let plane = scd_serve::ServingPlane::with_metrics(archive_cfg, serve_metrics.clone())?;
+    let plane =
+        scd_serve::ServingPlane::with_options(archive_cfg, serve_metrics.clone(), rebuild_mode)?;
 
     let mut config = EngineConfig::new(
         DetectorConfig {
@@ -1170,7 +1182,12 @@ fn serve(flags: &Flags) -> CliResult {
     }
     let mut engine = ShardedEngine::new(config)?;
 
-    let server = scd_serve::QueryServer::bind(&listen, Arc::clone(&plane), serve_metrics)?;
+    let server = scd_serve::QueryServer::bind_with(
+        &listen,
+        Arc::clone(&plane),
+        serve_metrics,
+        server_options,
+    )?;
     eprintln!("serving queries on {}", server.addr());
     outln!(
         "serving {} intervals of {interval}s on {} ({} shards{})",
@@ -1257,9 +1274,13 @@ fn ask(flags: &Flags) -> CliResult {
         }
     };
     match client.ask(&request)? {
-        Response::NoData { reason } => outln!("no data: {reason}"),
-        Response::Error { message } => {
-            return Err(FlagError(format!("server answered: {message}")).into())
+        Response::NoData { as_of, reason } => match as_of {
+            Some(as_of) => outln!("no data as of interval {as_of}: {reason}"),
+            None => outln!("no data: {reason}"),
+        },
+        Response::Error { as_of, message } => {
+            let at = as_of.map_or(String::new(), |t| format!(" (as of interval {t})"));
+            return Err(FlagError(format!("server answered{at}: {message}")).into());
         }
         Response::Estimate { as_of, live, value, error_bound } => {
             let q = flags.raw("estimate").expect("estimate request came from --estimate");

@@ -273,6 +273,122 @@ fn stream_with_many_intervals_does_not_deadlock() {
     std::fs::remove_file(&out_path).ok();
 }
 
+/// Live serving must agree with the offline archive byte for byte: run
+/// `scd serve` over an integer-valued trace (ma:1 keeps forecast errors
+/// integral, so the slim f32 read path is exact), `scd ask` every query
+/// shape while the server lingers, then diff the body lines against
+/// offline `scd query` over the archive the same run dumped. Every ask
+/// response — data, live, and error alike — must announce the `as_of`
+/// interval it was answered at.
+#[test]
+fn ask_matches_offline_query_and_prints_as_of() {
+    let trace = temp_trace("serve-ask");
+    let trace_s = trace.to_str().unwrap();
+    let (stdout, stderr, ok) = run(scd()
+        .args(["generate", "--profile", "small", "--hours", "0.5", "--interval", "60"])
+        .args(["--out", trace_s, "--dos", "10:12:2:30", "--seed", "7"]));
+    assert!(ok, "generate failed: {stderr}");
+    let victim = stdout
+        .lines()
+        .find(|l| l.contains("injected dos"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .expect("victim ip printed")
+        .to_string();
+
+    let dump = trace.with_extension("scda");
+    let dump_s = dump.to_str().unwrap();
+    let addr = format!("127.0.0.1:{}", 21000 + (std::process::id() % 10_000) as u16);
+    // Replay finishes in well under a second; the linger window is where
+    // the asks land. Stdout/stderr go to files so a full pipe can never
+    // stall the server, and so the test can watch for "replay done".
+    let out_path = trace.with_extension("serve-out");
+    let err_path = trace.with_extension("serve-err");
+    let mut child = scd()
+        .args(["serve", "--trace", trace_s, "--interval", "60", "--model", "ma:1"])
+        .args(["--listen", &addr, "--k", "8192", "--threshold", "0.4", "--shards", "2"])
+        .args(["--budget", "16", "--full-res", "4", "--out", dump_s])
+        .args(["--linger-secs", "15"])
+        .stdout(std::fs::File::create(&out_path).expect("stdout file"))
+        .stderr(std::fs::File::create(&err_path).expect("stderr file"))
+        .spawn()
+        .expect("spawn scd serve");
+
+    // Ask only once replay is done, so every answer reflects the final view.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let log = std::fs::read_to_string(&err_path).unwrap_or_default();
+        if log.contains("replay done") {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll scd serve") {
+            panic!("scd serve exited early ({status}): {log}");
+        }
+        if std::time::Instant::now() > deadline {
+            child.kill().ok();
+            panic!("scd serve never finished replay: {log}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let ask = |extra: &[&str]| -> String {
+        let (stdout, stderr, ok) = run(scd().args(["ask", "--addr", &addr]).args(extra));
+        assert!(ok, "ask {extra:?} failed: {stderr}");
+        assert!(stdout.contains("as of interval"), "ask {extra:?} lost as_of:\n{stdout}");
+        stdout
+    };
+    let changed = ask(&["--changed", "--from", "8", "--to", "16", "--threshold", "0.4"]);
+    let history = ask(&["--history", &victim, "--from", "0", "--to", "30"]);
+    let estimate = ask(&["--estimate", &victim, "--from", "8", "--to", "16"]);
+    let live = ask(&["--estimate", &victim]);
+    assert!(live.contains("live estimate as of interval"), "{live}");
+    assert!(live.contains("slim-sketch bound"), "{live}");
+    let range = ask(&["--range", "--from", "8", "--to", "16"]);
+    assert!(range.contains("epochs, sum"), "{range}");
+    // The error variant carries as_of too: a window past coverage fails
+    // loudly but still says which interval the server was at.
+    let (_, stderr, ok) =
+        run(scd().args(["ask", "--addr", &addr, "--changed", "--from", "50", "--to", "60"]));
+    assert!(!ok, "out-of-range ask must fail");
+    assert!(stderr.contains("as of interval"), "error answer lost as_of: {stderr}");
+
+    // Let the linger window expire so the server dumps its archive.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let status = loop {
+        match child.try_wait().expect("poll scd serve") {
+            Some(status) => break status,
+            None if std::time::Instant::now() > deadline => {
+                child.kill().ok();
+                panic!("scd serve did not exit after linger window");
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(100)),
+        }
+    };
+    assert!(status.success(), "serve exited with failure");
+
+    // Offline answers over the dumped archive: body lines (the indented
+    // CHANGE / intervals / ESTIMATE records) must match the served ones
+    // exactly — only the `as of interval` headers may differ.
+    let body = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| l.starts_with("  ")).map(str::to_string).collect()
+    };
+    let offline = |extra: &[&str]| -> String {
+        let (stdout, stderr, ok) = run(scd().args(["query", "--archive", dump_s]).args(extra));
+        assert!(ok, "offline query {extra:?} failed: {stderr}");
+        stdout
+    };
+    let q_changed = offline(&["--from", "8", "--to", "16", "--threshold", "0.4"]);
+    assert_eq!(body(&changed), body(&q_changed), "served vs offline changed keys");
+    assert!(!body(&changed).is_empty(), "changed-keys diff was vacuous:\n{q_changed}");
+    let q_history = offline(&["--from", "0", "--to", "30", "--key", &victim]);
+    assert_eq!(body(&history), body(&q_history), "served vs offline history");
+    let q_estimate = offline(&["--from", "8", "--to", "16", "--estimate", &victim]);
+    assert_eq!(body(&estimate), body(&q_estimate), "served vs offline estimate");
+
+    for p in [&trace, &dump, &out_path, &err_path] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
 /// An archive dumped before the model ever warmed up holds zero epochs.
 /// Querying it must produce a clean "no data" answer (exit 0), not an
 /// out-of-range error: nothing about the request was wrong, the archive

@@ -92,6 +92,16 @@ pub trait IntervalObserver: Send + Sync + std::fmt::Debug {
     /// One interval closed with `report`; `error` is `(t, Se(t))` when an
     /// error sketch exists for a (possibly lagged) interval `t`.
     fn interval_closed(&self, report: &IntervalReport, error: Option<(usize, &KarySketch)>);
+
+    /// Blocks until every interval handed to
+    /// [`interval_closed`](Self::interval_closed) so far is fully
+    /// reflected in the observer's published state. The default is a
+    /// no-op — right for observers that do all their work inside the
+    /// hook. Observers that offload (e.g. a serving plane's background
+    /// snapshot rebuild) override it; [`ShardedEngine::drain`] calls it
+    /// after the last in-flight interval so callers that drain see a
+    /// view as fresh as the reports they received.
+    fn flush(&self) {}
 }
 
 /// Configuration for a [`ShardedEngine`].
@@ -1140,6 +1150,9 @@ impl ShardedEngine {
         let mut last = None;
         while matches!(&self.detect, DetectBackend::Pipelined { in_flight, .. } if *in_flight > 0) {
             last = Some(self.recv_report()?);
+        }
+        if let Some(observer) = &self.observer {
+            observer.flush();
         }
         Ok(last)
     }

@@ -51,7 +51,7 @@ pub mod view;
 pub use client::QueryClient;
 pub use metrics::ServeMetrics;
 pub use proto::{ProtoError, Request, Response};
-pub use server::{answer, QueryServer};
+pub use server::{answer, QueryServer, ServerOptions};
 pub use shared::SharedSketch;
-pub use slim::{SlimScratch, SlimSketch};
-pub use view::{ServingPlane, ServingView};
+pub use slim::{SlimEpoch, SlimScratch, SlimSketch};
+pub use view::{RebuildMode, ServingPlane, ServingView};

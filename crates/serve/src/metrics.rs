@@ -39,6 +39,18 @@ pub struct ServeMetrics {
     /// Nanoseconds from decoded request to encoded response (answer time
     /// only, excluding socket I/O).
     pub answer_ns: Arc<Histogram>,
+    /// Queries answered from the per-view answer cache (no archive work).
+    pub cache_hits: Arc<Counter>,
+    /// Cacheable queries that missed and were computed (then cached).
+    pub cache_misses: Arc<Counter>,
+    /// Requests coalesced onto another identical in-flight computation
+    /// (a subset of `cache_hits`: the hit happened while the first
+    /// requester was still computing).
+    pub coalesced_total: Arc<Counter>,
+    /// Intervals handed to the background snapshot rebuild thread and
+    /// not yet reflected in the published view (0 when rebuilding
+    /// inline).
+    pub rebuild_lag: Arc<Gauge>,
 }
 
 impl ServeMetrics {
@@ -78,6 +90,16 @@ impl ServeMetrics {
                 "scd_serve_answer_ns",
                 "Nanoseconds from decoded request to encoded response",
             ),
+            cache_hits: registry
+                .counter("scd_serve_cache_hits", "Queries answered from the per-view answer cache"),
+            cache_misses: registry
+                .counter("scd_serve_cache_misses", "Cacheable queries computed on a cache miss"),
+            coalesced_total: registry.counter(
+                "scd_serve_coalesced_total",
+                "Requests coalesced onto an identical in-flight computation",
+            ),
+            rebuild_lag: registry
+                .gauge("scd_serve_rebuild_lag", "Intervals queued for background snapshot rebuild"),
         })
     }
 }

@@ -144,12 +144,18 @@ pub enum Response {
     /// no interval has closed. Not an error: clients print the reason and
     /// move on.
     NoData {
+        /// Interval of the view that answered, when one has closed
+        /// (`None` only before the first interval boundary) — so even
+        /// data-free answers are attributable to a pipeline position.
+        as_of: Option<u64>,
         /// Human-readable explanation.
         reason: String,
     },
     /// The query failed (window outside coverage, sketch fault, …). The
     /// connection stays up; only protocol-level corruption tears it down.
     Error {
+        /// Interval of the view that answered, when one has closed.
+        as_of: Option<u64>,
         /// Human-readable explanation.
         message: String,
     },
@@ -309,8 +315,14 @@ impl Response {
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
         match self {
-            Response::NoData { reason } => put_str(&mut payload, reason),
-            Response::Error { message } => put_str(&mut payload, message),
+            Response::NoData { as_of, reason } => {
+                put_opt_u64(&mut payload, *as_of);
+                put_str(&mut payload, reason);
+            }
+            Response::Error { as_of, message } => {
+                put_opt_u64(&mut payload, *as_of);
+                put_str(&mut payload, message);
+            }
             Response::Estimate { as_of, live, value, error_bound } => {
                 put_u64(&mut payload, *as_of);
                 put_u8(&mut payload, u8::from(*live));
@@ -386,8 +398,8 @@ impl Response {
     fn decode_payload(ty: u8, payload: &[u8]) -> Result<Response, ProtoError> {
         let mut cur = Cursor::new(payload);
         let resp = match ty {
-            16 => Response::NoData { reason: take_str(&mut cur)? },
-            17 => Response::Error { message: take_str(&mut cur)? },
+            16 => Response::NoData { as_of: take_opt_u64(&mut cur)?, reason: take_str(&mut cur)? },
+            17 => Response::Error { as_of: take_opt_u64(&mut cur)?, message: take_str(&mut cur)? },
             18 => Response::Estimate {
                 as_of: take_u64(&mut cur)?,
                 live: match take_u8(&mut cur)? {
@@ -566,6 +578,26 @@ fn bounded_count(cur: &mut Cursor<'_>, elem_bytes: usize) -> Result<usize, Proto
     Ok(n as usize)
 }
 
+/// An optional u64 on the wire: one presence byte (`0`/`1`), then the
+/// value when present. Any other presence byte is malformed.
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            put_u8(buf, 1);
+            put_u64(buf, v);
+        }
+        None => put_u8(buf, 0),
+    }
+}
+
+fn take_opt_u64(cur: &mut Cursor<'_>) -> Result<Option<u64>, ProtoError> {
+    match take_u8(cur)? {
+        0 => Ok(None),
+        1 => Ok(Some(take_u64(cur)?)),
+        _ => Err(ProtoError::Malformed),
+    }
+}
+
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u64(buf, s.len() as u64);
     buf.extend_from_slice(s.as_bytes());
@@ -596,8 +628,10 @@ mod tests {
 
     fn sample_responses() -> Vec<Response> {
         vec![
-            Response::NoData { reason: "no epochs yet".into() },
-            Response::Error { message: "window [9, 3) is empty".into() },
+            Response::NoData { as_of: None, reason: "no epochs yet".into() },
+            Response::NoData { as_of: Some(7), reason: "window [3, 3) is empty".into() },
+            Response::Error { as_of: None, message: "window [9, 3) is empty".into() },
+            Response::Error { as_of: Some(31), message: "window outside coverage".into() },
             Response::Estimate { as_of: 12, live: true, value: -42.5, error_bound: 1e-4 },
             Response::Estimate { as_of: 12, live: false, value: 0.0, error_bound: 0.0 },
             Response::ChangedKeys {
@@ -664,7 +698,7 @@ mod tests {
     fn crossed_roles_fail_at_type_byte() {
         let req = Request::RangeSketch { from: 0, to: 4 }.encode();
         assert!(matches!(Response::decode(&req), Err(ProtoError::BadType(3))));
-        let resp = Response::NoData { reason: "x".into() }.encode();
+        let resp = Response::NoData { as_of: None, reason: "x".into() }.encode();
         assert!(matches!(Request::decode(&resp), Err(ProtoError::BadType(16))));
     }
 
@@ -777,8 +811,20 @@ mod tests {
     #[test]
     fn invalid_utf8_strings_are_malformed() {
         let mut payload = Vec::new();
+        put_u8(&mut payload, 0); // as_of absent
         put_u64(&mut payload, 2);
         payload.extend_from_slice(&[0xFF, 0xFE]);
+        let bytes = seal(16, payload);
+        assert!(matches!(Response::decode(&bytes), Err(ProtoError::Malformed)));
+    }
+
+    /// A presence byte other than 0/1 for the optional as_of is
+    /// malformed.
+    #[test]
+    fn invalid_presence_bytes_are_malformed() {
+        let mut payload = Vec::new();
+        put_u8(&mut payload, 2); // neither absent nor present
+        put_str(&mut payload, "reason");
         let bytes = seal(16, payload);
         assert!(matches!(Response::decode(&bytes), Err(ProtoError::Malformed)));
     }

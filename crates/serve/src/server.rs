@@ -9,17 +9,33 @@
 //! connection pins the *current* view per request — a client issuing
 //! many queries sees the pipeline advance between them, but every single
 //! answer is interval-consistent (one atomic view, one `as_of`).
+//!
+//! # Answer cache and request coalescing
+//!
+//! Historical answers are pure functions of `(view, request)`, and a
+//! view is immutable until the next interval swaps the `Arc`. The server
+//! exploits that with a per-view answer cache: the first request for a
+//! given `(as_of, query)` computes and memoizes; identical requests —
+//! concurrent or later, from any connection — wait on the in-flight slot
+//! (coalescing) or read the memo, so a `changed_keys` storm costs one
+//! epoch scan per interval instead of one per request. Correctness is
+//! structural: the cache key includes the view's `as_of`, and a newer
+//! `as_of` clears the map, so a cached answer can never outlive the view
+//! it was computed against. Live estimates (`from == to`) are never
+//! cached — they are `H` cell reads, cheaper than the cache lookup is
+//! worth. [`ServerOptions::cache`] turns the whole layer off.
 
 use crate::metrics::ServeMetrics;
 use crate::proto::{ProtoError, Request, Response};
 use crate::view::{ServingPlane, ServingView};
 use scd_archive::ArchiveError;
-use scd_obs::Stopwatch;
+use scd_obs::{LocalHistogram, Stopwatch};
 use scd_sketch::{PointEstimate, SecondMoment};
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -39,6 +55,17 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 /// (the client sees a clean close at a frame boundary and may retry).
 const MAX_CONNECTIONS: usize = 64;
 
+/// Distinct answers memoized per view; at the cap a new distinct query
+/// evicts an arbitrary memo (the map is also cleared at every view swap,
+/// so this only bounds query diversity against one long-lived view).
+const CACHE_CAP: usize = 1024;
+
+/// Requests between folds of a connection's private latency histogram
+/// into the shared [`ServeMetrics::answer_ns`] (plus one final fold when
+/// the connection closes) — the `scd-obs` worker-local pattern, so the
+/// per-request cost is a plain array add, not contended atomics.
+const LOCAL_MERGE_EVERY: u64 = 64;
+
 /// Evaluates one query against one frozen [`ServingView`] — pure, no
 /// I/O, shared by the TCP handler, the CLI's offline path, and the
 /// tests.
@@ -50,7 +77,7 @@ const MAX_CONNECTIONS: usize = 64;
 /// sketch-level fault, is [`Response::Error`].
 pub fn answer(view: &ServingView, req: &Request) -> Response {
     let Some(as_of) = view.interval else {
-        return Response::NoData { reason: "no interval has closed yet".into() };
+        return Response::NoData { as_of: None, reason: "no interval has closed yet".into() };
     };
     match *req {
         Request::Estimate { key, from, to } if from == to => match &view.slim {
@@ -60,18 +87,19 @@ pub fn answer(view: &ServingView, req: &Request) -> Response {
                 value: slim.estimate(key),
                 error_bound: slim.error_bound(),
             },
-            None => {
-                Response::NoData { reason: "model is still warming up: no error sketch yet".into() }
-            }
+            None => Response::NoData {
+                as_of: Some(as_of),
+                reason: "model is still warming up: no error sketch yet".into(),
+            },
         },
         Request::Estimate { key, from, to } => match view.archive.range_sketch(from, to) {
             Ok(range) => Response::Estimate {
                 as_of,
                 live: false,
                 value: range.sketch.estimate(key),
-                error_bound: 0.0,
+                error_bound: range.sketch.get().error_bound(),
             },
-            Err(e) => archive_miss(e),
+            Err(e) => archive_miss(as_of, e),
         },
         Request::ChangedKeys { from, to, threshold } => {
             match view.archive.changed_keys(from, to, threshold, &[]) {
@@ -84,7 +112,7 @@ pub fn answer(view: &ServingView, req: &Request) -> Response {
                     alarm_threshold: report.alarm_threshold,
                     changes: report.changes.into_iter().map(|c| (c.key, c.magnitude)).collect(),
                 },
-                Err(e) => archive_miss(e),
+                Err(e) => archive_miss(as_of, e),
             }
         }
         Request::KeyHistory { key, from, to } => match view.archive.key_history(key, from, to) {
@@ -96,7 +124,7 @@ pub fn answer(view: &ServingView, req: &Request) -> Response {
                     .map_or((0, 0), |(a, b)| (a.start, b.start + b.len)),
                 points: points.into_iter().map(|p| (p.start, p.len, p.total, p.mean)).collect(),
             },
-            Err(e) => archive_miss(e),
+            Err(e) => archive_miss(as_of, e),
         },
         Request::RangeSketch { from, to } => match view.archive.range_sketch(from, to) {
             Ok(range) => Response::RangeSketch {
@@ -106,20 +134,174 @@ pub fn answer(view: &ServingView, req: &Request) -> Response {
                 sum: range.sketch.get().sum(),
                 error_f2: range.sketch.estimate_f2(),
             },
-            Err(e) => archive_miss(e),
+            Err(e) => archive_miss(as_of, e),
         },
     }
 }
 
 /// Maps an archive query failure onto the wire: "nothing there" answers
 /// become [`Response::NoData`], real faults become [`Response::Error`].
-fn archive_miss(e: ArchiveError) -> Response {
+fn archive_miss(as_of: u64, e: ArchiveError) -> Response {
+    let as_of = Some(as_of);
     match e {
-        ArchiveError::EmptyRange { .. } => Response::NoData { reason: e.to_string() },
-        ArchiveError::OutOfRange { coverage: None, .. } => {
-            Response::NoData { reason: "archive holds no epochs yet (model warming up)".into() }
+        ArchiveError::EmptyRange { .. } => Response::NoData { as_of, reason: e.to_string() },
+        ArchiveError::OutOfRange { coverage: None, .. } => Response::NoData {
+            as_of,
+            reason: "archive holds no epochs yet (model warming up)".into(),
+        },
+        other => Response::Error { as_of, message: other.to_string() },
+    }
+}
+
+/// A request's identity for memoization. Live estimates map to `None`
+/// (never cached); float thresholds key by their exact bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Estimate { key: u64, from: u64, to: u64 },
+    ChangedKeys { from: u64, to: u64, threshold_bits: u64 },
+    KeyHistory { key: u64, from: u64, to: u64 },
+    RangeSketch { from: u64, to: u64 },
+}
+
+fn cache_key(req: &Request) -> Option<CacheKey> {
+    match *req {
+        Request::Estimate { from, to, .. } if from == to => None,
+        Request::Estimate { key, from, to } => Some(CacheKey::Estimate { key, from, to }),
+        Request::ChangedKeys { from, to, threshold } => {
+            Some(CacheKey::ChangedKeys { from, to, threshold_bits: threshold.to_bits() })
         }
-        other => Response::Error { message: other.to_string() },
+        Request::KeyHistory { key, from, to } => Some(CacheKey::KeyHistory { key, from, to }),
+        Request::RangeSketch { from, to } => Some(CacheKey::RangeSketch { from, to }),
+    }
+}
+
+/// One memo slot: `Pending` while the first requester computes (later
+/// identical requests block on the condvar — that's the coalescing),
+/// then `Ready` with the answer every waiter clones.
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Ready(Response),
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// The view interval the map's entries were computed against.
+    as_of: u64,
+    map: HashMap<CacheKey, Arc<Slot>>,
+}
+
+/// The per-view answer cache. See the [module docs](self) for the
+/// invalidation argument.
+#[derive(Debug, Default)]
+pub(crate) struct AnswerCache {
+    inner: Mutex<CacheInner>,
+}
+
+/// What the cache decided for one request.
+enum Claim {
+    /// First requester: compute, publish into the slot, notify waiters.
+    Compute(Arc<Slot>),
+    /// Identical request already computed or in flight: wait and clone.
+    Hit(Arc<Slot>),
+    /// Not cacheable (a straggler connection's superseded view): compute
+    /// uncached.
+    Bypass,
+}
+
+/// [`answer`] through the memo layer — same responses, byte for byte
+/// (the first requester's `answer` output is what everyone receives).
+pub(crate) fn answer_cached(
+    cache: &AnswerCache,
+    view: &ServingView,
+    req: &Request,
+    metrics: Option<&ServeMetrics>,
+) -> Response {
+    let (Some(as_of), Some(key)) = (view.interval, cache_key(req)) else {
+        return answer(view, req);
+    };
+    let claim = {
+        let mut inner = cache.inner.lock().expect("answer cache lock poisoned");
+        if as_of < inner.as_of {
+            // A connection still holding a superseded view: its answers
+            // must come from *that* view, and the map now belongs to a
+            // newer one. Compute directly.
+            Claim::Bypass
+        } else {
+            if as_of > inner.as_of {
+                // The Arc swap happened: every memo below is for a dead
+                // view. Invalidate wholesale.
+                inner.as_of = as_of;
+                inner.map.clear();
+            }
+            if let Some(slot) = inner.map.get(&key) {
+                Claim::Hit(Arc::clone(slot))
+            } else {
+                if inner.map.len() >= CACHE_CAP {
+                    // Full: evict an arbitrary memo rather than bypass —
+                    // a long-lived view (idle ingest) must not lock the
+                    // cache into whatever happened to fill it first.
+                    // Waiters on an evicted Pending slot keep their own
+                    // `Arc` and still get notified by its computer.
+                    if let Some(victim) = inner.map.keys().next().cloned() {
+                        inner.map.remove(&victim);
+                    }
+                }
+                let slot =
+                    Arc::new(Slot { state: Mutex::new(SlotState::Pending), ready: Condvar::new() });
+                inner.map.insert(key, Arc::clone(&slot));
+                Claim::Compute(slot)
+            }
+        }
+    };
+    match claim {
+        Claim::Bypass => answer(view, req),
+        Claim::Compute(slot) => {
+            if let Some(m) = metrics {
+                m.cache_misses.inc();
+            }
+            let resp = answer(view, req);
+            *slot.state.lock().expect("cache slot lock poisoned") = SlotState::Ready(resp.clone());
+            slot.ready.notify_all();
+            resp
+        }
+        Claim::Hit(slot) => {
+            let mut coalesced = false;
+            let mut state = slot.state.lock().expect("cache slot lock poisoned");
+            while matches!(*state, SlotState::Pending) {
+                coalesced = true;
+                state = slot.ready.wait(state).expect("cache slot lock poisoned");
+            }
+            let SlotState::Ready(resp) = &*state else { unreachable!("loop exits on Ready") };
+            let resp = resp.clone();
+            drop(state);
+            if let Some(m) = metrics {
+                m.cache_hits.inc();
+                if coalesced {
+                    m.coalesced_total.inc();
+                }
+            }
+            resp
+        }
+    }
+}
+
+/// Read-path knobs for [`QueryServer::bind_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Memoize and coalesce historical answers per view (default on).
+    pub cache: bool,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions { cache: true }
     }
 }
 
@@ -134,7 +316,8 @@ pub struct QueryServer {
 
 impl QueryServer {
     /// Binds `addr` (use port 0 for an ephemeral port — see
-    /// [`addr`](Self::addr)) and starts the accept loop.
+    /// [`addr`](Self::addr)) and starts the accept loop, with the answer
+    /// cache on ([`ServerOptions::default`]).
     ///
     /// # Errors
     /// Propagates the bind failure.
@@ -143,14 +326,28 @@ impl QueryServer {
         plane: Arc<ServingPlane>,
         metrics: Option<Arc<ServeMetrics>>,
     ) -> std::io::Result<QueryServer> {
+        Self::bind_with(addr, plane, metrics, ServerOptions::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit [`ServerOptions`].
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_with(
+        addr: &str,
+        plane: Arc<ServingPlane>,
+        metrics: Option<Arc<ServeMetrics>>,
+        options: ServerOptions,
+    ) -> std::io::Result<QueryServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = Arc::clone(&stop);
+        let cache = options.cache.then(|| Arc::new(AnswerCache::default()));
         let accept_thread = std::thread::Builder::new()
             .name("scd-serve-accept".into())
-            .spawn(move || accept_loop(listener, plane, metrics, accept_stop))
+            .spawn(move || accept_loop(listener, plane, cache, metrics, accept_stop))
             .expect("spawn accept thread");
         Ok(QueryServer { addr, stop, accept_thread: Some(accept_thread) })
     }
@@ -180,6 +377,7 @@ impl Drop for QueryServer {
 fn accept_loop(
     listener: TcpListener,
     plane: Arc<ServingPlane>,
+    cache: Option<Arc<AnswerCache>>,
     metrics: Option<Arc<ServeMetrics>>,
     stop: Arc<AtomicBool>,
 ) {
@@ -199,12 +397,19 @@ fn accept_loop(
                 }
                 live.fetch_add(1, Ordering::AcqRel);
                 let plane = Arc::clone(&plane);
+                let cache = cache.clone();
                 let metrics = metrics.clone();
                 let stop = Arc::clone(&stop);
                 let conn_live = Arc::clone(&live);
                 let spawned =
                     std::thread::Builder::new().name("scd-serve-conn".into()).spawn(move || {
-                        let _ = serve_connection(stream, &plane, metrics.as_deref(), &stop);
+                        let _ = serve_connection(
+                            stream,
+                            &plane,
+                            cache.as_deref(),
+                            metrics.as_deref(),
+                            &stop,
+                        );
                         conn_live.fetch_sub(1, Ordering::AcqRel);
                     });
                 if spawned.is_err() {
@@ -225,8 +430,28 @@ fn accept_loop(
 fn serve_connection(
     stream: TcpStream,
     plane: &ServingPlane,
+    cache: Option<&AnswerCache>,
     metrics: Option<&ServeMetrics>,
     stop: &AtomicBool,
+) -> Result<(), ProtoError> {
+    // Latency samples accumulate in a connection-private histogram (plain
+    // adds) and fold into the shared one every LOCAL_MERGE_EVERY requests
+    // and once at teardown, whatever path exits the loop.
+    let mut local_answer = LocalHistogram::new();
+    let result = serve_requests(stream, plane, cache, metrics, stop, &mut local_answer);
+    if let Some(m) = metrics {
+        m.answer_ns.merge_local(&local_answer);
+    }
+    result
+}
+
+fn serve_requests(
+    stream: TcpStream,
+    plane: &ServingPlane,
+    cache: Option<&AnswerCache>,
+    metrics: Option<&ServeMetrics>,
+    stop: &AtomicBool,
+    local_answer: &mut LocalHistogram,
 ) -> Result<(), ProtoError> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
@@ -252,7 +477,10 @@ fn serve_connection(
         };
         let sw = Stopwatch::start();
         let view = plane.view();
-        let resp = answer(&view, &req);
+        let resp = match cache {
+            Some(cache) => answer_cached(cache, &view, &req, metrics),
+            None => answer(&view, &req),
+        };
         if let Some(m) = metrics {
             m.queries_total.inc();
             match resp {
@@ -260,7 +488,11 @@ fn serve_connection(
                 Response::NoData { .. } => m.query_nodata.inc(),
                 _ => {}
             }
-            m.answer_ns.record(sw.elapsed_ns());
+            local_answer.record(sw.elapsed_ns());
+            if local_answer.count() >= LOCAL_MERGE_EVERY {
+                m.answer_ns.merge_local(local_answer);
+                local_answer.clear();
+            }
         }
         writer.write_all(&resp.encode())?;
         writer.flush()?;
@@ -343,9 +575,12 @@ mod tests {
             Response::Estimate { as_of, live, value, error_bound } => {
                 assert_eq!(as_of, 1);
                 assert!(!live);
-                let expect = view.archive.range_sketch(0, 2).unwrap().sketch.estimate(7);
-                assert_eq!(value.to_bits(), expect.to_bits());
-                assert_eq!(error_bound, 0.0);
+                let range = view.archive.range_sketch(0, 2).unwrap();
+                assert_eq!(value.to_bits(), range.sketch.estimate(7).to_bits());
+                // Historical answers now carry the composed slim rounding
+                // envelope of the combined range.
+                assert_eq!(error_bound.to_bits(), range.sketch.get().error_bound().to_bits());
+                assert!(error_bound > 0.0);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -449,6 +684,120 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// The memo layer returns the same bytes as the uncached path for
+    /// every query kind, hits on repeats, and coalesces concurrent
+    /// identical requests onto one computation.
+    #[test]
+    fn cache_answers_match_uncached_and_count_hits() {
+        let registry = scd_obs::Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let plane = plane_with_two_intervals();
+        let view = plane.view();
+        let cache = AnswerCache::default();
+        let reqs = [
+            Request::Estimate { key: 3, from: 0, to: 2 },
+            Request::ChangedKeys { from: 0, to: 2, threshold: 0.05 },
+            Request::KeyHistory { key: 3, from: 0, to: 2 },
+            Request::RangeSketch { from: 0, to: 2 },
+        ];
+        for req in &reqs {
+            let direct = answer(&view, req);
+            let first = answer_cached(&cache, &view, req, Some(&metrics));
+            let second = answer_cached(&cache, &view, req, Some(&metrics));
+            assert_eq!(first.encode(), direct.encode(), "first answer for {req:?}");
+            assert_eq!(second.encode(), direct.encode(), "cached answer for {req:?}");
+        }
+        assert_eq!(metrics.cache_misses.get(), reqs.len() as u64);
+        assert_eq!(metrics.cache_hits.get(), reqs.len() as u64);
+        // Live estimates bypass the cache entirely.
+        let live = Request::Estimate { key: 3, from: 0, to: 0 };
+        let direct = answer(&view, &live);
+        assert_eq!(answer_cached(&cache, &view, &live, Some(&metrics)).encode(), direct.encode());
+        assert_eq!(metrics.cache_misses.get(), reqs.len() as u64);
+    }
+
+    /// A waiter blocked on a Pending slot receives exactly the response
+    /// the computing side publishes, and counts as coalesced.
+    #[test]
+    fn pending_slot_coalesces_waiters() {
+        let registry = scd_obs::Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let plane = plane_with_two_intervals();
+        let view = plane.view();
+        let cache = Arc::new(AnswerCache::default());
+        let req = Request::ChangedKeys { from: 0, to: 2, threshold: 0.05 };
+        // Plant a Pending slot by hand, as if another connection were
+        // mid-computation.
+        let slot = Arc::new(Slot { state: Mutex::new(SlotState::Pending), ready: Condvar::new() });
+        {
+            let mut inner = cache.inner.lock().unwrap();
+            inner.as_of = view.interval.unwrap();
+            inner.map.insert(cache_key(&req).unwrap(), Arc::clone(&slot));
+        }
+        let waiter = {
+            let (cache, view, req, metrics) =
+                (Arc::clone(&cache), Arc::clone(&view), req.clone(), Arc::clone(&metrics));
+            std::thread::spawn(move || answer_cached(&cache, &view, &req, Some(&metrics)))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        let expect = answer(&view, &req);
+        *slot.state.lock().unwrap() = SlotState::Ready(expect.clone());
+        slot.ready.notify_all();
+        assert_eq!(waiter.join().unwrap().encode(), expect.encode());
+        assert_eq!(metrics.coalesced_total.get(), 1);
+        assert_eq!(metrics.cache_hits.get(), 1);
+    }
+
+    /// A connection still serving a superseded view bypasses the cache:
+    /// its answers come from its own view, never a newer one's memo.
+    #[test]
+    fn stale_view_bypasses_newer_cache() {
+        let plane = plane_with_two_intervals();
+        let old = plane.view();
+        // Advance the plane one more interval; the cache follows.
+        let mut err = KarySketch::new(SketchConfig { h: 3, k: 256, seed: 5 });
+        for key in 0..30u64 {
+            err.update(key, (key + 9) as f64);
+        }
+        let report = IntervalReport { interval: 2, warmed_up: true, ..Default::default() };
+        plane.interval_closed(&report, Some((2, &err)));
+        let new = plane.view();
+        let cache = AnswerCache::default();
+        let req = Request::RangeSketch { from: 0, to: 3 };
+        let from_new = answer_cached(&cache, &new, &req, None);
+        let from_old = answer_cached(&cache, &old, &req, None);
+        assert_eq!(from_new.encode(), answer(&new, &req).encode());
+        assert_eq!(from_old.encode(), answer(&old, &req).encode());
+        assert_ne!(from_old.encode(), from_new.encode(), "stale view must not see newer memo");
+    }
+
+    /// Over TCP with the cache on, repeated identical requests from
+    /// different connections are byte-identical and the hit counter
+    /// advances.
+    #[test]
+    fn cached_tcp_answers_are_byte_identical() {
+        let registry = scd_obs::Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let plane = plane_with_two_intervals();
+        let server = QueryServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&plane),
+            Some(Arc::clone(&metrics)),
+            ServerOptions { cache: true },
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let req = Request::ChangedKeys { from: 0, to: 2, threshold: 0.05 };
+        let mut responses = Vec::new();
+        for _ in 0..3 {
+            let mut client = crate::client::QueryClient::connect(&addr).unwrap();
+            responses.push(client.ask(&req).unwrap().encode());
+        }
+        assert!(responses.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(metrics.cache_misses.get(), 1);
+        assert_eq!(metrics.cache_hits.get(), 2);
     }
 
     /// The slim sketch the server answers from matches a fresh projection

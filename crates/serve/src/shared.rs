@@ -31,6 +31,13 @@ impl<L> SharedSketch<L> {
         SharedSketch(Arc::new(sketch))
     }
 
+    /// Adopts an existing handle; no copy. Lets the serving plane push
+    /// the *same* slim allocation into the archive that the live view
+    /// serves point queries from — one table, two readers.
+    pub fn from_arc(sketch: Arc<L>) -> SharedSketch<L> {
+        SharedSketch(sketch)
+    }
+
     /// Read access to the inner sketch.
     pub fn get(&self) -> &L {
         &self.0

@@ -1,5 +1,5 @@
 //! The read-optimized **slim sketch** — the "fat-free" second stage of an
-//! SF-sketch pair (Yang et al.).
+//! SF-sketch pair (Yang et al.) — and [`SlimEpoch`], its archive form.
 //!
 //! The engine's k-ary sketch is update-optimized: `f64` registers, no
 //! derived state, so UPDATE is `H` adds and COMBINE is exact. Point
@@ -8,26 +8,47 @@
 //! "once before any ESTIMATE is called" — and drag `8·H·K` bytes through
 //! the cache. The slim sketch is the read-side companion:
 //!
-//! * **`f32` registers** — half the table bytes of the fat sketch, so far
-//!   more of it stays cache-resident under a query storm;
-//! * **the stream total precomputed** — maintained incrementally, so a
-//!   point query touches exactly `H` cells and never rescans a row;
+//! * **`f32` registers** — half the table bytes of the fat sketch, so the
+//!   same memory budget holds twice the history and far more of it stays
+//!   cache-resident under a query storm;
+//! * **per-row totals precomputed** — maintained incrementally in `f64`,
+//!   so a point query touches exactly `H` cells and `ESTIMATEF2` never
+//!   rescans a row for its total;
 //! * **synced at interval boundaries** — [`SlimSketch::from_fat`] /
 //!   [`SlimSketch::sync`] rebuild it from the fat sketch at interval
 //!   close (the handoff the serving plane publishes), and
 //!   [`SlimSketch::update`] mirrors write-path updates in between for
 //!   intra-interval freshness.
 //!
-//! The price is `f64 → f32` rounding, and the bound is knowable:
-//! [`SlimSketch::error_bound`] returns a conservative per-estimate bound
-//! derived from the largest magnitude the table has held. For integer
-//! cells below 2²⁴ (packet/byte counts in one interval) the rounding is
-//! zero and slim estimates equal fat estimates **exactly** — the property
-//! tests below assert both regimes.
+//! Since PR 9 the slim sketch is also a full [`LinearSketch`]: COMBINE
+//! runs **lanewise in `f32`** (through the eight-lane kernels in
+//! [`scd_sketch::simd`]), which is what lets the serving plane's replica
+//! archive store *slim epochs* and answer every historical query from
+//! `f32` state. The price is `f64 → f32` rounding, and the bound is
+//! knowable and **composable**: [`SlimSketch::error_bound`] returns a
+//! conservative per-estimate envelope derived from the largest magnitude
+//! the table has held and the number of rounded operations each cell may
+//! have absorbed — [`add_scaled`](SlimSketch::add_scaled) and
+//! [`scale`](SlimSketch::scale) widen the envelope so a buddy-merged
+//! epoch's bound always dominates each constituent's. For integer cells
+//! below 2²⁴ (packet/byte counts in one interval) every rounding is
+//! exact and slim answers equal fat answers **bit for bit** — the
+//! property tests below assert both regimes.
 
+use crate::shared::SharedSketch;
 use scd_hash::HashRows;
-use scd_sketch::{median_over_rows, KarySketch};
+use scd_sketch::{
+    median_over_rows, simd, KarySketch, LinearSketch, PointEstimate, SecondMoment, SketchError,
+};
 use std::sync::Arc;
+
+/// One slim archive epoch: a copy-on-write handle on a [`SlimSketch`].
+/// The serving replica is a `SketchArchive<SlimEpoch>` — snapshots clone
+/// as `Arc` bumps, buddy merges combine lanewise in `f32`, and every
+/// historical query (`range_sketch` / `key_history` / `changed_keys`)
+/// answers from `f32` state with the composed
+/// [`error_bound`](SlimSketch::error_bound) envelope.
+pub type SlimEpoch = SharedSketch<SlimSketch>;
 
 /// Reused buffers for [`SlimSketch::estimate_batch`]; keep one per query
 /// thread and the batch path allocates nothing in steady state.
@@ -46,37 +67,47 @@ impl SlimScratch {
 }
 
 /// A compact read-optimized projection of a [`KarySketch`]: `f32`
-/// registers plus the stream total and magnitude ceiling maintained
+/// registers plus per-row totals and the rounding envelope maintained
 /// incrementally. See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct SlimSketch {
     rows: Arc<HashRows>,
     /// Row-major `H × K` register table, `f32`.
     table: Vec<f32>,
-    /// The stream total `Σ_a v_a`, carried in full `f64` precision — the
-    /// quantity the fat sketch recomputes by scanning row 0.
-    sum: f64,
-    /// Largest `|cell|` the table has held since the last
-    /// [`sync`](Self::sync) — the magnitude the rounding bound scales
-    /// with.
+    /// Per-row totals `Σ_j T[i][j]`, carried in full `f64` precision —
+    /// row 0 is the stream total the fat sketch recomputes by scanning,
+    /// and each row's own total feeds its `ESTIMATEF2` term.
+    row_sums: Vec<f64>,
+    /// Largest `|cell|` magnitude the envelope must cover — an upper
+    /// bound on every cell (and every rounded intermediate) since the
+    /// last [`sync`](Self::sync).
     max_abs: f64,
-    /// `f64 → f32` roundings a cell may have absorbed since the last
-    /// sync: 1 for the sync itself plus one per incremental update.
+    /// Rounded `f32` operations a cell may have absorbed since the last
+    /// sync: 1 for the sync itself, one per incremental update, and two
+    /// (multiply + add) per [`add_scaled`](Self::add_scaled) term.
     roundings: u64,
 }
 
 impl SlimSketch {
     /// Builds a slim sketch from a fat one (the interval-close path).
     pub fn from_fat(fat: &KarySketch) -> SlimSketch {
-        let mut slim = SlimSketch {
-            rows: Arc::clone(fat.rows()),
-            table: vec![0.0; fat.table().len()],
-            sum: 0.0,
-            max_abs: 0.0,
-            roundings: 1,
-        };
+        let mut slim = SlimSketch::zeroed(fat.rows());
         slim.sync(fat);
         slim
+    }
+
+    /// An all-zero slim sketch over `rows` — the identity for
+    /// [`add_scaled`](Self::add_scaled), used for the replica archive's
+    /// zero back-fill epochs. A zero table has absorbed no roundings, so
+    /// its [`error_bound`](Self::error_bound) is exactly zero.
+    pub fn zeroed(rows: &Arc<HashRows>) -> SlimSketch {
+        SlimSketch {
+            rows: Arc::clone(rows),
+            table: vec![0.0; rows.h() * rows.k()],
+            row_sums: vec![0.0; rows.h()],
+            max_abs: 0.0,
+            roundings: 0,
+        }
     }
 
     /// Re-projects `fat` into this slim sketch without reallocating —
@@ -91,12 +122,21 @@ impl SlimSketch {
             fat.rows().identity(),
             "slim sketch must sync against its own hash family"
         );
+        let k = self.k();
         let mut max_abs = 0.0f64;
-        for (dst, &src) in self.table.iter_mut().zip(fat.table()) {
-            *dst = src as f32;
-            max_abs = max_abs.max(src.abs());
+        for (row, row_sum) in self.row_sums.iter_mut().enumerate() {
+            let src = &fat.table()[row * k..(row + 1) * k];
+            let dst = &mut self.table[row * k..(row + 1) * k];
+            // Accumulate the row total in element order — row 0 then
+            // matches `KarySketch::sum` bit for bit.
+            let mut total = 0.0f64;
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s as f32;
+                total += s;
+                max_abs = max_abs.max(s.abs());
+            }
+            *row_sum = total;
         }
-        self.sum = fat.sum();
         self.max_abs = max_abs;
         self.roundings = 1;
     }
@@ -116,14 +156,25 @@ impl SlimSketch {
         &self.rows
     }
 
+    /// Raw `f32` register table (row-major, length `H·K`). Exposed
+    /// read-only for diagnostics and the bit-identity soak assertions.
+    pub fn table(&self) -> &[f32] {
+        &self.table
+    }
+
     /// Heap bytes of the register table — half the fat sketch's.
     pub fn memory_bytes(&self) -> usize {
         self.table.len() * std::mem::size_of::<f32>()
     }
 
-    /// The maintained stream total (no row scan).
+    /// The maintained stream total (row 0's running sum; no row scan).
     pub fn sum(&self) -> f64 {
-        self.sum
+        self.row_sums[0]
+    }
+
+    /// The maintained per-row totals (one `f64` per hash row).
+    pub fn row_sums(&self) -> &[f64] {
+        &self.row_sums
     }
 
     /// Mirrors one write-path `UPDATE` into the slim table — the
@@ -139,23 +190,69 @@ impl SlimSketch {
             let next = f64::from(*cell) + value;
             *cell = next as f32;
             self.max_abs = self.max_abs.max(next.abs());
+            self.row_sums[row] += value;
         }
-        self.sum += value;
+        self.roundings += 1;
+    }
+
+    /// In-place `self += c · other`, **lanewise in `f32`** (the eight-lane
+    /// [`simd::add_scaled_f32`] sweep) — the slim archive's buddy-merge
+    /// arithmetic. The coefficient is rounded to `f32` once and applied
+    /// identically to every cell; per-row totals fold linearly in `f64`;
+    /// the rounding envelope composes so the result's
+    /// [`error_bound`](Self::error_bound) dominates both constituents'
+    /// (each cell absorbs at most two new rounded operations — multiply
+    /// and add — at magnitudes the widened `max_abs` covers).
+    ///
+    /// # Errors
+    /// [`SketchError::IncompatibleSketches`] if the hash families differ.
+    pub fn add_scaled(&mut self, other: &SlimSketch, c: f64) -> Result<(), SketchError> {
+        if self.rows.identity() != other.rows.identity() {
+            return Err(SketchError::IncompatibleSketches {
+                left: self.rows.identity(),
+                right: other.rows.identity(),
+            });
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let cf = c as f32;
+        simd::add_scaled_f32(simd::active(), &mut self.table, &other.table, cf);
+        let ca = f64::from(cf).abs();
+        for (dst, &src) in self.row_sums.iter_mut().zip(&other.row_sums) {
+            *dst += f64::from(cf) * src;
+        }
+        self.max_abs += ca * other.max_abs;
+        self.roundings = self.roundings + other.roundings + 2;
+        Ok(())
+    }
+
+    /// In-place `self *= c`, lanewise in `f32` ([`simd::scale_f32`]).
+    /// One rounded operation per cell; the envelope's magnitude ceiling
+    /// only ever widens (`max_abs · max(1, |c|)`), keeping
+    /// [`error_bound`](Self::error_bound) monotone.
+    pub fn scale(&mut self, c: f64) {
+        #[allow(clippy::cast_possible_truncation)]
+        let cf = c as f32;
+        simd::scale_f32(simd::active(), &mut self.table, cf);
+        for s in &mut self.row_sums {
+            *s *= f64::from(cf);
+        }
+        self.max_abs *= f64::from(cf).abs().max(1.0);
         self.roundings += 1;
     }
 
     /// **ESTIMATE** against the slim table: the paper's
     /// `median_i (T[i][h_i(key)] − sum/K) / (1 − 1/K)` with the stream
-    /// total read from the maintained scalar — `H` cell loads, no row
+    /// total read from the maintained row-0 sum — `H` cell loads, no row
     /// scan. Per-row arithmetic is `f64`; the only precision lost is the
     /// cells' storage rounding, bounded by
     /// [`error_bound`](Self::error_bound).
     pub fn estimate(&self, key: u64) -> f64 {
         let k = self.k() as f64;
         let kk = self.k();
+        let sum = self.row_sums[0];
         median_over_rows(self.h(), |row| {
             let cell = f64::from(self.table[row * kk + self.rows.bucket(row, key)]);
-            (cell - self.sum / k) / (1.0 - 1.0 / k)
+            (cell - sum / k) / (1.0 - 1.0 / k)
         })
     }
 
@@ -163,9 +260,10 @@ impl SlimSketch {
     /// `out`, equal to calling [`estimate`](Self::estimate) per key in
     /// order (the batch-vs-scalar property test asserts exact `==`), but
     /// restructured like the fat sketch's `estimate_batch` — hash phase,
-    /// per-row gather phase, then per-key median — so each `4·K`-byte
-    /// register row stays hot for the whole block. `out` is cleared
-    /// first.
+    /// per-row gather-and-widen phase ([`simd::gather_widen_f32`], eight
+    /// cells per step), estimator transform over the whole block, then
+    /// per-key medians — so each `4·K`-byte register row stays hot for
+    /// the whole block. `out` is cleared first.
     pub fn estimate_batch(&self, keys: &[u64], scratch: &mut SlimScratch, out: &mut Vec<f64>) {
         out.clear();
         let n = keys.len();
@@ -180,45 +278,112 @@ impl SlimSketch {
         self.rows.buckets_batch(keys, &mut scratch.buckets);
         scratch.values.clear();
         scratch.values.resize(h * n, 0.0);
+        let variant = simd::active();
         for row in 0..h {
             let cells = &self.table[row * kk..(row + 1) * kk];
             let row_buckets = &scratch.buckets[row * n..(row + 1) * n];
             let vals = &mut scratch.values[row * n..(row + 1) * n];
-            for (v, &bucket) in vals.iter_mut().zip(row_buckets) {
-                *v = f64::from(cells[bucket]);
-            }
+            simd::gather_widen_f32(variant, vals, cells, row_buckets);
         }
+        // Apply the per-cell estimator transform to the whole widened
+        // block up front (same subtract-and-divide per element as the
+        // per-key formula), so the median phase is pure data movement.
+        simd::estimate_transform(variant, &mut scratch.values, self.row_sums[0], kf);
         scratch.per_row.clear();
         scratch.per_row.resize(h, 0.0);
         out.reserve(n);
         for i in 0..n {
             for (row, per_row) in scratch.per_row.iter_mut().enumerate() {
-                let cell = scratch.values[row * n + i];
-                *per_row = (cell - self.sum / kf) / (1.0 - 1.0 / kf);
+                *per_row = scratch.values[row * n + i];
             }
             out.push(scd_sketch::median::median_inplace(&mut scratch.per_row));
         }
     }
 
+    /// **ESTIMATEF2** from `f32` state: the fat formula
+    /// `median_i [ K/(K−1) · Σ_j T[i][j]² − sum²/(K−1) ]` with each row's
+    /// squared sum accumulated in `f64` over the widened cells and the
+    /// `sum` term read from that row's **maintained** total. For integer
+    /// streams both quantities equal the fat sketch's exactly, so the F2
+    /// estimate is bit-identical; for fractional streams the per-row
+    /// totals are the linear fold of the constituents' (not a rescan),
+    /// which tracks the same value to within the storage rounding.
+    pub fn estimate_f2(&self) -> f64 {
+        let k = self.k() as f64;
+        let kk = self.k();
+        median_over_rows(self.h(), |row| {
+            let row_slice = &self.table[row * kk..(row + 1) * kk];
+            let sq: f64 = row_slice
+                .iter()
+                .map(|&x| {
+                    let v = f64::from(x);
+                    v * v
+                })
+                .sum();
+            let sum = self.row_sums[row];
+            (k / (k - 1.0)) * sq - (sum * sum) / (k - 1.0)
+        })
+    }
+
     /// A conservative bound on `|slim.estimate(key) − fat.estimate(key)|`
-    /// for the fat sketch this slim one mirrors.
+    /// against the `f64` state that would result from the same operation
+    /// sequence (sync, updates, combines) in full precision.
     ///
-    /// Each cell stores at most `roundings` `f64 → f32`
-    /// conversions since the last sync, each off by at most half an ulp
-    /// at the table's magnitude ceiling: `max_abs · 2⁻²⁴`. The estimator
-    /// divides a cell difference by `(1 − 1/K)`, so per estimate:
+    /// Each cell has absorbed at most `roundings` rounded `f32`
+    /// operations, each off by at most half an ulp at the envelope's
+    /// magnitude ceiling: `max_abs · 2⁻²⁴`. The estimator divides a cell
+    /// difference by `(1 − 1/K)`, so per estimate:
     ///
     /// ```text
     /// bound = roundings · max_abs · 2⁻²⁴ / (1 − 1/K)
     /// ```
     ///
     /// The median across rows cannot exceed the worst row, so the bound
-    /// survives the reduction. For tables whose cells are integers below
-    /// 2²⁴ every conversion is exact and the true error is zero — the
-    /// bound is an upper envelope, not an estimate.
+    /// survives the reduction. Composition keeps it an upper envelope:
+    /// `add_scaled` sums both operands' roundings (plus two for its own
+    /// multiply-add) under a ceiling that dominates both tables, and
+    /// `scale` adds one rounding under a never-shrinking ceiling — so a
+    /// merged epoch's bound is always ≥ each constituent's. For tables
+    /// whose cells are integers below 2²⁴ every rounding is exact and
+    /// the true error is zero — the bound is an envelope, not an
+    /// estimate.
     pub fn error_bound(&self) -> f64 {
         let k = self.k() as f64;
         (self.roundings as f64) * self.max_abs * 2f64.powi(-24) / (1.0 - 1.0 / k)
+    }
+}
+
+impl PointEstimate for SlimSketch {
+    fn estimate(&self, key: u64) -> f64 {
+        SlimSketch::estimate(self, key)
+    }
+}
+
+impl SecondMoment for SlimSketch {
+    fn estimate_f2(&self) -> f64 {
+        SlimSketch::estimate_f2(self)
+    }
+}
+
+impl LinearSketch for SlimSketch {
+    fn zero_like(&self) -> Self {
+        SlimSketch::zeroed(&self.rows)
+    }
+
+    fn add_scaled(&mut self, other: &Self, c: f64) -> Result<(), SketchError> {
+        SlimSketch::add_scaled(self, other, c)
+    }
+
+    fn scale(&mut self, c: f64) {
+        SlimSketch::scale(self, c);
+    }
+
+    fn identity(&self) -> (usize, usize, u64) {
+        self.rows.identity()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        SlimSketch::memory_bytes(self)
     }
 }
 
@@ -246,6 +411,7 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "key {key}: slim {a} vs fat {b}");
         }
         assert_eq!(slim.error_bound(), slim.error_bound().abs());
+        assert_eq!(slim.estimate_f2().to_bits(), f.estimate_f2().to_bits());
     }
 
     /// Fractional cells pick up `f32` rounding; the error must stay
@@ -321,9 +487,9 @@ mod tests {
         assert!(out.is_empty());
     }
 
-    /// The maintained sum tracks the fat sketch's row-scan total.
+    /// The maintained per-row sums track the fat sketch's row scans.
     #[test]
-    fn maintained_sum_matches_fat_scan() {
+    fn maintained_sums_match_fat_scan() {
         let mut f = fat(11);
         let mut slim = SlimSketch::from_fat(&f);
         for key in 0..100u64 {
@@ -333,7 +499,11 @@ mod tests {
         }
         assert_eq!(slim.sum(), f.sum());
         slim.sync(&f);
-        assert_eq!(slim.sum(), f.sum());
+        assert_eq!(slim.sum().to_bits(), f.sum().to_bits());
+        assert_eq!(slim.row_sums().len(), slim.h());
+        for &rs in slim.row_sums() {
+            assert_eq!(rs, f.sum(), "every row total equals the stream total");
+        }
         assert_eq!(slim.memory_bytes() * 2, f.memory_bytes());
     }
 
@@ -344,5 +514,84 @@ mod tests {
         let b = fat(2);
         let mut slim = SlimSketch::from_fat(&a);
         slim.sync(&b);
+    }
+
+    /// Slim COMBINE on integer streams equals the fat COMBINE bit for
+    /// bit: merging archive epochs in `f32` loses nothing while cells
+    /// stay integer-exact.
+    #[test]
+    fn integer_combine_matches_fat_combine_exactly() {
+        let mut fa = fat(21);
+        let mut fb = fat(21);
+        for key in 0..200u64 {
+            fa.update(key, ((key * 7) % 900 + 1) as f64);
+            fb.update(key * 2 + 1, ((key * 11) % 400 + 1) as f64);
+        }
+        let mut slim = SlimSketch::from_fat(&fa);
+        slim.add_scaled(&SlimSketch::from_fat(&fb), 1.0).unwrap();
+        let mut merged_fat = fa.clone();
+        merged_fat.add_scaled(&fb, 1.0).unwrap();
+        let est = merged_fat.estimator();
+        for key in 0..200u64 {
+            assert_eq!(slim.estimate(key).to_bits(), est.estimate(key).to_bits(), "key {key}");
+        }
+        assert_eq!(slim.estimate_f2().to_bits(), merged_fat.estimate_f2().to_bits());
+        assert_eq!(slim.sum(), merged_fat.sum());
+    }
+
+    /// The buddy-merge envelope composes: a merged pair's bound is ≥
+    /// each constituent's, and fractional merges stay within it against
+    /// the fat ground truth.
+    #[test]
+    fn merged_envelope_dominates_constituents_and_holds() {
+        let mut fa = fat(22);
+        let mut fb = fat(22);
+        for key in 0..300u64 {
+            fa.update(key, (key as f64 + 0.3) * 1.000_001_3);
+            fb.update(key, (key as f64 * 0.7 + 0.1) * 0.999_998_9);
+        }
+        let sa = SlimSketch::from_fat(&fa);
+        let sb = SlimSketch::from_fat(&fb);
+        let mut merged = sa.clone();
+        merged.add_scaled(&sb, 1.0).unwrap();
+        assert!(merged.error_bound() >= sa.error_bound());
+        assert!(merged.error_bound() >= sb.error_bound());
+        let mut merged_fat = fa.clone();
+        merged_fat.add_scaled(&fb, 1.0).unwrap();
+        let bound = merged.error_bound();
+        let est = merged_fat.estimator();
+        for key in 0..300u64 {
+            let err = (merged.estimate(key) - est.estimate(key)).abs();
+            assert!(err <= bound, "key {key}: error {err} exceeds composed bound {bound}");
+        }
+        // scale() also only widens the envelope.
+        let before = merged.error_bound();
+        merged.scale(1.5);
+        assert!(merged.error_bound() >= before);
+    }
+
+    /// The linear-trait surface: zero identity, family checks, memory.
+    #[test]
+    fn linear_trait_surface() {
+        let mut f = fat(23);
+        for key in 0..50u64 {
+            f.update(key, (key + 1) as f64);
+        }
+        let slim = SlimSketch::from_fat(&f);
+        let zero = LinearSketch::zero_like(&slim);
+        assert_eq!(zero.sum(), 0.0);
+        assert_eq!(zero.error_bound(), 0.0);
+        assert_eq!(LinearSketch::identity(&zero), slim.rows().identity());
+        let mut merged = zero.clone();
+        merged.add_scaled(&slim, 1.0).unwrap();
+        for key in 0..50u64 {
+            assert_eq!(merged.estimate(key).to_bits(), slim.estimate(key).to_bits());
+        }
+        let foreign = SlimSketch::from_fat(&fat(99));
+        assert!(matches!(
+            merged.add_scaled(&foreign, 1.0),
+            Err(SketchError::IncompatibleSketches { .. })
+        ));
+        assert_eq!(LinearSketch::memory_bytes(&slim), slim.table().len() * 4);
     }
 }

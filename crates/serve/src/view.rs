@@ -6,36 +6,68 @@
 //!
 //! The engine invokes [`ServingPlane::interval_closed`] synchronously on
 //! the detecting thread, *before* the engine's own archive consumes the
-//! error sketch. The plane then:
+//! error sketch. Per closed interval the plane:
 //!
-//! 1. advances its **replica archive** — a
-//!    `SketchArchive<SharedSketch<KarySketch>>` fed the exact push
-//!    sequence of the engine's archive (zero back-fill for warm-up and
-//!    NextInterval-lag gaps, then the error sketch with the same
-//!    [`notable_keys`] directory entries), so historical answers served
-//!    from a snapshot are **bit-identical** to offline `scd query`
-//!    against the engine's dumped archive;
-//! 2. rebuilds the **slim sketch** ([`SlimSketch::from_fat`]) — the
-//!    read-optimized SF-style projection live point queries hit;
+//! 1. advances its **replica archive** — a `SketchArchive<`[`SlimEpoch`]`>`
+//!    fed the exact push sequence of the engine's archive (zero back-fill
+//!    for warm-up and NextInterval-lag gaps, then the interval's sketch
+//!    with the same [`notable_keys`] directory entries), except that each
+//!    epoch is stored as an `f32` **slim projection**: half the resident
+//!    bytes per epoch, so the same budget holds twice the history, and
+//!    every historical query (`range_sketch` / `key_history` /
+//!    `changed_keys`) answers from `f32` with the composed
+//!    [`SlimSketch::error_bound`] envelope — still bit-identical to the
+//!    fat archive for integer-count streams;
+//! 2. rebuilds the **slim sketch** ([`SlimSketch::from_fat`]) — the same
+//!    allocation serves live point queries *and* sits in the archive as
+//!    the newest epoch ([`SharedSketch::from_arc`]);
 //! 3. publishes a new [`ServingView`] by swapping one `Arc` pointer.
 //!
+//! # Inline vs background rebuild
+//!
+//! With [`RebuildMode::Inline`] all three steps run inside the observer
+//! hook — deterministic, and fine when the interval budget dwarfs the
+//! rebuild cost. With [`RebuildMode::Background`] the hook only copies
+//! the error sketch into a recycled buffer (the pipeline engine's
+//! double-buffering idiom: a bounded pool of `KarySketch` buffers cycles
+//! between the detecting thread and the rebuild thread) and enqueues it;
+//! a dedicated `scd-serve-rebuild` thread performs the back-fill, slim
+//! projection, and publish. Ingest then pays one table `memcpy` and a
+//! channel send per interval instead of the full rebuild. The queue is
+//! bounded (capacity [`REBUILD_QUEUE`]), so a slow rebuild back-pressures
+//! the observer rather than growing without bound, and published views
+//! lag ingest by at most that many intervals —
+//! [`ServingPlane::flush`] (also called by `ShardedEngine::drain`)
+//! blocks until the view has caught up. Jobs apply FIFO through the same
+//! code path as inline mode, so final state is **bit-identical** across
+//! modes.
+//!
 //! Because the replica's element type is copy-on-write
-//! ([`SharedSketch`]), step 3's archive clone is an `Arc` bump per epoch;
-//! register tables are deep-copied only when a later buddy merge mutates
-//! an epoch a published view still references. Readers clone the current
-//! `Arc<ServingView>` (one brief read lock, never held across a query)
-//! and then work entirely on immutable data: a reader mid-query keeps
-//! its whole interval-consistent world alive while newer views supersede
-//! it.
+//! ([`SharedSketch`]), publishing a view clones the archive as an `Arc`
+//! bump per epoch; register tables are deep-copied only when a later
+//! buddy merge mutates an epoch a published view still references.
+//! Readers clone the current `Arc<ServingView>` (one brief read lock,
+//! never held across a query) and then work entirely on immutable data.
 
 use crate::metrics::ServeMetrics;
 use crate::shared::SharedSketch;
-use crate::slim::SlimSketch;
+use crate::slim::{SlimEpoch, SlimSketch};
 use scd_archive::{ArchiveConfig, ArchiveError, SketchArchive};
 use scd_core::{notable_keys, IntervalObserver, IntervalReport};
 use scd_obs::Stopwatch;
 use scd_sketch::KarySketch;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Background-rebuild queue depth, in intervals. A full queue blocks the
+/// observer (bounded lag, never unbounded memory); published views trail
+/// ingest by at most this many intervals plus the one in flight.
+pub const REBUILD_QUEUE: usize = 2;
+
+/// Recycled snapshot buffers kept when idle: the queue depth plus the one
+/// the rebuild thread holds.
+const POOL_CAP: usize = REBUILD_QUEUE + 1;
 
 /// One interval's immutable serving state: everything a query needs,
 /// frozen at an interval boundary. Cheap to clone (Arc bumps all the way
@@ -50,18 +82,75 @@ pub struct ServingView {
     pub report: Option<IntervalReport>,
     /// Read-optimized projection of the latest error sketch — the live
     /// point-estimate path. `None` until the model warms up (no error
-    /// sketch exists yet).
+    /// sketch exists yet). The newest archive epoch shares this exact
+    /// allocation.
     pub slim: Option<Arc<SlimSketch>>,
     /// Snapshot of the error-sketch history replica — the historical
-    /// query path (`range_sketch`, `key_history`, `changed_keys`).
-    pub archive: SketchArchive<SharedSketch<KarySketch>>,
+    /// query path (`range_sketch`, `key_history`, `changed_keys`),
+    /// served entirely from `f32` slim epochs.
+    pub archive: SketchArchive<SlimEpoch>,
 }
 
-/// Writer-side state: the replica archive the observer advances under a
-/// mutex held only on the detecting thread.
+/// When the fat→slim rebuild runs relative to the ingest path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// Rebuild inside the observer hook, on the detecting thread. Every
+    /// published view is current the moment `interval_closed` returns.
+    Inline,
+    /// Hand the snapshot to a dedicated rebuild thread; ingest pays one
+    /// buffer copy. Views lag by at most [`REBUILD_QUEUE`] + 1 intervals;
+    /// [`ServingPlane::flush`] waits for them. Final state is
+    /// bit-identical to [`Inline`](Self::Inline).
+    Background,
+}
+
+/// Writer-side state: the replica archive advanced under a mutex held
+/// only by whichever thread applies interval closes (the detecting
+/// thread inline, the rebuild thread in background mode).
 #[derive(Debug)]
 struct Replica {
-    archive: SketchArchive<SharedSketch<KarySketch>>,
+    archive: SketchArchive<SlimEpoch>,
+    /// The slim sketch of the newest real epoch, carried forward across
+    /// report-only intervals so live estimates keep serving through gaps.
+    last_slim: Option<Arc<SlimSketch>>,
+}
+
+/// State shared between the plane handle and the rebuild thread.
+#[derive(Debug)]
+struct PlaneShared {
+    replica: Mutex<Replica>,
+    current: RwLock<Arc<ServingView>>,
+    metrics: Option<Arc<ServeMetrics>>,
+}
+
+/// One queued interval close for the rebuild thread.
+#[derive(Debug)]
+struct Job {
+    report: IntervalReport,
+    error: Option<(usize, KarySketch)>,
+}
+
+/// Submit/complete accounting for [`ServingPlane::flush`].
+#[derive(Debug, Default)]
+struct Progress {
+    submitted: u64,
+    processed: u64,
+}
+
+/// Rebuild-thread plumbing shared with the observer side.
+#[derive(Debug)]
+struct RebuildShared {
+    /// Recycled snapshot buffers (the double-buffering pool).
+    pool: Mutex<Vec<KarySketch>>,
+    progress: Mutex<Progress>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct Background {
+    tx: Option<SyncSender<Job>>,
+    shared: Arc<RebuildShared>,
+    join: Option<JoinHandle<()>>,
 }
 
 /// The serving plane: owns the replica archive, implements
@@ -69,62 +158,24 @@ struct Replica {
 /// [module docs](self).
 #[derive(Debug)]
 pub struct ServingPlane {
-    replica: Mutex<Replica>,
-    current: RwLock<Arc<ServingView>>,
-    metrics: Option<Arc<ServeMetrics>>,
+    shared: Arc<PlaneShared>,
+    background: Option<Background>,
 }
 
-impl ServingPlane {
-    /// Creates a plane whose replica archive uses `config` — pass the
-    /// same [`ArchiveConfig`] as the engine's archive, or served
-    /// historical answers will diverge from offline queries.
-    ///
-    /// # Errors
-    /// [`ArchiveError::BadConfig`] for an invalid archive shape.
-    pub fn new(config: ArchiveConfig) -> Result<Arc<ServingPlane>, ArchiveError> {
-        Self::with_metrics(config, None)
-    }
-
-    /// Like [`new`](Self::new), with serving telemetry attached.
-    ///
-    /// # Errors
-    /// [`ArchiveError::BadConfig`] for an invalid archive shape.
-    pub fn with_metrics(
-        config: ArchiveConfig,
-        metrics: Option<Arc<ServeMetrics>>,
-    ) -> Result<Arc<ServingPlane>, ArchiveError> {
-        let archive = SketchArchive::new(config)?;
-        let empty =
-            ServingView { interval: None, report: None, slim: None, archive: archive.clone() };
-        Ok(Arc::new(ServingPlane {
-            replica: Mutex::new(Replica { archive }),
-            current: RwLock::new(Arc::new(empty)),
-            metrics,
-        }))
-    }
-
-    /// The current view: one read lock to clone the `Arc`, then the
-    /// caller works lock-free on immutable data.
-    pub fn view(&self) -> Arc<ServingView> {
-        Arc::clone(&self.current.read().expect("serving view lock poisoned"))
-    }
-
-    fn publish(&self, view: ServingView) {
-        let view = Arc::new(view);
-        *self.current.write().expect("serving view lock poisoned") = view;
-    }
-}
-
-impl IntervalObserver for ServingPlane {
-    fn interval_closed(&self, report: &IntervalReport, error: Option<(usize, &KarySketch)>) {
+impl PlaneShared {
+    /// Applies one interval close to the replica and publishes the new
+    /// view — the single code path both rebuild modes funnel through, so
+    /// their final state is bit-identical by construction.
+    fn apply(&self, report: &IntervalReport, error: Option<(usize, &KarySketch)>) {
         let sw = Stopwatch::start();
         let mut replica = self.replica.lock().expect("serving replica lock poisoned");
-        let mut slim = self.view().slim.clone();
+        let mut slim = replica.last_slim.clone();
         if let Some((t, err)) = error {
             // Mirror the engine's `archive_error` push sequence exactly:
-            // zero back-fill up to t, then the error sketch with the same
-            // notable-key directory entries.
-            let zero = SharedSketch::new(err.zero_like());
+            // zero back-fill up to t, then the interval's sketch with the
+            // same notable-key directory entries — but store each epoch
+            // as its slim f32 projection.
+            let zero = SharedSketch::new(SlimSketch::zeroed(err.rows()));
             while replica.archive.next_interval() < t as u64 {
                 replica
                     .archive
@@ -132,12 +183,14 @@ impl IntervalObserver for ServingPlane {
                     .expect("replica push cannot fail after back-fill");
             }
             let notable = notable_keys(report);
+            let fresh = Arc::new(SlimSketch::from_fat(err));
             replica
                 .archive
-                .push(SharedSketch::new(err.clone()), &notable)
+                .push(SharedSketch::from_arc(Arc::clone(&fresh)), &notable)
                 .expect("replica push cannot fail after back-fill");
-            slim = Some(Arc::new(SlimSketch::from_fat(err)));
+            slim = Some(fresh);
         }
+        replica.last_slim = slim.clone();
         let view = ServingView {
             interval: Some(report.interval as u64),
             report: Some(report.clone()),
@@ -153,7 +206,163 @@ impl IntervalObserver for ServingPlane {
             m.snapshot_ns.record(sw.elapsed_ns());
         }
         drop(replica);
-        self.publish(view);
+        let view = Arc::new(view);
+        *self.current.write().expect("serving view lock poisoned") = view;
+    }
+}
+
+impl ServingPlane {
+    /// Creates an inline-rebuild plane whose replica archive uses
+    /// `config` — pass the same [`ArchiveConfig`] as the engine's
+    /// archive, or served historical answers will diverge from offline
+    /// queries.
+    ///
+    /// # Errors
+    /// [`ArchiveError::BadConfig`] for an invalid archive shape.
+    pub fn new(config: ArchiveConfig) -> Result<Arc<ServingPlane>, ArchiveError> {
+        Self::with_options(config, None, RebuildMode::Inline)
+    }
+
+    /// Like [`new`](Self::new), with serving telemetry attached.
+    ///
+    /// # Errors
+    /// [`ArchiveError::BadConfig`] for an invalid archive shape.
+    pub fn with_metrics(
+        config: ArchiveConfig,
+        metrics: Option<Arc<ServeMetrics>>,
+    ) -> Result<Arc<ServingPlane>, ArchiveError> {
+        Self::with_options(config, metrics, RebuildMode::Inline)
+    }
+
+    /// Full-control constructor: archive shape, telemetry, and
+    /// [`RebuildMode`]. [`RebuildMode::Background`] spawns the
+    /// `scd-serve-rebuild` thread, which lives until the plane drops.
+    ///
+    /// # Errors
+    /// [`ArchiveError::BadConfig`] for an invalid archive shape.
+    pub fn with_options(
+        config: ArchiveConfig,
+        metrics: Option<Arc<ServeMetrics>>,
+        mode: RebuildMode,
+    ) -> Result<Arc<ServingPlane>, ArchiveError> {
+        let archive = SketchArchive::new(config)?;
+        let empty =
+            ServingView { interval: None, report: None, slim: None, archive: archive.clone() };
+        let shared = Arc::new(PlaneShared {
+            replica: Mutex::new(Replica { archive, last_slim: None }),
+            current: RwLock::new(Arc::new(empty)),
+            metrics,
+        });
+        let background = match mode {
+            RebuildMode::Inline => None,
+            RebuildMode::Background => Some(Self::spawn_rebuild(&shared)),
+        };
+        Ok(Arc::new(ServingPlane { shared, background }))
+    }
+
+    fn spawn_rebuild(shared: &Arc<PlaneShared>) -> Background {
+        let (tx, rx) = mpsc::sync_channel::<Job>(REBUILD_QUEUE);
+        let rebuild = Arc::new(RebuildShared {
+            pool: Mutex::new(Vec::new()),
+            progress: Mutex::new(Progress::default()),
+            done: Condvar::new(),
+        });
+        let plane = Arc::clone(shared);
+        let rb = Arc::clone(&rebuild);
+        let join = std::thread::Builder::new()
+            .name("scd-serve-rebuild".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    plane.apply(&job.report, job.error.as_ref().map(|&(t, ref e)| (t, e)));
+                    if let Some((_, buf)) = job.error {
+                        let mut pool = rb.pool.lock().expect("rebuild pool lock poisoned");
+                        if pool.len() < POOL_CAP {
+                            pool.push(buf);
+                        }
+                    }
+                    let mut progress = rb.progress.lock().expect("rebuild progress lock poisoned");
+                    progress.processed += 1;
+                    if let Some(m) = &plane.metrics {
+                        m.rebuild_lag.set((progress.submitted - progress.processed) as f64);
+                    }
+                    rb.done.notify_all();
+                }
+            })
+            .expect("spawn scd-serve-rebuild thread");
+        Background { tx: Some(tx), shared: rebuild, join: Some(join) }
+    }
+
+    /// The current view: one read lock to clone the `Arc`, then the
+    /// caller works lock-free on immutable data. In background mode the
+    /// view may trail ingest by up to [`REBUILD_QUEUE`] + 1 intervals;
+    /// [`flush`](Self::flush) waits out the lag.
+    pub fn view(&self) -> Arc<ServingView> {
+        Arc::clone(&self.shared.current.read().expect("serving view lock poisoned"))
+    }
+
+    /// How the fat→slim rebuild runs for this plane.
+    pub fn rebuild_mode(&self) -> RebuildMode {
+        if self.background.is_some() {
+            RebuildMode::Background
+        } else {
+            RebuildMode::Inline
+        }
+    }
+}
+
+impl Drop for ServingPlane {
+    fn drop(&mut self) {
+        if let Some(bg) = &mut self.background {
+            // Closing the channel ends the rebuild loop after it drains
+            // every queued interval; join so no view publish races the
+            // process teardown.
+            drop(bg.tx.take());
+            if let Some(join) = bg.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl IntervalObserver for ServingPlane {
+    fn interval_closed(&self, report: &IntervalReport, error: Option<(usize, &KarySketch)>) {
+        let Some(bg) = &self.background else {
+            self.shared.apply(report, error);
+            return;
+        };
+        // Background handoff: copy the error sketch into a recycled
+        // buffer (one memcpy — the only table-sized work left on the
+        // ingest path) and enqueue. The bounded send back-pressures when
+        // the rebuild falls REBUILD_QUEUE intervals behind.
+        let error = error.map(|(t, err)| {
+            let pooled = bg.shared.pool.lock().expect("rebuild pool lock poisoned").pop();
+            let mut buf = pooled.unwrap_or_else(|| err.zero_like());
+            buf.assign_from(err).expect("rebuild buffer family matches the engine's");
+            (t, buf)
+        });
+        {
+            let mut progress = bg.shared.progress.lock().expect("rebuild progress lock poisoned");
+            progress.submitted += 1;
+            if let Some(m) = &self.shared.metrics {
+                m.rebuild_lag.set((progress.submitted - progress.processed) as f64);
+            }
+        }
+        bg.tx
+            .as_ref()
+            .expect("rebuild channel open while plane is live")
+            .send(Job { report: report.clone(), error })
+            .expect("rebuild thread alive while plane is live");
+    }
+
+    /// Blocks until every submitted interval is reflected in the
+    /// published view (no-op inline). After `flush`, [`view`](Self::view)
+    /// is exactly as fresh as an inline plane's would be.
+    fn flush(&self) {
+        let Some(bg) = &self.background else { return };
+        let mut progress = bg.shared.progress.lock().expect("rebuild progress lock poisoned");
+        while progress.processed < progress.submitted {
+            progress = bg.shared.done.wait(progress).expect("rebuild progress lock poisoned");
+        }
     }
 }
 
@@ -183,6 +392,12 @@ mod tests {
         }
     }
 
+    /// Widened f32 epoch registers for exactness comparisons against the
+    /// fat `f64` source (integer streams round-trip losslessly).
+    fn widened(epoch: &SlimSketch) -> Vec<f64> {
+        epoch.table().iter().map(|&c| f64::from(c)).collect()
+    }
+
     /// Before any interval closes, the view is explicitly empty.
     #[test]
     fn initial_view_is_empty() {
@@ -192,6 +407,7 @@ mod tests {
         assert!(view.report.is_none());
         assert!(view.slim.is_none());
         assert!(view.archive.coverage().is_none());
+        assert_eq!(plane.rebuild_mode(), RebuildMode::Inline);
     }
 
     /// Warm-up intervals (no error sketch) publish the report but leave
@@ -208,7 +424,9 @@ mod tests {
     }
 
     /// The replica mirrors the engine's push sequence: warm-up gaps are
-    /// zero-filled so archive intervals track detector intervals.
+    /// zero-filled so archive intervals track detector intervals, and
+    /// the stored epochs are f32 slim projections — exact for the
+    /// integer-count stream here.
     #[test]
     fn replica_backfills_warmup_gap_and_tracks_intervals() {
         let plane = ServingPlane::new(archive_cfg()).unwrap();
@@ -218,11 +436,22 @@ mod tests {
         let view = plane.view();
         assert_eq!(view.interval, Some(1));
         assert_eq!(view.archive.coverage(), Some((0, 2)));
-        // Epoch 0 is the zero back-fill; epoch 1 holds the error sketch.
+        // Epoch 0 is the zero back-fill; epoch 1 holds the error sketch,
+        // stored slim: half the bytes, integer-exact registers.
         let range = view.archive.range_sketch(1, 2).unwrap();
-        assert_eq!(range.sketch.get().table(), err.table());
+        assert_eq!(widened(range.sketch.get()), err.table());
+        assert_eq!(range.sketch.get().memory_bytes() * 2, err.memory_bytes());
+        let est = err.estimator();
+        for key in 0..40u64 {
+            assert_eq!(
+                range.sketch.get().estimate(key).to_bits(),
+                est.estimate(key).to_bits(),
+                "key {key}"
+            );
+        }
         let zero = view.archive.range_sketch(0, 1).unwrap();
         assert!(zero.sketch.get().table().iter().all(|&c| c == 0.0));
+        assert_eq!(zero.sketch.get().error_bound(), 0.0);
     }
 
     /// Published views are immutable: a held snapshot still reads its
@@ -259,6 +488,19 @@ mod tests {
         assert_eq!(view.archive.coverage(), Some((0, 1)));
     }
 
+    /// The live slim sketch and the newest archive epoch share one
+    /// allocation — the handoff is an Arc bump, not a second projection.
+    #[test]
+    fn live_slim_and_newest_epoch_share_storage() {
+        let plane = ServingPlane::new(archive_cfg()).unwrap();
+        let err = error_sketch(3);
+        plane.interval_closed(&report_at(0), Some((0, &err)));
+        let view = plane.view();
+        let slim = view.slim.as_ref().unwrap();
+        let epoch = view.archive.epochs().last().unwrap();
+        assert!(std::ptr::eq::<SlimSketch>(slim.as_ref(), epoch.sketch().get()));
+    }
+
     /// The replica's notable-key directory matches `notable_keys` on the
     /// report, so candidate ranking matches the engine archive's.
     #[test]
@@ -285,5 +527,76 @@ mod tests {
         registry.render_prometheus(&mut text);
         assert!(text.contains("scd_serve_snapshots_total 2"));
         assert!(text.contains("scd_serve_view_interval 1"));
+    }
+
+    /// Background rebuild lands in the same published state as inline,
+    /// bit for bit: same coverage, same epoch registers, same slim
+    /// estimates — the jobs replay through the identical apply path.
+    #[test]
+    fn background_rebuild_matches_inline_bit_for_bit() {
+        let inline = ServingPlane::new(archive_cfg()).unwrap();
+        let background =
+            ServingPlane::with_options(archive_cfg(), None, RebuildMode::Background).unwrap();
+        assert_eq!(background.rebuild_mode(), RebuildMode::Background);
+        for interval in 0..12usize {
+            let report = report_at(interval);
+            if interval % 5 == 4 {
+                // A report-only gap: no error sketch this interval.
+                inline.interval_closed(&report, None);
+                background.interval_closed(&report, None);
+            } else {
+                let err = error_sketch(interval as u64 * 31);
+                inline.interval_closed(&report, Some((interval, &err)));
+                background.interval_closed(&report, Some((interval, &err)));
+            }
+        }
+        background.flush();
+        let (a, b) = (inline.view(), background.view());
+        assert_eq!(a.interval, b.interval);
+        assert_eq!(a.archive.coverage(), b.archive.coverage());
+        let (from, to) = a.archive.coverage().unwrap();
+        for t in from..to {
+            let (ra, rb) = (
+                a.archive.range_sketch(t, t + 1).unwrap(),
+                b.archive.range_sketch(t, t + 1).unwrap(),
+            );
+            assert_eq!(ra.sketch.get().table(), rb.sketch.get().table(), "epoch {t}");
+            assert_eq!(
+                ra.sketch.get().error_bound().to_bits(),
+                rb.sketch.get().error_bound().to_bits(),
+                "epoch {t} envelope"
+            );
+        }
+        let (sa, sb) = (a.slim.as_ref().unwrap(), b.slim.as_ref().unwrap());
+        for key in 0..40u64 {
+            assert_eq!(sa.estimate(key).to_bits(), sb.estimate(key).to_bits(), "key {key}");
+        }
+    }
+
+    /// `flush` drains the rebuild queue: after it returns, the view is
+    /// as fresh as the last submitted interval, and the lag gauge reads
+    /// zero.
+    #[test]
+    fn flush_catches_the_view_up() {
+        let registry = scd_obs::Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let plane = ServingPlane::with_options(
+            archive_cfg(),
+            Some(Arc::clone(&metrics)),
+            RebuildMode::Background,
+        )
+        .unwrap();
+        for interval in 0..6usize {
+            let err = error_sketch(interval as u64);
+            plane.interval_closed(&report_at(interval), Some((interval, &err)));
+        }
+        plane.flush();
+        assert_eq!(plane.view().interval, Some(5));
+        assert_eq!(plane.view().archive.coverage(), Some((0, 6)));
+        let mut text = String::new();
+        registry.render_prometheus(&mut text);
+        assert!(text.contains("scd_serve_rebuild_lag 0"));
+        // Dropping the plane joins the rebuild thread cleanly.
+        drop(plane);
     }
 }

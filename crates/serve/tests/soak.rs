@@ -24,7 +24,10 @@ use scd_core::{
     DetectorConfig, EngineConfig, IntervalObserver, IntervalReport, KeyStrategy, ShardedEngine,
 };
 use scd_forecast::ModelSpec;
-use scd_serve::{answer, QueryClient, QueryServer, Request, Response, ServingPlane, ServingView};
+use scd_serve::{
+    answer, QueryClient, QueryServer, RebuildMode, Request, Response, ServerOptions, ServingPlane,
+    ServingView,
+};
 use scd_sketch::{KarySketch, SketchConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -106,14 +109,17 @@ const MODELS: [&str; 6] =
 /// Layer 1: the serving plane is observation-only. For every model, in
 /// both engine modes, report streams with and without the plane attached
 /// are equal — `IntervalReport` compares its f64 fields exactly, so this
-/// is bit-identity of the detection output.
+/// is bit-identity of the detection output. The pipelined runs attach a
+/// [`RebuildMode::Background`] plane so the off-thread rebuild handoff
+/// is covered too.
 #[test]
 fn reports_bit_identical_with_serving_on_and_off() {
     for spec in MODELS {
         let model = ModelSpec::parse(spec).expect("model spec");
         for pipelined in [false, true] {
             let (bare, _) = run_engine(model.clone(), pipelined, None);
-            let plane = ServingPlane::new(archive_cfg()).expect("plane");
+            let mode = if pipelined { RebuildMode::Background } else { RebuildMode::Inline };
+            let plane = ServingPlane::with_options(archive_cfg(), None, mode).expect("plane");
             let observer: Arc<dyn IntervalObserver> = Arc::clone(&plane) as _;
             let (observed, _) = run_engine(model.clone(), pipelined, Some(observer));
             assert_eq!(
@@ -125,12 +131,20 @@ fn reports_bit_identical_with_serving_on_and_off() {
     }
 }
 
+/// Widens a slim f32 table so it can be compared against the fat f64 one.
+fn widened(table: &[f32]) -> Vec<f64> {
+    table.iter().map(|&c| f64::from(c)).collect()
+}
+
 /// Layer 2: the final view's replica archive answers historical queries
 /// bit-identically to the engine's own archive — the property that lets
-/// CI diff `scd ask` against offline `scd query`.
+/// CI diff `scd ask` against offline `scd query`. `ma:1` (last-value
+/// forecast) keeps every forecast error an integer far below 2^24, so
+/// the slim f32 cells widen back to exactly the fat f64 registers and
+/// every downstream number is computed by identical f64 arithmetic.
 #[test]
 fn final_view_matches_engine_archive_bit_for_bit() {
-    let model = ModelSpec::parse("ewma:0.5").unwrap();
+    let model = ModelSpec::parse("ma:1").unwrap();
     let plane = ServingPlane::new(archive_cfg()).expect("plane");
     let observer: Arc<dyn IntervalObserver> = Arc::clone(&plane) as _;
     let (_, mut engine) = run_engine(model, true, Some(observer));
@@ -141,13 +155,18 @@ fn final_view_matches_engine_archive_bit_for_bit() {
     assert_eq!(view.archive.sketch_count(), offline.sketch_count());
     let (lo, hi) = offline.coverage().expect("covered");
 
-    // Whole-window and sub-window range sketches: identical registers.
+    // Whole-window and sub-window range sketches: identical registers
+    // (after widening), identical maintained totals, and an envelope
+    // that certifies the exactness the register equality shows.
     for (from, to) in [(lo, hi), (lo + 1, hi - 1), (10, 16)] {
         let served = view.archive.range_sketch(from, to).expect("served range");
         let direct = offline.range_sketch(from, to).expect("offline range");
         assert_eq!(served.covered, direct.covered);
         assert_eq!(served.epochs_used, direct.epochs_used);
-        assert_eq!(served.sketch.get().table(), direct.sketch.table());
+        let slim = served.sketch.get();
+        assert_eq!(widened(slim.table()), direct.sketch.table());
+        assert_eq!(slim.sum().to_bits(), direct.sketch.sum().to_bits());
+        assert!(slim.error_bound() >= 0.0);
     }
 
     // Change ranking over the burst window: same keys, same magnitudes.
@@ -172,6 +191,168 @@ fn final_view_matches_engine_archive_bit_for_bit() {
     }
 }
 
+/// Layer 2, fractional regime: `ewma:0.5` error sketches hold dyadic
+/// values whose low bits fall off the f32 mantissa, so slim answers are
+/// *not* bit-identical — but every divergence must stay inside the
+/// [`error_bound`](scd_serve::SlimSketch::error_bound) envelope the slim
+/// sketch composed across its buddy merges.
+#[test]
+fn fractional_model_answers_stay_within_slim_error_bound() {
+    let model = ModelSpec::parse("ewma:0.5").unwrap();
+    let plane = ServingPlane::new(archive_cfg()).expect("plane");
+    let observer: Arc<dyn IntervalObserver> = Arc::clone(&plane) as _;
+    let (_, mut engine) = run_engine(model, true, Some(observer));
+    let offline = engine.take_archive().expect("engine archive");
+    let view = plane.view();
+    let (lo, hi) = offline.coverage().expect("covered");
+
+    for (from, to) in [(lo, hi), (10, 16)] {
+        let served = view.archive.range_sketch(from, to).expect("served range");
+        let direct = offline.range_sketch(from, to).expect("offline range");
+        let slim = served.sketch.get();
+        let bound = slim.error_bound();
+        // The envelope is meaningful: positive (rounding really happens)
+        // yet far below the burst magnitude it must not drown out.
+        assert!(bound > 0.0, "fractional cells must carry a nonzero envelope");
+        assert!(bound < 100.0, "envelope uselessly loose: {bound}");
+        // Maintained totals never pass through f32 — still bit-exact.
+        assert_eq!(slim.sum().to_bits(), direct.sketch.sum().to_bits());
+        for key in 0..KEYS {
+            let s = slim.estimate(key);
+            let d = direct.sketch.estimate(key);
+            assert!(
+                (s - d).abs() <= bound,
+                "estimate[{key}] over [{from}, {to}): slim {s} vs fat {d} exceeds bound {bound}"
+            );
+        }
+    }
+
+    // Change ranking: the burst key must survive the f32 projection, and
+    // shared keys' magnitudes must agree within the window's envelope.
+    let served = view.archive.changed_keys(10, 16, 0.2, &[]).expect("served changes");
+    let direct = offline.changed_keys(10, 16, 0.2, &[]).expect("offline changes");
+    let bound = view.archive.range_sketch(10, 16).expect("range").sketch.get().error_bound();
+    assert!(served.changes.iter().any(|c| c.key == 7), "burst key missing from slim answer");
+    assert!(direct.changes.iter().any(|c| c.key == 7), "burst key missing from fat answer");
+    let direct_by_key: std::collections::HashMap<u64, f64> =
+        direct.changes.iter().map(|c| (c.key, c.magnitude)).collect();
+    for s in &served.changes {
+        if let Some(&d) = direct_by_key.get(&s.key) {
+            assert!(
+                (s.magnitude - d).abs() <= bound,
+                "changed key {}: slim {} vs fat {d} exceeds bound {bound}",
+                s.key,
+                s.magnitude
+            );
+        }
+    }
+    let f2_rel = (served.error_f2 - direct.error_f2).abs() / direct.error_f2.max(1.0);
+    assert!(f2_rel < 1e-4, "F2 diverged beyond rounding: {f2_rel}");
+
+    // Per-key history: each point's total within its own range envelope.
+    let served = view.archive.key_history(7, lo, hi).expect("served history");
+    let direct = offline.key_history(7, lo, hi).expect("offline history");
+    assert_eq!(served.len(), direct.len());
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!((s.start, s.len), (d.start, d.len));
+        let span = view.archive.range_sketch(s.start, s.start + s.len).expect("point range");
+        let bound = span.sketch.get().error_bound();
+        assert!(
+            (s.total - d.total).abs() <= bound,
+            "history [{}, {}): slim {} vs fat {} exceeds bound {bound}",
+            s.start,
+            s.start + s.len,
+            s.total,
+            d.total
+        );
+        assert!((s.mean - d.mean).abs() <= bound, "history mean diverged beyond bound");
+    }
+}
+
+/// Off-thread rebuild is a latency optimization, not a semantic one:
+/// after the engine drains (which flushes the observer), a background
+/// plane's final view answers bit-identically to an inline plane's over
+/// the same pipelined run — fractional model included, since both
+/// planes run the *same* fat→slim projection in the same order.
+#[test]
+fn background_rebuild_final_view_matches_inline() {
+    let model = ModelSpec::parse("ewma:0.5").unwrap();
+    let inline_plane =
+        ServingPlane::with_options(archive_cfg(), None, RebuildMode::Inline).expect("plane");
+    let observer: Arc<dyn IntervalObserver> = Arc::clone(&inline_plane) as _;
+    run_engine(model.clone(), true, Some(observer));
+    let bg_plane =
+        ServingPlane::with_options(archive_cfg(), None, RebuildMode::Background).expect("plane");
+    let observer: Arc<dyn IntervalObserver> = Arc::clone(&bg_plane) as _;
+    run_engine(model, true, Some(observer));
+
+    let (a, b) = (inline_plane.view(), bg_plane.view());
+    assert_eq!(a.interval, b.interval, "background view lags after drain");
+    assert_eq!(a.archive.coverage(), b.archive.coverage());
+    let (lo, hi) = a.archive.coverage().expect("covered");
+    for (from, to) in [(lo, hi), (10, 16)] {
+        let ra = a.archive.range_sketch(from, to).expect("inline range");
+        let rb = b.archive.range_sketch(from, to).expect("background range");
+        assert_eq!(ra.sketch.get().table(), rb.sketch.get().table());
+        assert_eq!(ra.sketch.get().sum().to_bits(), rb.sketch.get().sum().to_bits());
+        assert_eq!(
+            ra.sketch.get().error_bound().to_bits(),
+            rb.sketch.get().error_bound().to_bits(),
+            "envelopes composed differently across rebuild modes"
+        );
+    }
+    let (sa, sb) = (a.slim.as_ref().expect("warm"), b.slim.as_ref().expect("warm"));
+    assert_eq!(sa.table(), sb.table(), "live slim sketches diverged");
+    for key in 0..KEYS {
+        assert_eq!(sa.estimate(key).to_bits(), sb.estimate(key).to_bits());
+    }
+}
+
+/// The answer cache and request coalescing are invisible to clients: the
+/// same four query shapes against the same plane come back identical
+/// from a cache-on server and a cache-off server, and repeat asks (cache
+/// hits) reproduce the first answer exactly.
+#[test]
+fn cached_and_uncached_servers_agree() {
+    let model = ModelSpec::parse("ma:4").unwrap();
+    let plane = ServingPlane::new(archive_cfg()).expect("plane");
+    let observer: Arc<dyn IntervalObserver> = Arc::clone(&plane) as _;
+    run_engine(model, true, Some(observer));
+
+    let mut cached = QueryServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&plane),
+        None,
+        ServerOptions { cache: true },
+    )
+    .expect("bind cached");
+    let mut uncached = QueryServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&plane),
+        None,
+        ServerOptions { cache: false },
+    )
+    .expect("bind uncached");
+    let mut with_cache = QueryClient::connect(&cached.addr().to_string()).expect("connect");
+    let mut without = QueryClient::connect(&uncached.addr().to_string()).expect("connect");
+
+    for req in [
+        Request::Estimate { key: 7, from: 0, to: 0 },
+        Request::Estimate { key: 7, from: 10, to: 16 },
+        Request::ChangedKeys { from: 8, to: 16, threshold: 0.2 },
+        Request::KeyHistory { key: 7, from: 0, to: INTERVALS },
+        Request::RangeSketch { from: 0, to: INTERVALS },
+    ] {
+        let first = with_cache.ask(&req).expect("cached ask");
+        let again = with_cache.ask(&req).expect("cached ask (hit)");
+        let bare = without.ask(&req).expect("uncached ask");
+        assert_eq!(first, again, "cache hit diverged from its own miss: {req:?}");
+        assert_eq!(first, bare, "cached answer diverged from uncached: {req:?}");
+    }
+    cached.shutdown();
+    uncached.shutdown();
+}
+
 /// Delegating observer that also records the view published for each
 /// interval close — the reference against which concurrently-served
 /// answers are re-derived.
@@ -184,7 +365,15 @@ struct Recording {
 impl IntervalObserver for Recording {
     fn interval_closed(&self, report: &IntervalReport, error: Option<(usize, &KarySketch)>) {
         self.plane.interval_closed(report, error);
+        // The plane under test rebuilds off-thread; flush before
+        // snapshotting so the recorded reference is this interval's view
+        // (clients still race the server concurrently the whole time).
+        self.plane.flush();
         self.views.lock().unwrap().push(self.plane.view());
+    }
+
+    fn flush(&self) {
+        self.plane.flush();
     }
 }
 
@@ -195,7 +384,8 @@ impl IntervalObserver for Recording {
 #[test]
 fn concurrent_queries_during_ingest_are_interval_consistent() {
     let model = ModelSpec::parse("ewma:0.5").unwrap();
-    let plane = ServingPlane::new(archive_cfg()).expect("plane");
+    let plane =
+        ServingPlane::with_options(archive_cfg(), None, RebuildMode::Background).expect("plane");
     let recording =
         Arc::new(Recording { plane: Arc::clone(&plane), views: Mutex::new(Vec::new()) });
     let mut server = QueryServer::bind("127.0.0.1:0", Arc::clone(&plane), None).expect("bind");
@@ -263,8 +453,10 @@ fn concurrent_queries_during_ingest_are_interval_consistent() {
             // Fixed query windows start out entirely ahead of coverage —
             // a loud out-of-range answer is correct there, mirroring
             // offline `scd query`. Anything else is a server bug.
-            Response::Error { message } if message.contains("outside archived range") => continue,
-            Response::Error { message } => panic!("server answered error: {message}"),
+            Response::Error { message, .. } if message.contains("outside archived range") => {
+                continue
+            }
+            Response::Error { message, .. } => panic!("server answered error: {message}"),
         };
         let reference = by_interval
             .get(&as_of)

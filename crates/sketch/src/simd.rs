@@ -1,5 +1,7 @@
-//! SIMD kernels for the sketch's elementwise `f64` sweeps, with runtime
-//! dispatch shared with `scd-hash` (see [`scd_hash::simd`]).
+//! SIMD kernels for the sketch's elementwise sweeps — `f64` for the fat
+//! write path, `f32` (eight lanes per step instead of four) for the slim
+//! read path — with runtime dispatch shared with `scd-hash` (see
+//! [`scd_hash::simd`]).
 //!
 //! **Exactness.** Every kernel here is *bit-identical* to the scalar loop
 //! it replaces, by construction:
@@ -176,6 +178,86 @@ pub fn estimate_transform(variant: Variant, vals: &mut [f64], sum: f64, kf: f64)
     }
 }
 
+/// `dst[i] += c·src[i]` in **`f32`** — the merge sweep behind the slim
+/// archive's epoch combines (`SlimSketch::add_scaled`). Eight lanes per
+/// AVX2 step (twice the `f64` kernels' four): separate `vmulps`/`vaddps`
+/// with the scalar operand order, never FMA, so each lane rounds exactly
+/// like the scalar loop.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn add_scaled_f32(variant: Variant, dst: &mut [f32], src: &[f32], c: f32) {
+    assert_eq!(dst.len(), src.len(), "slice lengths must match");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; lengths checked above.
+        unsafe { avx2::add_scaled_f32(dst, src, c) };
+        return;
+    }
+    let _ = variant;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += c * s;
+    }
+}
+
+/// `dst[i] *= c` in **`f32`** — the decay sweep behind
+/// `SlimSketch::scale`.
+pub fn scale_f32(variant: Variant, dst: &mut [f32], c: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime.
+        unsafe { avx2::scale_f32(dst, c) };
+        return;
+    }
+    let _ = variant;
+    for d in dst.iter_mut() {
+        *d *= c;
+    }
+}
+
+/// `dst[i] = a[i] − b[i]` in **`f32`** — the slim difference sweep.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn sub_f32(variant: Variant, dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(dst.len(), a.len(), "slice lengths must match");
+    assert_eq!(dst.len(), b.len(), "slice lengths must match");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; lengths checked above.
+        unsafe { avx2::sub_f32(dst, a, b) };
+        return;
+    }
+    let _ = variant;
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = x - y;
+    }
+}
+
+/// `out[i] = f64::from(cells[buckets[i]])` — the gather-and-widen phase
+/// of the slim batch estimator: eight `f32` cells gathered per AVX2 step
+/// (`vgatherdps`), then widened to `f64` (`vcvtps2pd`, exact by IEEE-754
+/// — every `f32` is representable in `f64`), so the estimator arithmetic
+/// itself stays in `f64` exactly like the scalar slim path.
+///
+/// # Panics
+/// Panics if the lengths differ or any bucket is out of range.
+pub fn gather_widen_f32(variant: Variant, out: &mut [f64], cells: &[f32], buckets: &[usize]) {
+    assert_eq!(out.len(), buckets.len(), "slice lengths must match");
+    assert!(buckets.iter().all(|&b| b < cells.len()), "bucket out of range");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(variant) {
+        // SAFETY: AVX2 support verified at runtime; every index was just
+        // bounds-checked against `cells`.
+        unsafe { avx2::gather_widen_f32(out, cells, buckets) };
+        return;
+    }
+    let _ = variant;
+    for (v, &bucket) in out.iter_mut().zip(buckets) {
+        *v = f64::from(cells[bucket]);
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     #[allow(clippy::wildcard_imports)]
@@ -295,6 +377,98 @@ mod avx2 {
         }
         while i < n {
             out[i] = cells[buckets[i]];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported; `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn add_scaled_f32(dst: &mut [f32], src: &[f32], c: f32) {
+        let n = dst.len();
+        let cv = _mm256_set1_ps(c);
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            let r = _mm256_add_ps(d, _mm256_mul_ps(cv, s));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            dst[i] += c * src[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale_f32(dst: &mut [f32], c: f32) {
+        let n = dst.len();
+        let cv = _mm256_set1_ps(c);
+        let mut i = 0;
+        while i + 8 <= n {
+            let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(d, cv));
+            i += 8;
+        }
+        while i < n {
+            dst[i] *= c;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported; all three slices must share one length.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sub_f32(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            let y = _mm256_loadu_ps(b.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_sub_ps(x, y));
+            i += 8;
+        }
+        while i < n {
+            dst[i] = a[i] - b[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// AVX2 must be supported; `out.len() == buckets.len()` and every
+    /// bucket must be `< cells.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gather_widen_f32(out: &mut [f64], cells: &[f32], buckets: &[usize]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            // Bucket indices are `usize` (bounds-checked < cells.len() ≤
+            // i32::MAX in any real sketch shape); narrow to the eight i32
+            // lanes `vgatherdps` indexes with.
+            let b = buckets.as_ptr().add(i);
+            let idx = _mm256_setr_epi32(
+                *b as i32,
+                *b.add(1) as i32,
+                *b.add(2) as i32,
+                *b.add(3) as i32,
+                *b.add(4) as i32,
+                *b.add(5) as i32,
+                *b.add(6) as i32,
+                *b.add(7) as i32,
+            );
+            let v = _mm256_i32gather_ps::<4>(cells.as_ptr(), idx);
+            // Widen the low and high four f32 lanes to f64 — exact.
+            let lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+            let hi = _mm256_cvtps_pd(_mm256_extractf128_ps::<1>(v));
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), lo);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i + 4), hi);
+            i += 8;
+        }
+        while i < n {
+            out[i] = f64::from(cells[buckets[i]]);
             i += 1;
         }
     }

@@ -1,0 +1,131 @@
+//! Exact `==` identity of the AVX2 **`f32`** kernels (eight lanes per
+//! step) against their scalar references, with both variants forced
+//! directly — the slim-read-path complement of `simd_identity.rs`. On
+//! hosts without AVX2 the forced-AVX2 call falls back to scalar and the
+//! tests degrade to scalar == scalar.
+//!
+//! Values are signed and fractional (exact in `f32`, with enough
+//! mantissa variety that any operand-order or rounding divergence would
+//! show); lengths cover empty, sub-lane, the 8-lane remainders 1..=9,
+//! odd, and the paper's sketch shapes H·K for H ∈ {1, 5, 9, 25}.
+
+use scd_hash::SplitMix64;
+use scd_sketch::simd::{self, Variant};
+
+const PAPER_H: [usize; 4] = [1, 5, 9, 25];
+const K: usize = 128;
+
+/// Lengths exercising every 8-lane remainder plus full sketch tables for
+/// every paper H.
+fn lengths() -> Vec<usize> {
+    let mut ls = vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 17, 100, 257];
+    ls.extend(PAPER_H.iter().map(|h| h * K));
+    ls
+}
+
+/// Signed fractional values exactly representable in `f32`.
+fn values(rng: &mut SplitMix64, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            let magnitude = (rng.next_below(1_000_000) as f32) / 128.0;
+            if rng.next_below(2) == 0 {
+                -magnitude
+            } else {
+                magnitude
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn add_scaled_f32_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xF1);
+    for n in lengths() {
+        let base = values(&mut rng, n);
+        let src = values(&mut rng, n);
+        for &c in &[1.0f32, -1.0, 0.25, -2.5, 0.0] {
+            let mut scalar = base.clone();
+            let mut vector = base.clone();
+            simd::add_scaled_f32(Variant::Scalar, &mut scalar, &src, c);
+            simd::add_scaled_f32(Variant::Avx2, &mut vector, &src, c);
+            assert_eq!(scalar, vector, "n={n} c={c}");
+        }
+    }
+}
+
+#[test]
+fn scale_f32_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xF2);
+    for n in lengths() {
+        let base = values(&mut rng, n);
+        for &c in &[0.5f32, -3.25, 0.0] {
+            let mut scalar = base.clone();
+            let mut vector = base.clone();
+            simd::scale_f32(Variant::Scalar, &mut scalar, c);
+            simd::scale_f32(Variant::Avx2, &mut vector, c);
+            assert_eq!(scalar, vector, "n={n} c={c}");
+        }
+    }
+}
+
+#[test]
+fn sub_f32_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xF3);
+    for n in lengths() {
+        let a = values(&mut rng, n);
+        let b = values(&mut rng, n);
+        let mut scalar = vec![f32::NAN; n];
+        let mut vector = vec![0.0; n];
+        simd::sub_f32(Variant::Scalar, &mut scalar, &a, &b);
+        simd::sub_f32(Variant::Avx2, &mut vector, &a, &b);
+        assert_eq!(scalar, vector, "n={n}");
+    }
+}
+
+#[test]
+fn gather_widen_f32_variants_are_bit_identical() {
+    let mut rng = SplitMix64::new(0xF4);
+    for &k in &[1usize, 64, 1024, 65_536] {
+        let cells = values(&mut rng, k);
+        for n in lengths() {
+            let buckets: Vec<usize> = (0..n).map(|_| rng.next_below(k as u64) as usize).collect();
+            let mut scalar = vec![f64::NAN; n];
+            let mut vector = vec![0.0; n];
+            simd::gather_widen_f32(Variant::Scalar, &mut scalar, &cells, &buckets);
+            simd::gather_widen_f32(Variant::Avx2, &mut vector, &cells, &buckets);
+            assert_eq!(scalar, vector, "k={k} n={n}");
+            // Both must equal the inline widen the scalar slim path uses.
+            for (i, &b) in buckets.iter().enumerate() {
+                assert!(scalar[i] == f64::from(cells[b]), "k={k} n={n} i={i}");
+            }
+        }
+    }
+}
+
+/// The f32 combine restructuring (zero the table, one `add_scaled_f32`
+/// pass per term) performs the same per-cell accumulation sequence as a
+/// scalar term loop — the property the slim archive's buddy merges rely
+/// on.
+#[test]
+fn f32_combine_passes_match_scalar_term_loop() {
+    let mut rng = SplitMix64::new(0xF5);
+    for n in lengths() {
+        let tables: Vec<Vec<f32>> = (0..4).map(|_| values(&mut rng, n)).collect();
+        let coeffs = [1.0f32, -1.0, 0.25, -2.5];
+
+        let mut reference = vec![0.0f32; n];
+        for (c, t) in coeffs.iter().zip(&tables) {
+            for (slot, &x) in reference.iter_mut().zip(t) {
+                *slot += c * x;
+            }
+        }
+
+        for variant in [Variant::Scalar, Variant::Avx2] {
+            let mut out = vec![0.0f32; n];
+            for (c, t) in coeffs.iter().zip(&tables) {
+                simd::add_scaled_f32(variant, &mut out, t, *c);
+            }
+            assert_eq!(out, reference, "n={n} {variant:?}");
+        }
+    }
+}
