@@ -9,6 +9,8 @@
 //!              [--h 5] [--k 32768] [--threshold 0.05] [--sketch-seed N]
 //!              [--strategy twopass|next|sampled:R|reversible] [--top N]
 //!              [--shards N] [--pipeline] [--source-threads N]
+//!              [--glr SLOTS] [--glr-threshold 16.0] [--glr-window 8]
+//!              [--stagger LANES]
 //!              [--metrics FILE] [--metrics-listen ADDR] [--report-out FILE]
 //! scd sketch   --trace trace.bin --interval 60 --at 7 --out s.sketch
 //!              [--h 5] [--k 32768] [--sketch-seed N]
@@ -71,9 +73,10 @@ use flags::{FlagError, Flags};
 use scd_archive::ArchiveConfig;
 use scd_core::gridsearch::{search_model, GridSearchConfig};
 use scd_core::{
-    segment_records, spawn_supervised, CheckpointPolicy, DetectorConfig, EngineConfig, KeyStrategy,
-    LifecycleEvent, OverloadPolicy, RestartPolicy, ReversibleChangeDetector, ReversibleConfig,
-    ShardedEngine, SketchChangeDetector, StreamSegmenter, StreamingConfig, SupervisorConfig,
+    segment_records, spawn_supervised, CheckpointPolicy, DetectorConfig, EngineConfig, GlrConfig,
+    GlrEvent, KeyStrategy, LifecycleEvent, OverloadPolicy, RestartPolicy, ReversibleChangeDetector,
+    ReversibleConfig, ShardedEngine, SketchChangeDetector, StaggeredDetector, StreamSegmenter,
+    StreamingConfig, SupervisorConfig,
 };
 use scd_core::{IntervalReport, PipelineMetrics};
 use scd_forecast::{ModelKind, ModelSpec};
@@ -100,6 +103,8 @@ fn usage() -> ExitCode {
          \u{20}          [--threshold 0.05] [--sketch-seed N] [--top N]\n\
          \u{20}          [--strategy twopass|next|sampled:R|reversible] [--shards N]\n\
          \u{20}          [--pipeline] [--source-threads N] [--metrics FILE]\n\
+         \u{20}          [--glr SLOTS] [--glr-threshold 16.0] [--glr-window 8]\n\
+         \u{20}          [--stagger LANES]\n\
          \u{20}          [--metrics-listen ADDR] [--report-out FILE]\n\
          sketch    --trace FILE --interval S --at T --out FILE [--h 5] [--k 32768]\n\
          combine   --out FILE A.sketch B.sketch ... [--query IP]\n\
@@ -511,6 +516,128 @@ fn detect(flags: &Flags) -> CliResult {
         threshold,
         key_strategy,
     };
+
+    let glr_slots: usize = flags.get("glr", 0)?;
+    let stagger: usize = flags.get("stagger", 0)?;
+    if glr_slots > 0 && stagger > 0 {
+        return Err(FlagError("--glr and --stagger are mutually exclusive".into()).into());
+    }
+
+    if stagger > 0 {
+        // Phase-shifted interval lanes (§6 "staggered intervals"): one
+        // detector per phase offset, sharing slot sketches via linearity.
+        if stagger < 2 {
+            return Err(FlagError("--stagger needs at least 2 lanes".into()).into());
+        }
+        if interval % stagger as u32 != 0 {
+            return Err(FlagError(format!(
+                "--interval {interval} is not divisible by --stagger {stagger}"
+            ))
+            .into());
+        }
+        if !matches!(key_strategy, KeyStrategy::TwoPass) {
+            return Err(FlagError("--stagger requires --strategy twopass".into()).into());
+        }
+        if shards > 1 || pipeline {
+            return Err(FlagError(
+                "--stagger runs single-threaded; drop --shards/--pipeline".into(),
+            )
+            .into());
+        }
+        if telemetry.is_some() || sink.is_some() {
+            return Err(FlagError(
+                "--metrics / --metrics-listen / --report-out are not supported with --stagger"
+                    .into(),
+            )
+            .into());
+        }
+        let slot_bins =
+            read_intervals(&path, interval / stagger as u32, KeySpec::DstIp, ValueSpec::Bytes)?;
+        let mut det = StaggeredDetector::new(detector, stagger);
+        for (s, items) in slot_bins.iter().enumerate() {
+            for a in det.process_slot(items) {
+                outln!(
+                    "slot {s}: lane {} ALARM {:<16} error {:+.0} bytes",
+                    a.lane,
+                    format_ipv4(a.key as u32),
+                    a.alarm.estimated_error
+                );
+            }
+        }
+        return Ok(());
+    }
+
+    if glr_slots > 0 {
+        // Sub-interval GLR sequential detection: base slots of
+        // interval/slots seconds feed per-slot ±1 projections; provisional
+        // alarms print as they fire and are confirmed or retracted by the
+        // interval-close reports (which stay bit-identical to a no-GLR
+        // run).
+        if glr_slots < 2 {
+            return Err(FlagError("--glr needs at least 2 slots per interval".into()).into());
+        }
+        if interval % glr_slots as u32 != 0 {
+            return Err(FlagError(format!(
+                "--interval {interval} is not divisible by --glr {glr_slots}"
+            ))
+            .into());
+        }
+        if matches!(key_strategy, KeyStrategy::Sampled { .. }) {
+            // The sampler draws once per key in first-seen order, so its
+            // reports depend on intra-interval feed order; slot-granular
+            // ingest would silently change them.
+            return Err(FlagError(
+                "--glr supports --strategy twopass|next (sampled is feed-order sensitive)".into(),
+            )
+            .into());
+        }
+        let glr_threshold: f64 = flags.get("glr-threshold", 16.0)?;
+        let glr_window: usize = flags.get("glr-window", 8)?;
+        let glr_cfg =
+            GlrConfig { max_window: glr_window, ..GlrConfig::new(glr_threshold, sketch_seed) };
+        let slot_bins =
+            read_intervals(&path, interval / glr_slots as u32, KeySpec::DstIp, ValueSpec::Bytes)?;
+        let n_intervals = slot_bins.len().div_ceil(glr_slots);
+        let mut config = EngineConfig::new(detector, shards).with_glr(glr_cfg);
+        if pipeline {
+            config = config.with_pipeline();
+        }
+        if let Some(t) = &telemetry {
+            config = config.with_metrics(Arc::clone(&t.pipeline));
+        }
+        let mut engine = ShardedEngine::new(config)?;
+        let empty: Vec<(u64, f64)> = Vec::new();
+        for t in 0..n_intervals {
+            for s in 0..glr_slots {
+                let items = slot_bins.get(t * glr_slots + s).unwrap_or(&empty);
+                engine.push_slice_parallel(items, source_threads)?;
+                engine.end_glr_slot();
+                for e in engine.take_glr_events() {
+                    print_glr_event(&e);
+                }
+            }
+            if let Some(report) = engine.end_interval_overlapped()? {
+                emit_report(&report, top, &mut telemetry, &mut sink)?;
+            }
+            for e in engine.take_glr_events() {
+                print_glr_event(&e);
+            }
+        }
+        if let Some(report) = engine.drain()? {
+            emit_report(&report, top, &mut telemetry, &mut sink)?;
+        }
+        for e in engine.take_glr_events() {
+            print_glr_event(&e);
+        }
+        if let Some(t) = telemetry {
+            t.finish()?;
+        }
+        if let Some(s) = sink {
+            s.finish()?;
+        }
+        return Ok(());
+    }
+
     if shards > 1 || pipeline {
         // Sharded ingest through the bulk path; linearity makes the
         // reports bit-identical to the single-threaded detector below.
@@ -560,6 +687,29 @@ fn detect(flags: &Flags) -> CliResult {
         s.finish()?;
     }
     Ok(())
+}
+
+fn print_glr_event(e: &GlrEvent) {
+    let hint = |a: &scd_core::ProvisionalAlarm| {
+        a.key_hint.map_or_else(|| "?".to_string(), |k| format_ipv4(k as u32))
+    };
+    match e {
+        GlrEvent::Provisional { interval, alarm } => outln!(
+            "GLR provisional [interval {interval}] slot {} (onset {}, w={}) key {} stat {:.1}",
+            alarm.raised_slot,
+            alarm.onset_slot,
+            alarm.window,
+            hint(alarm),
+            alarm.statistic
+        ),
+        GlrEvent::Confirmed { interval, lead_slots, alarm } => outln!(
+            "GLR confirmed   [interval {interval}] key {} — {lead_slots} slot(s) before close",
+            hint(alarm)
+        ),
+        GlrEvent::Retracted { interval, alarm } => {
+            outln!("GLR retracted   [interval {interval}] key {}", hint(alarm))
+        }
+    }
 }
 
 fn print_alarms(interval: usize, alarms: impl Iterator<Item = (u64, f64)>, top: usize) {

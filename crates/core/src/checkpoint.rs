@@ -30,10 +30,22 @@
 //! additionally carries its own wire-format checksum. Writes go through a
 //! temp file plus atomic rename, so a crash mid-write leaves the previous
 //! checkpoint intact — the supervisor never sees a torn file.
+//!
+//! Version 2 (`"SCDCKPT2"`) appends two optional sections between
+//! `processed` and the CRC footer — the staggered-lane state
+//! ([`StaggeredSnapshot`] plus its lane count) and the GLR sequential
+//! layer ([`GlrEngineSnapshot`] plus its [`GlrConfig`]) — each behind a
+//! one-byte presence flag. A checkpoint carrying neither section is
+//! still written as byte-identical version 1, and version-1 files load
+//! unchanged, so pre-existing checkpoints survive the upgrade in both
+//! directions.
 
 use crate::detector::{
     DetectorConfig, DetectorSnapshot, KeyStrategy, RestoreError, SketchChangeDetector,
 };
+use crate::engine::GlrEngineSnapshot;
+use crate::glr::{GlrConfig, GlrSlotSnapshot, GlrSnapshot, ProvisionalAlarm};
+use crate::staggered::{StaggeredDetector, StaggeredSnapshot};
 use scd_forecast::{ModelSpec, ModelState, NshwParts, ShwParts};
 use scd_hash::byteio::{self, Cursor};
 use scd_hash::{crc32, HashRows};
@@ -43,6 +55,10 @@ use std::sync::Arc;
 
 /// File magic for checkpoint version 1.
 pub const MAGIC: &[u8; 8] = b"SCDCKPT1";
+
+/// File magic for checkpoint version 2 (adds the optional staggered-lane
+/// and GLR sections). Emitted only when at least one section is present.
+pub const MAGIC_V2: &[u8; 8] = b"SCDCKPT2";
 
 /// Everything needed to resume a streaming detector after a crash.
 #[derive(Debug, Clone)]
@@ -58,6 +74,12 @@ pub struct Checkpoint {
     pub next_interval: Option<u64>,
     /// Records processed up to the last completed interval.
     pub processed: u64,
+    /// Staggered-lane state (lane count + full snapshot), when the run
+    /// used [`StaggeredDetector`]. `None` keeps the file at version 1.
+    pub staggered: Option<(usize, StaggeredSnapshot)>,
+    /// GLR sequential-layer state (configuration + engine snapshot), when
+    /// the run used `--glr`. `None` keeps the file at version 1.
+    pub glr: Option<(GlrConfig, GlrEngineSnapshot)>,
 }
 
 /// Errors from reading or writing checkpoints.
@@ -268,11 +290,261 @@ fn take_model_state(
     }
 }
 
+fn put_keys(out: &mut Vec<u8>, keys: &[u64]) {
+    byteio::put_u64(out, keys.len() as u64);
+    for &k in keys {
+        byteio::put_u64(out, k);
+    }
+}
+
+fn take_keys(cur: &mut Cursor<'_>) -> Result<Vec<u64>, CheckpointError> {
+    let n = cur.u64()? as usize;
+    if n.checked_mul(8).map_or(true, |bytes| bytes > cur.remaining()) {
+        return Err(CheckpointError::Truncated);
+    }
+    (0..n).map(|_| Ok(cur.u64()?)).collect()
+}
+
+fn put_f64_slice(out: &mut Vec<u8>, xs: &[f64]) {
+    for &x in xs {
+        byteio::put_f64(out, x);
+    }
+}
+
+fn take_f64_vec(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<f64>, CheckpointError> {
+    (0..n).map(|_| Ok(cur.f64()?)).collect()
+}
+
+fn put_detector_snapshot(out: &mut Vec<u8>, snap: &DetectorSnapshot) {
+    byteio::put_u64(out, snap.intervals_processed);
+    byteio::put_u64(out, snap.sampler_state);
+    match &snap.pending_error {
+        None => byteio::put_u8(out, 0),
+        Some((t, s)) => {
+            byteio::put_u8(out, 1);
+            byteio::put_u64(out, *t);
+            put_sketch(out, s);
+        }
+    }
+    put_model_state(out, &snap.model);
+}
+
+fn take_detector_snapshot(
+    cur: &mut Cursor<'_>,
+    rows: &Arc<HashRows>,
+) -> Result<DetectorSnapshot, CheckpointError> {
+    let intervals_processed = cur.u64()?;
+    let sampler_state = cur.u64()?;
+    let pending_error = match cur.u8()? {
+        0 => None,
+        1 => {
+            let t = cur.u64()?;
+            Some((t, take_sketch(cur, rows)?))
+        }
+        other => return Err(CheckpointError::Malformed(format!("pending flag {other}"))),
+    };
+    let model = take_model_state(cur, rows)?;
+    Ok(DetectorSnapshot { intervals_processed, sampler_state, pending_error, model })
+}
+
+fn put_staggered(out: &mut Vec<u8>, lanes: usize, snap: &StaggeredSnapshot) {
+    byteio::put_u32(out, lanes as u32);
+    byteio::put_u64(out, snap.slot);
+    byteio::put_u64(out, snap.recent_slots.len() as u64);
+    for (sketch, keys) in &snap.recent_slots {
+        put_sketch(out, sketch);
+        put_keys(out, keys);
+    }
+    for lane in &snap.lanes {
+        put_detector_snapshot(out, lane);
+    }
+}
+
+fn take_staggered(
+    cur: &mut Cursor<'_>,
+    rows: &Arc<HashRows>,
+) -> Result<(usize, StaggeredSnapshot), CheckpointError> {
+    let lanes = cur.u32()? as usize;
+    if lanes == 0 {
+        return Err(CheckpointError::Malformed("staggered section with zero lanes".into()));
+    }
+    let slot = cur.u64()?;
+    let n = cur.u64()? as usize;
+    if n > cur.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    let recent_slots = (0..n)
+        .map(|_| Ok((take_sketch(cur, rows)?, take_keys(cur)?)))
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    let lane_snaps = (0..lanes)
+        .map(|_| take_detector_snapshot(cur, rows))
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    Ok((lanes, StaggeredSnapshot { slot, recent_slots, lanes: lane_snaps }))
+}
+
+fn put_glr_slot(out: &mut Vec<u8>, slot: &GlrSlotSnapshot) {
+    put_f64_slice(out, &slot.proj);
+    put_sketch(out, &slot.sketch);
+    put_keys(out, &slot.keys);
+}
+
+fn take_glr_slot(
+    cur: &mut Cursor<'_>,
+    rows: &Arc<HashRows>,
+    projections: usize,
+) -> Result<GlrSlotSnapshot, CheckpointError> {
+    Ok(GlrSlotSnapshot {
+        proj: take_f64_vec(cur, projections)?,
+        sketch: take_sketch(cur, rows)?,
+        keys: take_keys(cur)?,
+    })
+}
+
+fn put_alarm(out: &mut Vec<u8>, alarm: &ProvisionalAlarm) {
+    match alarm.key_hint {
+        None => byteio::put_u8(out, 0),
+        Some(k) => {
+            byteio::put_u8(out, 1);
+            byteio::put_u64(out, k);
+        }
+    }
+    byteio::put_u64(out, alarm.onset_slot);
+    byteio::put_u64(out, alarm.raised_slot);
+    byteio::put_f64(out, alarm.statistic);
+    byteio::put_u64(out, alarm.window as u64);
+}
+
+fn take_alarm(cur: &mut Cursor<'_>) -> Result<ProvisionalAlarm, CheckpointError> {
+    let key_hint = match cur.u8()? {
+        0 => None,
+        1 => Some(cur.u64()?),
+        other => return Err(CheckpointError::Malformed(format!("key hint flag {other}"))),
+    };
+    Ok(ProvisionalAlarm {
+        key_hint,
+        onset_slot: cur.u64()?,
+        raised_slot: cur.u64()?,
+        statistic: cur.f64()?,
+        window: cur.u64()? as usize,
+    })
+}
+
+fn put_glr(out: &mut Vec<u8>, config: &GlrConfig, snap: &GlrEngineSnapshot) {
+    byteio::put_u32(out, config.sketch.h as u32);
+    byteio::put_u32(out, config.sketch.k as u32);
+    byteio::put_u64(out, config.sketch.seed);
+    byteio::put_u32(out, config.projections as u32);
+    byteio::put_u32(out, config.max_window as u32);
+    byteio::put_f64(out, config.threshold);
+    byteio::put_u32(out, config.min_baseline as u32);
+    byteio::put_u64(out, config.hint_keys as u64);
+    byteio::put_u64(out, config.cooldown as u64);
+    let det = &snap.detector;
+    byteio::put_u64(out, det.slot);
+    byteio::put_u64(out, det.cooldown_left);
+    byteio::put_u64(out, det.base_count);
+    put_f64_slice(out, &det.base_mean);
+    put_f64_slice(out, &det.base_m2);
+    put_sketch(out, &det.base_sketch);
+    byteio::put_u64(out, det.window.len() as u64);
+    for slot in &det.window {
+        put_glr_slot(out, slot);
+    }
+    put_glr_slot(out, &det.cur);
+    byteio::put_u64(out, snap.pending.len() as u64);
+    for (interval, alarm) in &snap.pending {
+        byteio::put_u64(out, *interval);
+        put_alarm(out, alarm);
+    }
+    byteio::put_u64(out, snap.closes.len() as u64);
+    for &(interval, slot) in &snap.closes {
+        byteio::put_u64(out, interval);
+        byteio::put_u64(out, slot);
+    }
+    byteio::put_u64(out, snap.ingest_interval);
+}
+
+fn take_glr(cur: &mut Cursor<'_>) -> Result<(GlrConfig, GlrEngineSnapshot), CheckpointError> {
+    let h = cur.u32()? as usize;
+    let k = cur.u32()? as usize;
+    let seed = cur.u64()?;
+    let projections = cur.u32()? as usize;
+    let max_window = cur.u32()? as usize;
+    let threshold = cur.f64()?;
+    let min_baseline = cur.u32()? as usize;
+    let hint_keys = cur.u64()? as usize;
+    let cooldown = cur.u64()? as usize;
+    // Reject shapes GlrConfig::validate would panic on: a corrupt-but-
+    // CRC-valid file must surface as a typed error, never a panic.
+    if !(1..=64).contains(&projections)
+        || max_window == 0
+        || min_baseline < 2
+        || hint_keys == 0
+        || !(threshold.is_finite() && threshold > 0.0)
+    {
+        return Err(CheckpointError::Malformed("GLR section shape".into()));
+    }
+    let config = GlrConfig {
+        sketch: SketchConfig { h, k, seed },
+        projections,
+        max_window,
+        threshold,
+        min_baseline,
+        hint_keys,
+        cooldown,
+    };
+    let rows = Arc::new(HashRows::new(h, k, seed));
+    let slot = cur.u64()?;
+    let cooldown_left = cur.u64()?;
+    let base_count = cur.u64()?;
+    let base_mean = take_f64_vec(cur, projections)?;
+    let base_m2 = take_f64_vec(cur, projections)?;
+    let base_sketch = take_sketch(cur, &rows)?;
+    let n = cur.u64()? as usize;
+    if n > cur.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    let window = (0..n)
+        .map(|_| take_glr_slot(cur, &rows, projections))
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    let cur_slot = take_glr_slot(cur, &rows, projections)?;
+    let pending_n = cur.u64()? as usize;
+    if pending_n > cur.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    let pending = (0..pending_n)
+        .map(|_| Ok((cur.u64()?, take_alarm(cur)?)))
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    let closes_n = cur.u64()? as usize;
+    if closes_n.checked_mul(16).map_or(true, |bytes| bytes > cur.remaining()) {
+        return Err(CheckpointError::Truncated);
+    }
+    let closes = (0..closes_n)
+        .map(|_| Ok((cur.u64()?, cur.u64()?)))
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    let ingest_interval = cur.u64()?;
+    let detector = GlrSnapshot {
+        slot,
+        cooldown_left,
+        base_count,
+        base_mean,
+        base_m2,
+        base_sketch,
+        window,
+        cur: cur_slot,
+    };
+    Ok((config, GlrEngineSnapshot { detector, pending, closes, ingest_interval }))
+}
+
 impl Checkpoint {
-    /// Serializes the checkpoint, CRC-32 footer included.
+    /// Serializes the checkpoint, CRC-32 footer included. Emits version 1
+    /// (byte-identical to the pre-extension format) unless a staggered or
+    /// GLR section is present, in which case the [`MAGIC_V2`] layout is
+    /// used.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let v2 = self.staggered.is_some() || self.glr.is_some();
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(if v2 { MAGIC_V2 } else { MAGIC });
         byteio::put_u32(&mut out, self.config.sketch.h as u32);
         byteio::put_u32(&mut out, self.config.sketch.k as u32);
         byteio::put_u64(&mut out, self.config.sketch.seed);
@@ -308,6 +580,22 @@ impl Checkpoint {
             }
         }
         byteio::put_u64(&mut out, self.processed);
+        if v2 {
+            match &self.staggered {
+                None => byteio::put_u8(&mut out, 0),
+                Some((lanes, snap)) => {
+                    byteio::put_u8(&mut out, 1);
+                    put_staggered(&mut out, *lanes, snap);
+                }
+            }
+            match &self.glr {
+                None => byteio::put_u8(&mut out, 0),
+                Some((config, snap)) => {
+                    byteio::put_u8(&mut out, 1);
+                    put_glr(&mut out, config, snap);
+                }
+            }
+        }
         let crc = crc32(&out);
         byteio::put_u32(&mut out, crc);
         out
@@ -318,9 +606,11 @@ impl Checkpoint {
         if data.len() < MAGIC.len() + 4 {
             return Err(CheckpointError::Truncated);
         }
-        if &data[..MAGIC.len()] != MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
+        let v2 = match &data[..MAGIC.len()] {
+            m if m == MAGIC => false,
+            m if m == MAGIC_V2 => true,
+            _ => return Err(CheckpointError::BadMagic),
+        };
         let (payload, footer) = data.split_at(data.len() - 4);
         let stored = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
         let computed = crc32(payload);
@@ -368,6 +658,21 @@ impl Checkpoint {
             other => return Err(CheckpointError::Malformed(format!("binner flag {other}"))),
         };
         let processed = cur.u64()?;
+        let (staggered, glr) = if v2 {
+            let staggered = match cur.u8()? {
+                0 => None,
+                1 => Some(take_staggered(&mut cur, &rows)?),
+                other => return Err(CheckpointError::Malformed(format!("staggered flag {other}"))),
+            };
+            let glr = match cur.u8()? {
+                0 => None,
+                1 => Some(take_glr(&mut cur)?),
+                other => return Err(CheckpointError::Malformed(format!("GLR flag {other}"))),
+            };
+            (staggered, glr)
+        } else {
+            (None, None)
+        };
         if cur.remaining() != 0 {
             return Err(CheckpointError::Malformed(format!("{} trailing bytes", cur.remaining())));
         }
@@ -381,6 +686,8 @@ impl Checkpoint {
             },
             next_interval,
             processed,
+            staggered,
+            glr,
         })
     }
 
@@ -430,6 +737,18 @@ impl Checkpoint {
         SketchChangeDetector::restore(self.config.clone(), self.snapshot.clone())
             .map_err(CheckpointError::Restore)
     }
+
+    /// Rebuilds the staggered-lane detector when this checkpoint carries
+    /// one (`None` for version-1 files and runs without `--stagger`).
+    pub fn restore_staggered(&self) -> Result<Option<StaggeredDetector>, CheckpointError> {
+        self.staggered
+            .as_ref()
+            .map(|(lanes, snap)| {
+                StaggeredDetector::restore(self.config.clone(), *lanes, snap.clone())
+                    .map_err(CheckpointError::Restore)
+            })
+            .transpose()
+    }
 }
 
 #[cfg(test)]
@@ -451,7 +770,14 @@ mod tests {
                 (0..20u64).map(|k| (k, 100.0 + (t * 7 + k as usize) as f64)).collect();
             det.process_interval(&items);
         }
-        Checkpoint { config, snapshot: det.snapshot(), next_interval: Some(6), processed: 120 }
+        Checkpoint {
+            config,
+            snapshot: det.snapshot(),
+            next_interval: Some(6),
+            processed: 120,
+            staggered: None,
+            glr: None,
+        }
     }
 
     fn all_cases() -> Vec<Checkpoint> {
@@ -594,6 +920,125 @@ mod tests {
         assert_eq!(Checkpoint::load(&path).expect("reload").config, next.config);
         assert!(!tmp.exists(), "the rename must consume the tmp file");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plain_checkpoints_stay_version_1() {
+        // No staggered/GLR state → the emitted bytes must still carry the
+        // version-1 magic (older readers keep working), and decoding must
+        // leave both sections empty.
+        let ck = sample_checkpoint(ModelSpec::Ewma { alpha: 0.5 }, KeyStrategy::TwoPass);
+        let bytes = ck.to_bytes();
+        assert_eq!(&bytes[..8], MAGIC);
+        let decoded = Checkpoint::from_bytes(&bytes).expect("decode v1");
+        assert!(decoded.staggered.is_none());
+        assert!(decoded.glr.is_none());
+    }
+
+    fn slot_items(s: u64) -> Vec<(u64, f64)> {
+        (0..25u64).map(|k| (k, 100.0 + ((s * 13 + k) % 40) as f64)).collect()
+    }
+
+    fn sample_v2_checkpoint() -> Checkpoint {
+        use crate::glr::GlrDetector;
+        let mut base = sample_checkpoint(ModelSpec::Ewma { alpha: 0.5 }, KeyStrategy::TwoPass);
+        // Staggered lanes caught mid-warm-up (buffered slots + lane state).
+        let lanes = 3usize;
+        let mut stag = StaggeredDetector::new(base.config.clone(), lanes);
+        for s in 0..7u64 {
+            stag.process_slot(&slot_items(s));
+        }
+        base.staggered = Some((lanes, stag.snapshot()));
+        // GLR layer caught mid-slot, with a pending provisional queued.
+        let glr_cfg = GlrConfig {
+            sketch: SketchConfig { h: 3, k: 512, seed: 0x5CD },
+            projections: 8,
+            max_window: 4,
+            threshold: 16.0,
+            min_baseline: 4,
+            hint_keys: 1024,
+            cooldown: 8,
+        };
+        let mut glr = GlrDetector::new(glr_cfg.clone());
+        for s in 0..11u64 {
+            glr.observe_slice(&slot_items(s));
+            glr.end_slot();
+        }
+        glr.observe(99, 1234.5); // half-open slot
+        let snap = GlrEngineSnapshot {
+            detector: glr.snapshot(),
+            pending: vec![(
+                2,
+                ProvisionalAlarm {
+                    key_hint: Some(777),
+                    onset_slot: 9,
+                    raised_slot: 10,
+                    statistic: 42.5,
+                    window: 2,
+                },
+            )],
+            closes: vec![(1, 4), (2, 8)],
+            ingest_interval: 2,
+        };
+        base.glr = Some((glr_cfg, snap));
+        base
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_staggered_and_glr_sections() {
+        use crate::glr::GlrDetector;
+        let ck = sample_v2_checkpoint();
+        let bytes = ck.to_bytes();
+        assert_eq!(&bytes[..8], MAGIC_V2);
+        let decoded = Checkpoint::from_bytes(&bytes).expect("decode v2");
+
+        // The engine-side bookkeeping round-trips field for field.
+        let (glr_cfg, glr_snap) = decoded.glr.as_ref().expect("GLR section");
+        let (ref_cfg, ref_snap) = ck.glr.as_ref().unwrap();
+        assert_eq!(glr_cfg, ref_cfg);
+        assert_eq!(glr_snap.pending, ref_snap.pending);
+        assert_eq!(glr_snap.closes, ref_snap.closes);
+        assert_eq!(glr_snap.ingest_interval, ref_snap.ingest_interval);
+
+        // Behavioral bit-exactness: detectors restored from the decoded
+        // and the in-memory snapshots emit identical alarms forever after.
+        let mut a = GlrDetector::restore(ref_cfg.clone(), ref_snap.detector.clone())
+            .expect("restore reference GLR");
+        let mut b = GlrDetector::restore(glr_cfg.clone(), glr_snap.detector.clone())
+            .expect("restore decoded GLR");
+        for s in 11..30u64 {
+            let mut items = slot_items(s);
+            if s >= 20 {
+                items.push((777, 50_000.0));
+            }
+            a.observe_slice(&items);
+            b.observe_slice(&items);
+            assert_eq!(a.end_slot(), b.end_slot(), "GLR diverged at slot {s}");
+        }
+
+        let mut stag_ref = ck.restore_staggered().expect("restore reference").unwrap();
+        let mut stag_dec = decoded.restore_staggered().expect("restore decoded").unwrap();
+        for s in 7..20u64 {
+            assert_eq!(
+                stag_ref.process_slot(&slot_items(s)),
+                stag_dec.process_slot(&slot_items(s)),
+                "staggered lanes diverged at slot {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_single_byte_flip_is_detected() {
+        let bytes = sample_v2_checkpoint().to_bytes();
+        let step = (bytes.len() / 97).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            assert!(
+                Checkpoint::from_bytes(&corrupt).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //!   [`reversible`] (group-testing sketches that recover heavy-change keys
 //!   directly, with no key stream at all), and [`hierarchy`]
 //!   (simultaneous detection at multiple prefix lengths with drill-down
-//!   localization — §2.1's aggregation levels).
+//!   localization — §2.1's aggregation levels), and [`glr`] (sub-interval
+//!   GLR sequential detection: provisional alarms raised seconds after
+//!   onset, confirmed or retracted at interval close).
 //! * [`engine`] — sharded parallel ingest: worker threads each fold a
 //!   key-partition of the update stream into a private sketch over the
 //!   shared hash family, COMBINEd per interval into exactly the
@@ -78,6 +80,7 @@ pub mod channel;
 pub mod checkpoint;
 pub mod detector;
 pub mod engine;
+pub mod glr;
 pub mod gridsearch;
 pub mod hierarchy;
 pub mod metrics;
@@ -96,7 +99,10 @@ pub use detector::{
     Alarm, DetectorConfig, DetectorSnapshot, DropStats, IntervalReport, KeyStrategy, RestoreError,
     SketchChangeDetector,
 };
-pub use engine::{notable_keys, EngineConfig, EngineError, IntervalObserver, ShardedEngine};
+pub use engine::{
+    notable_keys, EngineConfig, EngineError, GlrEngineSnapshot, IntervalObserver, ShardedEngine,
+};
+pub use glr::{GlrConfig, GlrDetector, GlrEvent, GlrRestoreError, GlrSnapshot, ProvisionalAlarm};
 pub use gridsearch::{search_model, GridSearchConfig, GridSearchResult};
 pub use hierarchy::{HierarchicalDetector, HierarchyConfig, LocalizedAlarm};
 pub use metrics::{
@@ -106,7 +112,7 @@ pub use metrics::{
 pub use perflow::{PerFlowDetector, PerFlowReport};
 pub use reversible::{ReversibleChangeDetector, ReversibleConfig, ReversibleReport};
 pub use sampling::UpdateSampler;
-pub use staggered::{StaggeredAlarm, StaggeredDetector};
+pub use staggered::{StaggeredAlarm, StaggeredDetector, StaggeredSnapshot};
 pub use stream::{segment_records, StreamSegmenter};
 pub use streaming::{
     spawn as spawn_streaming, CheckpointPolicy, OverloadPolicy, RecordSender, StreamFault,
@@ -116,5 +122,5 @@ pub use supervisor::{
     spawn_supervised, LifecycleEvent, RestartPolicy, SupervisedHandle, SupervisorConfig,
 };
 pub use telemetry::{
-    DetectorMetrics, EngineMetrics, PipelineMetrics, StreamMetrics, SupervisorMetrics,
+    DetectorMetrics, EngineMetrics, GlrMetrics, PipelineMetrics, StreamMetrics, SupervisorMetrics,
 };

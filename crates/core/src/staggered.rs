@@ -16,11 +16,27 @@
 //! COMBINE (sum) of its `lanes` most recent slot sketches — the input
 //! stream is never re-scanned per lane.
 
-use crate::detector::{Alarm, DetectorConfig, KeyStrategy, SketchChangeDetector};
+use crate::detector::{
+    Alarm, DetectorConfig, DetectorSnapshot, KeyStrategy, RestoreError, SketchChangeDetector,
+};
 use scd_hash::HashRows;
 use scd_sketch::KarySketch;
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Serializable image of a [`StaggeredDetector`]: the slot counter, the
+/// buffered slot sketches + key logs, and every lane's detector state.
+/// Embedded in checkpoints so the slot buffer — which the GLR layer's
+/// slotting piggybacks on — survives restarts bit-exactly.
+#[derive(Debug, Clone)]
+pub struct StaggeredSnapshot {
+    /// Base slots processed so far.
+    pub slot: u64,
+    /// Buffered recent slots, oldest first: `(slot sketch, slot keys)`.
+    pub recent_slots: Vec<(KarySketch, Vec<u64>)>,
+    /// Per-lane detector snapshots, in lane order.
+    pub lanes: Vec<DetectorSnapshot>,
+}
 
 /// A merged alarm from the staggered ensemble.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +92,79 @@ impl StaggeredDetector {
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Whether the slot buffer holds a full interval's worth of slots.
+    /// Until this is true, every [`process_slot`](Self::process_slot) call
+    /// returns no alarms: the warm-up guard refuses to COMBINE a *partial*
+    /// window, which would halve a change's apparent magnitude — exactly
+    /// the boundary effect staggering exists to kill.
+    pub fn warmed_up(&self) -> bool {
+        self.recent_slots.len() >= self.lanes.len()
+    }
+
+    /// Captures the complete mutable state: slot counter, buffered slot
+    /// sketches/keys, and every lane's detector snapshot.
+    pub fn snapshot(&self) -> StaggeredSnapshot {
+        StaggeredSnapshot {
+            slot: self.slot as u64,
+            recent_slots: self.recent_slots.clone(),
+            lanes: self.lanes.iter().map(|d| d.snapshot()).collect(),
+        }
+    }
+
+    /// Rebuilds a staggered detector from a snapshot taken under the same
+    /// config and lane count; the restored ensemble is bit-identical to
+    /// the snapshotted one for every subsequent slot — including the
+    /// warm-up suppression when the snapshot was taken mid-warm-up.
+    ///
+    /// # Errors
+    /// [`RestoreError`] if the lane count or any lane's state does not
+    /// match the config, or a buffered sketch is from another hash family.
+    pub fn restore(
+        config: DetectorConfig,
+        lanes: usize,
+        snap: StaggeredSnapshot,
+    ) -> Result<Self, RestoreError> {
+        if lanes == 0 {
+            return Err(RestoreError::BadConfig("need at least one lane".into()));
+        }
+        if !matches!(config.key_strategy, KeyStrategy::TwoPass) {
+            return Err(RestoreError::BadConfig(
+                "staggered detection currently supports the two-pass strategy".into(),
+            ));
+        }
+        if snap.lanes.len() != lanes {
+            return Err(RestoreError::BadConfig(format!(
+                "snapshot has {} lanes, expected {lanes}",
+                snap.lanes.len()
+            )));
+        }
+        if snap.recent_slots.len() > lanes {
+            return Err(RestoreError::BadConfig(format!(
+                "snapshot buffers {} slots, more than {lanes} lanes",
+                snap.recent_slots.len()
+            )));
+        }
+        let rows = Arc::new(HashRows::new(config.sketch.h, config.sketch.k, config.sketch.seed));
+        for (sketch, _) in &snap.recent_slots {
+            if sketch.rows().identity() != rows.identity() {
+                return Err(RestoreError::BadConfig(
+                    "buffered slot sketch is from a different hash family".into(),
+                ));
+            }
+        }
+        let detectors: Result<Vec<_>, _> = snap
+            .lanes
+            .into_iter()
+            .map(|s| SketchChangeDetector::restore(config.clone(), s))
+            .collect();
+        Ok(StaggeredDetector {
+            lanes: detectors?,
+            rows,
+            recent_slots: snap.recent_slots,
+            slot: snap.slot as usize,
+        })
     }
 
     /// Feeds one base slot of updates. The slot is sketched exactly once.
@@ -242,5 +331,77 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_rejected() {
         let _ = StaggeredDetector::new(config(), 0);
+    }
+
+    /// Warm-up boundary regression (ISSUE 10 audit): a change planted in
+    /// slot 0 must never surface through a *partial* window. Until
+    /// `lanes` slots are buffered, a lane interval would COMBINE fewer
+    /// slots than a full interval holds, showing the burst at reduced
+    /// magnitude against full-interval baselines — the guard suppresses
+    /// every report until the buffer holds a complete window.
+    #[test]
+    fn change_in_slot_zero_never_fires_on_a_partial_window() {
+        for lanes in [2usize, 3, 4, 5] {
+            let mut det = StaggeredDetector::new(config(), lanes);
+            for s in 0..lanes * 4 {
+                let mut items = vec![(1u64, 1000.0), (2, 800.0), (3, 600.0)];
+                if s == 0 {
+                    items.push((42, 500_000.0));
+                }
+                let warmed_before = det.warmed_up();
+                let alarms = det.process_slot(&items);
+                if s + 1 < lanes {
+                    assert!(!warmed_before, "warm-up ended early at slot {s} (lanes={lanes})");
+                    assert!(
+                        alarms.is_empty(),
+                        "lane fired on a partial {}-slot window (lanes={lanes})",
+                        s + 1
+                    );
+                } else {
+                    assert!(det.warmed_up(), "still cold after {} slots (lanes={lanes})", s + 1);
+                }
+            }
+        }
+    }
+
+    /// Snapshot/restore round-trips bit-exactly, including mid-warm-up:
+    /// a detector restored from a snapshot taken before the slot buffer
+    /// filled must keep suppressing partial windows and then produce the
+    /// exact alarm stream of the uninterrupted run.
+    #[test]
+    fn snapshot_restore_is_bit_exact_even_mid_warm_up() {
+        let lanes = 3;
+        let all = slots(6, 18);
+        for snap_at in [1usize, 2, 7] {
+            let mut reference = StaggeredDetector::new(config(), lanes);
+            let mut interrupted = StaggeredDetector::new(config(), lanes);
+            let mut ref_alarms = Vec::new();
+            let mut got_alarms = Vec::new();
+            for (s, items) in all.iter().enumerate() {
+                ref_alarms.push(reference.process_slot(items));
+                if s == snap_at {
+                    let snap = interrupted.snapshot();
+                    interrupted = StaggeredDetector::restore(config(), lanes, snap)
+                        .expect("restore staggered snapshot");
+                    // `interrupted` has processed slots 0..s at this point.
+                    assert_eq!(interrupted.warmed_up(), s >= lanes);
+                }
+                got_alarms.push(interrupted.process_slot(items));
+            }
+            assert_eq!(ref_alarms, got_alarms, "divergence after restore at slot {snap_at}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_bad_shapes() {
+        let det = StaggeredDetector::new(config(), 2);
+        let snap = det.snapshot();
+        assert!(StaggeredDetector::restore(config(), 3, snap.clone()).is_err());
+        assert!(StaggeredDetector::restore(config(), 0, snap.clone()).is_err());
+        let mut wrong_family = config();
+        wrong_family.sketch.seed ^= 1;
+        let mut fed = StaggeredDetector::new(config(), 2);
+        fed.process_slot(&[(1, 10.0)]);
+        assert!(StaggeredDetector::restore(wrong_family, 2, fed.snapshot()).is_err());
     }
 }

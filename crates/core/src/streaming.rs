@@ -405,6 +405,8 @@ fn maybe_checkpoint(detector: &SketchChangeDetector, binner: &mut BinnerState, c
         snapshot: detector.snapshot(),
         next_interval: binner.interval_idx,
         processed: binner.processed,
+        staggered: None,
+        glr: None,
     };
     match ck.write_atomic(&policy.path) {
         // Lifecycle events are best-effort (try_send): an undrained event

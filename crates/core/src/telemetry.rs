@@ -74,6 +74,22 @@ pub struct DetectorMetrics {
     pub alarm_threshold: Arc<Gauge>,
 }
 
+/// Metrics of the sub-interval GLR sequential-detection layer
+/// ([`crate::glr`]): provisional alarm lifecycle counts and the
+/// detection-latency win measured in base slots.
+#[derive(Debug)]
+pub struct GlrMetrics {
+    /// Provisional alarms raised by the sequential statistic.
+    pub provisional_total: Arc<Counter>,
+    /// Provisionals confirmed by the interval-close detector.
+    pub confirmed_total: Arc<Counter>,
+    /// Provisionals retracted (interval closed without a matching alarm).
+    pub retracted_total: Arc<Counter>,
+    /// Base slots between the provisional firing and its interval's
+    /// closing slot — how far ahead of interval close the alarm landed.
+    pub lead_slots: Arc<Histogram>,
+}
+
 /// Metrics of the supervisor and checkpoint machinery.
 #[derive(Debug)]
 pub struct SupervisorMetrics {
@@ -120,6 +136,8 @@ pub struct PipelineMetrics {
     pub supervisor: SupervisorMetrics,
     /// Streaming overload metrics.
     pub stream: StreamMetrics,
+    /// Sequential GLR layer metrics.
+    pub glr: GlrMetrics,
 }
 
 impl PipelineMetrics {
@@ -196,7 +214,19 @@ impl PipelineMetrics {
             shed_total: registry
                 .counter("scd_stream_shed_total", "records shed by the Sample policy"),
         };
-        Arc::new(PipelineMetrics { engine, detector, supervisor, stream })
+        let glr = GlrMetrics {
+            provisional_total: registry
+                .counter("scd_glr_provisional_total", "GLR provisional alarms raised"),
+            confirmed_total: registry
+                .counter("scd_glr_confirmed_total", "GLR provisionals confirmed at interval close"),
+            retracted_total: registry
+                .counter("scd_glr_retracted_total", "GLR provisionals retracted at interval close"),
+            lead_slots: registry.histogram(
+                "scd_glr_lead_slots",
+                "base slots between a provisional alarm and its interval close",
+            ),
+        };
+        Arc::new(PipelineMetrics { engine, detector, supervisor, stream, glr })
     }
 
     /// Folds one interval's [`crate::detector::DropStats`] into the

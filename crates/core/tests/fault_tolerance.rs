@@ -87,6 +87,8 @@ fn kill_and_restore_reports_are_identical() {
         snapshot: first_half.snapshot(),
         next_interval: Some(9),
         processed: 9 * 30,
+        staggered: None,
+        glr: None,
     }
     .write_atomic(&path)
     .expect("write checkpoint");
@@ -206,6 +208,8 @@ fn corrupt_checkpoint_degrades_instead_of_crashing() {
         snapshot: det.snapshot(),
         next_interval: Some(4),
         processed: 120,
+        staggered: None,
+        glr: None,
     };
     let mut bytes = ck.to_bytes();
     Corruptor::new(99).flip_one_byte(&mut bytes);

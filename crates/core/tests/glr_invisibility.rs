@@ -1,0 +1,139 @@
+//! The GLR sequential layer must be contractually invisible: attaching a
+//! [`GlrConfig`] to an engine adds a side channel of provisional events
+//! (`take_glr_events`), but it must not perturb a single bit of any
+//! `IntervalReport` — the projections read the update stream, never
+//! touch the detector's sketches, RNGs, or sorts. These tests pin that
+//! contract for every paper model, every key strategy, and both engine
+//! drive modes, driving both engines with the identical slot-granular
+//! feed (so even the feed-order-sensitive `Sampled` strategy sees the
+//! same stream byte for byte).
+
+use scd_core::{
+    DetectorConfig, EngineConfig, GlrConfig, GlrEvent, IntervalReport, KeyStrategy, ShardedEngine,
+};
+use scd_forecast::{ArimaSpec, ModelSpec};
+use scd_hash::SplitMix64;
+use scd_sketch::SketchConfig;
+
+/// The paper's five models (§3.2) plus the seasonal extension.
+fn all_models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Ma { window: 3 },
+        ModelSpec::Sma { window: 4 },
+        ModelSpec::Ewma { alpha: 0.4 },
+        ModelSpec::Nshw { alpha: 0.5, beta: 0.3 },
+        ModelSpec::Arima(ArimaSpec::new(1, &[0.6], &[0.3]).unwrap()),
+        ModelSpec::Shw { alpha: 0.5, beta: 0.2, gamma: 0.4, period: 3 },
+    ]
+}
+
+fn all_strategies() -> [KeyStrategy; 3] {
+    [KeyStrategy::TwoPass, KeyStrategy::NextInterval, KeyStrategy::Sampled { rate: 0.5, seed: 77 }]
+}
+
+fn detector_config(model: ModelSpec, strategy: KeyStrategy) -> DetectorConfig {
+    DetectorConfig {
+        sketch: SketchConfig { h: 5, k: 1024, seed: 0x000F_F5E7 },
+        model,
+        threshold: 0.05,
+        key_strategy: strategy,
+    }
+}
+
+fn glr_config() -> GlrConfig {
+    GlrConfig { max_window: 4, min_baseline: 4, ..GlrConfig::new(16.0, 0x5CD) }
+}
+
+/// One interval of synthetic traffic: ~500 updates over ~180 keys with
+/// integer volumes (exact in f64), plus a burst so alarms fire.
+fn interval_updates(t: u64) -> Vec<(u64, f64)> {
+    let mut rng = SplitMix64::new(0x00BE_21A9 ^ t);
+    let mut items: Vec<(u64, f64)> = (0..500)
+        .map(|_| {
+            let key = rng.next_below(180);
+            let volume = (rng.next_below(900) + 1) as f64;
+            (key, volume)
+        })
+        .collect();
+    if t == 10 {
+        items.push((0x000B_0057, 1_500_000.0));
+    }
+    items
+}
+
+const INTERVALS: u64 = 14;
+const SLOTS: usize = 4;
+const SHARDS: usize = 4;
+
+/// The interval's updates split into `SLOTS` contiguous chunks — the
+/// same total order either way, so both engines see identical streams.
+fn slot_chunks(t: u64) -> Vec<Vec<(u64, f64)>> {
+    let items = interval_updates(t);
+    let per = items.len().div_ceil(SLOTS);
+    let mut chunks: Vec<Vec<(u64, f64)>> = items.chunks(per).map(<[_]>::to_vec).collect();
+    while chunks.len() < SLOTS {
+        chunks.push(Vec::new());
+    }
+    chunks
+}
+
+/// Drives an engine with the slot-granular feed and collects every
+/// report plus (for a GLR engine) every sequential event.
+fn run(config: EngineConfig, pipelined: bool) -> (Vec<IntervalReport>, Vec<GlrEvent>) {
+    let config = if pipelined { config.with_pipeline() } else { config };
+    let mut engine = ShardedEngine::new(config).unwrap();
+    let mut reports = Vec::new();
+    let mut events = Vec::new();
+    for t in 0..INTERVALS {
+        for chunk in slot_chunks(t) {
+            engine.push_slice(&chunk).unwrap();
+            engine.end_glr_slot();
+        }
+        if let Some(report) = engine.end_interval_overlapped().unwrap() {
+            reports.push(report);
+        }
+        events.extend(engine.take_glr_events());
+    }
+    if let Some(last) = engine.drain().unwrap() {
+        reports.push(last);
+    }
+    events.extend(engine.take_glr_events());
+    (reports, events)
+}
+
+/// Enabling GLR changes no report bit in any model × strategy × drive
+/// mode cell, while the side channel itself stays live (the burst at
+/// t=10 raises at least one provisional somewhere in the matrix).
+#[test]
+fn reports_bit_identical_with_and_without_glr() {
+    let mut provisionals = 0usize;
+    for model in all_models() {
+        for strategy in all_strategies() {
+            let config = EngineConfig::new(detector_config(model.clone(), strategy), SHARDS);
+            let with_glr = config.clone().with_glr(glr_config());
+
+            let (bare_seq, no_events) = run(config.clone(), false);
+            assert!(no_events.is_empty(), "a GLR-less engine must emit no events");
+            let (glr_seq, seq_events) = run(with_glr.clone(), false);
+            assert_eq!(
+                bare_seq, glr_seq,
+                "{model:?} {strategy:?}: sequential reports diverged with GLR attached"
+            );
+
+            let (bare_pipe, _) = run(config, true);
+            let (glr_pipe, pipe_events) = run(with_glr, true);
+            assert_eq!(
+                bare_pipe, glr_pipe,
+                "{model:?} {strategy:?}: pipelined reports diverged with GLR attached"
+            );
+            assert_eq!(bare_seq, bare_pipe, "{model:?} {strategy:?}: drive modes diverged");
+            assert_eq!(
+                seq_events, pipe_events,
+                "{model:?} {strategy:?}: GLR events diverged between drive modes"
+            );
+            provisionals +=
+                seq_events.iter().filter(|e| matches!(e, GlrEvent::Provisional { .. })).count();
+        }
+    }
+    assert!(provisionals > 0, "the t=10 burst must raise provisionals somewhere in the matrix");
+}

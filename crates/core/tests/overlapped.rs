@@ -177,8 +177,14 @@ fn mid_pipeline_checkpoint_restores_bit_exact() {
         // Interval 8's report has not been drained yet — it is (or just
         // was) in flight. The snapshot still covers it.
         let snapshot = engine.detector_snapshot().unwrap();
-        let checkpoint =
-            Checkpoint { config: det_cfg, snapshot, next_interval: None, processed: 0 };
+        let checkpoint = Checkpoint {
+            config: det_cfg,
+            snapshot,
+            next_interval: None,
+            processed: 0,
+            staggered: None,
+            glr: None,
+        };
         let bytes = checkpoint.to_bytes();
         let mut restored = Checkpoint::from_bytes(&bytes).unwrap().restore_detector().unwrap();
 
@@ -211,6 +217,8 @@ fn recycled_forecast_state_checkpoints_bit_exact() {
             snapshot: detector.snapshot(),
             next_interval: None,
             processed: 0,
+            staggered: None,
+            glr: None,
         };
         let bytes = checkpoint.to_bytes();
         let mut restored = Checkpoint::from_bytes(&bytes).unwrap().restore_detector().unwrap();

@@ -191,6 +191,8 @@ impl SupervisedDetector {
             snapshot: self.detector.snapshot(),
             next_interval: Some(self.emitted),
             processed: self.emitted,
+            staggered: None,
+            glr: None,
         };
         if snapshot.write_atomic(&ck.path).is_ok() {
             // Everything up to `emitted` is durable; the retention buffer

@@ -56,8 +56,10 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 const MAX_CONNECTIONS: usize = 64;
 
 /// Distinct answers memoized per view; at the cap a new distinct query
-/// evicts an arbitrary memo (the map is also cleared at every view swap,
-/// so this only bounds query diversity against one long-lived view).
+/// evicts a *completed* memo (the map is also cleared at every view
+/// swap, so this only bounds query diversity against one long-lived
+/// view). In-flight `Pending` slots are never evicted — they are what
+/// identical concurrent requests coalesce on.
 const CACHE_CAP: usize = 1024;
 
 /// Requests between folds of a connection's private latency histogram
@@ -199,9 +201,24 @@ struct CacheInner {
 
 /// The per-view answer cache. See the [module docs](self) for the
 /// invalidation argument.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct AnswerCache {
+    /// Memo-count ceiling ([`CACHE_CAP`] in production; tests shrink it
+    /// to exercise cap pressure).
+    cap: usize,
     inner: Mutex<CacheInner>,
+}
+
+impl Default for AnswerCache {
+    fn default() -> Self {
+        AnswerCache::with_capacity(CACHE_CAP)
+    }
+}
+
+impl AnswerCache {
+    fn with_capacity(cap: usize) -> Self {
+        AnswerCache { cap, inner: Mutex::default() }
+    }
 }
 
 /// What the cache decided for one request.
@@ -243,20 +260,43 @@ pub(crate) fn answer_cached(
             if let Some(slot) = inner.map.get(&key) {
                 Claim::Hit(Arc::clone(slot))
             } else {
-                if inner.map.len() >= CACHE_CAP {
-                    // Full: evict an arbitrary memo rather than bypass —
+                let mut full = inner.map.len() >= cache.cap;
+                if full {
+                    // Full: evict a *completed* memo rather than bypass —
                     // a long-lived view (idle ingest) must not lock the
                     // cache into whatever happened to fill it first.
-                    // Waiters on an evicted Pending slot keep their own
-                    // `Arc` and still get notified by its computer.
-                    if let Some(victim) = inner.map.keys().next().cloned() {
+                    // Pending slots are exempt: evicting one would let
+                    // the next identical request miss the map and start
+                    // a second scan while the first is still in flight,
+                    // breaking one-scan-per-distinct-query coalescing.
+                    // (Existing waiters would survive — they hold their
+                    // own `Arc` — but new arrivals would not coalesce.)
+                    // `try_lock` cannot deadlock here: slot locks are
+                    // never held across a grab of the cache lock, and a
+                    // contended slot just stays resident this round.
+                    let victim =
+                        inner.map.iter().find_map(|(k, slot)| match slot.state.try_lock() {
+                            Ok(state) if matches!(*state, SlotState::Ready(_)) => Some(k.clone()),
+                            _ => None,
+                        });
+                    if let Some(victim) = victim {
                         inner.map.remove(&victim);
+                        full = false;
                     }
                 }
-                let slot =
-                    Arc::new(Slot { state: Mutex::new(SlotState::Pending), ready: Condvar::new() });
-                inner.map.insert(key, Arc::clone(&slot));
-                Claim::Compute(slot)
+                if full {
+                    // Every resident slot is an in-flight computation:
+                    // answer this query uncached instead of displacing
+                    // one of them or growing past the cap.
+                    Claim::Bypass
+                } else {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Pending),
+                        ready: Condvar::new(),
+                    });
+                    inner.map.insert(key, Arc::clone(&slot));
+                    Claim::Compute(slot)
+                }
             }
         }
     };
@@ -748,6 +788,80 @@ mod tests {
         assert_eq!(waiter.join().unwrap().encode(), expect.encode());
         assert_eq!(metrics.coalesced_total.get(), 1);
         assert_eq!(metrics.cache_hits.get(), 1);
+    }
+
+    /// Under cap pressure, eviction never displaces an in-flight Pending
+    /// slot: new distinct queries bypass the cache instead, and identical
+    /// requests keep coalescing onto the one scan already running.
+    #[test]
+    fn cap_pressure_never_evicts_in_flight_slots() {
+        let registry = scd_obs::Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let plane = plane_with_two_intervals();
+        let view = plane.view();
+        let cache = Arc::new(AnswerCache::with_capacity(2));
+        let in_flight = [
+            Request::ChangedKeys { from: 0, to: 2, threshold: 0.05 },
+            Request::KeyHistory { key: 3, from: 0, to: 2 },
+        ];
+        // Two hand-planted Pending slots fill the cache, as if two
+        // scans were mid-flight on other connections.
+        let slots: Vec<Arc<Slot>> = in_flight
+            .iter()
+            .map(|req| {
+                let slot =
+                    Arc::new(Slot { state: Mutex::new(SlotState::Pending), ready: Condvar::new() });
+                let mut inner = cache.inner.lock().unwrap();
+                inner.as_of = view.interval.unwrap();
+                inner.map.insert(cache_key(req).unwrap(), Arc::clone(&slot));
+                slot
+            })
+            .collect();
+        // A third distinct query against the full, all-Pending cache
+        // must not evict either scan: it computes uncached and leaves
+        // the map untouched.
+        let extra = Request::RangeSketch { from: 0, to: 2 };
+        let got = answer_cached(&cache, &view, &extra, Some(&metrics));
+        assert_eq!(got.encode(), answer(&view, &extra).encode());
+        assert_eq!(metrics.cache_misses.get(), 0, "bypass must not claim a slot");
+        {
+            let inner = cache.inner.lock().unwrap();
+            assert_eq!(inner.map.len(), 2);
+            for req in &in_flight {
+                assert!(
+                    inner.map.contains_key(&cache_key(req).unwrap()),
+                    "in-flight slot evicted under cap pressure"
+                );
+            }
+        }
+        // Identical requests issued during the squeeze still coalesce
+        // onto the original scans — one scan per distinct in-flight
+        // query, never a second Compute.
+        let waiters: Vec<_> = in_flight
+            .iter()
+            .map(|req| {
+                let (cache, view, req, metrics) =
+                    (Arc::clone(&cache), Arc::clone(&view), req.clone(), Arc::clone(&metrics));
+                std::thread::spawn(move || answer_cached(&cache, &view, &req, Some(&metrics)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(metrics.cache_misses.get(), 0, "an in-flight query was recomputed");
+        for (req, slot) in in_flight.iter().zip(&slots) {
+            *slot.state.lock().unwrap() = SlotState::Ready(answer(&view, req));
+            slot.ready.notify_all();
+        }
+        for (w, req) in waiters.into_iter().zip(&in_flight) {
+            assert_eq!(w.join().unwrap().encode(), answer(&view, req).encode());
+        }
+        assert_eq!(metrics.coalesced_total.get(), 2);
+        // Once the scans publish, cap pressure evicts again: a new
+        // distinct query displaces a Ready memo and claims a real slot.
+        let after = Request::Estimate { key: 3, from: 0, to: 2 };
+        let got = answer_cached(&cache, &view, &after, Some(&metrics));
+        assert_eq!(got.encode(), answer(&view, &after).encode());
+        assert_eq!(metrics.cache_misses.get(), 1, "Ready memos are evictable again");
+        assert_eq!(cache.inner.lock().unwrap().map.len(), 2);
     }
 
     /// A connection still serving a superseded view bypasses the cache:
